@@ -1,0 +1,77 @@
+// Ablation: asynchronous vs step-synchronized execution of the same step
+// schedules.
+//
+// The paper's §4.3 is explicit that its schedules impose no barrier
+// between steps ("A communication event will begin whenever the sending
+// and receiving processors are both ready"). This bench quantifies what
+// that decision buys: the same caterpillar / matching / greedy step
+// structures executed both ways, across the four workload scenarios.
+#include <iostream>
+
+#include "core/baseline.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "core/matching_scheduler.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace hcs;
+
+struct StepMaker {
+  const char* name;
+  StepSchedule (*make)(const CommMatrix&);
+};
+
+StepSchedule make_baseline(const CommMatrix& comm) {
+  return baseline_steps(comm.processor_count());
+}
+StepSchedule make_matching(const CommMatrix& comm) {
+  return matching_steps(comm, MatchingObjective::kMaxWeight);
+}
+StepSchedule make_greedy(const CommMatrix& comm) { return greedy_steps(comm); }
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kProcessors = 30;
+  constexpr std::size_t kRepetitions = 20;
+  const StepMaker makers[] = {
+      {"baseline", make_baseline},
+      {"max-matching", make_matching},
+      {"greedy", make_greedy},
+  };
+
+  std::cout << "Ablation: async (no-barrier) vs step-synchronized execution,"
+               " P = " << kProcessors << ", " << kRepetitions
+            << " instances per scenario. Values are mean completion /"
+               " lower bound.\n\n";
+
+  Table table{{"scenario", "schedule", "async", "barrier", "barrier/async"}};
+  for (const Scenario scenario :
+       {Scenario::kSmallMessages, Scenario::kLargeMessages,
+        Scenario::kMixedMessages, Scenario::kServers}) {
+    for (const StepMaker& maker : makers) {
+      RunningStats async_ratio, barrier_ratio;
+      for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+        const ProblemInstance instance =
+            make_instance(scenario, kProcessors, 4000 + rep);
+        const CommMatrix comm{instance.network, instance.messages};
+        const StepSchedule steps = maker.make(comm);
+        const double lb = comm.lower_bound();
+        async_ratio.add(execute_async(steps, comm).completion_time() / lb);
+        barrier_ratio.add(execute_barrier(steps, comm).completion_time() / lb);
+      }
+      table.add_row({std::string(scenario_name(scenario)), maker.name,
+                     format_double(async_ratio.mean(), 3),
+                     format_double(barrier_ratio.mean(), 3),
+                     format_double(barrier_ratio.mean() / async_ratio.mean(), 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nThe no-barrier semantics are most valuable exactly where"
+               " the baseline suffers most: heterogeneous mixes, where a"
+               " barrier holds every step to its slowest event.\n";
+  return 0;
+}

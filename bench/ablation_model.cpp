@@ -1,0 +1,83 @@
+// Ablation: the §6.1 model relaxations.
+//
+// Sweeps the interleaved-receive context-switch overhead alpha and the
+// finite receive-buffer capacity, executing the same open-shop plans
+// under each model. Answers the question §6.1 raises: how much of the
+// serialized-receive model's cost is receiver blocking, and at what alpha
+// (or buffer size) the relaxations stop paying.
+#include <iostream>
+
+#include "core/openshop_scheduler.hpp"
+#include "netmodel/directory.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace hcs;
+
+constexpr std::size_t kProcessors = 24;
+constexpr std::size_t kRepetitions = 15;
+
+/// Mean completion over instances under one SimOptions configuration,
+/// normalized by the serialized-receive completion of the same instance.
+double relative_completion(Scenario scenario, const SimOptions& options) {
+  const OpenShopScheduler scheduler;
+  RunningStats ratio;
+  for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+    const ProblemInstance instance =
+        make_instance(scenario, kProcessors, 6000 + rep);
+    const CommMatrix comm{instance.network, instance.messages};
+    const SendProgram program =
+        SendProgram::from_schedule(scheduler.schedule(comm));
+    const StaticDirectory directory{instance.network};
+    const NetworkSimulator simulator{directory, instance.messages};
+    const double serialized = simulator.run(program).completion_time;
+    ratio.add(simulator.run(program, options).completion_time / serialized);
+  }
+  return ratio.mean();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: receive-model relaxations (§6.1), P = " << kProcessors
+            << ", open-shop plans, " << kRepetitions
+            << " instances per point. Values are completion relative to the"
+               " serialized-receive model (1.0 = no change).\n";
+
+  std::cout << "\nInterleaved receives: completion vs alpha.\n";
+  Table alpha_table{{"scenario", "a=0", "a=0.1", "a=0.25", "a=0.5", "a=1.0"}};
+  for (const Scenario scenario :
+       {Scenario::kMixedMessages, Scenario::kServers}) {
+    std::vector<std::string> row = {std::string(scenario_name(scenario))};
+    for (const double alpha : {0.0, 0.1, 0.25, 0.5, 1.0}) {
+      SimOptions options;
+      options.model = ReceiveModel::kInterleaved;
+      options.alpha = alpha;
+      row.push_back(format_double(relative_completion(scenario, options), 3));
+    }
+    alpha_table.add_row(std::move(row));
+  }
+  alpha_table.print(std::cout);
+
+  std::cout << "\nFinite receive buffers: completion vs capacity"
+               " (drain factor 0.25).\n";
+  Table buffer_table{{"scenario", "cap=1", "cap=2", "cap=4", "cap=8", "cap=32"}};
+  for (const Scenario scenario :
+       {Scenario::kMixedMessages, Scenario::kServers}) {
+    std::vector<std::string> row = {std::string(scenario_name(scenario))};
+    for (const std::size_t capacity : {1u, 2u, 4u, 8u, 32u}) {
+      SimOptions options;
+      options.model = ReceiveModel::kBuffered;
+      options.buffer_capacity = capacity;
+      options.drain_factor = 0.25;
+      row.push_back(format_double(relative_completion(scenario, options), 3));
+    }
+    buffer_table.add_row(std::move(row));
+  }
+  buffer_table.print(std::cout);
+  return 0;
+}

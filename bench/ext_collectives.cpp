@@ -1,0 +1,170 @@
+// Extension experiment: the framework beyond total exchange.
+//
+// The paper claims a "uniform framework for developing adaptive
+// communication schedules for various collective communication patterns"
+// (abstract) and names all-to-some alongside all-to-all (§2). This bench
+// exercises that generality on GUSTO-guided random networks:
+//  - all-to-some (gather-to-k) and some-to-all (distribute-from-k)
+//    patterns under the sparse schedulers,
+//  - heterogeneous broadcast: fastest-node-first vs the homogeneous
+//    binomial tree and the linear root-only schedule,
+//  - scatter/gather ordering: SPT vs LPT vs rank order on mean release.
+#include <iostream>
+
+#include "collectives/allgather.hpp"
+#include "collectives/broadcast.hpp"
+#include "collectives/scatter_gather.hpp"
+#include "collectives/sparse_exchange.hpp"
+#include "netmodel/generator.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/block_cyclic.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace hcs;
+
+constexpr std::size_t kProcessors = 24;
+constexpr std::size_t kRepetitions = 15;
+
+}  // namespace
+
+int main() {
+  std::cout << "Extension: other collective patterns on GUSTO-guided random"
+               " networks, P = " << kProcessors << ", " << kRepetitions
+            << " instances per row. Ratios are completion / pattern lower"
+               " bound.\n\n";
+
+  // --- Sparse exchanges -----------------------------------------------
+  std::cout << "All-to-some / some-to-all (sparse exchange, 1 MB messages):\n";
+  Table sparse_table{{"pattern", "baseline-order", "matching", "openshop"}};
+  const std::vector<std::size_t> hubs = {0, 1, 2, 3};
+  struct PatternCase {
+    const char* name;
+    SparsePattern (*make)(std::size_t, const std::vector<std::size_t>&);
+  };
+  const PatternCase cases[] = {
+      {"all-to-some(4 hubs)", &SparsePattern::all_to_some},
+      {"some-to-all(4 hubs)", &SparsePattern::some_to_all},
+  };
+  for (const PatternCase& pattern_case : cases) {
+    RunningStats baseline_ratio, matching_ratio, openshop_ratio;
+    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+      const NetworkModel network = generate_network(kProcessors, 100 + rep);
+      const MessageMatrix messages = uniform_messages(kProcessors, kMiB);
+      const CommMatrix comm{network, messages};
+      const SparsePattern pattern = pattern_case.make(kProcessors, hubs);
+      const double lb = pattern.lower_bound(comm);
+      baseline_ratio.add(
+          schedule_sparse_baseline(pattern, comm).completion_time() / lb);
+      matching_ratio.add(
+          schedule_sparse_matching(pattern, comm).completion_time() / lb);
+      openshop_ratio.add(
+          schedule_sparse_openshop(pattern, comm).completion_time() / lb);
+    }
+    sparse_table.add_row({pattern_case.name,
+                          format_double(baseline_ratio.mean(), 3),
+                          format_double(matching_ratio.mean(), 3),
+                          format_double(openshop_ratio.mean(), 3)});
+  }
+  sparse_table.print(std::cout);
+
+  // --- Broadcast --------------------------------------------------------
+  std::cout << "\nHeterogeneous broadcast (1 MB), completion vs the relay"
+               " lower bound:\n";
+  Table broadcast_table{{"algorithm", "mean ratio", "worst ratio"}};
+  RunningStats linear_ratio, binomial_ratio, fnf_ratio;
+  for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+    const NetworkModel network = generate_network(kProcessors, 200 + rep);
+    const std::size_t root = rep % kProcessors;
+    const double lb = broadcast_lower_bound(network, root, kMiB);
+    linear_ratio.add(broadcast_linear(network, root, kMiB).completion_time() / lb);
+    binomial_ratio.add(broadcast_binomial(network, root, kMiB).completion_time() /
+                       lb);
+    fnf_ratio.add(broadcast_fnf(network, root, kMiB).completion_time() / lb);
+  }
+  broadcast_table.add_row({"linear (root only)",
+                           format_double(linear_ratio.mean(), 2),
+                           format_double(linear_ratio.max(), 2)});
+  broadcast_table.add_row({"binomial (rank tree)",
+                           format_double(binomial_ratio.mean(), 2),
+                           format_double(binomial_ratio.max(), 2)});
+  broadcast_table.add_row({"fastest-node-first",
+                           format_double(fnf_ratio.mean(), 2),
+                           format_double(fnf_ratio.max(), 2)});
+  broadcast_table.print(std::cout);
+
+  // --- Scatter ordering --------------------------------------------------
+  std::cout << "\nScatter from processor 0 (mixed 1 kB / 1 MB): mean peer"
+               " release time by order (makespan is order-invariant):\n";
+  Table scatter_table{{"order", "mean release (s)", "makespan (s)"}};
+  RunningStats spt_mean, lpt_mean, idx_mean, makespan;
+  for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+    const NetworkModel network = generate_network(kProcessors, 300 + rep);
+    const MessageMatrix messages =
+        mixed_messages(kProcessors, 300 + rep, {kKiB, kMiB});
+    const CommMatrix comm{network, messages};
+    spt_mean.add(scatter(comm, 0, RootOrder::kShortestFirst).mean_completion_s);
+    lpt_mean.add(scatter(comm, 0, RootOrder::kLongestFirst).mean_completion_s);
+    idx_mean.add(scatter(comm, 0, RootOrder::kByIndex).mean_completion_s);
+    makespan.add(scatter(comm, 0, RootOrder::kByIndex).makespan_s);
+  }
+  scatter_table.add_row({"shortest-first (SPT)", format_double(spt_mean.mean(), 2),
+                         format_double(makespan.mean(), 2)});
+  scatter_table.add_row({"rank order", format_double(idx_mean.mean(), 2),
+                         format_double(makespan.mean(), 2)});
+  scatter_table.add_row({"longest-first (LPT)", format_double(lpt_mean.mean(), 2),
+                         format_double(makespan.mean(), 2)});
+  scatter_table.print(std::cout);
+
+  // --- Allgather -------------------------------------------------------
+  std::cout << "\nAllgather (1 MB blocks), completion / direct-exchange"
+               " lower bound:\n";
+  Table allgather_table{{"algorithm", "mean ratio"}};
+  RunningStats ring_ratio, direct_ratio, relay_ratio;
+  for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+    const NetworkModel network = generate_network(kProcessors, 400 + rep);
+    const BlockSizes blocks(kProcessors, kMiB);
+    const double lb = allgather_lower_bound(network, blocks);
+    ring_ratio.add(allgather_ring(network, blocks).completion_time() / lb);
+    direct_ratio.add(allgather_openshop(network, blocks).completion_time() / lb);
+    relay_ratio.add(allgather_relay_fnf(network, blocks).completion_time / lb);
+  }
+  allgather_table.add_row({"ring (homogeneous order)",
+                           format_double(ring_ratio.mean(), 3)});
+  allgather_table.add_row({"direct open shop",
+                           format_double(direct_ratio.mean(), 3)});
+  allgather_table.add_row({"relay fastest-node-first",
+                           format_double(relay_ratio.mean(), 3)});
+  allgather_table.print(std::cout);
+
+  // --- Block-cyclic redistribution (ref [19]) --------------------------
+  std::cout << "\nBlock-cyclic redistribution cyclic(3) -> cyclic(5),"
+               " 64k elements of 8 bytes (ref [19]'s workload), sparse"
+               " schedulers, ratio to pattern lower bound:\n";
+  Table cyclic_table{{"scheduler", "mean ratio"}};
+  RunningStats cyclic_baseline, cyclic_matching, cyclic_openshop;
+  for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+    const NetworkModel network = generate_network(kProcessors, 500 + rep);
+    const MessageMatrix sizes =
+        block_cyclic_messages(kProcessors, 65536, 3, 5, 8);
+    const SparsePattern pattern = SparsePattern::from_messages(sizes);
+    const CommMatrix comm{network, sizes};
+    const double lb = pattern.lower_bound(comm);
+    cyclic_baseline.add(
+        schedule_sparse_baseline(pattern, comm).completion_time() / lb);
+    cyclic_matching.add(
+        schedule_sparse_matching(pattern, comm).completion_time() / lb);
+    cyclic_openshop.add(
+        schedule_sparse_openshop(pattern, comm).completion_time() / lb);
+  }
+  cyclic_table.add_row({"caterpillar order",
+                        format_double(cyclic_baseline.mean(), 3)});
+  cyclic_table.add_row({"sparse matching",
+                        format_double(cyclic_matching.mean(), 3)});
+  cyclic_table.add_row({"sparse open shop",
+                        format_double(cyclic_openshop.mean(), 3)});
+  cyclic_table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,6 @@
+// Reproduces Figure 10: total exchange with large (1 MB) messages.
+#include "figure_common.hpp"
+
+int main() {
+  return hcs::bench::run_figure("Figure 10", hcs::Scenario::kLargeMessages);
+}

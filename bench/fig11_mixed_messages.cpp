@@ -1,0 +1,7 @@
+// Reproduces Figure 11: total exchange with a random mix of 1 kB and
+// 1 MB messages.
+#include "figure_common.hpp"
+
+int main() {
+  return hcs::bench::run_figure("Figure 11", hcs::Scenario::kMixedMessages);
+}

@@ -1,0 +1,8 @@
+// Reproduces Figure 12: 20% of the processors are servers that send large
+// messages to their clients (the multimedia scenario); all other messages
+// are small.
+#include "figure_common.hpp"
+
+int main() {
+  return hcs::bench::run_figure("Figure 12", hcs::Scenario::kServers);
+}

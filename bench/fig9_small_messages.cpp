@@ -1,0 +1,6 @@
+// Reproduces Figure 9: total exchange with small (1 kB) messages.
+#include "figure_common.hpp"
+
+int main() {
+  return hcs::bench::run_figure("Figure 9", hcs::Scenario::kSmallMessages);
+}

@@ -1,0 +1,67 @@
+// Shared driver for the Figure 9-12 reproduction benches.
+//
+// Each figure plots mean total-exchange completion time against processor
+// count for the five §4 algorithms on GUSTO-guided random networks. The
+// driver runs the sweep (P = 5..50 in steps of 5, 20 random instances per
+// point), prints the absolute series the paper plots, the scale-free
+// ratio-to-lower-bound series its §5 claims are stated in, and a CSV copy
+// for plotting. The step-synchronized baseline is included as a sixth
+// column — see DESIGN.md: it models how homogeneous-system all-to-all
+// implementations actually behave and reproduces the magnitude of the
+// paper's reported baseline gap.
+#pragma once
+
+#include <algorithm>
+#include <iostream>
+#include <thread>
+
+#include "experiment/experiment.hpp"
+
+namespace hcs::bench {
+
+inline int run_figure(const char* figure, Scenario scenario) {
+  ExperimentConfig config;
+  config.scenario = scenario;
+  config.processor_counts = {5, 10, 15, 20, 25, 30, 35, 40, 45, 50};
+  config.repetitions = 20;
+  config.base_seed = 19980728;  // HPDC '98
+  config.schedulers = paper_schedulers();
+  config.schedulers.push_back(SchedulerKind::kBaselineBarrier);
+  config.parallelism = std::max(1u, std::thread::hardware_concurrency());
+
+  std::cout << figure << ". All-to-all personalized communication, scenario '"
+            << scenario_name(scenario) << "' (" << config.repetitions
+            << " random GUSTO-guided networks per point, seed "
+            << config.base_seed << ").\n";
+
+  const ExperimentResult result = run_experiment(config);
+
+  std::cout << "\nMean completion time (seconds):\n";
+  completion_table(result).print(std::cout);
+
+  std::cout << "\nMean completion time / lower bound:\n";
+  ratio_table(result).print(std::cout);
+
+  std::cout << "\nCSV (mean completion seconds):\n";
+  completion_table(result).print_csv(std::cout);
+
+  // The headline comparison the paper's §5 text draws.
+  const auto& last_ratios = result.series;
+  double baseline_barrier = 0.0, openshop = 0.0, baseline = 0.0;
+  for (const SchedulerSeries& series : last_ratios) {
+    if (series.kind == SchedulerKind::kBaselineBarrier)
+      baseline_barrier = series.mean_ratio_to_lb.back();
+    if (series.kind == SchedulerKind::kOpenShop)
+      openshop = series.mean_ratio_to_lb.back();
+    if (series.kind == SchedulerKind::kBaseline)
+      baseline = series.mean_ratio_to_lb.back();
+  }
+  std::cout << "\nAt P = 50: open shop is "
+            << format_double(baseline / openshop, 2)
+            << "x faster than the asynchronous baseline and "
+            << format_double(baseline_barrier / openshop, 2)
+            << "x faster than the step-synchronized baseline.\n";
+  return 0;
+}
+
+}  // namespace hcs::bench

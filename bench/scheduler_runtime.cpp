@@ -1,0 +1,71 @@
+// Scheduling-algorithm runtime benchmarks (google-benchmark).
+//
+// §4 states the complexities: O(P^4) for the matching scheduler (P
+// maximum-weight matchings at O(P^3) each) and O(P^3) for the greedy and
+// open-shop heuristics. This bench measures wall-clock scaling over P so
+// the claimed exponents can be checked empirically (the reported
+// complexity column uses benchmark's oNCubed fits where applicable), and
+// quantifies the run-time cost of adaptivity that §6.2 worries about.
+#include <benchmark/benchmark.h>
+
+#include "core/comm_matrix.hpp"
+#include "core/exact.hpp"
+#include "core/scheduler.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+hcs::CommMatrix random_comm(std::size_t n, std::uint64_t seed) {
+  hcs::Rng rng{seed};
+  hcs::Matrix<double> times(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) times(i, j) = rng.uniform(0.01, 10.0);
+  return hcs::CommMatrix{std::move(times)};
+}
+
+void run_scheduler(benchmark::State& state, hcs::SchedulerKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const hcs::CommMatrix comm = random_comm(n, 42);
+  const auto scheduler = hcs::make_scheduler(kind, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler->schedule(comm));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_Baseline(benchmark::State& state) {
+  run_scheduler(state, hcs::SchedulerKind::kBaseline);
+}
+void BM_MaxMatching(benchmark::State& state) {
+  run_scheduler(state, hcs::SchedulerKind::kMaxMatching);
+}
+void BM_MinMatching(benchmark::State& state) {
+  run_scheduler(state, hcs::SchedulerKind::kMinMatching);
+}
+void BM_Greedy(benchmark::State& state) {
+  run_scheduler(state, hcs::SchedulerKind::kGreedy);
+}
+void BM_OpenShop(benchmark::State& state) {
+  run_scheduler(state, hcs::SchedulerKind::kOpenShop);
+}
+
+void BM_ExactSmall(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const hcs::CommMatrix comm = random_comm(n, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hcs::solve_exact(comm));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Baseline)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+BENCHMARK(BM_MaxMatching)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+BENCHMARK(BM_MinMatching)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+BENCHMARK(BM_Greedy)->RangeMultiplier(2)->Range(8, 128)->Complexity(benchmark::oNCubed);
+BENCHMARK(BM_OpenShop)->RangeMultiplier(2)->Range(8, 128)->Complexity(benchmark::oNCubed);
+BENCHMARK(BM_ExactSmall)->DenseRange(3, 4, 1);
+
+BENCHMARK_MAIN();

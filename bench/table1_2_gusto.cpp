@@ -1,0 +1,51 @@
+// Reproduces Tables 1 and 2 of the paper: end-to-end latency (ms) and
+// bandwidth (kbit/s) between five GUSTO sites, as published by the Globus
+// Metacomputing Directory Service. Also prints the derived per-pair
+// transfer times for the paper's two message sizes, which is what the
+// communication model (§3.2) feeds the schedulers.
+#include <iostream>
+#include <string>
+
+#include "netmodel/gusto.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+hcs::Table site_table(const hcs::Matrix<double>& values, int digits) {
+  const auto& names = hcs::gusto::site_names();
+  std::vector<std::string> headers = {""};
+  for (const auto name : names) headers.emplace_back(name);
+  hcs::Table table{std::move(headers)};
+  for (std::size_t i = 0; i < hcs::gusto::kSiteCount; ++i) {
+    std::vector<std::string> row = {std::string(names[i])};
+    for (std::size_t j = 0; j < hcs::gusto::kSiteCount; ++j)
+      row.push_back(i == j ? "-" : hcs::format_double(values(i, j), digits));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Table 1. Latency (ms) between 5 GUSTO sites.\n";
+  site_table(hcs::gusto::latency_ms(), 1).print(std::cout);
+
+  std::cout << "\nTable 2. Bandwidth (kbits/s) between 5 GUSTO sites.\n";
+  site_table(hcs::gusto::bandwidth_kbits(), 0).print(std::cout);
+
+  const hcs::NetworkModel network = hcs::gusto::network();
+  for (const auto& [label, bytes] :
+       {std::pair<const char*, std::uint64_t>{"1 kB", hcs::kKiB},
+        std::pair<const char*, std::uint64_t>{"1 MB", hcs::kMiB}}) {
+    std::cout << "\nDerived transfer times (s), T_ij + m/B_ij, m = " << label
+              << ".\n";
+    hcs::Matrix<double> times(hcs::gusto::kSiteCount, hcs::gusto::kSiteCount,
+                              0.0);
+    for (std::size_t i = 0; i < hcs::gusto::kSiteCount; ++i)
+      for (std::size_t j = 0; j < hcs::gusto::kSiteCount; ++j)
+        if (i != j) times(i, j) = network.cost(i, j, bytes);
+    site_table(times, 3).print(std::cout);
+  }
+  return 0;
+}

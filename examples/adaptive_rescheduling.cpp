@@ -1,0 +1,70 @@
+// Checkpoint-based adaptive execution (§6.3) on a live, drifting network.
+//
+// A sensor-style application repeats a total exchange while background
+// load shifts bandwidth under it. The example runs the same exchange
+// three ways — schedule once, halve-remaining checkpoints, and per-event
+// checkpoints — against an identical drifting directory, then shows the
+// deviation threshold suppressing pointless reschedules when drift is
+// mild.
+#include <iostream>
+
+#include "adaptive/checkpoint.hpp"
+#include "core/openshop_scheduler.hpp"
+#include "netmodel/generator.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+  using namespace hcs;
+
+  const std::size_t P = 12;
+  const std::uint64_t seed = 42;
+  const NetworkModel base = generate_network(P, seed);
+  const MessageMatrix messages = uniform_messages(P, 2 * kMiB);
+  const OpenShopScheduler scheduler;  // availability-aware: replans account
+                                      // for ports still busy at checkpoints
+
+  std::cout << "Adaptive total exchange, P = " << P
+            << ", 2 MiB messages, open-shop scheduler.\n\n";
+
+  for (const double sigma : {0.15, 0.45}) {
+    DriftingDirectory::Options drift;
+    drift.update_period_s = 2.0;
+    drift.step_sigma = sigma;
+    drift.max_factor = 6.0;
+    const DriftingDirectory directory{base, seed * 7, drift};
+
+    std::cout << "Bandwidth drift sigma = " << format_double(sigma, 2)
+              << " per 2 s step:\n";
+    Table table{{"policy", "completion (s)", "reschedules"}};
+    for (const CheckpointPolicy policy :
+         {CheckpointPolicy::kNever, CheckpointPolicy::kHalveRemaining,
+          CheckpointPolicy::kEveryEvent}) {
+      AdaptiveOptions options;
+      options.policy = policy;
+      const AdaptiveResult result =
+          run_adaptive(scheduler, directory, messages, options);
+      table.add_row({std::string(checkpoint_policy_name(policy)),
+                     format_double(result.completion_time, 2),
+                     std::to_string(result.reschedule_count)});
+    }
+    // With a 20% deviation threshold, mild drift triggers no reschedules.
+    AdaptiveOptions thresholded;
+    thresholded.policy = CheckpointPolicy::kHalveRemaining;
+    thresholded.reschedule_threshold = 0.20;
+    const AdaptiveResult result =
+        run_adaptive(scheduler, directory, messages, thresholded);
+    table.add_row({"halve + 20% threshold",
+                   format_double(result.completion_time, 2),
+                   std::to_string(result.reschedule_count)});
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Checkpoints pay off when estimates go stale — every policy"
+               " beats schedule-once here. Under *heavy* drift the"
+               " per-event policy over-reschedules (each plan is stale"
+               " before it finishes), and the moderate halving cadence"
+               " wins; the deviation threshold trims reschedules that"
+               " would change nothing.\n";
+  return 0;
+}

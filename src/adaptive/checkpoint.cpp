@@ -1,0 +1,168 @@
+#include "adaptive/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+std::string_view checkpoint_policy_name(CheckpointPolicy policy) {
+  switch (policy) {
+    case CheckpointPolicy::kNever: return "never";
+    case CheckpointPolicy::kEveryEvent: return "every-event";
+    case CheckpointPolicy::kHalveRemaining: return "halve-remaining";
+  }
+  throw InputError("checkpoint_policy_name: unknown policy");
+}
+
+namespace {
+
+/// Events of `schedule` whose pairs are still remaining, as per-sender
+/// orders. Pairs outside `remaining` (already sent, or the zero-cost
+/// padding the rescheduling round introduces) are dropped.
+SendProgram remaining_program(const Schedule& schedule,
+                              const Matrix<unsigned char>& remaining) {
+  const std::size_t n = schedule.processor_count();
+  std::vector<std::vector<std::size_t>> orders(n);
+  std::vector<std::vector<std::size_t>> recv_orders(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (const ScheduledEvent& event : schedule.sender_events(p))
+      if (remaining(event.src, event.dst) != 0) orders[p].push_back(event.dst);
+    for (const ScheduledEvent& event : schedule.receiver_events(p))
+      if (remaining(event.src, event.dst) != 0)
+        recv_orders[p].push_back(event.src);
+  }
+  return SendProgram{std::move(orders), std::move(recv_orders)};
+}
+
+}  // namespace
+
+AdaptiveResult run_adaptive(const Scheduler& scheduler,
+                            const DirectoryService& directory,
+                            const MessageMatrix& messages,
+                            const AdaptiveOptions& options) {
+  const std::size_t n = directory.processor_count();
+  if (messages.rows() != n || !messages.square())
+    throw InputError("run_adaptive: directory and messages disagree on size");
+  if (options.reschedule_threshold < 0.0)
+    throw InputError("run_adaptive: negative threshold");
+
+  Matrix<unsigned char> remaining(n, n, 0);
+  std::size_t remaining_count = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) {
+        // Even a zero-byte message costs its start-up time in the model,
+        // so every off-diagonal pair participates.
+        remaining(i, j) = 1;
+        ++remaining_count;
+      }
+
+  const NetworkSimulator simulator{directory, messages};
+  std::vector<double> send_avail(n, 0.0);
+  std::vector<double> recv_avail(n, 0.0);
+  double now = 0.0;
+
+  AdaptiveResult result;
+  result.events.reserve(remaining_count);
+
+  while (remaining_count > 0) {
+    // Plan from the current directory snapshot: estimated event times for
+    // the remaining pairs only (finished pairs cost zero and are dropped
+    // from the program afterwards).
+    const NetworkModel snapshot = directory.snapshot(now);
+    Matrix<double> estimate(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        if (remaining(i, j) != 0)
+          estimate(i, j) = snapshot.cost(i, j, messages(i, j));
+    const CommMatrix comm{std::move(estimate)};
+    // Availability-aware schedulers plan against the current port skew
+    // (ports that are still busy with committed transfers); others plan
+    // for an idle system and contribute orders only.
+    Schedule planned = [&] {
+      const auto* avail_aware =
+          dynamic_cast<const AvailabilityAwareScheduler*>(&scheduler);
+      if (avail_aware == nullptr) return scheduler.schedule(comm);
+      std::vector<double> send_offset(n, 0.0);
+      std::vector<double> recv_offset(n, 0.0);
+      for (std::size_t p = 0; p < n; ++p) {
+        send_offset[p] = std::max(send_avail[p] - now, 0.0);
+        recv_offset[p] = std::max(recv_avail[p] - now, 0.0);
+      }
+      return avail_aware->schedule_with_availability(comm, send_offset,
+                                                     recv_offset);
+    }();
+    const SendProgram program = remaining_program(planned, remaining);
+
+    // Execute the plan against the live directory.
+    SimOptions sim_options;
+    sim_options.initial_send_avail.assign(n, 0.0);
+    sim_options.initial_recv_avail.assign(n, 0.0);
+    for (std::size_t p = 0; p < n; ++p) {
+      sim_options.initial_send_avail[p] = std::max(send_avail[p], now);
+      sim_options.initial_recv_avail[p] = std::max(recv_avail[p], now);
+    }
+    SimResult executed = simulator.run(program, sim_options);
+    std::sort(executed.events.begin(), executed.events.end(),
+              [](const ScheduledEvent& a, const ScheduledEvent& b) {
+                return a.finish_s < b.finish_s;
+              });
+
+    // How many events to commit before the checkpoint.
+    std::size_t commit_target = remaining_count;
+    switch (options.policy) {
+      case CheckpointPolicy::kNever: break;
+      case CheckpointPolicy::kEveryEvent: commit_target = 1; break;
+      case CheckpointPolicy::kHalveRemaining:
+        commit_target = (remaining_count + 1) / 2;
+        break;
+    }
+
+    // Optional threshold: if the committed prefix ran close to its
+    // estimate, keep executing the same plan through further checkpoints.
+    if (commit_target < executed.events.size() &&
+        options.reschedule_threshold > 0.0) {
+      while (commit_target < executed.events.size()) {
+        double worst = 0.0;
+        for (std::size_t k = 0; k < commit_target; ++k) {
+          const ScheduledEvent& event = executed.events[k];
+          const double estimated = comm.time(event.src, event.dst);
+          if (estimated <= 0.0) continue;
+          worst = std::max(worst,
+                           std::abs(event.duration() - estimated) / estimated);
+        }
+        if (worst > options.reschedule_threshold) break;
+        commit_target = std::min(executed.events.size(),
+                                 commit_target + (remaining_count + 1) / 2);
+      }
+    }
+
+    // Commit events up to the checkpoint, plus any event already in
+    // flight at the checkpoint time (a started transfer cannot be
+    // recalled).
+    double cut_time = executed.completion_time;
+    if (commit_target < executed.events.size())
+      cut_time = executed.events[commit_target - 1].finish_s;
+    std::size_t committed = 0;
+    for (const ScheduledEvent& event : executed.events) {
+      const bool before_cut = event.finish_s <= cut_time;
+      const bool in_flight = event.start_s < cut_time;
+      if (!before_cut && !in_flight) continue;
+      result.events.push_back(event);
+      remaining(event.src, event.dst) = 0;
+      send_avail[event.src] = std::max(send_avail[event.src], event.finish_s);
+      recv_avail[event.dst] = std::max(recv_avail[event.dst], event.finish_s);
+      result.completion_time = std::max(result.completion_time, event.finish_s);
+      ++committed;
+    }
+    check(committed > 0, "run_adaptive: no progress");
+    remaining_count -= committed;
+    now = cut_time;
+    if (remaining_count > 0) ++result.reschedule_count;
+  }
+  return result;
+}
+
+}  // namespace hcs

@@ -1,0 +1,65 @@
+// Checkpoint-based adaptive execution (§6.3).
+//
+// When the network drifts faster than a schedule executes, the initial
+// schedule — computed from directory estimates — goes stale mid-flight.
+// The paper proposes re-evaluating at checkpoints: "processors decide
+// whether the difference between the estimated time and actual time is
+// large enough to require rescheduling", with checkpoints placed after
+// each event (O(P) checkpoints per processor) or after half the remaining
+// events (O(log P) checkpoints).
+//
+// The AdaptiveExecutor implements that loop: schedule from the current
+// directory snapshot, execute under the simulator until the checkpoint,
+// commit the events that ran (including in-flight ones), and reschedule
+// the remaining pairs from a fresh snapshot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "netmodel/directory.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace hcs {
+
+/// When to stop, re-query the directory, and reschedule.
+enum class CheckpointPolicy {
+  kNever,           ///< schedule once, run to completion
+  kEveryEvent,      ///< checkpoint after every completed event
+  kHalveRemaining,  ///< checkpoint after half the remaining events finish
+};
+
+/// Human-readable policy name.
+[[nodiscard]] std::string_view checkpoint_policy_name(CheckpointPolicy policy);
+
+/// Outcome of an adaptive run.
+struct AdaptiveResult {
+  /// All executed events with their actual (simulated) times.
+  std::vector<ScheduledEvent> events;
+  /// Time the exchange finished.
+  double completion_time = 0.0;
+  /// Number of rescheduling rounds performed (0 for kNever).
+  std::size_t reschedule_count = 0;
+};
+
+/// Options for the adaptive executor.
+struct AdaptiveOptions {
+  CheckpointPolicy policy = CheckpointPolicy::kHalveRemaining;
+  /// Reschedule only if the executed prefix deviated from its estimate by
+  /// more than this relative amount (0 = always reschedule at a
+  /// checkpoint). Mirrors the paper's "difference ... large enough".
+  double reschedule_threshold = 0.0;
+};
+
+/// Runs one total exchange adaptively: (re)schedules with `scheduler`
+/// from directory snapshots and executes between checkpoints with the
+/// serialized-receive simulator.
+[[nodiscard]] AdaptiveResult run_adaptive(const Scheduler& scheduler,
+                                          const DirectoryService& directory,
+                                          const MessageMatrix& messages,
+                                          const AdaptiveOptions& options = {});
+
+}  // namespace hcs

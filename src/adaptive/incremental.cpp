@@ -1,0 +1,192 @@
+#include "adaptive/incremental.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/depgraph.hpp"
+#include "util/error.hpp"
+
+namespace hcs {
+namespace {
+
+using Steps = std::vector<std::vector<CommEvent>>;
+
+double completion_of(std::size_t n, const Steps& steps, const CommMatrix& comm) {
+  return execute_async(StepSchedule{n, steps}, comm).completion_time();
+}
+
+/// Whether `step` already uses sender `src` or receiver `dst`, ignoring
+/// the event at position `skip` (when skip_valid).
+bool conflicts(const std::vector<CommEvent>& step, std::size_t src,
+               std::size_t dst, std::size_t skip, bool skip_valid) {
+  for (std::size_t k = 0; k < step.size(); ++k) {
+    if (skip_valid && k == skip) continue;
+    if (step[k].src == src || step[k].dst == dst) return true;
+  }
+  return false;
+}
+
+/// Location of one event within a Steps structure.
+struct Location {
+  std::size_t step;
+  std::size_t index;
+};
+
+/// Finds the locations of critical-path events (by matching src/dst).
+std::vector<Location> critical_locations(std::size_t n, const Steps& steps,
+                                         const CommMatrix& comm) {
+  const StepSchedule schedule{n, steps};
+  const DependenceGraph graph{schedule, comm};
+  std::vector<Location> locations;
+  for (const std::size_t node : graph.critical_path()) {
+    const CommEvent event = graph.event(node);
+    for (std::size_t s = 0; s < steps.size(); ++s)
+      for (std::size_t k = 0; k < steps[s].size(); ++k)
+        if (steps[s][k] == event) locations.push_back({s, k});
+  }
+  return locations;
+}
+
+}  // namespace
+
+namespace {
+
+/// Position of sender src's event in `step`, or npos.
+std::size_t find_sender(const std::vector<CommEvent>& step, std::size_t src) {
+  for (std::size_t k = 0; k < step.size(); ++k)
+    if (step[k].src == src) return k;
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+RefineResult refine_schedule(const StepSchedule& input, const CommMatrix& comm,
+                             const RefineOptions& options) {
+  check(input.processor_count() == comm.processor_count(),
+        "refine_schedule: size mismatch");
+  const std::size_t n = input.processor_count();
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  Steps steps = input.steps();
+  double best = completion_of(n, steps, comm);
+  std::size_t moves = 0;
+
+  const double lower_bound = comm.lower_bound();
+
+  const auto in_window = [&](std::size_t s1, std::size_t s2) {
+    const std::size_t distance = s1 > s2 ? s1 - s2 : s2 - s1;
+    return distance <= options.step_window;
+  };
+
+  const auto try_accept = [&](Steps&& candidate) {
+    const double completion = completion_of(n, candidate, comm);
+    if (completion < best - 1e-12) {
+      steps = std::move(candidate);
+      best = completion;
+      ++moves;
+      return true;
+    }
+    return false;
+  };
+
+  for (std::size_t pass = 0; pass < options.max_passes && moves < options.max_moves;
+       ++pass) {
+    bool improved_this_pass = false;
+    if (best <= lower_bound + 1e-12) break;  // provably optimal already
+    for (const Location target : critical_locations(n, steps, comm)) {
+      if (moves >= options.max_moves) break;
+      if (target.step >= steps.size() ||
+          target.index >= steps[target.step].size())
+        continue;  // an earlier move in this pass displaced it
+      const CommEvent event = steps[target.step][target.index];
+      bool accepted = false;
+
+      // Move 1: relocate the event into any other step where both of its
+      // endpoints are free (only possible when steps have holes).
+      for (std::size_t s = 0; s < steps.size() && !accepted; ++s) {
+        if (s == target.step || !in_window(target.step, s)) continue;
+        if (conflicts(steps[s], event.src, event.dst, 0, false)) continue;
+        Steps candidate = steps;
+        candidate[target.step].erase(candidate[target.step].begin() +
+                                     static_cast<std::ptrdiff_t>(target.index));
+        candidate[s].push_back(event);
+        accepted = try_accept(std::move(candidate));
+      }
+      if (accepted) {
+        improved_this_pass = true;
+        continue;
+      }
+
+      // Move 2: swap step positions with another event of the same
+      // sender, when receivers stay conflict-free in both steps.
+      for (std::size_t s = 0; s < steps.size() && !accepted; ++s) {
+        if (s == target.step || !in_window(target.step, s)) continue;
+        for (std::size_t k = 0; k < steps[s].size() && !accepted; ++k) {
+          const CommEvent other = steps[s][k];
+          if (other.src != event.src) continue;
+          if (conflicts(steps[s], event.src, event.dst, k, true)) continue;
+          if (conflicts(steps[target.step], other.src, other.dst, target.index,
+                        true))
+            continue;
+          Steps candidate = steps;
+          candidate[target.step][target.index] = other;
+          candidate[s][k] = event;
+          accepted = try_accept(std::move(candidate));
+        }
+      }
+
+      // Move 3: rectangle exchange. In full steps (every sender and
+      // receiver occupied, as in the caterpillar) moves 1–2 are never
+      // feasible; instead exchange a 2x2 sub-assignment between two
+      // steps: events (a->x) in s1 and (a->y) in s2 swap receivers with
+      // partner b, where (b->y) sits in s1 and (b->x) in s2. All four
+      // pairs are preserved, and each step keeps senders {a, b} and
+      // receivers {x, y}.
+      const std::size_t s1 = target.step;
+      const std::size_t a = event.src;
+      const std::size_t x = event.dst;
+      for (std::size_t s2 = 0; s2 < steps.size() && !accepted; ++s2) {
+        if (s2 == s1 || !in_window(s1, s2)) continue;
+        const std::size_t a_in_s2 = find_sender(steps[s2], a);
+        if (a_in_s2 == kNone) continue;
+        const std::size_t y = steps[s2][a_in_s2].dst;
+        if (y == x) continue;
+        // Partner b: sends to y in s1 and to x in s2.
+        std::size_t b_in_s1 = kNone;
+        for (std::size_t k = 0; k < steps[s1].size(); ++k)
+          if (steps[s1][k].dst == y) b_in_s1 = k;
+        if (b_in_s1 == kNone) continue;
+        const std::size_t b = steps[s1][b_in_s1].src;
+        const std::size_t b_in_s2 = find_sender(steps[s2], b);
+        if (b_in_s2 == kNone || steps[s2][b_in_s2].dst != x) continue;
+        Steps candidate = steps;
+        candidate[s1][target.index].dst = y;  // a->y
+        candidate[s1][b_in_s1].dst = x;       // b->x
+        candidate[s2][a_in_s2].dst = x;       // a->x
+        candidate[s2][b_in_s2].dst = y;       // b->y
+        accepted = try_accept(std::move(candidate));
+      }
+
+      // Move 4: swap the whole step containing the critical event with an
+      // adjacent step (step reordering changes the per-port orders).
+      for (const std::size_t s2 : {s1 == 0 ? s1 : s1 - 1, s1 + 1}) {
+        if (accepted || s2 == s1 || s2 >= steps.size()) continue;
+        Steps candidate = steps;
+        std::swap(candidate[s1], candidate[s2]);
+        accepted = try_accept(std::move(candidate));
+      }
+
+      if (accepted) improved_this_pass = true;
+    }
+    if (!improved_this_pass) break;
+  }
+
+  // Drop steps emptied by relocations.
+  Steps compacted;
+  for (auto& step : steps)
+    if (!step.empty()) compacted.push_back(std::move(step));
+
+  RefineResult result{StepSchedule{n, std::move(compacted)}, best, moves};
+  return result;
+}
+
+}  // namespace hcs

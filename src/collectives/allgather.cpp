@@ -1,0 +1,101 @@
+#include "collectives/allgather.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/baseline.hpp"
+#include "core/openshop_scheduler.hpp"
+#include "util/error.hpp"
+
+namespace hcs {
+
+MessageMatrix allgather_messages(const BlockSizes& block_bytes) {
+  const std::size_t n = block_bytes.size();
+  if (n == 0) throw InputError("allgather_messages: no blocks");
+  MessageMatrix sizes(n, n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) sizes(i, j) = block_bytes[i];
+  return sizes;
+}
+
+Schedule allgather_openshop(const NetworkModel& network,
+                            const BlockSizes& block_bytes) {
+  check(network.processor_count() == block_bytes.size(),
+        "allgather_openshop: size mismatch");
+  const CommMatrix comm{network, allgather_messages(block_bytes)};
+  const OpenShopScheduler scheduler;
+  Schedule schedule = scheduler.schedule(comm);
+  schedule.validate(comm);
+  return schedule;
+}
+
+Schedule allgather_ring(const NetworkModel& network,
+                        const BlockSizes& block_bytes) {
+  check(network.processor_count() == block_bytes.size(),
+        "allgather_ring: size mismatch");
+  const CommMatrix comm{network, allgather_messages(block_bytes)};
+  Schedule schedule =
+      execute_async(baseline_steps(network.processor_count()), comm);
+  schedule.validate(comm);
+  return schedule;
+}
+
+AllgatherRelayResult allgather_relay_fnf(const NetworkModel& network,
+                                         const BlockSizes& block_bytes) {
+  const std::size_t n = network.processor_count();
+  check(n == block_bytes.size(), "allgather_relay_fnf: size mismatch");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // has[b][p]: time from which node p holds block b (inf = not yet).
+  std::vector<std::vector<double>> has(n, std::vector<double>(n, kInf));
+  for (std::size_t b = 0; b < n; ++b) has[b][b] = 0.0;
+  std::vector<double> send_free(n, 0.0);
+  std::vector<double> recv_free(n, 0.0);
+
+  AllgatherRelayResult result;
+  std::size_t missing = n * (n - 1);
+  while (missing > 0) {
+    double best_finish = kInf;
+    std::size_t best_block = 0, best_src = 0, best_dst = 0;
+    double best_start = 0.0;
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t src = 0; src < n; ++src) {
+        if (has[b][src] == kInf) continue;
+        for (std::size_t dst = 0; dst < n; ++dst) {
+          if (dst == src || has[b][dst] != kInf) continue;
+          const double start =
+              std::max({send_free[src], recv_free[dst], has[b][src]});
+          const double finish = start + network.cost(src, dst, block_bytes[b]);
+          if (finish < best_finish) {
+            best_finish = finish;
+            best_block = b;
+            best_src = src;
+            best_dst = dst;
+            best_start = start;
+          }
+        }
+      }
+    }
+    check(best_finish < kInf, "allgather_relay_fnf: no candidate transfer");
+    result.events.push_back({best_src, best_dst, best_start, best_finish});
+    result.block_of.push_back(best_block);
+    has[best_block][best_dst] = best_finish;
+    send_free[best_src] = best_finish;
+    recv_free[best_dst] = best_finish;
+    --missing;
+  }
+  result.completion_time = 0.0;
+  for (const ScheduledEvent& event : result.events)
+    result.completion_time = std::max(result.completion_time, event.finish_s);
+  return result;
+}
+
+double allgather_lower_bound(const NetworkModel& network,
+                             const BlockSizes& block_bytes) {
+  check(network.processor_count() == block_bytes.size(),
+        "allgather_lower_bound: size mismatch");
+  return CommMatrix{network, allgather_messages(block_bytes)}.lower_bound();
+}
+
+}  // namespace hcs

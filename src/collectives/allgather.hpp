@@ -1,0 +1,62 @@
+// Allgather: every node contributes one block; every node ends holding
+// all P blocks.
+//
+// Under the no-forwarding rule, an allgather is a total exchange in which
+// each sender's P-1 messages carry the *same* block (row-uniform sizes).
+// The adaptive schedulers therefore apply directly; this module packages
+// the construction and adds the classic homogeneous foil — the ring
+// schedule, where step k has every node sending its block to its
+// (rank+k)-th neighbor (a caterpillar restricted to a row-uniform
+// workload) — plus a relay-enabled variant built on the broadcast
+// machinery, for networks where some node is a far better distributor
+// than the block's owner.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+#include "core/schedule.hpp"
+#include "netmodel/network_model.hpp"
+
+namespace hcs {
+
+/// Per-source block sizes: block_bytes[p] is the block node p contributes.
+using BlockSizes = std::vector<std::uint64_t>;
+
+/// The total-exchange message matrix of a direct (no-relay) allgather:
+/// sizes(i, j) = block_bytes[i] for i != j.
+[[nodiscard]] MessageMatrix allgather_messages(const BlockSizes& block_bytes);
+
+/// Direct allgather, adaptively scheduled: builds the row-uniform
+/// CommMatrix for `network` and schedules it with the open-shop rule.
+/// Returns the timed schedule (validated).
+[[nodiscard]] Schedule allgather_openshop(const NetworkModel& network,
+                                          const BlockSizes& block_bytes);
+
+/// Direct allgather under the homogeneous ring/caterpillar order.
+[[nodiscard]] Schedule allgather_ring(const NetworkModel& network,
+                                      const BlockSizes& block_bytes);
+
+/// Relay-enabled allgather: each block is broadcast from its owner with
+/// the fastest-node-first heuristic, all P broadcasts sharing the same
+/// port timeline (a send port carries one transfer at a time across all
+/// broadcasts; receive ports likewise). Greedy global rule: repeatedly
+/// commit, over all (block, informed holder, missing node) triples, the
+/// transfer that completes earliest. Can beat the direct exchange when a
+/// slow owner has a fast neighbor. O(P^4) per... practical for P <= 64.
+struct AllgatherRelayResult {
+  std::vector<ScheduledEvent> events;  ///< transfer of block `block_of[k]`
+  std::vector<std::size_t> block_of;   ///< parallel to events
+  double completion_time = 0.0;
+};
+[[nodiscard]] AllgatherRelayResult allgather_relay_fnf(
+    const NetworkModel& network, const BlockSizes& block_bytes);
+
+/// Lower bound for any direct allgather: the total-exchange bound of its
+/// message matrix.
+[[nodiscard]] double allgather_lower_bound(const NetworkModel& network,
+                                           const BlockSizes& block_bytes);
+
+}  // namespace hcs

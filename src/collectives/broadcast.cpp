@@ -1,0 +1,188 @@
+#include "collectives/broadcast.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+double BroadcastSchedule::completion_time() const {
+  double latest = 0.0;
+  for (const ScheduledEvent& event : events)
+    latest = std::max(latest, event.finish_s);
+  return latest;
+}
+
+double BroadcastSchedule::informed_at(std::size_t node) const {
+  if (node == root) return 0.0;
+  for (const ScheduledEvent& event : events)
+    if (event.dst == node) return event.finish_s;
+  throw ScheduleError("BroadcastSchedule: node never informed");
+}
+
+void validate_broadcast(const BroadcastSchedule& broadcast,
+                        const NetworkModel& network, double tolerance) {
+  const std::size_t n = network.processor_count();
+  const auto fail = [](const char* message) { throw ScheduleError(message); };
+  if (broadcast.root >= n) fail("broadcast validate: root out of range");
+
+  std::vector<int> receive_count(n, 0);
+  for (const ScheduledEvent& event : broadcast.events) {
+    if (event.src >= n || event.dst >= n)
+      fail("broadcast validate: processor out of range");
+    if (event.dst == broadcast.root)
+      fail("broadcast validate: root re-informed");
+    if (event.start_s < -tolerance) fail("broadcast validate: negative start");
+    const double expected = network.cost(event.src, event.dst, broadcast.bytes);
+    if (std::abs(event.duration() - expected) >
+        tolerance * std::max(1.0, expected))
+      fail("broadcast validate: duration does not match the model");
+    ++receive_count[event.dst];
+  }
+  for (std::size_t p = 0; p < n; ++p) {
+    if (p == broadcast.root) continue;
+    if (receive_count[p] != 1)
+      fail("broadcast validate: node not informed exactly once");
+  }
+
+  // Senders must be informed before sending, and send serially.
+  std::vector<double> informed(n, std::numeric_limits<double>::infinity());
+  informed[broadcast.root] = 0.0;
+  for (const ScheduledEvent& event : broadcast.events)
+    informed[event.dst] = event.finish_s;
+  for (std::size_t p = 0; p < n; ++p) {
+    std::vector<ScheduledEvent> sends;
+    for (const ScheduledEvent& event : broadcast.events)
+      if (event.src == p) sends.push_back(event);
+    std::sort(sends.begin(), sends.end(),
+              [](const ScheduledEvent& a, const ScheduledEvent& b) {
+                return a.start_s < b.start_s;
+              });
+    double port_free = informed[p];
+    for (const ScheduledEvent& event : sends) {
+      if (event.start_s < port_free - tolerance)
+        fail("broadcast validate: sender busy or not yet informed");
+      port_free = event.finish_s;
+    }
+  }
+}
+
+BroadcastSchedule broadcast_linear(const NetworkModel& network,
+                                   std::size_t root, std::uint64_t bytes) {
+  const std::size_t n = network.processor_count();
+  check(root < n, "broadcast_linear: root out of range");
+  std::vector<std::size_t> order;
+  for (std::size_t p = 0; p < n; ++p)
+    if (p != root) order.push_back(p);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return network.cost(root, a, bytes) < network.cost(root, b, bytes);
+  });
+
+  BroadcastSchedule result{root, bytes, {}};
+  double port_free = 0.0;
+  for (const std::size_t dst : order) {
+    const double finish = port_free + network.cost(root, dst, bytes);
+    result.events.push_back({root, dst, port_free, finish});
+    port_free = finish;
+  }
+  return result;
+}
+
+BroadcastSchedule broadcast_binomial(const NetworkModel& network,
+                                     std::size_t root, std::uint64_t bytes) {
+  const std::size_t n = network.processor_count();
+  check(root < n, "broadcast_binomial: root out of range");
+
+  // Rank distance d from the root maps to processor (root + d) mod n.
+  const auto node_of = [&](std::size_t distance) {
+    return (root + distance) % n;
+  };
+  BroadcastSchedule result{root, bytes, {}};
+  std::vector<double> informed(n, 0.0);
+  std::vector<double> port_free(n, 0.0);
+  for (std::size_t stride = 1; stride < n; stride <<= 1) {
+    for (std::size_t d = 0; d < stride && d + stride < n; ++d) {
+      const std::size_t src = node_of(d);
+      const std::size_t dst = node_of(d + stride);
+      const double start = std::max(port_free[src], informed[src]);
+      const double finish = start + network.cost(src, dst, bytes);
+      result.events.push_back({src, dst, start, finish});
+      port_free[src] = finish;
+      informed[dst] = finish;
+      port_free[dst] = finish;
+    }
+  }
+  return result;
+}
+
+BroadcastSchedule broadcast_fnf(const NetworkModel& network, std::size_t root,
+                                std::uint64_t bytes) {
+  const std::size_t n = network.processor_count();
+  check(root < n, "broadcast_fnf: root out of range");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  std::vector<double> informed(n, kInf);
+  std::vector<double> port_free(n, kInf);
+  informed[root] = 0.0;
+  port_free[root] = 0.0;
+
+  BroadcastSchedule result{root, bytes, {}};
+  for (std::size_t round = 1; round < n; ++round) {
+    double best_finish = kInf;
+    std::size_t best_src = 0, best_dst = 0;
+    double best_start = 0.0;
+    for (std::size_t src = 0; src < n; ++src) {
+      if (informed[src] == kInf) continue;
+      for (std::size_t dst = 0; dst < n; ++dst) {
+        if (informed[dst] != kInf || dst == src) continue;
+        const double start = port_free[src];
+        const double finish = start + network.cost(src, dst, bytes);
+        if (finish < best_finish) {
+          best_finish = finish;
+          best_src = src;
+          best_dst = dst;
+          best_start = start;
+        }
+      }
+    }
+    check(best_finish < kInf, "broadcast_fnf: no candidate transfer");
+    result.events.push_back({best_src, best_dst, best_start, best_finish});
+    informed[best_dst] = best_finish;
+    port_free[best_dst] = best_finish;
+    port_free[best_src] = best_finish;
+  }
+  return result;
+}
+
+double broadcast_lower_bound(const NetworkModel& network, std::size_t root,
+                             std::uint64_t bytes) {
+  const std::size_t n = network.processor_count();
+  check(root < n, "broadcast_lower_bound: root out of range");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Dijkstra over T + m/B edge costs: the earliest any node could hear
+  // the message if ports were never contended.
+  std::vector<double> distance(n, kInf);
+  std::vector<bool> done(n, false);
+  distance[root] = 0.0;
+  for (std::size_t iteration = 0; iteration < n; ++iteration) {
+    std::size_t u = n;
+    for (std::size_t p = 0; p < n; ++p)
+      if (!done[p] && (u == n || distance[p] < distance[u])) u = p;
+    if (u == n || distance[u] == kInf) break;
+    done[u] = true;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == u) continue;
+      const double candidate = distance[u] + network.cost(u, v, bytes);
+      distance[v] = std::min(distance[v], candidate);
+    }
+  }
+  double bound = 0.0;
+  for (std::size_t p = 0; p < n; ++p) bound = std::max(bound, distance[p]);
+  return bound;
+}
+
+}  // namespace hcs

@@ -1,0 +1,77 @@
+// Heterogeneous broadcast scheduling.
+//
+// One root holds an m-byte message that every node must receive. Unlike
+// personalized exchange, relaying does not inflate traffic — an informed
+// node forwards the same bytes — so broadcast trees are in scope (the
+// §3.4 prohibition targets combine-and-forward of *distinct* messages).
+// The model otherwise matches §3.2: a node sends serially (one port) and
+// each node receives the message exactly once.
+//
+// Three algorithms:
+//  - linear: the root sends to everyone itself, cheapest-first,
+//  - binomial: the homogeneous-system standard — recursive doubling over
+//    ranks, blind to link performance,
+//  - fastest-node-first (FNF): the adaptive heuristic — repeatedly pick,
+//    over all (informed sender, uninformed receiver) pairs, the transfer
+//    that completes earliest; newly informed nodes join the sender pool.
+//    This is the broadcast analogue of the paper's run-time, directory-
+//    driven scheduling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/schedule.hpp"
+#include "netmodel/network_model.hpp"
+
+namespace hcs {
+
+/// A timed broadcast: events are (sender, receiver) transfers of the same
+/// `bytes`-sized message.
+struct BroadcastSchedule {
+  std::size_t root = 0;
+  std::uint64_t bytes = 0;
+  std::vector<ScheduledEvent> events;
+
+  /// Time at which the last node becomes informed.
+  [[nodiscard]] double completion_time() const;
+
+  /// Time at which `node` becomes informed (0 for the root).
+  [[nodiscard]] double informed_at(std::size_t node) const;
+};
+
+/// Throws ScheduleError unless `broadcast` is a valid broadcast on
+/// `network`: every non-root node receives exactly once, every sender was
+/// informed before its send starts, senders never overlap their own
+/// sends, and each event's duration matches the model.
+void validate_broadcast(const BroadcastSchedule& broadcast,
+                        const NetworkModel& network, double tolerance = 1e-9);
+
+/// Root sends to every node itself, cheapest transfer first.
+[[nodiscard]] BroadcastSchedule broadcast_linear(const NetworkModel& network,
+                                                 std::size_t root,
+                                                 std::uint64_t bytes);
+
+/// Binomial tree over ranks (the homogeneous standard): in round k, every
+/// informed node with rank distance d < 2^k from the root informs the
+/// node at distance d + 2^k. Performance-blind; rounds are not
+/// synchronized — each transfer starts when its sender's port frees.
+[[nodiscard]] BroadcastSchedule broadcast_binomial(const NetworkModel& network,
+                                                   std::size_t root,
+                                                   std::uint64_t bytes);
+
+/// Fastest-node-first heuristic: greedily commit the transfer that
+/// informs some uninformed node earliest. O(P^3).
+[[nodiscard]] BroadcastSchedule broadcast_fnf(const NetworkModel& network,
+                                              std::size_t root,
+                                              std::uint64_t bytes);
+
+/// Lower bound on any broadcast's completion: the fastest way any single
+/// node can be reached from the root through any relay chain, maximized
+/// over nodes (an all-links-free shortest path under T + m/B edge costs —
+/// ignores port contention, hence a true lower bound).
+[[nodiscard]] double broadcast_lower_bound(const NetworkModel& network,
+                                           std::size_t root,
+                                           std::uint64_t bytes);
+
+}  // namespace hcs

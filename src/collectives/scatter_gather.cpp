@@ -1,0 +1,115 @@
+#include "collectives/scatter_gather.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace hcs {
+namespace {
+
+std::vector<std::size_t> ordered_peers(const CommMatrix& comm, std::size_t root,
+                                       RootOrder order, bool scatter_side,
+                                       const std::vector<double>& deadlines) {
+  const std::size_t n = comm.processor_count();
+  check(root < n, "rooted collective: root out of range");
+  std::vector<std::size_t> peers;
+  for (std::size_t p = 0; p < n; ++p)
+    if (p != root) peers.push_back(p);
+
+  const auto duration = [&](std::size_t p) {
+    return scatter_side ? comm.time(root, p) : comm.time(p, root);
+  };
+  switch (order) {
+    case RootOrder::kShortestFirst:
+      std::stable_sort(peers.begin(), peers.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return duration(a) < duration(b);
+                       });
+      break;
+    case RootOrder::kLongestFirst:
+      std::stable_sort(peers.begin(), peers.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return duration(a) > duration(b);
+                       });
+      break;
+    case RootOrder::kByDeadline:
+      if (deadlines.size() != n)
+        throw InputError("rooted collective: deadline vector must have P entries");
+      std::stable_sort(peers.begin(), peers.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return deadlines[a] < deadlines[b];
+                       });
+      break;
+    case RootOrder::kByIndex:
+      break;
+  }
+  return peers;
+}
+
+RootedCollective summarize(std::vector<ScheduledEvent> events,
+                           std::size_t peer_count) {
+  RootedCollective result;
+  result.events = std::move(events);
+  double total = 0.0;
+  for (const ScheduledEvent& event : result.events) {
+    result.makespan_s = std::max(result.makespan_s, event.finish_s);
+    result.max_completion_s = std::max(result.max_completion_s, event.finish_s);
+    total += event.finish_s;
+  }
+  result.mean_completion_s =
+      peer_count == 0 ? 0.0 : total / static_cast<double>(peer_count);
+  return result;
+}
+
+}  // namespace
+
+RootedCollective scatter(const CommMatrix& comm, std::size_t root,
+                         RootOrder order, const std::vector<double>& deadlines) {
+  const std::vector<std::size_t> peers =
+      ordered_peers(comm, root, order, /*scatter_side=*/true, deadlines);
+  std::vector<ScheduledEvent> events;
+  events.reserve(peers.size());
+  double port_free = 0.0;
+  for (const std::size_t dst : peers) {
+    const double finish = port_free + comm.time(root, dst);
+    events.push_back({root, dst, port_free, finish});
+    port_free = finish;
+  }
+  return summarize(std::move(events), peers.size());
+}
+
+RootedCollective gather(const CommMatrix& comm, std::size_t root,
+                        RootOrder order, const std::vector<double>& deadlines,
+                        const std::vector<double>& release) {
+  const std::size_t n = comm.processor_count();
+  if (!release.empty() && release.size() != n)
+    throw InputError("gather: release vector must have P entries");
+  const std::vector<std::size_t> peers =
+      ordered_peers(comm, root, order, /*scatter_side=*/false, deadlines);
+  std::vector<ScheduledEvent> events;
+  events.reserve(peers.size());
+  double port_free = 0.0;
+  for (const std::size_t src : peers) {
+    const double ready = release.empty() ? 0.0 : release[src];
+    const double start = std::max(port_free, ready);
+    const double finish = start + comm.time(src, root);
+    events.push_back({src, root, start, finish});
+    port_free = finish;
+  }
+  return summarize(std::move(events), peers.size());
+}
+
+std::size_t count_deadline_misses(const RootedCollective& result,
+                                  const std::vector<double>& deadlines,
+                                  bool scatter_side) {
+  std::size_t misses = 0;
+  for (const ScheduledEvent& event : result.events) {
+    const std::size_t peer = scatter_side ? event.dst : event.src;
+    check(peer < deadlines.size(), "count_deadline_misses: deadline missing");
+    if (event.finish_s > deadlines[peer]) ++misses;
+  }
+  return misses;
+}
+
+}  // namespace hcs

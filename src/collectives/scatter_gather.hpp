@@ -1,0 +1,64 @@
+// Scatter (one-to-all personalized) and gather (all-to-one personalized)
+// ordering.
+//
+// Without forwarding (§3.4), the root's port serializes every transfer,
+// so the *makespan* is fixed — the sum of the root's event times — and
+// the scheduling question becomes the order: which transfers go first.
+// That order controls when each peer is released:
+//  - shortest-processing-time (SPT) first provably minimizes the mean
+//    arrival/collection time (the classic single-machine result),
+//  - earliest-deadline-first (EDF) targets per-message deadlines,
+//  - longest-first (LPT) is the natural worst case, included as a foil.
+// For gather, the sender side also matters: a source cannot transmit
+// before it is ready; the order executor accounts for per-source release
+// times.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+#include "core/schedule.hpp"
+
+namespace hcs {
+
+/// Ordering rules for root-serialized transfers.
+enum class RootOrder {
+  kShortestFirst,  ///< SPT: minimizes mean completion
+  kLongestFirst,   ///< LPT: the foil
+  kByDeadline,     ///< EDF over the supplied deadlines
+  kByIndex,        ///< fixed rank order — the homogeneous default
+};
+
+/// Result of a scatter or gather: the timed transfers plus summary
+/// statistics of the peers' completion times.
+struct RootedCollective {
+  std::vector<ScheduledEvent> events;
+  double makespan_s = 0.0;       ///< identical across orders (serial port)
+  double mean_completion_s = 0.0;
+  double max_completion_s = 0.0;
+};
+
+/// Scatter: the root sends comm.time(root, p) to every other p, serially,
+/// in the chosen order. `deadlines` is consulted only for kByDeadline and
+/// must then have one entry per processor (root's ignored).
+[[nodiscard]] RootedCollective scatter(const CommMatrix& comm, std::size_t root,
+                                       RootOrder order,
+                                       const std::vector<double>& deadlines = {});
+
+/// Gather: every other p sends comm.time(p, root) to the root, which
+/// receives serially in the chosen order. `release` (optional, one entry
+/// per processor) gives the earliest time each source's data is ready;
+/// a source whose turn arrives before its release time delays the root.
+[[nodiscard]] RootedCollective gather(const CommMatrix& comm, std::size_t root,
+                                      RootOrder order,
+                                      const std::vector<double>& deadlines = {},
+                                      const std::vector<double>& release = {});
+
+/// Deadline misses of a rooted collective: events finishing after their
+/// per-destination (scatter) or per-source (gather) deadline.
+[[nodiscard]] std::size_t count_deadline_misses(
+    const RootedCollective& result, const std::vector<double>& deadlines,
+    bool scatter_side);
+
+}  // namespace hcs

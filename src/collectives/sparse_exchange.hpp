@@ -1,0 +1,104 @@
+// Sparse personalized exchange — all-to-some / some-to-all patterns.
+//
+// The paper presents its framework as uniform across collective patterns
+// and names "all-to-all or all-to-some" (§2) as the patterns of interest.
+// Total exchange is the dense special case; this module handles the
+// general one, where only a subset of ordered pairs carries a message
+// (many-to-few gathers, few-to-many distributions, halo exchanges).
+//
+// The same model invariants apply — one send and one receive at a time,
+// no splitting, no forwarding — and the lower bound generalizes to the
+// largest per-port total over the *required* events. The two adaptive
+// schedulers carry over directly:
+//  - open shop: each sender's receiver set is just its required
+//    destinations (the §4.5 loop is already sparse-ready),
+//  - matching: repeated max-weight matchings over the remaining required
+//    edges; steps become partial permutations and the step count can
+//    exceed P (the decomposition is of a general bipartite graph, not of
+//    K_{P,P}).
+// The caterpillar baseline visits its fixed pattern and simply skips
+// pairs with no message — what a homogeneous library does when handed a
+// sparse pattern.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+#include "workload/generators.hpp"
+#include "core/schedule.hpp"
+#include "core/step_schedule.hpp"
+
+namespace hcs {
+
+/// A sparse personalized communication pattern: the set of ordered pairs
+/// that must communicate, with event times from a CommMatrix.
+class SparsePattern {
+ public:
+  /// `required(src, dst) != 0` marks a required message. The diagonal
+  /// must be empty. Throws InputError on shape mismatch.
+  SparsePattern(std::size_t processor_count, Matrix<unsigned char> required);
+
+  /// Dense pattern (every off-diagonal pair) — total exchange.
+  [[nodiscard]] static SparsePattern total_exchange(std::size_t processor_count);
+
+  /// All-to-some: every processor sends to each of `destinations`.
+  [[nodiscard]] static SparsePattern all_to_some(
+      std::size_t processor_count, const std::vector<std::size_t>& destinations);
+
+  /// Some-to-all: each of `sources` sends to every processor.
+  [[nodiscard]] static SparsePattern some_to_all(
+      std::size_t processor_count, const std::vector<std::size_t>& sources);
+
+  /// The pattern of non-empty entries of a message-size matrix — e.g. a
+  /// block-cyclic redistribution's pairs that actually move data.
+  [[nodiscard]] static SparsePattern from_messages(const MessageMatrix& messages);
+
+  [[nodiscard]] std::size_t processor_count() const noexcept {
+    return required_.rows();
+  }
+  [[nodiscard]] bool needs(std::size_t src, std::size_t dst) const {
+    return required_(src, dst) != 0;
+  }
+  /// Number of required events.
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Lower bound over the required events only: the largest per-processor
+  /// send or receive total.
+  [[nodiscard]] double lower_bound(const CommMatrix& comm) const;
+
+  /// Throws ScheduleError unless `schedule` covers exactly the required
+  /// pairs and satisfies the port-exclusivity rules for `comm`.
+  void validate(const Schedule& schedule, const CommMatrix& comm,
+                double tolerance = 1e-9) const;
+
+ private:
+  Matrix<unsigned char> required_;
+};
+
+/// Open-shop list scheduling of a sparse pattern (§4.5 generalized).
+/// The 2 x lower-bound guarantee of Theorem 3 carries over: the proof
+/// only uses one sender's column sum and one receiver's row sum.
+[[nodiscard]] Schedule schedule_sparse_openshop(const SparsePattern& pattern,
+                                                const CommMatrix& comm);
+
+/// Matching-based scheduling of a sparse pattern: repeated maximum-weight
+/// matchings over the remaining required edges, executed without
+/// barriers. Step count is at most the maximum port degree... plus
+/// whatever irregularity forces (K\"onig: a bipartite graph with maximum
+/// degree D decomposes into D matchings, and maximum matchings reach it
+/// in practice; the implementation simply loops until all edges are
+/// scheduled).
+[[nodiscard]] Schedule schedule_sparse_matching(const SparsePattern& pattern,
+                                                const CommMatrix& comm);
+
+/// The step structure behind schedule_sparse_matching, for tests.
+[[nodiscard]] StepSchedule sparse_matching_steps(const SparsePattern& pattern,
+                                                 const CommMatrix& comm);
+
+/// The homogeneous baseline on a sparse pattern: the caterpillar order
+/// with non-required pairs skipped.
+[[nodiscard]] Schedule schedule_sparse_baseline(const SparsePattern& pattern,
+                                                const CommMatrix& comm);
+
+}  // namespace hcs

@@ -1,0 +1,26 @@
+#include "core/baseline.hpp"
+
+namespace hcs {
+
+StepSchedule baseline_steps(std::size_t processor_count) {
+  std::vector<std::vector<CommEvent>> steps;
+  steps.reserve(processor_count > 0 ? processor_count - 1 : 0);
+  for (std::size_t offset = 1; offset < processor_count; ++offset) {
+    std::vector<CommEvent> step;
+    step.reserve(processor_count);
+    for (std::size_t i = 0; i < processor_count; ++i)
+      step.push_back({i, (i + offset) % processor_count});
+    steps.push_back(std::move(step));
+  }
+  return StepSchedule{processor_count, std::move(steps)};
+}
+
+Schedule BaselineScheduler::schedule(const CommMatrix& comm) const {
+  return execute_async(baseline_steps(comm.processor_count()), comm);
+}
+
+Schedule BarrierBaselineScheduler::schedule(const CommMatrix& comm) const {
+  return execute_barrier(baseline_steps(comm.processor_count()), comm);
+}
+
+}  // namespace hcs

@@ -1,0 +1,42 @@
+// The baseline "caterpillar" algorithm (§4.2).
+//
+// The standard total-exchange schedule for tightly coupled homogeneous
+// systems: in step j (0 <= j < P), processor P_i sends to P_((i+j) mod P)
+// (step 0 is the self-message and is skipped). With uniform event
+// durations no contention arises; under heterogeneity long events in
+// early steps delay later steps, and the completion time can reach
+// (P/2) * t_lb (Theorem 2, tight).
+#pragma once
+
+#include "core/scheduler.hpp"
+#include "core/step_schedule.hpp"
+
+namespace hcs {
+
+/// The caterpillar step pattern: steps j = 1 .. P-1, step j pairing
+/// P_i -> P_((i+j) mod P). Exposed separately so the dependence-graph
+/// analysis and the barrier-execution ablation can reuse it.
+[[nodiscard]] StepSchedule baseline_steps(std::size_t processor_count);
+
+/// Baseline scheduler: caterpillar steps under asynchronous execution
+/// (the paper's formal model — an event starts when both ports are free).
+class BaselineScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "baseline"; }
+  [[nodiscard]] Schedule schedule(const CommMatrix& comm) const override;
+};
+
+/// Caterpillar steps under step-synchronized execution: step k+1 starts
+/// only after every event of step k has completed, as in loosely
+/// synchronous homogeneous all-to-all implementations. Under
+/// heterogeneity each step is held hostage by its slowest event, which is
+/// what drives the large baseline gaps the paper's evaluation reports.
+class BarrierBaselineScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "baseline-barrier";
+  }
+  [[nodiscard]] Schedule schedule(const CommMatrix& comm) const override;
+};
+
+}  // namespace hcs

@@ -1,0 +1,83 @@
+#include "core/depgraph.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+DependenceGraph::DependenceGraph(const StepSchedule& steps,
+                                 const CommMatrix& comm) {
+  check(steps.processor_count() == comm.processor_count(),
+        "DependenceGraph: size mismatch");
+  const std::size_t n = steps.processor_count();
+
+  // Walk the steps in order; for each processor track its most recent
+  // send node and most recent receive node to attach the two edge kinds.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> last_send(n, kNone);
+  std::vector<std::size_t> last_recv(n, kNone);
+
+  for (const auto& step : steps.steps()) {
+    for (const CommEvent& event : step) {
+      const std::size_t node = events_.size();
+      events_.push_back(event);
+      weights_.push_back(comm.time(event.src, event.dst));
+      adjacency_.emplace_back();
+      topo_order_.push_back(node);
+      if (last_send[event.src] != kNone)
+        adjacency_[last_send[event.src]].push_back(node);  // vertical edge
+      if (last_recv[event.dst] != kNone &&
+          last_recv[event.dst] != last_send[event.src])
+        adjacency_[last_recv[event.dst]].push_back(node);  // diagonal edge
+      last_send[event.src] = node;
+      last_recv[event.dst] = node;
+    }
+  }
+}
+
+double DependenceGraph::longest_path_weight() const {
+  double best = 0.0;
+  std::vector<double> distance(node_count(), 0.0);
+  // Nodes were created in step order, which is a topological order, so a
+  // reverse sweep computes "weight of heaviest path starting at v".
+  for (auto it = topo_order_.rbegin(); it != topo_order_.rend(); ++it) {
+    const std::size_t v = *it;
+    double tail = 0.0;
+    for (const std::size_t succ : adjacency_[v])
+      tail = std::max(tail, distance[succ]);
+    distance[v] = weights_[v] + tail;
+    best = std::max(best, distance[v]);
+  }
+  return best;
+}
+
+std::vector<std::size_t> DependenceGraph::critical_path() const {
+  std::vector<double> distance(node_count(), 0.0);
+  for (auto it = topo_order_.rbegin(); it != topo_order_.rend(); ++it) {
+    const std::size_t v = *it;
+    double tail = 0.0;
+    for (const std::size_t succ : adjacency_[v])
+      tail = std::max(tail, distance[succ]);
+    distance[v] = weights_[v] + tail;
+  }
+
+  std::vector<std::size_t> path;
+  if (node_count() == 0) return path;
+  std::size_t current =
+      static_cast<std::size_t>(std::max_element(distance.begin(), distance.end()) -
+                               distance.begin());
+  path.push_back(current);
+  for (;;) {
+    const auto& successors = adjacency_[current];
+    if (successors.empty()) break;
+    const std::size_t next = *std::max_element(
+        successors.begin(), successors.end(),
+        [&](std::size_t a, std::size_t b) { return distance[a] < distance[b]; });
+    path.push_back(next);
+    current = next;
+  }
+  return path;
+}
+
+}  // namespace hcs

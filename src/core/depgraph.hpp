@@ -1,0 +1,55 @@
+// Dependence graph of a step-structured schedule (Theorem 2 machinery).
+//
+// The DG has one node per communication event. A directed edge runs from
+// event a to event b when b waits on a under asynchronous execution:
+// either b is its sender's next event after a (vertical edge — same
+// column of the timing diagram), or b is its receiver's next incoming
+// event after a (diagonal edge). The completion time of the executed
+// schedule equals the weight of the longest path, where a node's weight
+// is its event duration; tests verify this against the executor.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+#include "core/step_schedule.hpp"
+
+namespace hcs {
+
+/// The dependence graph of a StepSchedule.
+class DependenceGraph {
+ public:
+  /// Builds the DG of `steps` with node weights from `comm`.
+  DependenceGraph(const StepSchedule& steps, const CommMatrix& comm);
+
+  /// Number of events (nodes).
+  [[nodiscard]] std::size_t node_count() const noexcept { return weights_.size(); }
+
+  /// Event of node `v`.
+  [[nodiscard]] CommEvent event(std::size_t v) const { return events_.at(v); }
+
+  /// Duration of node `v`'s event.
+  [[nodiscard]] double weight(std::size_t v) const { return weights_.at(v); }
+
+  /// Successors of node `v`.
+  [[nodiscard]] const std::vector<std::size_t>& successors(std::size_t v) const {
+    return adjacency_.at(v);
+  }
+
+  /// Weight of the heaviest path (sum of node weights along it). Equals
+  /// the asynchronous execution's completion time.
+  [[nodiscard]] double longest_path_weight() const;
+
+  /// Nodes of one heaviest path, in dependence order — the critical path
+  /// of the schedule.
+  [[nodiscard]] std::vector<std::size_t> critical_path() const;
+
+ private:
+  std::vector<CommEvent> events_;
+  std::vector<double> weights_;
+  std::vector<std::vector<std::size_t>> adjacency_;  ///< v -> successors
+  std::vector<std::size_t> topo_order_;              ///< step order (already topological)
+};
+
+}  // namespace hcs

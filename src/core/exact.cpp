@@ -1,0 +1,164 @@
+#include "core/exact.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/greedy_scheduler.hpp"
+#include "core/matching_scheduler.hpp"
+#include "core/openshop_scheduler.hpp"
+#include "util/error.hpp"
+
+namespace hcs {
+namespace {
+
+struct PendingEvent {
+  std::size_t src;
+  std::size_t dst;
+  double duration;
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const CommMatrix& comm, std::uint64_t node_budget)
+      : comm_(comm), node_budget_(node_budget), n_(comm.processor_count()) {
+    send_avail_.assign(n_, 0.0);
+    recv_avail_.assign(n_, 0.0);
+    send_left_.assign(n_, 0.0);
+    recv_left_.assign(n_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (i == j) continue;
+        pending_.push_back({i, j, comm.time(i, j)});
+        send_left_[i] += comm.time(i, j);
+        recv_left_[j] += comm.time(i, j);
+      }
+    }
+    seed_incumbent();
+  }
+
+  ExactResult run() {
+    std::vector<ScheduledEvent> partial;
+    partial.reserve(pending_.size());
+    dfs(partial, 0.0);
+    return ExactResult{Schedule{n_, best_events_}, !budget_exhausted_, nodes_};
+  }
+
+ private:
+  /// Start the incumbent at the best heuristic so pruning bites early.
+  void seed_incumbent() {
+    const OpenShopScheduler openshop;
+    const GreedyScheduler greedy;
+    const MatchingScheduler matching{MatchingObjective::kMaxWeight};
+    best_events_ = openshop.schedule(comm_).events();
+    best_makespan_ = Schedule{n_, best_events_}.completion_time();
+    for (const Scheduler* scheduler :
+         std::initializer_list<const Scheduler*>{&greedy, &matching}) {
+      Schedule candidate = scheduler->schedule(comm_);
+      if (candidate.completion_time() < best_makespan_) {
+        best_makespan_ = candidate.completion_time();
+        best_events_ = candidate.events();
+      }
+    }
+  }
+
+  [[nodiscard]] double lower_bound(double makespan) const {
+    double bound = makespan;
+    for (std::size_t p = 0; p < n_; ++p) {
+      bound = std::max(bound, send_avail_[p] + send_left_[p]);
+      bound = std::max(bound, recv_avail_[p] + recv_left_[p]);
+    }
+    return bound;
+  }
+
+  void dfs(std::vector<ScheduledEvent>& partial, double makespan) {
+    if (budget_exhausted_) return;
+    if (++nodes_ > node_budget_) {
+      budget_exhausted_ = true;
+      return;
+    }
+    if (pending_.empty()) {
+      if (makespan < best_makespan_ - kTieTolerance) {
+        best_makespan_ = makespan;
+        best_events_ = partial;
+      }
+      return;
+    }
+    if (lower_bound(makespan) >= best_makespan_ - kTieTolerance) return;
+
+    // Candidate order: earliest feasible start first (list schedules of
+    // optimal solutions place events in start order, so good orders are
+    // found early), longer events first among ties.
+    std::vector<std::size_t> order(pending_.size());
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+    const auto start_of = [&](const PendingEvent& e) {
+      return std::max(send_avail_[e.src], recv_avail_[e.dst]);
+    };
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double sa = start_of(pending_[a]);
+      const double sb = start_of(pending_[b]);
+      if (sa != sb) return sa < sb;
+      return pending_[a].duration > pending_[b].duration;
+    });
+
+    // Dominance: an optimal list order can always pick, as its next event,
+    // one that starts before the earliest possible *finish* among all
+    // pending events — later starters cannot block it.
+    double earliest_finish = std::numeric_limits<double>::infinity();
+    for (const PendingEvent& e : pending_)
+      earliest_finish = std::min(earliest_finish, start_of(e) + e.duration);
+
+    for (const std::size_t pick : order) {
+      const PendingEvent event = pending_[pick];
+      const double start = start_of(event);
+      if (start > earliest_finish + kTieTolerance) break;  // order is sorted
+      const double finish = start + event.duration;
+
+      pending_[pick] = pending_.back();
+      pending_.pop_back();
+      const double old_send_avail = send_avail_[event.src];
+      const double old_recv_avail = recv_avail_[event.dst];
+      send_avail_[event.src] = finish;
+      recv_avail_[event.dst] = finish;
+      send_left_[event.src] -= event.duration;
+      recv_left_[event.dst] -= event.duration;
+      partial.push_back({event.src, event.dst, start, finish});
+
+      dfs(partial, std::max(makespan, finish));
+
+      partial.pop_back();
+      send_left_[event.src] += event.duration;
+      recv_left_[event.dst] += event.duration;
+      send_avail_[event.src] = old_send_avail;
+      recv_avail_[event.dst] = old_recv_avail;
+      pending_.push_back(event);
+      std::swap(pending_[pick], pending_.back());
+      if (budget_exhausted_) return;
+    }
+  }
+
+  static constexpr double kTieTolerance = 1e-12;
+
+  const CommMatrix& comm_;
+  std::uint64_t node_budget_;
+  std::size_t n_;
+  std::vector<PendingEvent> pending_;
+  std::vector<double> send_avail_, recv_avail_, send_left_, recv_left_;
+  std::vector<ScheduledEvent> best_events_;
+  double best_makespan_ = 0.0;
+  std::uint64_t nodes_ = 0;
+  bool budget_exhausted_ = false;
+};
+
+}  // namespace
+
+ExactResult solve_exact(const CommMatrix& comm, std::uint64_t node_budget) {
+  if (comm.processor_count() < 2) {
+    // Nothing to schedule.
+    return ExactResult{Schedule{std::max<std::size_t>(comm.processor_count(), 1), {}},
+                       true, 0};
+  }
+  return BranchAndBound{comm, node_budget}.run();
+}
+
+}  // namespace hcs

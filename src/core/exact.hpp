@@ -1,0 +1,39 @@
+// Exact (branch-and-bound) total-exchange scheduler for small P.
+//
+// TOT_EXCH is NP-complete (Theorem 1), so this solver exists only to
+// validate the heuristics: tests compare heuristic completion times
+// against the true optimum on small instances (P <= 5).
+//
+// Method: for any valid schedule, list-scheduling its events in order of
+// their start times — placing each event at
+// max(send_avail[src], recv_avail[dst]) — reproduces a schedule that is
+// no longer. The optimum is therefore the minimum over event
+// permutations of the list-scheduled makespan, which we search with
+// branch-and-bound: the bound at a node is the largest
+// "avail + remaining work" over all send and receive ports, and the
+// incumbent starts at the best heuristic schedule.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/comm_matrix.hpp"
+#include "core/schedule.hpp"
+
+namespace hcs {
+
+/// Result of an exact search.
+struct ExactResult {
+  Schedule schedule;        ///< best schedule found
+  bool proven_optimal;      ///< true unless the node budget was exhausted
+  std::uint64_t nodes = 0;  ///< branch-and-bound nodes expanded
+};
+
+/// Searches for an optimal schedule of `comm`. Exponential in the worst
+/// case — intended for P <= 5. `node_budget` caps the search; when it is
+/// exhausted the best schedule found so far is returned with
+/// proven_optimal == false.
+[[nodiscard]] ExactResult solve_exact(const CommMatrix& comm,
+                                      std::uint64_t node_budget = 20'000'000);
+
+}  // namespace hcs

@@ -1,0 +1,30 @@
+// Greedy scheduler (§4.4) — an O(P^3) approximation to the matching
+// scheduler.
+//
+// Each sender's destinations are rank-ordered by decreasing communication
+// time. Steps are composed by traversing the processors in a rotating
+// order: a processor picks the first destination in its ranked list that
+// it has not sent to in an earlier step and that no earlier processor has
+// claimed in this step; failing that, it idles for the step. Fairness
+// rule: processors that idled in a step pick first in the next step; if
+// nobody idled, the processor that picked last picks first next.
+#pragma once
+
+#include "core/scheduler.hpp"
+#include "core/step_schedule.hpp"
+
+namespace hcs {
+
+/// The greedy step composition. The number of steps can exceed P when
+/// steps are incomplete. Exposed for tests and the dependence-graph
+/// analysis.
+[[nodiscard]] StepSchedule greedy_steps(const CommMatrix& comm);
+
+/// Scheduler wrapping greedy_steps under asynchronous execution.
+class GreedyScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "greedy"; }
+  [[nodiscard]] Schedule schedule(const CommMatrix& comm) const override;
+};
+
+}  // namespace hcs

@@ -1,0 +1,31 @@
+#include "core/matching_scheduler.hpp"
+
+namespace hcs {
+
+StepSchedule matching_steps(const CommMatrix& comm,
+                            MatchingObjective objective) {
+  const std::size_t n = comm.processor_count();
+  const std::vector<std::vector<std::size_t>> matchings =
+      decompose_into_matchings(comm.times(), objective);
+
+  std::vector<std::vector<CommEvent>> steps;
+  steps.reserve(matchings.size());
+  for (const auto& matching : matchings) {
+    std::vector<CommEvent> step;
+    step.reserve(n);
+    for (std::size_t src = 0; src < n; ++src) {
+      const std::size_t dst = matching[src];
+      // A matching may pair a processor with itself (the zero-cost
+      // diagonal); that is a no-op, not a communication event.
+      if (src != dst) step.push_back({src, dst});
+    }
+    if (!step.empty()) steps.push_back(std::move(step));
+  }
+  return StepSchedule{n, std::move(steps)};
+}
+
+Schedule MatchingScheduler::schedule(const CommMatrix& comm) const {
+  return execute_async(matching_steps(comm, objective_), comm);
+}
+
+}  // namespace hcs

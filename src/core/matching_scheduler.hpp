@@ -1,0 +1,40 @@
+// Matching-based schedulers (§4.3).
+//
+// The P x P communication events are partitioned into P contention-free
+// steps by computing a series of maximum (or minimum) weight complete
+// matchings in the bipartite sender/receiver graph, deleting each
+// matching's edges before computing the next. Steps execute without
+// barriers. Grouping events of similar length into the same step is what
+// removes the idle cycles the baseline suffers; complexity is O(P^4)
+// (P matchings, O(P^3) each).
+#pragma once
+
+#include "core/scheduler.hpp"
+#include "core/step_schedule.hpp"
+#include "graph/matching.hpp"
+
+namespace hcs {
+
+/// The matching decomposition as a StepSchedule, in extraction order
+/// (heaviest matching first for kMaxWeight, lightest first for
+/// kMinWeight). Self-pairs carry zero cost and are dropped from the steps.
+[[nodiscard]] StepSchedule matching_steps(const CommMatrix& comm,
+                                          MatchingObjective objective);
+
+/// Scheduler built on a series of weight matchings.
+class MatchingScheduler final : public Scheduler {
+ public:
+  explicit MatchingScheduler(MatchingObjective objective)
+      : objective_(objective) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return objective_ == MatchingObjective::kMaxWeight ? "max-matching"
+                                                       : "min-matching";
+  }
+  [[nodiscard]] Schedule schedule(const CommMatrix& comm) const override;
+
+ private:
+  MatchingObjective objective_;
+};
+
+}  // namespace hcs

@@ -1,0 +1,64 @@
+#include "core/openshop_scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+Schedule OpenShopScheduler::schedule(const CommMatrix& comm) const {
+  const std::size_t n = comm.processor_count();
+  return schedule_with_availability(comm, std::vector<double>(n, 0.0),
+                                    std::vector<double>(n, 0.0));
+}
+
+Schedule OpenShopScheduler::schedule_with_availability(
+    const CommMatrix& comm, const std::vector<double>& initial_send,
+    const std::vector<double>& initial_recv) const {
+  const std::size_t n = comm.processor_count();
+  check(initial_send.size() == n && initial_recv.size() == n,
+        "OpenShopScheduler: availability vector size mismatch");
+
+  // Receiver sets R_i: receivers sender i still has to serve.
+  std::vector<std::vector<std::size_t>> receiver_set(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) receiver_set[i].push_back(j);
+
+  std::vector<double> recv_avail = initial_recv;
+
+  // Senders ordered by availability time; ties resolve toward the lower
+  // index ("processed in an arbitrary order" — fixed for determinism).
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> senders;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!receiver_set[i].empty()) senders.push({initial_send[i], i});
+
+  std::vector<ScheduledEvent> events;
+  events.reserve(n * (n - 1));
+
+  while (!senders.empty()) {
+    const auto [avail, sender] = senders.top();
+    senders.pop();
+
+    // Earliest available receiver in R_sender; ties toward lower index.
+    auto& candidates = receiver_set[sender];
+    std::size_t best_pos = 0;
+    for (std::size_t pos = 1; pos < candidates.size(); ++pos)
+      if (recv_avail[candidates[pos]] < recv_avail[candidates[best_pos]])
+        best_pos = pos;
+    const std::size_t receiver = candidates[best_pos];
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(best_pos));
+
+    const double start = std::max(avail, recv_avail[receiver]);
+    const double finish = start + comm.time(sender, receiver);
+    events.push_back({sender, receiver, start, finish});
+    recv_avail[receiver] = finish;
+    if (!candidates.empty()) senders.push({finish, sender});
+  }
+  return Schedule{n, std::move(events)};
+}
+
+}  // namespace hcs

@@ -1,0 +1,36 @@
+#include "core/random_scheduler.hpp"
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace hcs {
+
+StepSchedule random_steps(std::size_t processor_count, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<std::size_t> relabel(processor_count);
+  std::iota(relabel.begin(), relabel.end(), 0);
+  rng.shuffle(relabel);
+
+  std::vector<std::size_t> offsets;
+  for (std::size_t offset = 1; offset < processor_count; ++offset)
+    offsets.push_back(offset);
+  rng.shuffle(offsets);
+
+  std::vector<std::vector<CommEvent>> steps;
+  steps.reserve(offsets.size());
+  for (const std::size_t offset : offsets) {
+    std::vector<CommEvent> step;
+    step.reserve(processor_count);
+    for (std::size_t i = 0; i < processor_count; ++i)
+      step.push_back({relabel[i], relabel[(i + offset) % processor_count]});
+    steps.push_back(std::move(step));
+  }
+  return StepSchedule{processor_count, std::move(steps)};
+}
+
+Schedule RandomScheduler::schedule(const CommMatrix& comm) const {
+  return execute_async(random_steps(comm.processor_count(), seed_), comm);
+}
+
+}  // namespace hcs

@@ -1,0 +1,34 @@
+// Random-permutation scheduler — an adaptivity-blind control.
+//
+// Applies the caterpillar structure after a random processor relabeling
+// and with the step offsets in random order. Like the baseline it ignores
+// event durations entirely; unlike the baseline its structure is not
+// aligned with processor indices, which isolates how much of the adaptive
+// schedulers' advantage comes from *looking at the durations* rather than
+// from merely breaking the caterpillar's fixed pattern.
+#pragma once
+
+#include <cstdint>
+
+#include "core/scheduler.hpp"
+#include "core/step_schedule.hpp"
+
+namespace hcs {
+
+/// Random relabeled-caterpillar steps, deterministic in (P, seed).
+[[nodiscard]] StepSchedule random_steps(std::size_t processor_count,
+                                        std::uint64_t seed);
+
+/// Scheduler wrapping random_steps under asynchronous execution.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : seed_(seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "random"; }
+  [[nodiscard]] Schedule schedule(const CommMatrix& comm) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace hcs

@@ -1,0 +1,188 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+Schedule::Schedule(std::size_t processor_count,
+                   std::vector<ScheduledEvent> events)
+    : processor_count_(processor_count), events_(std::move(events)) {
+  if (processor_count_ == 0) throw InputError("Schedule: zero processors");
+  for (const ScheduledEvent& event : events_) {
+    if (event.src >= processor_count_ || event.dst >= processor_count_)
+      throw InputError("Schedule: event processor index out of range");
+    if (event.finish_s < event.start_s)
+      throw InputError("Schedule: event finishes before it starts");
+  }
+}
+
+double Schedule::completion_time() const {
+  double latest = 0.0;
+  for (const ScheduledEvent& event : events_)
+    latest = std::max(latest, event.finish_s);
+  return latest;
+}
+
+namespace {
+
+std::vector<ScheduledEvent> filtered_sorted(
+    const std::vector<ScheduledEvent>& events, bool by_sender,
+    std::size_t processor) {
+  std::vector<ScheduledEvent> result;
+  for (const ScheduledEvent& event : events)
+    if ((by_sender ? event.src : event.dst) == processor)
+      result.push_back(event);
+  std::sort(result.begin(), result.end(),
+            [](const ScheduledEvent& a, const ScheduledEvent& b) {
+              return a.start_s < b.start_s ||
+                     (a.start_s == b.start_s && a.finish_s < b.finish_s);
+            });
+  return result;
+}
+
+}  // namespace
+
+std::vector<ScheduledEvent> Schedule::sender_events(std::size_t src) const {
+  check(src < processor_count_, "Schedule: sender out of range");
+  return filtered_sorted(events_, /*by_sender=*/true, src);
+}
+
+std::vector<ScheduledEvent> Schedule::receiver_events(std::size_t dst) const {
+  check(dst < processor_count_, "Schedule: receiver out of range");
+  return filtered_sorted(events_, /*by_sender=*/false, dst);
+}
+
+std::vector<ProcessorIdle> Schedule::idle_profile() const {
+  std::vector<ProcessorIdle> profile(processor_count_);
+  for (std::size_t p = 0; p < processor_count_; ++p) {
+    const auto accumulate = [](const std::vector<ScheduledEvent>& events,
+                               double& busy, double& idle) {
+      double cursor = 0.0;
+      for (const ScheduledEvent& event : events) {
+        busy += event.duration();
+        if (event.start_s > cursor) idle += event.start_s - cursor;
+        cursor = std::max(cursor, event.finish_s);
+      }
+    };
+    accumulate(sender_events(p), profile[p].send_busy_s, profile[p].send_idle_s);
+    accumulate(receiver_events(p), profile[p].recv_busy_s, profile[p].recv_idle_s);
+  }
+  return profile;
+}
+
+namespace {
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw ScheduleError(message);
+}
+
+void check_no_overlap(const std::vector<ScheduledEvent>& sorted,
+                      double tolerance, const char* port,
+                      std::size_t processor) {
+  // Zero-duration events occupy no port time; skip them.
+  const ScheduledEvent* previous = nullptr;
+  for (const ScheduledEvent& event : sorted) {
+    if (event.duration() <= tolerance) continue;
+    if (previous != nullptr) {
+      std::ostringstream message;
+      message << "overlapping " << port << " events at processor " << processor
+              << ": [" << previous->start_s << ", " << previous->finish_s
+              << ") and [" << event.start_s << ", " << event.finish_s << ")";
+      require(event.start_s >= previous->finish_s - tolerance, message.str());
+    }
+    previous = &event;
+  }
+}
+
+}  // namespace
+
+void Schedule::validate(const CommMatrix& comm, double tolerance) const {
+  const std::size_t n = processor_count_;
+  require(comm.processor_count() == n,
+          "schedule and communication matrix sizes differ");
+
+  // Coverage: exactly one event per ordered pair of distinct processors.
+  Matrix<int> covered(n, n, 0);
+  for (const ScheduledEvent& event : events_) {
+    require(event.src != event.dst, "self-message scheduled");
+    require(event.start_s >= -tolerance, "event starts before time zero");
+    require(covered(event.src, event.dst) == 0,
+            "duplicate event for a processor pair (message splitting?)");
+    covered(event.src, event.dst) = 1;
+    const double expected = comm.time(event.src, event.dst);
+    require(std::abs(event.duration() - expected) <=
+                tolerance * std::max(1.0, expected),
+            "event duration does not match the communication matrix");
+  }
+  std::size_t expected_events = n * (n - 1);
+  require(events_.size() == expected_events,
+          "schedule does not cover every processor pair exactly once");
+
+  for (std::size_t p = 0; p < n; ++p) {
+    check_no_overlap(sender_events(p), tolerance, "send", p);
+    check_no_overlap(receiver_events(p), tolerance, "receive", p);
+  }
+}
+
+bool Schedule::is_valid(const CommMatrix& comm, double tolerance) const noexcept {
+  try {
+    validate(comm, tolerance);
+    return true;
+  } catch (const ScheduleError&) {
+    return false;
+  }
+}
+
+std::string render_timing_diagram(const Schedule& schedule, std::size_t rows) {
+  const std::size_t n = schedule.processor_count();
+  const double makespan = schedule.completion_time();
+  if (rows == 0) rows = 1;
+
+  // Column width: enough for "->dd|".
+  const std::size_t label_width = n > 10 ? 5 : 4;
+  std::vector<std::string> grid(rows, std::string(n * label_width, ' '));
+
+  for (const ScheduledEvent& event : schedule.events()) {
+    if (makespan <= 0.0) break;
+    auto row_of = [&](double t) {
+      const double fraction = t / makespan;
+      return std::min(rows - 1,
+                      static_cast<std::size_t>(fraction * static_cast<double>(rows)));
+    };
+    const std::size_t first = row_of(event.start_s);
+    // Half-open interval: the finish row is exclusive unless the event
+    // would be invisible.
+    std::size_t last = row_of(std::nexttoward(event.finish_s, 0.0));
+    last = std::max(last, first);
+    const std::size_t col = event.src * label_width;
+    for (std::size_t r = first; r <= last; ++r) {
+      std::string cell = (r == first)
+                             ? ">" + std::to_string(event.dst)
+                             : std::string("|");
+      if (cell.size() > label_width - 1) cell.resize(label_width - 1);
+      for (std::size_t k = 0; k < cell.size(); ++k) grid[r][col + k] = cell[k];
+    }
+  }
+
+  std::ostringstream out;
+  out << "time";
+  for (std::size_t p = 0; p < n; ++p) {
+    std::string header = "P" + std::to_string(p);
+    header.resize(label_width, ' ');
+    out << (p == 0 ? "  " : "") << header;
+  }
+  out << '\n';
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double t = makespan * static_cast<double>(r) / static_cast<double>(rows);
+    char time_label[16];
+    std::snprintf(time_label, sizeof time_label, "%5.1f ", t);
+    out << time_label << grid[r] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace hcs

@@ -1,0 +1,56 @@
+// Schedule analysis and reporting.
+//
+// Beyond the completion time, users diagnosing a schedule want to know
+// *where* the time goes: per-port utilization, who the bottleneck
+// processor is, and how far the schedule sits from its lower bound. This
+// module computes those summaries and renders them as tables, and exports
+// schedules in a Gantt-friendly CSV for external plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+#include "core/schedule.hpp"
+#include "util/table.hpp"
+
+namespace hcs {
+
+/// Per-processor accounting over one schedule.
+struct ProcessorStats {
+  std::size_t processor = 0;
+  double send_busy_s = 0.0;
+  double recv_busy_s = 0.0;
+  /// Busy fraction of the schedule's makespan, per port.
+  double send_utilization = 0.0;
+  double recv_utilization = 0.0;
+  /// Time of this processor's last activity (send or receive finish).
+  double last_active_s = 0.0;
+};
+
+/// Whole-schedule summary.
+struct ScheduleStats {
+  double completion_s = 0.0;
+  double lower_bound_s = 0.0;
+  double ratio_to_lower_bound = 1.0;
+  /// Processor whose port total equals the lower bound (the bottleneck).
+  std::size_t bottleneck_processor = 0;
+  /// Mean port utilization across processors and both ports.
+  double mean_utilization = 0.0;
+  std::vector<ProcessorStats> processors;
+};
+
+/// Computes the summary. `schedule` must be valid for `comm`.
+[[nodiscard]] ScheduleStats analyze_schedule(const Schedule& schedule,
+                                             const CommMatrix& comm);
+
+/// Renders the per-processor rows as a Table.
+[[nodiscard]] Table stats_table(const ScheduleStats& stats);
+
+/// Writes the schedule as Gantt CSV: one row per event with columns
+/// src,dst,start_s,finish_s,duration_s — directly loadable by plotting
+/// tools.
+void write_gantt_csv(std::ostream& out, const Schedule& schedule);
+
+}  // namespace hcs

@@ -1,0 +1,53 @@
+#include "core/scheduler.hpp"
+
+#include "core/baseline.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "core/matching_scheduler.hpp"
+#include "core/openshop_scheduler.hpp"
+#include "core/random_scheduler.hpp"
+#include "util/error.hpp"
+
+namespace hcs {
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case SchedulerKind::kBaseline:
+      return std::make_unique<BaselineScheduler>();
+    case SchedulerKind::kBaselineBarrier:
+      return std::make_unique<BarrierBaselineScheduler>();
+    case SchedulerKind::kMaxMatching:
+      return std::make_unique<MatchingScheduler>(MatchingObjective::kMaxWeight);
+    case SchedulerKind::kMinMatching:
+      return std::make_unique<MatchingScheduler>(MatchingObjective::kMinWeight);
+    case SchedulerKind::kGreedy:
+      return std::make_unique<GreedyScheduler>();
+    case SchedulerKind::kOpenShop:
+      return std::make_unique<OpenShopScheduler>();
+    case SchedulerKind::kRandom:
+      return std::make_unique<RandomScheduler>(seed);
+  }
+  throw InputError("make_scheduler: unknown kind");
+}
+
+std::string_view scheduler_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kBaseline: return "baseline";
+    case SchedulerKind::kBaselineBarrier: return "baseline-barrier";
+    case SchedulerKind::kMaxMatching: return "max-matching";
+    case SchedulerKind::kMinMatching: return "min-matching";
+    case SchedulerKind::kGreedy: return "greedy";
+    case SchedulerKind::kOpenShop: return "openshop";
+    case SchedulerKind::kRandom: return "random";
+  }
+  throw InputError("scheduler_name: unknown kind");
+}
+
+const std::vector<SchedulerKind>& paper_schedulers() {
+  static const std::vector<SchedulerKind> kinds = {
+      SchedulerKind::kBaseline, SchedulerKind::kMaxMatching,
+      SchedulerKind::kMinMatching, SchedulerKind::kGreedy,
+      SchedulerKind::kOpenShop};
+  return kinds;
+}
+
+}  // namespace hcs

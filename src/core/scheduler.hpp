@@ -1,0 +1,77 @@
+// Scheduler interface and factory.
+//
+// A Scheduler maps a communication matrix to a valid timed schedule. The
+// five algorithms the paper evaluates (§4–5) are available through
+// `make_scheduler`; `paper_schedulers()` returns them in the order the
+// figures plot them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+#include "core/schedule.hpp"
+
+namespace hcs {
+
+/// Abstract total-exchange scheduling algorithm.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Short stable identifier, e.g. "baseline", "openshop".
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Produces a timed schedule for `comm`. Every implementation's output
+  /// satisfies Schedule::validate against `comm`.
+  [[nodiscard]] virtual Schedule schedule(const CommMatrix& comm) const = 0;
+};
+
+/// Mixin for schedulers that can plan from non-zero port availabilities.
+///
+/// Mid-exchange rescheduling (adaptive/checkpoint.hpp) starts from a
+/// state where ports free at different times; a plan computed for an idle
+/// system can order events badly against that skew. Schedulers
+/// implementing this interface take the availability vector into account;
+/// the adaptive executor detects the capability via dynamic_cast.
+class AvailabilityAwareScheduler {
+ public:
+  virtual ~AvailabilityAwareScheduler() = default;
+
+  /// Like Scheduler::schedule, but sender/receiver ports only become
+  /// usable at the given times (seconds, relative to the plan's zero).
+  /// Event start times in the result respect those offsets.
+  [[nodiscard]] virtual Schedule schedule_with_availability(
+      const CommMatrix& comm, const std::vector<double>& send_avail,
+      const std::vector<double>& recv_avail) const = 0;
+};
+
+/// The scheduling algorithms implemented by this library.
+enum class SchedulerKind {
+  kBaseline,         ///< caterpillar, §4.2 — the homogeneous-system standard
+  kBaselineBarrier,  ///< caterpillar with step synchronization: how stepped
+                     ///< all-to-all exchanges behave in homogeneous-system
+                     ///< libraries, where each step completes before the
+                     ///< next begins; reproduces the magnitude of the
+                     ///< paper's reported baseline gap
+  kMaxMatching,      ///< series of maximum weight matchings, §4.3
+  kMinMatching,      ///< series of minimum weight matchings, §4.3
+  kGreedy,           ///< rank-ordered greedy with fairness, §4.4
+  kOpenShop,         ///< open-shop list scheduler, §4.5 (2-approximation)
+  kRandom,           ///< random caterpillar relabeling — adaptivity-blind control
+};
+
+/// Instantiates a scheduler. `seed` is used only by kRandom.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                                        std::uint64_t seed = 0);
+
+/// Stable identifier of a scheduler kind (matches Scheduler::name()).
+[[nodiscard]] std::string_view scheduler_name(SchedulerKind kind);
+
+/// The five algorithms the paper's figures compare, in plot order:
+/// baseline, max matching, min matching, greedy, open shop.
+[[nodiscard]] const std::vector<SchedulerKind>& paper_schedulers();
+
+}  // namespace hcs

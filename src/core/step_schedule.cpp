@@ -1,0 +1,89 @@
+#include "core/step_schedule.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+StepSchedule::StepSchedule(std::size_t processor_count,
+                           std::vector<std::vector<CommEvent>> steps)
+    : processor_count_(processor_count), steps_(std::move(steps)) {
+  if (processor_count_ == 0) throw InputError("StepSchedule: zero processors");
+  for (const auto& step : steps_) {
+    std::vector<bool> sends(processor_count_, false);
+    std::vector<bool> receives(processor_count_, false);
+    for (const CommEvent& event : step) {
+      if (event.src >= processor_count_ || event.dst >= processor_count_)
+        throw InputError("StepSchedule: processor index out of range");
+      if (event.src == event.dst)
+        throw InputError("StepSchedule: self-message");
+      if (sends[event.src])
+        throw InputError("StepSchedule: sender appears twice in one step");
+      if (receives[event.dst])
+        throw InputError("StepSchedule: receiver appears twice in one step");
+      sends[event.src] = true;
+      receives[event.dst] = true;
+    }
+  }
+}
+
+std::size_t StepSchedule::event_count() const {
+  std::size_t count = 0;
+  for (const auto& step : steps_) count += step.size();
+  return count;
+}
+
+bool StepSchedule::covers_total_exchange() const {
+  Matrix<int> covered(processor_count_, processor_count_, 0);
+  std::size_t count = 0;
+  for (const auto& step : steps_) {
+    for (const CommEvent& event : step) {
+      if (covered(event.src, event.dst) != 0) return false;
+      covered(event.src, event.dst) = 1;
+      ++count;
+    }
+  }
+  return count == processor_count_ * (processor_count_ - 1);
+}
+
+namespace {
+
+Schedule execute(const StepSchedule& steps, const CommMatrix& comm,
+                 bool barrier) {
+  check(steps.processor_count() == comm.processor_count(),
+        "execute: step schedule and communication matrix sizes differ");
+  const std::size_t n = steps.processor_count();
+  std::vector<double> send_avail(n, 0.0);
+  std::vector<double> recv_avail(n, 0.0);
+  std::vector<ScheduledEvent> events;
+  events.reserve(steps.event_count());
+
+  double step_start = 0.0;
+  for (const auto& step : steps.steps()) {
+    double step_finish = step_start;
+    for (const CommEvent& event : step) {
+      double start = std::max(send_avail[event.src], recv_avail[event.dst]);
+      if (barrier) start = std::max(start, step_start);
+      const double finish = start + comm.time(event.src, event.dst);
+      events.push_back({event.src, event.dst, start, finish});
+      send_avail[event.src] = finish;
+      recv_avail[event.dst] = finish;
+      step_finish = std::max(step_finish, finish);
+    }
+    if (barrier) step_start = step_finish;
+  }
+  return Schedule{n, std::move(events)};
+}
+
+}  // namespace
+
+Schedule execute_async(const StepSchedule& steps, const CommMatrix& comm) {
+  return execute(steps, comm, /*barrier=*/false);
+}
+
+Schedule execute_barrier(const StepSchedule& steps, const CommMatrix& comm) {
+  return execute(steps, comm, /*barrier=*/true);
+}
+
+}  // namespace hcs

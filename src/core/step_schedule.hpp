@@ -1,0 +1,66 @@
+// Step-structured schedules and the order executor.
+//
+// The baseline, matching, and greedy schedulers all produce their schedule
+// as a sequence of *steps*, each a set of (src, dst) pairs in which no
+// sender and no receiver appears twice. The paper's execution semantics
+// (§4.3) impose no barrier between steps: "A communication event will
+// begin whenever the sending and receiving processors are both ready."
+// The order executor turns a StepSchedule into a timed Schedule under
+// exactly those semantics; a barrier executor is provided for ablation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+#include "core/schedule.hpp"
+
+namespace hcs {
+
+/// An unscheduled communication event: source and destination processor.
+struct CommEvent {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  [[nodiscard]] bool operator==(const CommEvent&) const = default;
+};
+
+/// A schedule expressed as ordered steps. Within one step each processor
+/// sends at most once and receives at most once; steps fix the per-sender
+/// and per-receiver event orders but not the absolute times.
+class StepSchedule {
+ public:
+  StepSchedule(std::size_t processor_count,
+               std::vector<std::vector<CommEvent>> steps);
+
+  [[nodiscard]] std::size_t processor_count() const noexcept {
+    return processor_count_;
+  }
+  [[nodiscard]] const std::vector<std::vector<CommEvent>>& steps() const noexcept {
+    return steps_;
+  }
+
+  /// Total number of events across all steps.
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// True when the steps jointly cover every ordered pair of distinct
+  /// processors exactly once.
+  [[nodiscard]] bool covers_total_exchange() const;
+
+ private:
+  std::size_t processor_count_ = 0;
+  std::vector<std::vector<CommEvent>> steps_;
+};
+
+/// Asynchronous (paper-semantics) execution: processing events in step
+/// order, each event starts as soon as its sender has finished its
+/// previous send and its receiver its previous receive.
+[[nodiscard]] Schedule execute_async(const StepSchedule& steps,
+                                     const CommMatrix& comm);
+
+/// Step-synchronized execution: step k+1 starts only after every event of
+/// step k has finished. Never faster than execute_async; used by the
+/// ablation bench to quantify what the no-barrier semantics buy.
+[[nodiscard]] Schedule execute_barrier(const StepSchedule& steps,
+                                       const CommMatrix& comm);
+
+}  // namespace hcs

@@ -1,0 +1,139 @@
+#include "experiment/experiment.hpp"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace hcs {
+namespace {
+
+/// Stable per-(P, repetition) seed derived from the base seed.
+std::uint64_t instance_seed(std::uint64_t base, std::size_t processor_count,
+                            std::size_t repetition) {
+  std::uint64_t state = base ^ (0x9E3779B97F4A7C15ULL * (processor_count + 1)) ^
+                        (0xC2B2AE3D27D4EB4FULL * (repetition + 1));
+  return splitmix64(state);
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  if (config.processor_counts.empty() || config.repetitions == 0 ||
+      config.schedulers.empty())
+    throw InputError("run_experiment: empty config");
+
+  ExperimentResult result;
+  result.config = config;
+  result.series.reserve(config.schedulers.size());
+  for (const SchedulerKind kind : config.schedulers)
+    result.series.push_back({kind, {}, {}, {}});
+
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(config.parallelism, config.repetitions));
+
+  for (const std::size_t processors : config.processor_counts) {
+    // Per-worker accumulators; merged in worker order so results are
+    // reproducible for a fixed parallelism setting (and equal up to
+    // floating-point summation order across settings).
+    std::vector<RunningStats> worker_lower_bound(workers);
+    std::vector<std::vector<RunningStats>> worker_completion(
+        workers, std::vector<RunningStats>(config.schedulers.size()));
+    std::vector<std::vector<RunningStats>> worker_ratio(
+        workers, std::vector<RunningStats>(config.schedulers.size()));
+
+    const auto run_repetition = [&](std::size_t worker, std::size_t rep) {
+      const std::uint64_t seed =
+          instance_seed(config.base_seed, processors, rep);
+      const ProblemInstance instance =
+          make_instance(config.scenario, processors, seed);
+      const CommMatrix comm{instance.network, instance.messages};
+      const double lower_bound = comm.lower_bound();
+      worker_lower_bound[worker].add(lower_bound);
+
+      for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
+        const auto scheduler = make_scheduler(config.schedulers[s], seed);
+        const Schedule schedule = scheduler->schedule(comm);
+        if (config.validate) schedule.validate(comm);
+        const double completion = schedule.completion_time();
+        worker_completion[worker][s].add(completion);
+        worker_ratio[worker][s].add(
+            lower_bound > 0.0 ? completion / lower_bound : 1.0);
+      }
+    };
+
+    if (workers == 1) {
+      for (std::size_t rep = 0; rep < config.repetitions; ++rep)
+        run_repetition(0, rep);
+    } else {
+      // Strided split: worker w handles repetitions w, w+workers, ...,
+      // so each worker's insertion order is a fixed subsequence of the
+      // serial order.
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (std::size_t worker = 0; worker < workers; ++worker) {
+        threads.emplace_back([&, worker] {
+          for (std::size_t rep = worker; rep < config.repetitions;
+               rep += workers)
+            run_repetition(worker, rep);
+        });
+      }
+      for (std::thread& thread : threads) thread.join();
+    }
+
+    RunningStats lower_bound_stats;
+    std::vector<RunningStats> completion_stats(config.schedulers.size());
+    std::vector<RunningStats> ratio_stats(config.schedulers.size());
+    for (std::size_t worker = 0; worker < workers; ++worker) {
+      lower_bound_stats.merge(worker_lower_bound[worker]);
+      for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
+        completion_stats[s].merge(worker_completion[worker][s]);
+        ratio_stats[s].merge(worker_ratio[worker][s]);
+      }
+    }
+
+    result.mean_lower_bound_s.push_back(lower_bound_stats.mean());
+    for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
+      result.series[s].mean_completion_s.push_back(completion_stats[s].mean());
+      result.series[s].mean_ratio_to_lb.push_back(ratio_stats[s].mean());
+      result.series[s].max_ratio_to_lb.push_back(ratio_stats[s].max());
+    }
+  }
+  return result;
+}
+
+namespace {
+
+Table make_table(const ExperimentResult& result, bool ratios) {
+  std::vector<std::string> headers = {"P"};
+  if (!ratios) headers.push_back("lower-bound");
+  for (const SchedulerSeries& series : result.series)
+    headers.emplace_back(scheduler_name(series.kind));
+  Table table{std::move(headers)};
+
+  for (std::size_t p = 0; p < result.config.processor_counts.size(); ++p) {
+    std::vector<std::string> row = {
+        std::to_string(result.config.processor_counts[p])};
+    if (!ratios) row.push_back(format_double(result.mean_lower_bound_s[p], 3));
+    for (const SchedulerSeries& series : result.series)
+      row.push_back(format_double(
+          ratios ? series.mean_ratio_to_lb[p] : series.mean_completion_s[p], 3));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+Table completion_table(const ExperimentResult& result) {
+  return make_table(result, /*ratios=*/false);
+}
+
+Table ratio_table(const ExperimentResult& result) {
+  return make_table(result, /*ratios=*/true);
+}
+
+}  // namespace hcs

@@ -1,0 +1,65 @@
+// Figure-reproduction harness.
+//
+// Each of the paper's Figures 9–12 plots mean total-exchange completion
+// time against processor count for five scheduling algorithms on randomly
+// generated GUSTO-guided networks. This harness runs those sweeps:
+// generate instances, schedule with every algorithm, validate each
+// schedule against the model invariants, and report per-algorithm means —
+// both absolute seconds and the ratio to the lower bound t_lb, which is
+// the scale-free quantity the paper's §5 claims are stated in.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "util/table.hpp"
+#include "workload/scenario.hpp"
+
+namespace hcs {
+
+/// One figure sweep: which scenario, which processor counts, how many
+/// random repetitions per point, and which algorithms to compare.
+struct ExperimentConfig {
+  Scenario scenario = Scenario::kMixedMessages;
+  std::vector<std::size_t> processor_counts = {5, 10, 15, 20, 25, 30, 35, 40, 45, 50};
+  std::size_t repetitions = 10;
+  std::uint64_t base_seed = 42;
+  std::vector<SchedulerKind> schedulers = paper_schedulers();
+  /// Validate every schedule against the model invariants (cheap; on by
+  /// default so a scheduling bug can never produce a figure silently).
+  bool validate = true;
+  /// Worker threads for the repetition loop. Results are independent of
+  /// this setting up to floating-point summation order: each repetition's
+  /// instance seed depends only on (P, repetition), and per-thread
+  /// accumulators merge deterministically.
+  std::size_t parallelism = 1;
+};
+
+/// Per-algorithm series over the processor-count axis.
+struct SchedulerSeries {
+  SchedulerKind kind;
+  std::vector<double> mean_completion_s;  ///< one entry per processor count
+  std::vector<double> mean_ratio_to_lb;   ///< completion / t_lb, averaged
+  std::vector<double> max_ratio_to_lb;    ///< worst ratio seen at that P
+};
+
+/// Result of one sweep.
+struct ExperimentResult {
+  ExperimentConfig config;
+  std::vector<double> mean_lower_bound_s;  ///< one entry per processor count
+  std::vector<SchedulerSeries> series;     ///< one entry per scheduler
+};
+
+/// Runs the sweep. Deterministic in the config (instance r at processor
+/// count P uses seed base_seed hashed with (P, r)).
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Renders the result as a table of absolute mean completion times
+/// (seconds), one row per processor count — the paper's figure series.
+[[nodiscard]] Table completion_table(const ExperimentResult& result);
+
+/// Renders mean completion-time-to-lower-bound ratios instead.
+[[nodiscard]] Table ratio_table(const ExperimentResult& result);
+
+}  // namespace hcs

@@ -1,0 +1,103 @@
+#include "graph/lap.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace hcs {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Assignment solve_lap_min(const Matrix<double>& cost) {
+  if (!cost.square() || cost.empty())
+    throw InputError("solve_lap_min: cost matrix must be square and non-empty");
+  const std::size_t n = cost.rows();
+
+  // Shortest augmenting path with dual potentials (u on rows, v on
+  // columns). Rows are introduced one at a time; each introduction runs a
+  // Dijkstra-like scan over columns, maintaining reduced costs
+  // cost(i,j) - u[i] - v[j] >= 0 as an invariant. Indices are offset by
+  // one so that slot 0 acts as the virtual "unassigned" column.
+  std::vector<double> u(n + 1, 0.0);
+  std::vector<double> v(n + 1, 0.0);
+  std::vector<std::size_t> col_to_row(n + 1, 0);  // 0 = unassigned
+  std::vector<std::size_t> predecessor(n + 1, 0);
+
+  for (std::size_t row = 1; row <= n; ++row) {
+    col_to_row[0] = row;
+    std::size_t j0 = 0;
+    std::vector<double> min_reduced(n + 1, kInf);
+    std::vector<bool> visited(n + 1, false);
+    do {
+      visited[j0] = true;
+      const std::size_t i0 = col_to_row[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (visited[j]) continue;
+        const double reduced = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (reduced < min_reduced[j]) {
+          min_reduced[j] = reduced;
+          predecessor[j] = j0;
+        }
+        if (min_reduced[j] < delta) {
+          delta = min_reduced[j];
+          j1 = j;
+        }
+      }
+      check(delta < kInf, "solve_lap_min: no augmenting path (non-finite costs?)");
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (visited[j]) {
+          u[col_to_row[j]] += delta;
+          v[j] -= delta;
+        } else {
+          min_reduced[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (col_to_row[j0] != 0);
+    // Augment along the alternating path back to the virtual column.
+    do {
+      const std::size_t j1 = predecessor[j0];
+      col_to_row[j0] = col_to_row[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  Assignment result;
+  result.row_to_col.assign(n, 0);
+  for (std::size_t j = 1; j <= n; ++j)
+    result.row_to_col[col_to_row[j] - 1] = j - 1;
+  result.cost = assignment_cost(cost, result.row_to_col);
+  return result;
+}
+
+Assignment solve_lap_max(const Matrix<double>& cost) {
+  Assignment result = solve_lap_min(cost.map([](double c) { return -c; }));
+  result.cost = assignment_cost(cost, result.row_to_col);
+  return result;
+}
+
+bool is_permutation(const std::vector<std::size_t>& row_to_col) {
+  std::vector<bool> seen(row_to_col.size(), false);
+  for (const std::size_t col : row_to_col) {
+    if (col >= row_to_col.size() || seen[col]) return false;
+    seen[col] = true;
+  }
+  return true;
+}
+
+double assignment_cost(const Matrix<double>& cost,
+                       const std::vector<std::size_t>& row_to_col) {
+  check(row_to_col.size() == cost.rows(), "assignment_cost: size mismatch");
+  double total = 0.0;
+  for (std::size_t r = 0; r < row_to_col.size(); ++r)
+    total += cost(r, row_to_col[r]);
+  return total;
+}
+
+}  // namespace hcs

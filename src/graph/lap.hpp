@@ -1,0 +1,44 @@
+// Linear Assignment Problem solver.
+//
+// Finding a maximum (or minimum) weight complete matching in a weighted
+// complete bipartite graph is exactly the linear assignment problem (paper
+// §4.3: "This is identical to the linear assignment problem"). The paper
+// used Roy Jonker's public-domain LAP program; this is a from-scratch
+// implementation of the same shortest-augmenting-path family of
+// algorithms (Jonker–Volgenant style), running in O(n^3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace hcs {
+
+/// A complete assignment: `row_to_col[r]` is the column matched to row r,
+/// and `cost` is the summed weight of the chosen entries.
+struct Assignment {
+  std::vector<std::size_t> row_to_col;
+  double cost = 0.0;
+};
+
+/// Minimum-cost complete assignment of an n x n cost matrix in O(n^3)
+/// via shortest augmenting paths with dual potentials.
+///
+/// Costs may be any finite doubles (negative values allowed). Throws
+/// InputError if the matrix is not square or is empty.
+[[nodiscard]] Assignment solve_lap_min(const Matrix<double>& cost);
+
+/// Maximum-cost complete assignment (solved as min on negated costs; the
+/// returned `cost` is the true maximized sum).
+[[nodiscard]] Assignment solve_lap_max(const Matrix<double>& cost);
+
+/// True when `row_to_col` is a permutation of 0..n-1.
+[[nodiscard]] bool is_permutation(const std::vector<std::size_t>& row_to_col);
+
+/// Sum of cost(r, row_to_col[r]) over all rows — the objective value of an
+/// assignment under `cost`.
+[[nodiscard]] double assignment_cost(const Matrix<double>& cost,
+                                     const std::vector<std::size_t>& row_to_col);
+
+}  // namespace hcs

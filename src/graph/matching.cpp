@@ -1,0 +1,65 @@
+#include "graph/matching.hpp"
+
+#include <cmath>
+
+#include "graph/lap.hpp"
+#include "util/error.hpp"
+
+namespace hcs {
+namespace {
+
+// Sentinel cost for deleted edges. Far outside any real communication
+// time (seconds-scale values), yet small enough that dual-potential
+// arithmetic keeps full precision.
+constexpr double kDeleted = 1e9;
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> decompose_into_matchings(
+    const Matrix<double>& weights, MatchingObjective objective) {
+  if (!weights.square() || weights.empty())
+    throw InputError("decompose_into_matchings: weights must be square and non-empty");
+  weights.for_each([](std::size_t, std::size_t, const double& w) {
+    if (!(std::abs(w) < kDeleted / 2))
+      throw InputError("decompose_into_matchings: weight magnitude too large");
+  });
+
+  const std::size_t n = weights.rows();
+  // Deleted edges get a cost that the optimizer will always avoid when a
+  // deletion-free perfect matching exists — which it always does (Hall).
+  const double avoid =
+      objective == MatchingObjective::kMaxWeight ? -kDeleted : kDeleted;
+  Matrix<double> working = weights;
+
+  std::vector<std::vector<std::size_t>> matchings;
+  matchings.reserve(n);
+  for (std::size_t step = 0; step < n; ++step) {
+    const Assignment assignment = objective == MatchingObjective::kMaxWeight
+                                      ? solve_lap_max(working)
+                                      : solve_lap_min(working);
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::size_t c = assignment.row_to_col[r];
+      check(working(r, c) != avoid,
+            "decompose_into_matchings: optimizer chose a deleted edge");
+      working(r, c) = avoid;
+    }
+    matchings.push_back(assignment.row_to_col);
+  }
+  return matchings;
+}
+
+bool is_valid_decomposition(
+    std::size_t n, const std::vector<std::vector<std::size_t>>& matchings) {
+  if (matchings.size() != n) return false;
+  Matrix<int> covered(n, n, 0);
+  for (const auto& matching : matchings) {
+    if (!is_permutation(matching) || matching.size() != n) return false;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (covered(r, matching[r]) != 0) return false;
+      covered(r, matching[r]) = 1;
+    }
+  }
+  return true;
+}
+
+}  // namespace hcs

@@ -1,0 +1,40 @@
+// Matching decomposition of a communication matrix.
+//
+// The paper's matching-based scheduler (§4.3) partitions the P x P
+// communication events into P contention-free steps: build the complete
+// bipartite graph with communication times as edge weights, repeatedly
+// extract a maximum (or minimum) weight complete matching, and delete its
+// edges. Each matching is a permutation of the processors, i.e. a valid
+// communication step with no sender or receiver appearing twice.
+//
+// Deleting a perfect matching from K_{P,P} leaves a (P-k)-regular
+// bipartite graph, which by Hall's theorem always contains another perfect
+// matching, so the decomposition always completes with exactly P steps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace hcs {
+
+/// Whether each extracted matching maximizes or minimizes total weight.
+enum class MatchingObjective { kMaxWeight, kMinWeight };
+
+/// Decomposes an n x n weight matrix into n permutations, each edge used
+/// exactly once across all permutations. Permutation k maps each left
+/// vertex (sender) to its matched right vertex (receiver) in step k.
+///
+/// Matchings are extracted best-first under `objective`; deleted edges are
+/// excluded from later matchings.
+[[nodiscard]] std::vector<std::vector<std::size_t>> decompose_into_matchings(
+    const Matrix<double>& weights, MatchingObjective objective);
+
+/// Checks that `matchings` is a valid decomposition of an n x n complete
+/// bipartite graph: n permutations jointly covering every (row, col) pair
+/// exactly once.
+[[nodiscard]] bool is_valid_decomposition(
+    std::size_t n, const std::vector<std::vector<std::size_t>>& matchings);
+
+}  // namespace hcs

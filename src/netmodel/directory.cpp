@@ -1,0 +1,108 @@
+#include "netmodel/directory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+NetworkModel DirectoryService::snapshot(double now_s) const {
+  const std::size_t n = processor_count();
+  Matrix<double> startup(n, n, 0.0);
+  Matrix<double> bandwidth(n, n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const LinkParams params = query(i, j, now_s);
+      startup(i, j) = params.startup_s;
+      bandwidth(i, j) = params.bandwidth_Bps;
+    }
+  }
+  return NetworkModel{std::move(startup), std::move(bandwidth)};
+}
+
+StaticDirectory::StaticDirectory(NetworkModel model) : model_(std::move(model)) {}
+
+std::size_t StaticDirectory::processor_count() const {
+  return model_.processor_count();
+}
+
+LinkParams StaticDirectory::query(std::size_t src, std::size_t dst,
+                                  double /*now_s*/) const {
+  return model_.link(src, dst);
+}
+
+NetworkModel StaticDirectory::snapshot(double /*now_s*/) const { return model_; }
+
+DriftingDirectory::DriftingDirectory(NetworkModel base, std::uint64_t seed,
+                                     Options options)
+    : base_(std::move(base)), seed_(seed), options_(options) {
+  if (options_.update_period_s <= 0.0)
+    throw InputError("DriftingDirectory: update period must be positive");
+  if (options_.max_factor < 1.0)
+    throw InputError("DriftingDirectory: max_factor must be >= 1");
+}
+
+std::size_t DriftingDirectory::processor_count() const {
+  return base_.processor_count();
+}
+
+double DriftingDirectory::factor_at(std::size_t src, std::size_t dst,
+                                    double now_s) const {
+  // Re-generate the pair's walk from its private seed up to the step
+  // containing `now_s`. Steps are short walks (experiments run seconds to
+  // minutes of simulated time), so regeneration keeps queries pure without
+  // mutable caching.
+  const auto steps = now_s <= 0.0
+                         ? 0
+                         : static_cast<std::uint64_t>(now_s / options_.update_period_s);
+  std::uint64_t mix = seed_;
+  mix ^= 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(src) + 1);
+  mix ^= 0xC2B2AE3D27D4EB4FULL * (static_cast<std::uint64_t>(dst) + 1);
+  Rng rng{mix};
+  const double max_log = std::log(options_.max_factor);
+  double log_factor = 0.0;
+  for (std::uint64_t s = 0; s < steps; ++s) {
+    log_factor += rng.normal(0.0, options_.step_sigma);
+    log_factor = std::clamp(log_factor, -max_log, max_log);
+  }
+  return std::exp(log_factor);
+}
+
+LinkParams DriftingDirectory::query(std::size_t src, std::size_t dst,
+                                    double now_s) const {
+  LinkParams params = base_.link(src, dst);
+  if (src != dst) params.bandwidth_Bps *= factor_at(src, dst, now_s);
+  return params;
+}
+
+TraceDirectory::TraceDirectory(std::map<double, NetworkModel> trace)
+    : trace_(std::move(trace)) {
+  if (trace_.empty()) throw InputError("TraceDirectory: empty trace");
+  if (trace_.begin()->first > 0.0)
+    throw InputError("TraceDirectory: trace must cover time 0");
+  const std::size_t n = trace_.begin()->second.processor_count();
+  for (const auto& [time, model] : trace_)
+    if (model.processor_count() != n)
+      throw InputError("TraceDirectory: inconsistent processor counts");
+}
+
+std::size_t TraceDirectory::processor_count() const {
+  return trace_.begin()->second.processor_count();
+}
+
+const NetworkModel& TraceDirectory::active(double now_s) const {
+  auto it = trace_.upper_bound(now_s);
+  check(it != trace_.begin(), "TraceDirectory: query before trace start");
+  return std::prev(it)->second;
+}
+
+LinkParams TraceDirectory::query(std::size_t src, std::size_t dst,
+                                 double now_s) const {
+  return active(now_s).link(src, dst);
+}
+
+NetworkModel TraceDirectory::snapshot(double now_s) const { return active(now_s); }
+
+}  // namespace hcs

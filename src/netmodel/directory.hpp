@@ -1,0 +1,114 @@
+// Directory service — the first component of the paper's framework (§3.1).
+//
+// A directory service answers run-time queries for current network
+// performance between any processor pair, in the style of Globus MDS or
+// CMU's ReMoS. Schedulers query it once before scheduling; adaptive
+// executors (src/adaptive) re-query it at checkpoints, so implementations
+// may be time-varying.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "netmodel/network_model.hpp"
+#include "util/rng.hpp"
+
+namespace hcs {
+
+/// Abstract run-time source of network performance information.
+///
+/// `query(src, dst, now)` returns the parameters the directory currently
+/// advertises for the ordered pair. `snapshot(now)` materializes the whole
+/// P×P view at one instant — what a scheduler consumes.
+class DirectoryService {
+ public:
+  virtual ~DirectoryService() = default;
+
+  /// Number of processors the directory covers.
+  [[nodiscard]] virtual std::size_t processor_count() const = 0;
+
+  /// Current advertised parameters for src -> dst at time `now_s`.
+  [[nodiscard]] virtual LinkParams query(std::size_t src, std::size_t dst,
+                                         double now_s) const = 0;
+
+  /// Full network view at time `now_s`.
+  [[nodiscard]] virtual NetworkModel snapshot(double now_s) const;
+};
+
+/// Directory backed by a fixed NetworkModel; performance never changes.
+class StaticDirectory final : public DirectoryService {
+ public:
+  explicit StaticDirectory(NetworkModel model);
+
+  [[nodiscard]] std::size_t processor_count() const override;
+  [[nodiscard]] LinkParams query(std::size_t src, std::size_t dst,
+                                 double now_s) const override;
+  [[nodiscard]] NetworkModel snapshot(double now_s) const override;
+
+ private:
+  NetworkModel model_;
+};
+
+/// Directory whose bandwidths drift over time, modelling shared networks
+/// under fluctuating background load (paper §6.3: "variations in network
+/// performance [can be] so rapid that significant changes could occur
+/// within the duration of the communication schedule").
+///
+/// Each pair's bandwidth follows an independent geometric random walk
+/// sampled on a fixed update period, clamped to
+/// [base/max_factor, base*max_factor]. Start-up costs stay fixed — latency
+/// in WANs is dominated by distance, not load. Queries are deterministic
+/// functions of (pair, time, seed): the walk is re-generated from a
+/// per-pair seed, so a DriftingDirectory can be queried out of order and
+/// still give reproducible answers.
+class DriftingDirectory final : public DirectoryService {
+ public:
+  struct Options {
+    /// Seconds between successive random-walk steps.
+    double update_period_s = 1.0;
+    /// Standard deviation of the per-step log-bandwidth increment.
+    double step_sigma = 0.1;
+    /// Bandwidth is clamped to base / max_factor .. base * max_factor.
+    double max_factor = 4.0;
+  };
+
+  DriftingDirectory(NetworkModel base, std::uint64_t seed, Options options);
+
+  [[nodiscard]] std::size_t processor_count() const override;
+  [[nodiscard]] LinkParams query(std::size_t src, std::size_t dst,
+                                 double now_s) const override;
+
+ private:
+  [[nodiscard]] double factor_at(std::size_t src, std::size_t dst,
+                                 double now_s) const;
+
+  NetworkModel base_;
+  std::uint64_t seed_;
+  Options options_;
+};
+
+/// Directory that replays a recorded sequence of network snapshots: the
+/// snapshot with the largest timestamp <= now is in effect. Used in tests
+/// and to replay measured traces.
+class TraceDirectory final : public DirectoryService {
+ public:
+  /// `trace` maps timestamps (seconds) to network snapshots; all snapshots
+  /// must have equal processor counts and the trace must contain an entry
+  /// at or before time 0.
+  explicit TraceDirectory(std::map<double, NetworkModel> trace);
+
+  [[nodiscard]] std::size_t processor_count() const override;
+  [[nodiscard]] LinkParams query(std::size_t src, std::size_t dst,
+                                 double now_s) const override;
+  [[nodiscard]] NetworkModel snapshot(double now_s) const override;
+
+ private:
+  [[nodiscard]] const NetworkModel& active(double now_s) const;
+
+  std::map<double, NetworkModel> trace_;
+};
+
+}  // namespace hcs

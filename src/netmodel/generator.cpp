@@ -1,0 +1,51 @@
+#include "netmodel/generator.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+NetworkModel generate_network(std::size_t processor_count, std::uint64_t seed,
+                              const NetworkGenOptions& options) {
+  if (processor_count == 0)
+    throw InputError("generate_network: zero processors");
+  if (options.min_latency_ms < 0.0 ||
+      options.max_latency_ms < options.min_latency_ms)
+    throw InputError("generate_network: bad latency range");
+  if (options.min_bandwidth_kbits <= 0.0 ||
+      options.max_bandwidth_kbits < options.min_bandwidth_kbits)
+    throw InputError("generate_network: bad bandwidth range");
+
+  Rng rng{seed};
+  const std::size_t n = processor_count;
+  Matrix<double> startup(n, n, 0.0);
+  Matrix<double> bandwidth(n, n, std::numeric_limits<double>::max());
+
+  const double log_lo = std::log(options.min_bandwidth_kbits);
+  const double log_hi = std::log(options.max_bandwidth_kbits);
+
+  const auto sample = [&]() {
+    const double latency_ms =
+        rng.uniform(options.min_latency_ms, options.max_latency_ms);
+    const double bandwidth_kbits = std::exp(rng.uniform(log_lo, log_hi));
+    return LinkParams::from_ms_kbits(latency_ms, bandwidth_kbits);
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = options.symmetric ? i + 1 : 0; j < n; ++j) {
+      if (i == j) continue;
+      const LinkParams params = sample();
+      startup(i, j) = params.startup_s;
+      bandwidth(i, j) = params.bandwidth_Bps;
+      if (options.symmetric) {
+        startup(j, i) = params.startup_s;
+        bandwidth(j, i) = params.bandwidth_Bps;
+      }
+    }
+  }
+  return NetworkModel{std::move(startup), std::move(bandwidth)};
+}
+
+}  // namespace hcs

@@ -1,0 +1,50 @@
+// Random network generation guided by GUSTO measurements.
+//
+// The paper's simulator "generates random performance characteristics for
+// pairwise network performance, using information from the GUSTO directory
+// service as a guideline" (§5). This module reproduces that: pairwise
+// parameters are drawn from the ranges observed in Tables 1–2 (the
+// default), or from the wider ranges §3.2 quotes as typical for
+// metacomputing systems (start-up 10–50 ms, bandwidth kb/s to hundreds of
+// Mb/s).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "netmodel/network_model.hpp"
+#include "util/rng.hpp"
+
+namespace hcs {
+
+/// Parameter ranges for random network generation. Bandwidth is sampled
+/// log-uniformly (testbed bandwidths span orders of magnitude); latency is
+/// sampled uniformly.
+struct NetworkGenOptions {
+  double min_latency_ms = 4.5;       ///< GUSTO Table 1 minimum.
+  double max_latency_ms = 89.5;      ///< GUSTO Table 1 maximum.
+  double min_bandwidth_kbits = 246;  ///< GUSTO Table 2 minimum.
+  double max_bandwidth_kbits = 4976; ///< GUSTO Table 2 maximum.
+  /// Symmetric networks sample each unordered pair once (like the GUSTO
+  /// tables); asymmetric networks sample each direction independently.
+  bool symmetric = true;
+
+  /// The §3.2 "typical metacomputing" ranges: 10–50 ms start-up,
+  /// 56 kbit/s to 200 Mbit/s bandwidth.
+  [[nodiscard]] static NetworkGenOptions wide_range() {
+    NetworkGenOptions o;
+    o.min_latency_ms = 10.0;
+    o.max_latency_ms = 50.0;
+    o.min_bandwidth_kbits = 56.0;
+    o.max_bandwidth_kbits = 200'000.0;
+    return o;
+  }
+};
+
+/// Generates a random P-processor network. Deterministic in (seed,
+/// options, processor_count).
+[[nodiscard]] NetworkModel generate_network(std::size_t processor_count,
+                                            std::uint64_t seed,
+                                            const NetworkGenOptions& options = {});
+
+}  // namespace hcs

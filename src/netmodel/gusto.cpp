@@ -1,0 +1,71 @@
+#include "netmodel/gusto.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hcs::gusto {
+
+const std::array<std::string_view, kSiteCount>& site_names() {
+  static const std::array<std::string_view, kSiteCount> names = {
+      "AMES", "ANL", "IND", "USC-ISI", "NCSA"};
+  return names;
+}
+
+const Matrix<double>& latency_ms() {
+  static const Matrix<double> table = {
+      {0.0, 34.5, 89.5, 12.0, 42.0},
+      {34.5, 0.0, 20.0, 26.5, 4.5},
+      {89.5, 20.0, 0.0, 42.5, 21.5},
+      {12.0, 26.5, 42.5, 0.0, 29.5},
+      {42.0, 4.5, 21.5, 29.5, 0.0},
+  };
+  return table;
+}
+
+const Matrix<double>& bandwidth_kbits() {
+  static const Matrix<double> table = {
+      {0.0, 512.0, 246.0, 2044.0, 391.0},
+      {512.0, 0.0, 491.0, 693.0, 2402.0},
+      {246.0, 491.0, 0.0, 311.0, 448.0},
+      {2044.0, 693.0, 311.0, 0.0, 4976.0},
+      {391.0, 2402.0, 448.0, 4976.0, 0.0},
+  };
+  return table;
+}
+
+NetworkModel network() {
+  Matrix<double> startup(kSiteCount, kSiteCount, 0.0);
+  Matrix<double> bandwidth(kSiteCount, kSiteCount, 0.0);
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    for (std::size_t j = 0; j < kSiteCount; ++j) {
+      if (i == j) {
+        // The diagonal is never charged (cost(i,i,.) == 0), but the model
+        // requires positive bandwidth; use an effectively-infinite rate.
+        bandwidth(i, j) = std::numeric_limits<double>::max();
+        continue;
+      }
+      const LinkParams params =
+          LinkParams::from_ms_kbits(latency_ms()(i, j), bandwidth_kbits()(i, j));
+      startup(i, j) = params.startup_s;
+      bandwidth(i, j) = params.bandwidth_Bps;
+    }
+  }
+  return NetworkModel{std::move(startup), std::move(bandwidth)};
+}
+
+Ranges observed_ranges() {
+  Ranges r{std::numeric_limits<double>::max(), 0.0,
+           std::numeric_limits<double>::max(), 0.0};
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    for (std::size_t j = 0; j < kSiteCount; ++j) {
+      if (i == j) continue;
+      r.min_latency_ms = std::min(r.min_latency_ms, latency_ms()(i, j));
+      r.max_latency_ms = std::max(r.max_latency_ms, latency_ms()(i, j));
+      r.min_bandwidth_kbits = std::min(r.min_bandwidth_kbits, bandwidth_kbits()(i, j));
+      r.max_bandwidth_kbits = std::max(r.max_bandwidth_kbits, bandwidth_kbits()(i, j));
+    }
+  }
+  return r;
+}
+
+}  // namespace hcs::gusto

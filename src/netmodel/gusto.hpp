@@ -1,0 +1,48 @@
+// The GUSTO directory-service measurements reproduced from the paper's
+// Tables 1 and 2.
+//
+// GUSTO was the Globus testbed; its Metacomputing Directory Service (MDS)
+// published current end-to-end latency and bandwidth between computing
+// sites. The paper uses five sites — NASA AMES, Argonne National Lab,
+// University of Indiana, USC-ISI, and NCSA — and uses these measurements
+// as the guideline for its randomly generated networks (paper §5).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "netmodel/network_model.hpp"
+#include "util/matrix.hpp"
+
+namespace hcs::gusto {
+
+/// Number of GUSTO sites in the paper's tables.
+inline constexpr std::size_t kSiteCount = 5;
+
+/// Site names, in table order.
+[[nodiscard]] const std::array<std::string_view, kSiteCount>& site_names();
+
+/// Table 1: pairwise latency in milliseconds. Diagonal entries are zero
+/// (the paper leaves them blank).
+[[nodiscard]] const Matrix<double>& latency_ms();
+
+/// Table 2: pairwise bandwidth in kbit/s. Diagonal entries are zero
+/// (never used: intra-node transfers cost nothing in the model).
+[[nodiscard]] const Matrix<double>& bandwidth_kbits();
+
+/// The five-site GUSTO network as a NetworkModel (seconds / bytes-per-
+/// second units). Diagonal bandwidth is set to a large sentinel so the
+/// model's positivity invariants hold; cost(i,i,·) is zero regardless.
+[[nodiscard]] NetworkModel network();
+
+/// Observed ranges of the tables — the "guideline" the paper's random
+/// network generator draws from.
+struct Ranges {
+  double min_latency_ms;
+  double max_latency_ms;
+  double min_bandwidth_kbits;
+  double max_bandwidth_kbits;
+};
+[[nodiscard]] Ranges observed_ranges();
+
+}  // namespace hcs::gusto

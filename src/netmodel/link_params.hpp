@@ -1,0 +1,50 @@
+// End-to-end link performance parameters — the paper's communication model.
+//
+// The model (paper §3.2) characterizes the path between a processor pair
+// (P_i, P_j) by two parameters: a start-up cost T_ij and a data
+// transmission rate B_ij. Sending an m-byte message then takes
+//     T_ij + m / B_ij.
+// The parameters abstract the whole multi-link path; topology, routing and
+// flow control are invisible at the application layer.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+/// Unit helpers. All library-internal times are in seconds, sizes in
+/// bytes, and rates in bytes per second; these constants document the
+/// conversions from the units the paper's tables use.
+inline constexpr double kMsToS = 1e-3;
+inline constexpr double kKbitPerSToBytePerS = 1000.0 / 8.0;
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * 1024;
+
+/// Performance of the end-to-end path between one ordered processor pair.
+struct LinkParams {
+  /// Start-up (latency) cost T_ij in seconds.
+  double startup_s = 0.0;
+  /// Transmission rate B_ij in bytes per second.
+  double bandwidth_Bps = 1.0;
+
+  /// Time in seconds to send `bytes` over this path: T + m/B.
+  [[nodiscard]] double transfer_time(std::uint64_t bytes) const {
+    check(bandwidth_Bps > 0.0, "LinkParams: non-positive bandwidth");
+    check(startup_s >= 0.0, "LinkParams: negative startup");
+    return startup_s + static_cast<double>(bytes) / bandwidth_Bps;
+  }
+
+  /// Constructs from the units used by the paper's GUSTO tables
+  /// (milliseconds, kilobits per second).
+  [[nodiscard]] static LinkParams from_ms_kbits(double latency_ms,
+                                                double bandwidth_kbits) {
+    return LinkParams{latency_ms * kMsToS,
+                      bandwidth_kbits * kKbitPerSToBytePerS};
+  }
+
+  [[nodiscard]] bool operator==(const LinkParams&) const = default;
+};
+
+}  // namespace hcs

@@ -1,0 +1,55 @@
+#include "netmodel/network_model.hpp"
+
+namespace hcs {
+
+NetworkModel::NetworkModel(std::size_t processor_count, LinkParams params)
+    : startup_s_(processor_count, processor_count, params.startup_s),
+      bandwidth_Bps_(processor_count, processor_count, params.bandwidth_Bps) {}
+
+NetworkModel::NetworkModel(Matrix<double> startup_s,
+                           Matrix<double> bandwidth_Bps)
+    : startup_s_(std::move(startup_s)),
+      bandwidth_Bps_(std::move(bandwidth_Bps)) {
+  if (!startup_s_.square() || !bandwidth_Bps_.square() ||
+      startup_s_.rows() != bandwidth_Bps_.rows())
+    throw InputError("NetworkModel: parameter matrices must be square and equal-sized");
+  bandwidth_Bps_.for_each([](std::size_t r, std::size_t c, double& b) {
+    if (r != c && b <= 0.0)
+      throw InputError("NetworkModel: off-diagonal bandwidth must be positive");
+  });
+  startup_s_.for_each([](std::size_t, std::size_t, double& t) {
+    if (t < 0.0) throw InputError("NetworkModel: negative startup");
+  });
+}
+
+LinkParams NetworkModel::link(std::size_t src, std::size_t dst) const {
+  return {startup_s_(src, dst), bandwidth_Bps_(src, dst)};
+}
+
+void NetworkModel::set_link(std::size_t src, std::size_t dst, LinkParams params) {
+  if (src != dst && params.bandwidth_Bps <= 0.0)
+    throw InputError("NetworkModel: off-diagonal bandwidth must be positive");
+  if (params.startup_s < 0.0) throw InputError("NetworkModel: negative startup");
+  startup_s_(src, dst) = params.startup_s;
+  bandwidth_Bps_(src, dst) = params.bandwidth_Bps;
+}
+
+double NetworkModel::cost(std::size_t src, std::size_t dst,
+                          std::uint64_t bytes) const {
+  check(src < processor_count() && dst < processor_count(),
+        "NetworkModel: processor index out of range");
+  if (src == dst) return 0.0;
+  return link(src, dst).transfer_time(bytes);
+}
+
+bool NetworkModel::symmetric() const {
+  const std::size_t n = processor_count();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (startup_s_(i, j) != startup_s_(j, i) ||
+          bandwidth_Bps_(i, j) != bandwidth_Bps_(j, i))
+        return false;
+  return true;
+}
+
+}  // namespace hcs

@@ -1,0 +1,47 @@
+#include "netmodel/outage.hpp"
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+OutageDirectory::OutageDirectory(const DirectoryService& base,
+                                 std::vector<Outage> outages)
+    : base_(base), outages_(std::move(outages)) {
+  for (const Outage& outage : outages_) {
+    if (outage.src >= base_.processor_count() ||
+        outage.dst >= base_.processor_count())
+      throw InputError("OutageDirectory: processor out of range");
+    if (outage.src == outage.dst)
+      throw InputError("OutageDirectory: self-pair outage");
+    if (outage.end_s < outage.begin_s)
+      throw InputError("OutageDirectory: outage ends before it begins");
+    if (outage.bandwidth_factor <= 0.0 || outage.bandwidth_factor > 1.0)
+      throw InputError("OutageDirectory: factor must be in (0, 1]");
+  }
+}
+
+std::size_t OutageDirectory::processor_count() const {
+  return base_.processor_count();
+}
+
+double OutageDirectory::degradation(std::size_t src, std::size_t dst,
+                                    double now_s) const {
+  double factor = 1.0;
+  for (const Outage& outage : outages_) {
+    if (now_s < outage.begin_s || now_s >= outage.end_s) continue;
+    const bool forward = outage.src == src && outage.dst == dst;
+    const bool backward =
+        outage.symmetric && outage.src == dst && outage.dst == src;
+    if (forward || backward) factor *= outage.bandwidth_factor;
+  }
+  return factor;
+}
+
+LinkParams OutageDirectory::query(std::size_t src, std::size_t dst,
+                                  double now_s) const {
+  LinkParams params = base_.query(src, dst, now_s);
+  if (src != dst) params.bandwidth_Bps *= degradation(src, dst, now_s);
+  return params;
+}
+
+}  // namespace hcs

@@ -1,0 +1,53 @@
+// Failure injection: link outages layered over any directory service.
+//
+// Shared wide-area links do not only drift — they fail. An
+// OutageDirectory decorates another directory with scheduled outages:
+// during an outage window a pair's bandwidth collapses by a degradation
+// factor (routing flaps, heavy cross-traffic, a backup path), which is
+// how an application-level send/receive layer actually experiences a
+// failure — the transfer crawls rather than erroring. Adaptive executors
+// (src/adaptive) can then be tested for whether checkpointed re-planning
+// steers work away from degraded pairs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netmodel/directory.hpp"
+
+namespace hcs {
+
+/// One scheduled outage.
+struct Outage {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  /// Bandwidth multiplier during the window, in (0, 1]; e.g. 0.01 models
+  /// a link reduced to 1% of its nominal rate.
+  double bandwidth_factor = 0.01;
+  /// When set, the opposite direction degrades too.
+  bool symmetric = true;
+};
+
+/// Directory decorator injecting outages into another directory's answers.
+class OutageDirectory final : public DirectoryService {
+ public:
+  /// `base` is borrowed; the caller keeps it alive.
+  OutageDirectory(const DirectoryService& base, std::vector<Outage> outages);
+
+  [[nodiscard]] std::size_t processor_count() const override;
+  [[nodiscard]] LinkParams query(std::size_t src, std::size_t dst,
+                                 double now_s) const override;
+
+  /// The combined degradation factor affecting (src, dst) at `now_s`
+  /// (overlapping outages multiply); 1.0 = healthy.
+  [[nodiscard]] double degradation(std::size_t src, std::size_t dst,
+                                   double now_s) const;
+
+ private:
+  const DirectoryService& base_;
+  std::vector<Outage> outages_;
+};
+
+}  // namespace hcs

@@ -1,0 +1,77 @@
+#include "netmodel/topology.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+HierarchicalTopology::HierarchicalTopology(std::vector<SiteSpec> sites,
+                                           Matrix<LinkParams> wan)
+    : sites_(std::move(sites)), wan_(std::move(wan)) {
+  if (sites_.empty()) throw InputError("HierarchicalTopology: no sites");
+  if (!wan_.square() || wan_.rows() != sites_.size())
+    throw InputError("HierarchicalTopology: WAN matrix must be sites x sites");
+  for (std::size_t s = 0; s < sites_.size(); ++s) {
+    const SiteSpec& site = sites_[s];
+    if (site.node_count == 0)
+      throw InputError("HierarchicalTopology: empty site");
+    if (site.lan.bandwidth_Bps <= 0.0 || site.lan.startup_s < 0.0)
+      throw InputError("HierarchicalTopology: invalid LAN parameters");
+    for (std::size_t i = 0; i < site.node_count; ++i) node_site_.push_back(s);
+    node_count_ += site.node_count;
+  }
+  for (std::size_t a = 0; a < sites_.size(); ++a)
+    for (std::size_t b = 0; b < sites_.size(); ++b)
+      if (a != b && (wan_(a, b).bandwidth_Bps <= 0.0 || wan_(a, b).startup_s < 0.0))
+        throw InputError("HierarchicalTopology: invalid WAN parameters");
+}
+
+std::size_t HierarchicalTopology::site_of(std::size_t node) const {
+  check(node < node_count_, "HierarchicalTopology: node out of range");
+  return node_site_[node];
+}
+
+LinkParams HierarchicalTopology::end_to_end(std::size_t src, std::size_t dst) const {
+  const std::size_t sa = site_of(src);
+  const std::size_t sb = site_of(dst);
+  if (src == dst)
+    return LinkParams{0.0, std::numeric_limits<double>::max()};
+  if (sa == sb) return sites_[sa].lan;
+  const LinkParams& lan_a = sites_[sa].lan;
+  const LinkParams& lan_b = sites_[sb].lan;
+  const LinkParams& wan = wan_(sa, sb);
+  return LinkParams{
+      lan_a.startup_s + wan.startup_s + lan_b.startup_s,
+      std::min({lan_a.bandwidth_Bps, wan.bandwidth_Bps, lan_b.bandwidth_Bps})};
+}
+
+NetworkModel HierarchicalTopology::to_network(bool divide_shared_wan) const {
+  const std::size_t n = node_count_;
+  Matrix<double> startup(n, n, 0.0);
+  Matrix<double> bandwidth(n, n, std::numeric_limits<double>::max());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      LinkParams params = end_to_end(i, j);
+      const std::size_t sa = site_of(i);
+      const std::size_t sb = site_of(j);
+      if (divide_shared_wan && sa != sb) {
+        // Worst-case concurrency of a total exchange: every (node in sa,
+        // node in sb) pair streams across the same WAN link at once.
+        const auto flows = static_cast<double>(sites_[sa].node_count *
+                                               sites_[sb].node_count);
+        const double shared_wan = wan_(sa, sb).bandwidth_Bps / flows;
+        params.bandwidth_Bps =
+            std::min({sites_[sa].lan.bandwidth_Bps, shared_wan,
+                      sites_[sb].lan.bandwidth_Bps});
+      }
+      startup(i, j) = params.startup_s;
+      bandwidth(i, j) = params.bandwidth_Bps;
+    }
+  }
+  return NetworkModel{std::move(startup), std::move(bandwidth)};
+}
+
+}  // namespace hcs

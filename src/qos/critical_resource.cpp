@@ -1,0 +1,77 @@
+#include "qos/critical_resource.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+double involvement_finish_time(const Schedule& schedule, std::size_t processor) {
+  check(processor < schedule.processor_count(),
+        "involvement_finish_time: processor out of range");
+  double finish = 0.0;
+  for (const ScheduledEvent& event : schedule.events())
+    if (event.src == processor || event.dst == processor)
+      finish = std::max(finish, event.finish_s);
+  return finish;
+}
+
+Schedule CriticalResourceScheduler::schedule(const CommMatrix& comm) const {
+  const std::size_t n = comm.processor_count();
+  check(critical_ < n, "CriticalResourceScheduler: processor out of range");
+
+  std::vector<double> send_avail(n, 0.0);
+  std::vector<double> recv_avail(n, 0.0);
+  std::vector<ScheduledEvent> events;
+  events.reserve(n * (n - 1));
+
+  // One open-shop availability pass over a subset of the events. Each
+  // sender's remaining receivers (within the subset) are claimed earliest-
+  // available-first.
+  const auto run_phase = [&](auto&& include) {
+    std::vector<std::vector<std::size_t>> receiver_set(n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        if (i != j && include(i, j)) receiver_set[i].push_back(j);
+
+    using Entry = std::pair<double, std::size_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> senders;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!receiver_set[i].empty()) senders.push({send_avail[i], i});
+
+    while (!senders.empty()) {
+      const auto [avail, sender] = senders.top();
+      senders.pop();
+      auto& candidates = receiver_set[sender];
+      std::size_t best_pos = 0;
+      for (std::size_t pos = 1; pos < candidates.size(); ++pos)
+        if (recv_avail[candidates[pos]] < recv_avail[candidates[best_pos]])
+          best_pos = pos;
+      const std::size_t receiver = candidates[best_pos];
+      candidates.erase(candidates.begin() +
+                       static_cast<std::ptrdiff_t>(best_pos));
+
+      const double start = std::max(avail, recv_avail[receiver]);
+      const double finish = start + comm.time(sender, receiver);
+      events.push_back({sender, receiver, start, finish});
+      send_avail[sender] = finish;
+      recv_avail[receiver] = finish;
+      if (!candidates.empty()) senders.push({finish, sender});
+    }
+  };
+
+  // Phase 1: everything touching the critical processor.
+  run_phase([&](std::size_t i, std::size_t j) {
+    return i == critical_ || j == critical_;
+  });
+  // Phase 2: the rest, starting from the availability the first phase left.
+  run_phase([&](std::size_t i, std::size_t j) {
+    return i != critical_ && j != critical_;
+  });
+
+  return Schedule{n, std::move(events)};
+}
+
+}  // namespace hcs

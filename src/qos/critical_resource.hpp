@@ -1,0 +1,43 @@
+// Critical-resource scheduling (§6.4).
+//
+// "One of the processors in the heterogeneous system could be a critical
+// resource (e.g., an expensive supercomputer). The schedule should
+// complete the communication events of this processor as early as
+// possible, even if it delays the other processors."
+//
+// The scheduler runs the open-shop availability loop in two phases:
+// first only events that involve the critical processor (its sends and
+// its receives), then everything else, carrying port availability across
+// the phases. The critical processor's last event therefore finishes as
+// early as the greedy open-shop rule can make it; total completion time
+// may be worse than the plain open-shop schedule — that is the intended
+// trade.
+#pragma once
+
+#include <cstddef>
+
+#include "core/scheduler.hpp"
+
+namespace hcs {
+
+/// Finish time of the last event involving `processor` (as sender or
+/// receiver) — the quantity the critical-resource scheduler minimizes.
+[[nodiscard]] double involvement_finish_time(const Schedule& schedule,
+                                             std::size_t processor);
+
+/// Scheduler that releases one designated processor as early as possible.
+class CriticalResourceScheduler final : public Scheduler {
+ public:
+  explicit CriticalResourceScheduler(std::size_t critical_processor)
+      : critical_(critical_processor) {}
+
+  [[nodiscard]] std::string_view name() const override { return "critical-resource"; }
+  [[nodiscard]] Schedule schedule(const CommMatrix& comm) const override;
+
+  [[nodiscard]] std::size_t critical_processor() const noexcept { return critical_; }
+
+ private:
+  std::size_t critical_;
+};
+
+}  // namespace hcs

@@ -1,0 +1,77 @@
+#include "qos/qos_scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+QosScheduler::QosScheduler(QosSpec spec, QosOrdering ordering)
+    : spec_(std::move(spec)), ordering_(ordering) {
+  if (!spec_.deadline_s.square() ||
+      spec_.deadline_s.rows() != spec_.priority.rows() ||
+      !spec_.priority.square())
+    throw InputError("QosScheduler: malformed QoS spec");
+}
+
+Schedule QosScheduler::schedule(const CommMatrix& comm) const {
+  const std::size_t n = comm.processor_count();
+  check(spec_.deadline_s.rows() == n, "QosScheduler: spec size mismatch");
+
+  std::vector<std::vector<std::size_t>> receiver_set(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) receiver_set[i].push_back(j);
+
+  std::vector<double> recv_avail(n, 0.0);
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> senders;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!receiver_set[i].empty()) senders.push({0.0, i});
+
+  std::vector<ScheduledEvent> events;
+  events.reserve(n * (n - 1));
+
+  while (!senders.empty()) {
+    const auto [avail, sender] = senders.top();
+    senders.pop();
+
+    auto& candidates = receiver_set[sender];
+    // Urgency key per candidate; lexicographic minimum wins.
+    const double sender_avail = avail;
+    const auto key = [&](std::size_t j) {
+      const double deadline = spec_.deadline_s(sender, j);
+      const double neg_priority = -spec_.priority(sender, j);
+      switch (ordering_) {
+        case QosOrdering::kEdf:
+          return std::make_tuple(deadline, neg_priority, recv_avail[j], j);
+        case QosOrdering::kPriorityFirst:
+          return std::make_tuple(neg_priority, deadline, recv_avail[j], j);
+        case QosOrdering::kLeastLaxity: {
+          const double earliest_finish =
+              std::max(sender_avail, recv_avail[j]) + comm.time(sender, j);
+          return std::make_tuple(deadline - earliest_finish, neg_priority,
+                                 recv_avail[j], j);
+        }
+      }
+      return std::make_tuple(deadline, neg_priority, recv_avail[j], j);
+    };
+    std::size_t best_pos = 0;
+    for (std::size_t pos = 1; pos < candidates.size(); ++pos)
+      if (key(candidates[pos]) < key(candidates[best_pos])) best_pos = pos;
+    const std::size_t receiver = candidates[best_pos];
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(best_pos));
+
+    const double start = std::max(avail, recv_avail[receiver]);
+    const double finish = start + comm.time(sender, receiver);
+    events.push_back({sender, receiver, start, finish});
+    recv_avail[receiver] = finish;
+    if (!candidates.empty()) senders.push({finish, sender});
+  }
+  return Schedule{n, std::move(events)};
+}
+
+}  // namespace hcs

@@ -1,0 +1,47 @@
+// Deadline- and priority-aware open-shop scheduling (§6.4).
+//
+// The plain open-shop heuristic picks, for each freed sender, the
+// earliest-available receiver — optimal for makespan but oblivious to
+// deadlines. The QoS variant keeps the same sender-availability loop but
+// ranks each sender's candidate receivers by urgency: earliest deadline
+// first (EDF), priority as tie-break, receiver availability last. The
+// resulting schedule still covers the full exchange and is validated
+// against the same model invariants.
+#pragma once
+
+#include "core/scheduler.hpp"
+#include "qos/qos_types.hpp"
+
+namespace hcs {
+
+/// How the QoS scheduler ranks candidate receivers.
+enum class QosOrdering {
+  kEdf,            ///< deadline, then priority, then receiver availability
+  kPriorityFirst,  ///< priority, then deadline, then receiver availability
+  kLeastLaxity,    ///< smallest slack first: deadline minus the event's
+                   ///< earliest possible finish at decision time —
+                   ///< dynamic urgency, unlike EDF's static deadlines
+};
+
+/// Open-shop-style scheduler that sequences contending events by deadline
+/// and priority.
+class QosScheduler final : public Scheduler {
+ public:
+  QosScheduler(QosSpec spec, QosOrdering ordering = QosOrdering::kEdf);
+
+  [[nodiscard]] std::string_view name() const override {
+    switch (ordering_) {
+      case QosOrdering::kEdf: return "qos-edf";
+      case QosOrdering::kPriorityFirst: return "qos-priority";
+      case QosOrdering::kLeastLaxity: return "qos-laxity";
+    }
+    return "qos";
+  }
+  [[nodiscard]] Schedule schedule(const CommMatrix& comm) const override;
+
+ private:
+  QosSpec spec_;
+  QosOrdering ordering_;
+};
+
+}  // namespace hcs

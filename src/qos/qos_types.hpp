@@ -1,0 +1,59 @@
+// QoS annotations and metrics (§6.4).
+//
+// In data-staging settings (the paper cites DARPA's BADD program) each
+// message carries a real-time deadline and a priority; the schedule must
+// sequence contending events by deadline and priority rather than by
+// completion time alone.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+#include "core/schedule.hpp"
+#include "util/matrix.hpp"
+
+namespace hcs {
+
+/// Per-pair QoS annotations. Entry (src, dst) annotates the message from
+/// src to dst; diagonal entries are ignored.
+struct QosSpec {
+  /// Absolute deadlines in seconds; +infinity means unconstrained.
+  Matrix<double> deadline_s;
+  /// Larger value = more important. Weights tardiness in the metrics.
+  Matrix<double> priority;
+
+  /// Unconstrained spec (+inf deadlines, unit priorities).
+  [[nodiscard]] static QosSpec unconstrained(std::size_t processor_count) {
+    return QosSpec{
+        Matrix<double>(processor_count, processor_count,
+                       std::numeric_limits<double>::infinity()),
+        Matrix<double>(processor_count, processor_count, 1.0)};
+  }
+};
+
+/// Deadline-compliance metrics of a timed schedule.
+struct QosMetrics {
+  std::size_t missed_deadlines = 0;
+  double max_tardiness_s = 0.0;
+  /// Sum over late events of priority * lateness.
+  double weighted_tardiness_s = 0.0;
+};
+
+/// Evaluates how well `schedule` meets `spec`: an event is late when it
+/// finishes after its pair's deadline.
+[[nodiscard]] inline QosMetrics evaluate_qos(const Schedule& schedule,
+                                             const QosSpec& spec) {
+  QosMetrics metrics;
+  for (const ScheduledEvent& event : schedule.events()) {
+    const double deadline = spec.deadline_s(event.src, event.dst);
+    if (event.finish_s <= deadline) continue;
+    const double tardiness = event.finish_s - deadline;
+    ++metrics.missed_deadlines;
+    metrics.max_tardiness_s = std::max(metrics.max_tardiness_s, tardiness);
+    metrics.weighted_tardiness_s +=
+        spec.priority(event.src, event.dst) * tardiness;
+  }
+  return metrics;
+}
+
+}  // namespace hcs

@@ -1,0 +1,90 @@
+// Application-level collectives over the virtual cluster.
+//
+// These are the routines the paper's framework exists to speed up: given
+// per-pair payloads and a schedule (from any Scheduler), build the
+// per-process send/receive programs and execute them on a
+// VirtualCluster, returning the payloads each process collected. A
+// distributed matrix transpose built on top both demonstrates and
+// verifies the §4.1 motivating workload: every element must land at its
+// transposed owner.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/scheduler.hpp"
+#include "runtime/virtual_cluster.hpp"
+#include "util/matrix.hpp"
+
+namespace hcs {
+
+/// Result of an executed exchange.
+struct ExchangeResult {
+  double completion_time = 0.0;
+  /// delivered(src, dst): the payload dst received from src (empty if the
+  /// pair exchanged nothing).
+  Matrix<Payload> delivered;
+};
+
+/// Executes a total (or partial) personalized exchange: for every
+/// non-empty payloads(src, dst), src sends those bytes to dst, in the
+/// per-port orders of `schedule`. The schedule must contain exactly one
+/// event per non-empty pair (the usual scheduler output for the matching
+/// CommMatrix). Returns what arrived where.
+[[nodiscard]] ExchangeResult execute_exchange(const DirectoryService& directory,
+                                              const Schedule& schedule,
+                                              const Matrix<Payload>& payloads);
+
+/// A row-block-distributed R x C matrix of doubles, the §4.1 workload.
+/// Rows are dealt in contiguous blocks (first R mod P processors get one
+/// extra row).
+class DistributedMatrix {
+ public:
+  DistributedMatrix(std::size_t processor_count, std::size_t rows,
+                    std::size_t cols);
+
+  /// Fills every element with a deterministic value derived from its
+  /// global (row, col) — so redistribution can be verified element-wise.
+  void fill_with_coordinates();
+
+  /// Global element value convention used by fill_with_coordinates.
+  [[nodiscard]] static double element_value(std::size_t row, std::size_t col);
+
+  [[nodiscard]] std::size_t processor_count() const noexcept { return owners_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  /// Row range [first, last) held by processor p under row distribution.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> row_range(std::size_t p) const;
+  /// Column range [first, last) owned by processor p after the transpose.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> col_range(std::size_t p) const;
+
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const;
+  void set(std::size_t row, std::size_t col, double value);
+
+ private:
+  std::size_t owners_;
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;  ///< dense row-major mirror of the global matrix
+};
+
+/// Result of a verified distributed transpose.
+struct TransposeRunResult {
+  double completion_time = 0.0;
+  /// True when every element reached its column-block owner intact.
+  bool verified = false;
+  std::size_t elements_moved = 0;
+};
+
+/// Runs the full §4.1 pipeline: serialize each (row-block, column-block)
+/// intersection into a payload, schedule the exchange with `scheduler`,
+/// execute it on the virtual cluster, deserialize at the receivers, and
+/// verify every element against the coordinate convention.
+[[nodiscard]] TransposeRunResult run_distributed_transpose(
+    const DirectoryService& directory, const Scheduler& scheduler,
+    std::size_t rows, std::size_t cols);
+
+}  // namespace hcs

@@ -1,0 +1,105 @@
+#include "runtime/virtual_cluster.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+VirtualCluster::VirtualCluster(const DirectoryService& directory)
+    : directory_(directory) {}
+
+namespace {
+
+struct PendingSend {
+  std::size_t dst;
+  Payload payload;
+};
+
+}  // namespace
+
+ClusterResult VirtualCluster::run(std::vector<std::vector<Op>> programs) const {
+  const std::size_t n = directory_.processor_count();
+  if (programs.size() != n)
+    throw InputError("VirtualCluster: one program per process required");
+
+  // Split each program into its two port threads (§3.2: a node drives one
+  // send and one receive concurrently; ops are posted in program order
+  // per port).
+  std::vector<std::vector<PendingSend>> sends(n);
+  std::vector<std::vector<std::size_t>> recvs(n);  // expected source order
+  for (std::size_t p = 0; p < n; ++p) {
+    for (Op& op : programs[p]) {
+      if (op.peer >= n)
+        throw InputError("VirtualCluster: peer out of range");
+      if (op.peer == p)
+        throw InputError("VirtualCluster: self-message");
+      if (op.kind == Op::Kind::kSend)
+        sends[p].push_back({op.peer, std::move(op.payload)});
+      else
+        recvs[p].push_back(op.peer);
+    }
+  }
+
+  std::vector<std::size_t> next_send(n, 0);
+  std::vector<std::size_t> next_recv(n, 0);
+  std::vector<double> send_avail(n, 0.0);
+  std::vector<double> recv_avail(n, 0.0);
+
+  ClusterResult result;
+  result.received.resize(n);
+  std::size_t outstanding = 0;
+  for (std::size_t p = 0; p < n; ++p) outstanding += sends[p].size();
+  std::size_t expected_recvs = 0;
+  for (std::size_t p = 0; p < n; ++p) expected_recvs += recvs[p].size();
+  if (outstanding != expected_recvs)
+    throw InputError("VirtualCluster: send and recv op counts do not match");
+
+  while (outstanding > 0) {
+    bool progressed = false;
+    for (std::size_t src = 0; src < n; ++src) {
+      while (next_send[src] < sends[src].size()) {
+        PendingSend& message = sends[src][next_send[src]];
+        const std::size_t dst = message.dst;
+        if (next_recv[dst] >= recvs[dst].size() ||
+            recvs[dst][next_recv[dst]] != src)
+          break;  // receiver not ready for us yet
+        const double start = std::max(send_avail[src], recv_avail[dst]);
+        const double duration =
+            directory_.query(src, dst, start)
+                .transfer_time(static_cast<std::uint64_t>(message.payload.size()));
+        const double finish = start + duration;
+        result.transfers.push_back({src, dst, start, finish});
+        result.completion_time = std::max(result.completion_time, finish);
+        result.received[dst].push_back(std::move(message.payload));
+        send_avail[src] = finish;
+        recv_avail[dst] = finish;
+        ++next_send[src];
+        ++next_recv[dst];
+        --outstanding;
+        progressed = true;
+      }
+    }
+    if (!progressed) {
+      // Diagnose: distinguish an unmatched pairing from a cyclic wait.
+      std::ostringstream message;
+      message << "VirtualCluster: no progress with " << outstanding
+              << " transfers outstanding —";
+      for (std::size_t src = 0; src < n; ++src) {
+        if (next_send[src] >= sends[src].size()) continue;
+        const std::size_t dst = sends[src][next_send[src]].dst;
+        message << " P" << src << " waits to send to P" << dst;
+        if (next_recv[dst] >= recvs[dst].size())
+          message << " (which posts no more receives)";
+        else
+          message << " (which expects P" << recvs[dst][next_recv[dst]] << ")";
+        message << ';';
+      }
+      throw ScheduleError(message.str());
+    }
+  }
+  return result;
+}
+
+}  // namespace hcs

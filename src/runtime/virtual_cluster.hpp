@@ -1,0 +1,76 @@
+// Virtual message-passing cluster.
+//
+// The paper assumes "the availability of end-to-end send and receive
+// communication routines, which can be invoked between any pair of
+// nodes" (§3.2). This module supplies that layer for a simulated
+// machine: each virtual process runs a program of matched Send/Recv
+// operations, and the engine executes them under the model's semantics —
+// one send and one receive port per node, rendezvous delivery (a
+// transfer starts when the sender has issued the send, the receiver has
+// posted the matching receive, and both ports are free), transfer time
+// T + m/B taken from a directory service at start time.
+//
+// Unlike the schedulers (which reason about abstract event times), the
+// cluster moves real payload bytes, so tests and examples can verify
+// that a schedule actually redistributes data correctly — e.g. that a
+// matrix transpose lands every element where it belongs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "netmodel/directory.hpp"
+
+namespace hcs {
+
+/// Message contents.
+using Payload = std::vector<std::uint8_t>;
+
+/// One operation of a process program.
+struct Op {
+  enum class Kind { kSend, kRecv };
+  Kind kind = Kind::kSend;
+  std::size_t peer = 0;  ///< destination (send) or source (recv)
+  Payload payload;       ///< bytes to send; empty for recv
+};
+
+/// Convenience constructors.
+[[nodiscard]] inline Op send_op(std::size_t dst, Payload payload) {
+  return {Op::Kind::kSend, dst, std::move(payload)};
+}
+[[nodiscard]] inline Op recv_op(std::size_t src) {
+  return {Op::Kind::kRecv, src, {}};
+}
+
+/// What a finished run reports.
+struct ClusterResult {
+  /// Time at which all programs completed.
+  double completion_time = 0.0;
+  /// Every transfer with its actual times, in completion order.
+  std::vector<ScheduledEvent> transfers;
+  /// received[p] holds, for each completed recv of process p in program
+  /// order, the delivered payload.
+  std::vector<std::vector<Payload>> received;
+};
+
+/// Executes per-process programs over a simulated network.
+class VirtualCluster {
+ public:
+  /// The directory supplies (possibly time-varying) link performance;
+  /// borrowed, caller keeps alive.
+  explicit VirtualCluster(const DirectoryService& directory);
+
+  /// Runs `programs` (one per process; programs[p].size() may be zero) to
+  /// completion. Throws ScheduleError on deadlock (mutually waiting
+  /// sends/receives) or on unmatched operations (a send whose receiver
+  /// never posts the matching recv, and vice versa).
+  [[nodiscard]] ClusterResult run(std::vector<std::vector<Op>> programs) const;
+
+ private:
+  const DirectoryService& directory_;
+};
+
+}  // namespace hcs

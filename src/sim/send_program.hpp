@@ -1,0 +1,67 @@
+// Send programs: the per-sender orders a simulator executes.
+//
+// Schedulers fix *orders*; actual times emerge from network conditions at
+// execution. A SendProgram captures just the orders — for each sender, the
+// sequence of destinations it will send to — extracted from a timed
+// Schedule or a StepSchedule.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/step_schedule.hpp"
+
+namespace hcs {
+
+/// Per-sender destination orders, optionally with per-receiver source
+/// orders.
+///
+/// A schedule fixes both sides' orders: each sender works through its
+/// destination list, and each receiver *posts its receives* in the
+/// planned order, granting the handshake only to the expected next
+/// sender. Programs built from schedules carry both; hand-built programs
+/// may carry only send orders, in which case receivers grant
+/// first-come-first-served.
+class SendProgram {
+ public:
+  /// `orders[i]` is the ordered list of destinations sender i sends to.
+  /// No receiver orders: receivers arbitrate FIFO.
+  explicit SendProgram(std::vector<std::vector<std::size_t>> orders);
+
+  /// Send and receive orders together. `recv_orders[j]` lists the sources
+  /// receiver j grants, in order; it must be consistent with `orders`
+  /// (same multiset of events).
+  SendProgram(std::vector<std::vector<std::size_t>> orders,
+              std::vector<std::vector<std::size_t>> recv_orders);
+
+  /// Orders from a timed schedule: per-sender events by start time, and
+  /// per-receiver events by start time.
+  [[nodiscard]] static SendProgram from_schedule(const Schedule& schedule);
+
+  /// Orders from a step schedule: step order on both sides.
+  [[nodiscard]] static SendProgram from_steps(const StepSchedule& steps);
+
+  [[nodiscard]] std::size_t processor_count() const noexcept {
+    return orders_.size();
+  }
+  [[nodiscard]] const std::vector<std::size_t>& order_of(std::size_t src) const {
+    return orders_.at(src);
+  }
+  /// True when the program fixes each receiver's grant order.
+  [[nodiscard]] bool has_receiver_orders() const noexcept {
+    return !recv_orders_.empty();
+  }
+  /// Receiver j's grant order; only meaningful when has_receiver_orders().
+  [[nodiscard]] const std::vector<std::size_t>& receiver_order_of(
+      std::size_t dst) const {
+    return recv_orders_.at(dst);
+  }
+  [[nodiscard]] std::size_t event_count() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> orders_;
+  std::vector<std::vector<std::size_t>> recv_orders_;  ///< empty = FIFO
+};
+
+}  // namespace hcs

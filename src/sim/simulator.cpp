@@ -1,0 +1,422 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace hcs {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Port availability vector from options or zeros.
+std::vector<double> initial_avail(const std::vector<double>& provided,
+                                  std::size_t n, const char* which) {
+  if (provided.empty()) return std::vector<double>(n, 0.0);
+  if (provided.size() != n)
+    throw InputError(std::string("SimOptions: bad size for ") + which);
+  for (const double t : provided)
+    if (t < 0.0)
+      throw InputError(std::string("SimOptions: negative avail in ") + which);
+  return provided;
+}
+
+}  // namespace
+
+NetworkSimulator::NetworkSimulator(const DirectoryService& directory,
+                                   const MessageMatrix& messages)
+    : directory_(directory), messages_(messages) {
+  if (directory_.processor_count() != messages_.rows() ||
+      !messages_.square())
+    throw InputError("NetworkSimulator: directory and messages disagree on size");
+}
+
+double NetworkSimulator::transfer_time(std::size_t src, std::size_t dst,
+                                       double now_s) const {
+  return directory_.query(src, dst, now_s).transfer_time(messages_(src, dst));
+}
+
+SimResult NetworkSimulator::run(const SendProgram& program,
+                                const SimOptions& options) const {
+  check(program.processor_count() == directory_.processor_count(),
+        "NetworkSimulator: program size mismatch");
+  switch (options.model) {
+    case ReceiveModel::kSerialized: return run_serialized(program, options);
+    case ReceiveModel::kInterleaved: return run_interleaved(program, options);
+    case ReceiveModel::kBuffered: return run_buffered(program, options);
+  }
+  throw InputError("NetworkSimulator: unknown receive model");
+}
+
+// ---------------------------------------------------------------------------
+// Serialized receives (base model).
+// ---------------------------------------------------------------------------
+
+SimResult NetworkSimulator::run_serialized(const SendProgram& program,
+                                           const SimOptions& options) const {
+  if (program.has_receiver_orders() &&
+      options.arbitration == ReceiverArbitration::kProgrammed)
+    return run_programmed(program, options);
+  const std::size_t n = program.processor_count();
+  std::vector<double> recv_avail =
+      initial_avail(options.initial_recv_avail, n, "initial_recv_avail");
+  std::vector<double> send_avail =
+      initial_avail(options.initial_send_avail, n, "initial_send_avail");
+
+  // Event kinds, ordered so that at equal times new requests join a
+  // receiver's wait queue before that receiver's grant decision runs.
+  enum Kind : int { kSenderReady = 0, kReceiverFree = 1 };
+  using Event = std::tuple<double, int, std::size_t>;  // time, kind, id
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+
+  // Per-receiver FIFO of blocked requests: (request time, sender).
+  using Request = std::pair<double, std::size_t>;
+  std::vector<std::priority_queue<Request, std::vector<Request>, std::greater<>>>
+      waiting(n);
+  std::vector<bool> receiver_busy(n, false);
+  std::vector<std::size_t> next_index(n, 0);
+
+  SimResult result;
+  result.events.reserve(program.event_count());
+
+  const auto start_transfer = [&](std::size_t src, std::size_t dst,
+                                  double request_time, double start) {
+    const double duration = transfer_time(src, dst, start);
+    result.events.push_back({src, dst, start, start + duration});
+    result.total_sender_wait_s += start - request_time;
+    receiver_busy[dst] = true;
+    recv_avail[dst] = start + duration;
+    send_avail[src] = start + duration;
+    ++next_index[src];
+    queue.push({start + duration, kReceiverFree, dst});
+    queue.push({start + duration, kSenderReady, src});
+  };
+
+  for (std::size_t src = 0; src < n; ++src)
+    if (!program.order_of(src).empty())
+      queue.push({send_avail[src], kSenderReady, src});
+
+  while (!queue.empty()) {
+    const auto [now, kind, id] = queue.top();
+    queue.pop();
+    if (kind == kSenderReady) {
+      const std::size_t src = id;
+      const auto& order = program.order_of(src);
+      if (next_index[src] >= order.size()) continue;
+      if (send_avail[src] > now) continue;  // stale wakeup
+      const std::size_t dst = order[next_index[src]];
+      if (!receiver_busy[dst] && waiting[dst].empty() && recv_avail[dst] <= now) {
+        start_transfer(src, dst, now, now);
+      } else if (!receiver_busy[dst] && waiting[dst].empty()) {
+        // Receiver port carries an initial-avail reservation; wait it out.
+        waiting[dst].push({now, src});
+        queue.push({recv_avail[dst], kReceiverFree, dst});
+      } else {
+        waiting[dst].push({now, src});
+      }
+    } else {  // kReceiverFree
+      const std::size_t dst = id;
+      if (receiver_busy[dst] && recv_avail[dst] > now) continue;  // stale
+      receiver_busy[dst] = false;
+      if (!waiting[dst].empty() && recv_avail[dst] <= now) {
+        const auto [request_time, src] = waiting[dst].top();
+        waiting[dst].pop();
+        start_transfer(src, dst, request_time, now);
+      }
+    }
+  }
+
+  for (std::size_t p = 0; p < n; ++p)
+    check(next_index[p] == program.order_of(p).size(),
+          "run_serialized: deadlock — unsent messages remain");
+  for (const ScheduledEvent& event : result.events)
+    result.completion_time = std::max(result.completion_time, event.finish_s);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Programmed arbitration: both sides follow the planned orders, so an
+// event starts exactly when its sender's previous send and its receiver's
+// previous receive have finished. Start times depend only on per-port
+// predecessors, so a round-robin relaxation over senders computes them in
+// O(E * P) regardless of processing order.
+// ---------------------------------------------------------------------------
+
+SimResult NetworkSimulator::run_programmed(const SendProgram& program,
+                                           const SimOptions& options) const {
+  const std::size_t n = program.processor_count();
+  std::vector<double> send_avail =
+      initial_avail(options.initial_send_avail, n, "initial_send_avail");
+  std::vector<double> recv_avail =
+      initial_avail(options.initial_recv_avail, n, "initial_recv_avail");
+  std::vector<std::size_t> next_send(n, 0);
+  std::vector<std::size_t> next_recv(n, 0);
+
+  SimResult result;
+  std::size_t remaining = program.event_count();
+  result.events.reserve(remaining);
+
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::size_t src = 0; src < n; ++src) {
+      while (next_send[src] < program.order_of(src).size()) {
+        const std::size_t dst = program.order_of(src)[next_send[src]];
+        const auto& expected = program.receiver_order_of(dst);
+        if (expected[next_recv[dst]] != src) break;  // receiver not ready for us
+        const double request = send_avail[src];
+        const double start = std::max(request, recv_avail[dst]);
+        const double duration = transfer_time(src, dst, start);
+        result.events.push_back({src, dst, start, start + duration});
+        result.total_sender_wait_s += start - request;
+        send_avail[src] = start + duration;
+        recv_avail[dst] = start + duration;
+        ++next_send[src];
+        ++next_recv[dst];
+        --remaining;
+        progressed = true;
+      }
+    }
+    check(progressed,
+          "run_programmed: deadlock — send and receive orders are inconsistent");
+  }
+
+  for (const ScheduledEvent& event : result.events)
+    result.completion_time = std::max(result.completion_time, event.finish_s);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Interleaved receives with context-switch overhead alpha (§6.1).
+//
+// All receives arriving at a node progress simultaneously. With k > 1
+// active receives the node's combined service rate drops to 1/(1+alpha),
+// shared equally, so a pair of messages started together completes in
+// (1+alpha)(t1+t2). Senders are never blocked by receivers — only by
+// their own serial send port.
+// ---------------------------------------------------------------------------
+
+SimResult NetworkSimulator::run_interleaved(const SendProgram& program,
+                                            const SimOptions& options) const {
+  if (options.alpha < 0.0)
+    throw InputError("run_interleaved: alpha must be non-negative");
+  const std::size_t n = program.processor_count();
+  std::vector<double> send_avail =
+      initial_avail(options.initial_send_avail, n, "initial_send_avail");
+
+  struct Active {
+    std::size_t src;
+    std::size_t dst;
+    double start;
+    double remaining_work;  // seconds of dedicated receive time left
+  };
+  std::vector<std::vector<Active>> active(n);  // per receiver
+  std::vector<std::size_t> next_index(n, 0);
+
+  const auto rate_of = [&](std::size_t dst) {
+    const std::size_t k = active[dst].size();
+    if (k == 0) return 0.0;
+    if (k == 1) return 1.0;
+    return 1.0 / ((1.0 + options.alpha) * static_cast<double>(k));
+  };
+
+  SimResult result;
+  result.events.reserve(program.event_count());
+  double now = 0.0;
+  std::size_t outstanding = program.event_count();
+
+  while (outstanding > 0 || [&] {
+    for (std::size_t d = 0; d < n; ++d)
+      if (!active[d].empty()) return true;
+    return false;
+  }()) {
+    // Next sender start: the earliest sender with work left whose port is
+    // free (its port frees when its in-flight message completes, which is
+    // handled as a completion event below).
+    double next_send = kInf;
+    std::size_t next_src = 0;
+    for (std::size_t src = 0; src < n; ++src) {
+      if (next_index[src] >= program.order_of(src).size()) continue;
+      bool in_flight = false;
+      for (std::size_t d = 0; d < n && !in_flight; ++d)
+        for (const Active& a : active[d])
+          if (a.src == src) { in_flight = true; break; }
+      if (in_flight) continue;
+      if (send_avail[src] < next_send) {
+        next_send = send_avail[src];
+        next_src = src;
+      }
+    }
+
+    // Next completion among active receives.
+    double next_completion = kInf;
+    std::size_t completion_dst = 0;
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      const double rate = rate_of(dst);
+      if (rate <= 0.0) continue;
+      for (const Active& a : active[dst]) {
+        const double t = now + a.remaining_work / rate;
+        if (t < next_completion) {
+          next_completion = t;
+          completion_dst = dst;
+        }
+      }
+    }
+
+    check(next_send < kInf || next_completion < kInf,
+          "run_interleaved: no progress");
+    const double next_time = std::min(std::max(next_send, now), next_completion);
+
+    // Advance all active receives to next_time.
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      const double rate = rate_of(dst);
+      const double elapsed = next_time - now;
+      for (Active& a : active[dst]) a.remaining_work -= elapsed * rate;
+    }
+    now = next_time;
+
+    if (next_completion <= next_send + 0.0 && next_completion <= now) {
+      // Complete the message with no remaining work at completion_dst.
+      auto& list = active[completion_dst];
+      auto it = std::min_element(list.begin(), list.end(),
+                                 [](const Active& a, const Active& b) {
+                                   return a.remaining_work < b.remaining_work;
+                                 });
+      result.events.push_back({it->src, it->dst, it->start, now});
+      send_avail[it->src] = now;
+      list.erase(it);
+    } else {
+      // Start next_src's next message.
+      const std::size_t dst = program.order_of(next_src)[next_index[next_src]];
+      ++next_index[next_src];
+      --outstanding;
+      active[dst].push_back(
+          {next_src, dst, now, transfer_time(next_src, dst, now)});
+    }
+  }
+
+  for (const ScheduledEvent& event : result.events)
+    result.completion_time = std::max(result.completion_time, event.finish_s);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Finite receive buffers (§6.1).
+//
+// A sender transmits when the receiver has a free buffer slot (slots are
+// reserved for the whole flight and released when receiver-side
+// processing starts). The sender's port is busy for the network transfer
+// time only; the receiver drains arrivals FIFO, each costing
+// drain_factor * transfer time of receiver port time.
+// ---------------------------------------------------------------------------
+
+SimResult NetworkSimulator::run_buffered(const SendProgram& program,
+                                         const SimOptions& options) const {
+  if (options.buffer_capacity < 1)
+    throw InputError("run_buffered: buffer capacity must be >= 1");
+  if (options.drain_factor < 0.0)
+    throw InputError("run_buffered: drain_factor must be non-negative");
+  const std::size_t n = program.processor_count();
+  std::vector<double> send_avail =
+      initial_avail(options.initial_send_avail, n, "initial_send_avail");
+  std::vector<double> recv_port_avail =
+      initial_avail(options.initial_recv_avail, n, "initial_recv_avail");
+
+  struct Arrival {
+    double arrive_time;
+    std::size_t src;
+    double process_cost;
+    [[nodiscard]] bool operator>(const Arrival& other) const {
+      return std::tie(arrive_time, src) > std::tie(other.arrive_time, other.src);
+    }
+  };
+
+  enum Kind : int { kSenderReady = 0, kArrival = 1 };
+  using Event = std::tuple<double, int, std::size_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+
+  std::vector<std::size_t> slots_used(n, 0);
+  // Senders blocked on a full buffer, FIFO per receiver.
+  using Blocked = std::pair<double, std::size_t>;
+  std::vector<std::priority_queue<Blocked, std::vector<Blocked>, std::greater<>>>
+      blocked(n);
+  // Arrived, not-yet-processed messages, FIFO per receiver.
+  std::vector<std::priority_queue<Arrival, std::vector<Arrival>, std::greater<>>>
+      inbox(n);
+  std::vector<std::size_t> next_index(n, 0);
+
+  SimResult result;
+  result.events.reserve(program.event_count());
+  double drain_finish = 0.0;
+
+  const auto begin_transmit = [&](std::size_t src, std::size_t dst,
+                                  double request_time, double start) {
+    const double duration = transfer_time(src, dst, start);
+    result.events.push_back({src, dst, start, start + duration});
+    result.total_sender_wait_s += start - request_time;
+    ++slots_used[dst];
+    send_avail[src] = start + duration;
+    ++next_index[src];
+    queue.push({start + duration, kArrival, dst});
+    inbox[dst].push({start + duration, src, duration * options.drain_factor});
+    queue.push({start + duration, kSenderReady, src});
+  };
+
+  // Receiver processing: drain the earliest arrival whose time has come.
+  const auto try_drain = [&](std::size_t dst, double now) {
+    while (!inbox[dst].empty() && inbox[dst].top().arrive_time <= now &&
+           recv_port_avail[dst] <= now) {
+      const Arrival arrival = inbox[dst].top();
+      inbox[dst].pop();
+      const double start = std::max(recv_port_avail[dst], arrival.arrive_time);
+      recv_port_avail[dst] = start + arrival.process_cost;
+      drain_finish = std::max(drain_finish, recv_port_avail[dst]);
+      --slots_used[dst];
+      // A slot freed: release the earliest blocked sender, if any.
+      if (!blocked[dst].empty() && slots_used[dst] < options.buffer_capacity) {
+        const auto [request_time, src] = blocked[dst].top();
+        blocked[dst].pop();
+        begin_transmit(src, dst, request_time, std::max(now, send_avail[src]));
+      }
+      // Port busy until recv_port_avail; schedule a wake-up to continue.
+      queue.push({recv_port_avail[dst], kArrival, dst});
+    }
+  };
+
+  for (std::size_t src = 0; src < n; ++src)
+    if (!program.order_of(src).empty())
+      queue.push({send_avail[src], kSenderReady, src});
+
+  while (!queue.empty()) {
+    const auto [now, kind, id] = queue.top();
+    queue.pop();
+    if (kind == kSenderReady) {
+      const std::size_t src = id;
+      const auto& order = program.order_of(src);
+      if (next_index[src] >= order.size()) continue;
+      if (send_avail[src] > now) continue;  // stale wakeup
+      const std::size_t dst = order[next_index[src]];
+      if (slots_used[dst] < options.buffer_capacity) {
+        begin_transmit(src, dst, now, now);
+      } else {
+        blocked[dst].push({now, src});
+      }
+    } else {  // kArrival / port wake-up at receiver id
+      try_drain(id, now);
+    }
+  }
+
+  for (std::size_t p = 0; p < n; ++p) {
+    check(next_index[p] == program.order_of(p).size(),
+          "run_buffered: deadlock — unsent messages remain");
+    check(inbox[p].empty(), "run_buffered: undrained inbox");
+  }
+  for (const ScheduledEvent& event : result.events)
+    result.completion_time = std::max(result.completion_time, event.finish_s);
+  result.completion_time = std::max(result.completion_time, drain_finish);
+  return result;
+}
+
+}  // namespace hcs

@@ -1,0 +1,121 @@
+// Event-driven network simulator.
+//
+// Schedulers fix orders; this simulator executes those orders against a
+// DirectoryService — possibly one whose bandwidths drift during the
+// exchange — and reports the times that actually materialize. It models
+// the paper's §3.2 semantics: one send port and one receive port per
+// node, and a control-message handshake under which contending receives
+// are granted one after another, first-come first-served.
+//
+// Two §6.1 model relaxations are also implemented:
+//  - Interleaved receives: a node may receive several messages at once in
+//    an interleaved fashion, paying a context-switch overhead alpha —
+//    receiving two messages of individual times t1, t2 simultaneously
+//    takes (1 + alpha)(t1 + t2).
+//  - Finite receive buffers: a sender is released as soon as its message
+//    is stored in the receiver's buffer; the receiver drains the buffer
+//    serially, and senders block while the buffer is full.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "netmodel/directory.hpp"
+#include "sim/send_program.hpp"
+#include "workload/generators.hpp"
+
+namespace hcs {
+
+/// Receive-side model to simulate.
+enum class ReceiveModel {
+  kSerialized,   ///< base model: one receive at a time, FIFO handshake
+  kInterleaved,  ///< §6.1 multithreaded receives with overhead alpha
+  kBuffered,     ///< §6.1 finite receive buffer
+};
+
+/// How a busy receiver chooses among contending senders (kSerialized
+/// model only).
+enum class ReceiverArbitration {
+  /// Follow the program's per-receiver order (the receiver posts its
+  /// receives in schedule order, so the handshake is granted only to the
+  /// expected next sender). Exactly reproduces the planned schedule on a
+  /// static network. Requires the program to carry receiver orders;
+  /// programs without them fall back to kFifo.
+  kProgrammed,
+  /// First-come-first-served by handshake request time (§3.2's dynamics
+  /// when receivers accept from anyone).
+  kFifo,
+};
+
+/// Simulation options.
+struct SimOptions {
+  ReceiveModel model = ReceiveModel::kSerialized;
+
+  ReceiverArbitration arbitration = ReceiverArbitration::kProgrammed;
+
+  /// Context-switch overhead for kInterleaved: k simultaneous receives
+  /// progress at a combined rate 1/(1+alpha) (a single receive runs at
+  /// full rate), so two messages received together take
+  /// (1+alpha)(t1+t2).
+  double alpha = 0.1;
+
+  /// For kBuffered: bound on messages simultaneously in flight to or
+  /// queued at one receiver. Must be >= 1.
+  std::size_t buffer_capacity = 4;
+
+  /// For kBuffered: receiver-side processing time of a buffered message,
+  /// as a fraction of its network transfer time.
+  double drain_factor = 1.0;
+
+  /// Port availability times carried in from earlier activity (used by
+  /// the adaptive executor to resume after a checkpoint). Empty means all
+  /// zeros.
+  std::vector<double> initial_send_avail;
+  std::vector<double> initial_recv_avail;
+};
+
+/// What one simulated exchange produced.
+struct SimResult {
+  /// Sender-side intervals of every message, in completion order. Under
+  /// kSerialized these are also the receiver-side intervals.
+  std::vector<ScheduledEvent> events;
+  /// Time the whole exchange completes (for kBuffered this includes
+  /// receiver-side draining).
+  double completion_time = 0.0;
+  /// Summed time senders spent blocked waiting for receivers or buffers.
+  double total_sender_wait_s = 0.0;
+};
+
+/// Executes send programs against a directory service.
+class NetworkSimulator {
+ public:
+  /// `directory` supplies per-pair performance over time; `messages`
+  /// gives the byte counts. The directory and message matrix must agree
+  /// on the processor count. Both are borrowed; the caller keeps them
+  /// alive for the simulator's lifetime.
+  NetworkSimulator(const DirectoryService& directory, const MessageMatrix& messages);
+
+  /// Runs `program` to completion under `options`.
+  [[nodiscard]] SimResult run(const SendProgram& program,
+                              const SimOptions& options = {}) const;
+
+ private:
+  [[nodiscard]] SimResult run_serialized(const SendProgram& program,
+                                         const SimOptions& options) const;
+  [[nodiscard]] SimResult run_programmed(const SendProgram& program,
+                                         const SimOptions& options) const;
+  [[nodiscard]] SimResult run_interleaved(const SendProgram& program,
+                                          const SimOptions& options) const;
+  [[nodiscard]] SimResult run_buffered(const SendProgram& program,
+                                       const SimOptions& options) const;
+
+  [[nodiscard]] double transfer_time(std::size_t src, std::size_t dst,
+                                     double now_s) const;
+
+  const DirectoryService& directory_;
+  const MessageMatrix& messages_;
+};
+
+}  // namespace hcs

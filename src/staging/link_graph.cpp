@@ -1,0 +1,117 @@
+#include "staging/link_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+LinkGraph::LinkGraph(std::size_t node_count) : adjacency_(node_count) {
+  if (node_count == 0) throw InputError("LinkGraph: zero nodes");
+}
+
+std::size_t LinkGraph::add_link(std::size_t from, std::size_t to,
+                                LinkParams params) {
+  if (from >= node_count() || to >= node_count())
+    throw InputError("LinkGraph: endpoint out of range");
+  if (from == to) throw InputError("LinkGraph: self-loop");
+  if (params.bandwidth_Bps <= 0.0 || params.startup_s < 0.0)
+    throw InputError("LinkGraph: invalid link parameters");
+  links_.push_back({from, to, params});
+  link_free_.push_back(0.0);
+  adjacency_[from].push_back(links_.size() - 1);
+  return links_.size() - 1;
+}
+
+void LinkGraph::add_bidirectional(std::size_t a, std::size_t b,
+                                  LinkParams params) {
+  (void)add_link(a, b, params);
+  (void)add_link(b, a, params);
+}
+
+Route LinkGraph::earliest_arrival(const std::vector<std::size_t>& sources,
+                                  const std::vector<double>& available_s,
+                                  std::size_t destination,
+                                  std::uint64_t bytes) const {
+  if (sources.empty() || sources.size() != available_s.size())
+    throw InputError("earliest_arrival: sources/availability mismatch");
+  check(destination < node_count(), "earliest_arrival: destination out of range");
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr std::size_t kNoLink = static_cast<std::size_t>(-1);
+  std::vector<double> arrival(node_count(), kInf);
+  std::vector<std::size_t> via_link(node_count(), kNoLink);
+  std::vector<std::size_t> via_source(node_count(), 0);
+
+  using Entry = std::pair<double, std::size_t>;  // arrival time, node
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  for (std::size_t k = 0; k < sources.size(); ++k) {
+    const std::size_t node = sources[k];
+    check(node < node_count(), "earliest_arrival: source out of range");
+    if (available_s[k] < arrival[node]) {
+      arrival[node] = available_s[k];
+      via_source[node] = node;
+      frontier.push({available_s[k], node});
+    }
+  }
+
+  while (!frontier.empty()) {
+    const auto [time, node] = frontier.top();
+    frontier.pop();
+    if (time > arrival[node]) continue;  // stale entry
+    if (node == destination) break;
+    for (const std::size_t index : adjacency_[node]) {
+      const Link& edge = links_[index];
+      const double depart = std::max(time, link_free_[index]);
+      const double arrive = depart + edge.params.transfer_time(bytes);
+      if (arrive < arrival[edge.to]) {
+        arrival[edge.to] = arrive;
+        via_link[edge.to] = index;
+        via_source[edge.to] = via_source[node];
+        frontier.push({arrive, edge.to});
+      }
+    }
+  }
+
+  Route route;
+  route.destination = destination;
+  route.arrival_s = arrival[destination];
+  if (!route.reachable()) return route;
+  route.source = via_source[destination];
+
+  // Reconstruct hops backwards, then recompute forward times (the stored
+  // arrivals already reflect reservations; recomputing documents the
+  // per-hop departure explicitly).
+  std::vector<std::size_t> reversed;
+  for (std::size_t node = destination; via_link[node] != kNoLink;
+       node = links_[via_link[node]].from)
+    reversed.push_back(via_link[node]);
+  std::reverse(reversed.begin(), reversed.end());
+
+  double clock = arrival[route.source];
+  for (const std::size_t index : reversed) {
+    const Link& edge = links_[index];
+    const double depart = std::max(clock, link_free_[index]);
+    const double arrive = depart + edge.params.transfer_time(bytes);
+    route.hops.push_back({index, depart, arrive});
+    clock = arrive;
+  }
+  check(route.hops.empty() || std::abs(clock - route.arrival_s) < 1e-9,
+        "earliest_arrival: path reconstruction mismatch");
+  return route;
+}
+
+void LinkGraph::reserve(const Route& route) {
+  for (const Route::Hop& hop : route.hops) {
+    check(hop.link_index < links_.size(), "reserve: link out of range");
+    link_free_[hop.link_index] =
+        std::max(link_free_[hop.link_index], hop.arrive_s);
+  }
+}
+
+void LinkGraph::reset_reservations() {
+  std::fill(link_free_.begin(), link_free_.end(), 0.0);
+}
+
+}  // namespace hcs

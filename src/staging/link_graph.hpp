@@ -1,0 +1,98 @@
+// Link-level network graph for wide-area data staging.
+//
+// The paper's §6.4 points at the BADD data-staging problem ([24], Tan et
+// al.): data items at source sites must reach requester sites over a
+// multi-hop network, by their deadlines. Unlike the application-level
+// end-to-end model of §3.2, staging works at the *link* level: a message
+// is forwarded store-and-forward through intermediate sites, each link
+// carries one transfer at a time, and the routing choice matters.
+//
+// LinkGraph holds the topology and per-link performance and answers
+// earliest-arrival queries: given data available at a set of source
+// nodes (possibly at different times) and the current reservation state
+// of every link, when can the data reach a destination, and along which
+// path? The query is a time-dependent Dijkstra; it is exact because
+// departures are FIFO (waiting for a link never helps).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "netmodel/link_params.hpp"
+
+namespace hcs {
+
+/// One directed link of the staging network.
+struct Link {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  LinkParams params;
+};
+
+/// Earliest-arrival route for one item: hops in travel order, with the
+/// computed per-hop times under the reservation state at query time.
+struct Route {
+  /// Hop k moves the data over links_[hop_links[k]], departing and
+  /// arriving at the recorded times.
+  struct Hop {
+    std::size_t link_index;
+    double depart_s;
+    double arrive_s;
+  };
+  std::vector<Hop> hops;
+  std::size_t source = 0;       ///< the chosen source node
+  std::size_t destination = 0;
+  double arrival_s = std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] bool reachable() const {
+    return arrival_s != std::numeric_limits<double>::infinity();
+  }
+};
+
+/// A directed multigraph of sites and links, with per-link reservation
+/// ("next free") times that staging schedules mutate.
+class LinkGraph {
+ public:
+  explicit LinkGraph(std::size_t node_count);
+
+  /// Adds a directed link; returns its index.
+  std::size_t add_link(std::size_t from, std::size_t to, LinkParams params);
+
+  /// Adds a pair of opposite directed links with the same parameters.
+  void add_bidirectional(std::size_t a, std::size_t b, LinkParams params);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+  [[nodiscard]] const Link& link(std::size_t index) const {
+    return links_.at(index);
+  }
+
+  /// Time at which link `index` is next free.
+  [[nodiscard]] double link_free_at(std::size_t index) const {
+    return link_free_.at(index);
+  }
+
+  /// Earliest arrival of a `bytes`-sized item at `destination`, given the
+  /// item is available at each `sources[k]` node from time
+  /// `available_s[k]` on (the two vectors correspond). Honors current
+  /// link reservations; does not modify them.
+  [[nodiscard]] Route earliest_arrival(const std::vector<std::size_t>& sources,
+                                       const std::vector<double>& available_s,
+                                       std::size_t destination,
+                                       std::uint64_t bytes) const;
+
+  /// Marks every link of `route` busy for its transfer interval.
+  void reserve(const Route& route);
+
+  /// Clears all reservations (new scheduling run).
+  void reset_reservations();
+
+ private:
+  std::vector<Link> links_;
+  std::vector<double> link_free_;
+  std::vector<std::vector<std::size_t>> adjacency_;  ///< node -> link indices
+};
+
+}  // namespace hcs

@@ -1,0 +1,117 @@
+#include "staging/staging.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+std::string_view staging_policy_name(StagingPolicy policy) {
+  switch (policy) {
+    case StagingPolicy::kFifo: return "fifo";
+    case StagingPolicy::kEdf: return "edf";
+    case StagingPolicy::kPriorityFirst: return "priority";
+    case StagingPolicy::kWeightedSlack: return "weighted-slack";
+  }
+  throw InputError("staging_policy_name: unknown policy");
+}
+
+StagingResult stage_data(LinkGraph& graph, const std::vector<DataItem>& items,
+                         const std::vector<StagingRequest>& requests,
+                         StagingPolicy policy) {
+  for (const DataItem& item : items) {
+    if (item.initial_sources.empty())
+      throw InputError("stage_data: item with no source");
+    for (const std::size_t s : item.initial_sources)
+      check(s < graph.node_count(), "stage_data: source out of range");
+  }
+  for (const StagingRequest& request : requests) {
+    check(request.item < items.size(), "stage_data: unknown item");
+    check(request.destination < graph.node_count(),
+          "stage_data: destination out of range");
+    if (request.priority <= 0.0)
+      throw InputError("stage_data: priority must be positive");
+  }
+
+  graph.reset_reservations();
+
+  // Per-item copy state: where copies exist and from when.
+  struct Copies {
+    std::vector<std::size_t> nodes;
+    std::vector<double> available_s;
+  };
+  std::vector<Copies> copies(items.size());
+  for (std::size_t k = 0; k < items.size(); ++k)
+    for (const std::size_t node : items[k].initial_sources) {
+      copies[k].nodes.push_back(node);
+      copies[k].available_s.push_back(0.0);
+    }
+
+  // Policy-determined processing order.
+  std::vector<std::size_t> order(requests.size());
+  std::iota(order.begin(), order.end(), 0);
+  const auto by = [&](auto key) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return key(requests[a]) < key(requests[b]);
+                     });
+  };
+  switch (policy) {
+    case StagingPolicy::kFifo:
+      break;
+    case StagingPolicy::kEdf:
+      by([](const StagingRequest& r) { return r.deadline_s; });
+      break;
+    case StagingPolicy::kPriorityFirst:
+      by([](const StagingRequest& r) {
+        return std::make_pair(-r.priority, r.deadline_s);
+      });
+      break;
+    case StagingPolicy::kWeightedSlack:
+      by([](const StagingRequest& r) { return r.deadline_s / r.priority; });
+      break;
+  }
+
+  StagingResult result;
+  result.outcomes.resize(requests.size());
+  double arrival_total = 0.0;
+  std::size_t reachable = 0;
+
+  for (const std::size_t index : order) {
+    const StagingRequest& request = requests[index];
+    const DataItem& item = items[request.item];
+    Copies& copy_state = copies[request.item];
+
+    StagingOutcome outcome;
+    outcome.request_index = index;
+    outcome.route = graph.earliest_arrival(
+        copy_state.nodes, copy_state.available_s, request.destination,
+        item.bytes);
+    outcome.arrival_s = outcome.route.arrival_s;
+
+    if (outcome.route.reachable()) {
+      graph.reserve(outcome.route);
+      // Staging: the destination and every intermediate site now hold a
+      // copy that later requests can be served from.
+      for (const Route::Hop& hop : outcome.route.hops) {
+        copy_state.nodes.push_back(graph.link(hop.link_index).to);
+        copy_state.available_s.push_back(hop.arrive_s);
+      }
+      arrival_total += outcome.arrival_s;
+      ++reachable;
+      outcome.satisfied = outcome.arrival_s <= request.deadline_s;
+    }
+    if (outcome.satisfied) {
+      ++result.satisfied_count;
+      result.satisfied_priority_value += request.priority;
+    }
+    result.outcomes[index] = std::move(outcome);
+  }
+
+  result.mean_arrival_s =
+      reachable == 0 ? 0.0 : arrival_total / static_cast<double>(reachable);
+  return result;
+}
+
+}  // namespace hcs

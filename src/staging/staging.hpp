@@ -1,0 +1,76 @@
+// The BADD data-staging problem (§6.4, ref [24]).
+//
+// Data items reside at source sites; each request names an item, a
+// destination site, a real-time deadline, and a priority. A scheduler
+// routes items over the link graph (store-and-forward, links serialize),
+// sequencing contending transfers "based on their respective deadlines
+// and priorities" (§6.4). Copies created at intermediate sites are
+// retained and can serve later requests for the same item — the staging
+// effect that gives the problem its name.
+//
+// The scheduler here is the greedy reservation heuristic of the Tan et
+// al. line of work: process requests in a policy-determined order; for
+// each, find the earliest-arrival route from any current copy of the
+// item (a multiple-source shortest-path computation, §2's description of
+// [24]); reserve the route's links; record success or a deadline miss.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include "staging/link_graph.hpp"
+
+namespace hcs {
+
+/// A data item: its size and the sites that initially hold a copy.
+struct DataItem {
+  std::uint64_t bytes = 0;
+  std::vector<std::size_t> initial_sources;
+};
+
+/// One delivery request.
+struct StagingRequest {
+  std::size_t item = 0;         ///< index into the item list
+  std::size_t destination = 0;  ///< requester site
+  double deadline_s = std::numeric_limits<double>::infinity();
+  double priority = 1.0;        ///< larger = more important
+};
+
+/// Order in which contending requests claim links.
+enum class StagingPolicy {
+  kFifo,           ///< input order — the unaware control
+  kEdf,            ///< earliest deadline first
+  kPriorityFirst,  ///< highest priority, deadline as tie-break
+  kWeightedSlack,  ///< smallest deadline/priority ratio first
+};
+
+[[nodiscard]] std::string_view staging_policy_name(StagingPolicy policy);
+
+/// Outcome for one request.
+struct StagingOutcome {
+  std::size_t request_index = 0;
+  Route route;            ///< empty hops = served by a local copy
+  double arrival_s = 0.0;
+  bool satisfied = false; ///< arrived at or before the deadline
+};
+
+/// Aggregate result of a staging run.
+struct StagingResult {
+  std::vector<StagingOutcome> outcomes;  ///< one per request, input order
+  std::size_t satisfied_count = 0;
+  double satisfied_priority_value = 0.0;  ///< sum of priorities of on-time requests
+  double mean_arrival_s = 0.0;            ///< over reachable requests
+};
+
+/// Runs the staging heuristic. `graph` reservations are reset at entry
+/// and reflect the final schedule at exit. Unreachable destinations count
+/// as unsatisfied with infinite arrival.
+[[nodiscard]] StagingResult stage_data(LinkGraph& graph,
+                                       const std::vector<DataItem>& items,
+                                       const std::vector<StagingRequest>& requests,
+                                       StagingPolicy policy);
+
+}  // namespace hcs

@@ -1,0 +1,131 @@
+#include "util/csv.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace hcs {
+namespace {
+
+/// CSV state machine over one character stream.
+class CsvParser {
+ public:
+  explicit CsvParser(std::istream& in) : in_(in) {}
+
+  [[nodiscard]] std::vector<std::vector<std::string>> parse() {
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> row;
+    std::string cell;
+    bool in_quotes = false;
+    bool cell_started = false;
+    bool row_started = false;
+
+    const auto end_cell = [&] {
+      row.push_back(std::move(cell));
+      cell.clear();
+      cell_started = false;
+    };
+    const auto end_row = [&] {
+      end_cell();
+      rows.push_back(std::move(row));
+      row.clear();
+      row_started = false;
+    };
+
+    char ch = 0;
+    while (in_.get(ch)) {
+      if (in_quotes) {
+        if (ch == '"') {
+          if (in_.peek() == '"') {
+            (void)in_.get(ch);
+            cell += '"';
+          } else {
+            in_quotes = false;
+          }
+        } else {
+          cell += ch;
+        }
+        continue;
+      }
+      switch (ch) {
+        case '"':
+          if (cell_started && !cell.empty())
+            throw InputError("CSV: quote inside unquoted cell");
+          in_quotes = true;
+          cell_started = true;
+          row_started = true;
+          break;
+        case ',':
+          end_cell();
+          row_started = true;
+          break;
+        case '\r':
+          break;  // swallow; the '\n' ends the row
+        case '\n':
+          end_row();
+          break;
+        default:
+          cell += ch;
+          cell_started = true;
+          row_started = true;
+          break;
+      }
+    }
+    if (in_quotes) throw InputError("CSV: unterminated quoted cell");
+    if (row_started || cell_started || !row.empty()) end_row();
+    return rows;
+  }
+
+ private:
+  std::istream& in_;
+};
+
+}  // namespace
+
+std::vector<std::vector<std::string>> parse_csv(std::istream& in) {
+  return CsvParser{in}.parse();
+}
+
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::istringstream in{line};
+  const auto rows = parse_csv(in);
+  if (rows.empty()) return {};
+  if (rows.size() != 1) throw InputError("CSV: embedded newline in line parse");
+  return rows.front();
+}
+
+Matrix<double> read_csv_matrix(std::istream& in) {
+  const auto rows = parse_csv(in);
+  if (rows.empty()) throw InputError("CSV matrix: empty input");
+  const std::size_t cols = rows.front().size();
+  Matrix<double> matrix(rows.size(), cols);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != cols) throw InputError("CSV matrix: ragged rows");
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = rows[r][c];
+      char* end = nullptr;
+      const double value = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || *end != '\0')
+        throw InputError("CSV matrix: non-numeric cell '" + cell + "'");
+      matrix(r, c) = value;
+    }
+  }
+  return matrix;
+}
+
+void write_csv_matrix(std::ostream& out, const Matrix<double>& matrix,
+                      int digits) {
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    for (std::size_t c = 0; c < matrix.cols(); ++c) {
+      out << format_double(matrix(r, c), digits);
+      if (c + 1 < matrix.cols()) out << ',';
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace hcs

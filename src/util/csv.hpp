@@ -1,0 +1,33 @@
+// CSV parsing and numeric-matrix I/O.
+//
+// The CLI tool and external workflows exchange communication matrices as
+// CSV. The reader handles RFC-4180 quoting (quoted fields, doubled
+// quotes, embedded commas/newlines) and both LF and CRLF line endings;
+// the writer mirrors Table::print_csv's escaping.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace hcs {
+
+/// Parses CSV from `in` into rows of string cells. Empty trailing line is
+/// ignored; otherwise every line (even empty ones) yields a row. Throws
+/// InputError on malformed quoting.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(std::istream& in);
+
+/// Parses one CSV line (no embedded newlines) into cells.
+[[nodiscard]] std::vector<std::string> parse_csv_line(const std::string& line);
+
+/// Reads a rectangular numeric matrix from CSV. Throws InputError on
+/// ragged rows or non-numeric cells.
+[[nodiscard]] Matrix<double> read_csv_matrix(std::istream& in);
+
+/// Writes a numeric matrix as CSV with `digits` significant decimals.
+void write_csv_matrix(std::ostream& out, const Matrix<double>& matrix,
+                      int digits = 9);
+
+}  // namespace hcs

@@ -1,0 +1,35 @@
+// Error types shared across the hcs library.
+//
+// The library follows a simple policy: programming errors (out-of-range
+// indices, dimension mismatches) throw `std::logic_error` derivatives;
+// violations of scheduling invariants detected at run time throw
+// `ScheduleError`; malformed external inputs throw `InputError`.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hcs {
+
+/// Thrown when a schedule violates a model invariant (overlapping sends,
+/// overlapping receives, missing or duplicated communication events).
+class ScheduleError : public std::runtime_error {
+ public:
+  explicit ScheduleError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when externally supplied data (matrices, directory tables,
+/// workload descriptions) is malformed.
+class InputError : public std::runtime_error {
+ public:
+  explicit InputError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Internal consistency check used throughout the library. Unlike assert(),
+/// it is active in all build types: scheduling bugs silently producing
+/// invalid schedules would corrupt every experiment built on top.
+inline void check(bool condition, const char* message) {
+  if (!condition) throw std::logic_error(message);
+}
+
+}  // namespace hcs

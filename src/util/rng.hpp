@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component of the library (network generators, workload
+// generators, drifting directories) takes an explicit 64-bit seed and owns
+// its own generator — there is no global RNG state, so every experiment is
+// reproducible from its printed seed.
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded via splitmix64,
+// chosen for speed, quality, and a trivially portable implementation that
+// produces identical streams on every platform (unlike std::mt19937's
+// distributions, whose outputs are implementation-defined).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace hcs {
+
+/// splitmix64 step; used to expand a single seed into generator state.
+/// Exposed because tests and hashing utilities reuse it.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** pseudo-random generator with explicit seeding and
+/// portable, implementation-independent distributions.
+class Rng {
+ public:
+  /// Constructs a generator whose stream is fully determined by `seed`.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses rejection
+  /// sampling, so the result is exactly uniform.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Standard normal variate (Box–Muller; one value per call, the pair's
+  /// second value is cached).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal variate with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Log-normal variate parameterized by the underlying normal's mu/sigma.
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept;
+
+  /// Fisher–Yates shuffle of `values`.
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give parallel
+  /// experiment repetitions decorrelated, reproducible streams.
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace hcs

@@ -1,0 +1,58 @@
+// Summary statistics for experiment results.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hcs {
+
+/// Online accumulator for mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  /// Merges another accumulator (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of `values` by linear interpolation between order statistics.
+/// q in [0, 1]; values need not be sorted. Throws InputError on empty input.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Convenience: median.
+[[nodiscard]] double median(std::span<const double> values);
+
+/// Full five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary of `values`. Throws InputError on empty input.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+}  // namespace hcs

@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw InputError("Table: no columns");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw InputError("Table: row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size())
+        out << std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    out << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (char ch : cell) {
+    if (ch == '"') escaped += '"';
+    escaped += ch;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+}  // namespace
+
+void Table::print_csv(std::ostream& out) const {
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << csv_escape(row[c]);
+      if (c + 1 < row.size()) out << ',';
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string format_double(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+  return buffer;
+}
+
+}  // namespace hcs

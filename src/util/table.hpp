@@ -1,0 +1,47 @@
+// Plain-text and CSV table rendering for benchmark output.
+//
+// Every bench binary prints the series a paper table/figure reports; this
+// module renders those series as aligned ASCII tables (human-readable) and
+// CSV (machine-readable).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hcs {
+
+/// A simple column-aligned text table.
+///
+/// Usage:
+///   Table t({"P", "baseline", "openshop"});
+///   t.add_row({"10", "4.32", "1.05"});
+///   t.print(std::cout);
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders as an aligned ASCII table with a header separator.
+  void print(std::ostream& out) const;
+
+  /// Renders as CSV (RFC-4180-style quoting for cells containing commas,
+  /// quotes, or newlines).
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places, trimming a
+/// fixed-width representation suitable for tables.
+[[nodiscard]] std::string format_double(double value, int digits = 3);
+
+}  // namespace hcs

@@ -1,0 +1,40 @@
+// Block-cyclic array redistribution workloads.
+//
+// The paper's reference [19] (Lim, Bhat, Prasanna — "Efficient algorithms
+// for block-cyclic redistribution of arrays") is the authors' companion
+// workload: a one-dimensional array distributed cyclic(x) over P
+// processors must be redistributed to cyclic(y). The communication
+// pattern is an all-to-all personalized exchange whose per-pair volumes
+// have strong number-theoretic structure — for many (x, y, P)
+// combinations the volume matrix is highly non-uniform, which is exactly
+// the regime where adaptive scheduling beats the caterpillar.
+//
+// Element e lives, under cyclic(b) over P processors, on processor
+// (e / b) mod P. The message from i to j carries every element owned by
+// i under cyclic(x) and by j under cyclic(y).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "workload/generators.hpp"
+
+namespace hcs {
+
+/// Owner of element `index` under a cyclic(`block`) distribution over
+/// `processor_count` processors.
+[[nodiscard]] std::size_t cyclic_owner(std::size_t index, std::size_t block,
+                                       std::size_t processor_count);
+
+/// Per-pair byte volumes for redistributing an `element_count`-element
+/// array of `element_bytes`-sized elements from cyclic(from_block) to
+/// cyclic(to_block) over `processor_count` processors. Elements already
+/// at their destination (same owner under both distributions) move for
+/// free and contribute nothing. O(element_count).
+[[nodiscard]] MessageMatrix block_cyclic_messages(std::size_t processor_count,
+                                                  std::size_t element_count,
+                                                  std::size_t from_block,
+                                                  std::size_t to_block,
+                                                  std::uint64_t element_bytes);
+
+}  // namespace hcs

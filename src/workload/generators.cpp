@@ -1,0 +1,101 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+MessageMatrix uniform_messages(std::size_t processor_count, std::uint64_t bytes) {
+  if (processor_count == 0) throw InputError("uniform_messages: zero processors");
+  MessageMatrix sizes(processor_count, processor_count, bytes);
+  for (std::size_t i = 0; i < processor_count; ++i) sizes(i, i) = 0;
+  return sizes;
+}
+
+MessageMatrix mixed_messages(std::size_t processor_count, std::uint64_t seed,
+                             const std::vector<std::uint64_t>& size_choices) {
+  if (processor_count == 0) throw InputError("mixed_messages: zero processors");
+  if (size_choices.empty()) throw InputError("mixed_messages: no size choices");
+  Rng rng{seed};
+  MessageMatrix sizes(processor_count, processor_count, 0);
+  for (std::size_t i = 0; i < processor_count; ++i)
+    for (std::size_t j = 0; j < processor_count; ++j)
+      if (i != j)
+        sizes(i, j) = size_choices[rng.next_below(size_choices.size())];
+  return sizes;
+}
+
+std::vector<std::size_t> server_indices(std::size_t processor_count,
+                                        std::uint64_t seed,
+                                        const ServerWorkloadOptions& options) {
+  if (processor_count < 2)
+    throw InputError("server workload: need at least 2 processors");
+  if (options.server_fraction <= 0.0 || options.server_fraction >= 1.0)
+    throw InputError("server workload: fraction must be in (0, 1)");
+  const auto requested = static_cast<std::size_t>(
+      std::ceil(options.server_fraction * static_cast<double>(processor_count)));
+  const std::size_t count = std::clamp<std::size_t>(requested, 1, processor_count - 1);
+
+  std::vector<std::size_t> all(processor_count);
+  for (std::size_t i = 0; i < processor_count; ++i) all[i] = i;
+  if (options.randomize_placement) {
+    Rng rng{seed};
+    rng.shuffle(all);
+  }
+  std::vector<std::size_t> servers(all.begin(),
+                                   all.begin() + static_cast<std::ptrdiff_t>(count));
+  std::sort(servers.begin(), servers.end());
+  return servers;
+}
+
+MessageMatrix server_client_messages(std::size_t processor_count,
+                                     std::uint64_t seed,
+                                     const ServerWorkloadOptions& options) {
+  const std::vector<std::size_t> servers =
+      server_indices(processor_count, seed, options);
+  std::vector<bool> is_server(processor_count, false);
+  for (const std::size_t s : servers) is_server[s] = true;
+
+  MessageMatrix sizes(processor_count, processor_count, 0);
+  for (std::size_t i = 0; i < processor_count; ++i) {
+    for (std::size_t j = 0; j < processor_count; ++j) {
+      if (i == j) continue;
+      sizes(i, j) = (is_server[i] && !is_server[j]) ? options.large_bytes
+                                                    : options.small_bytes;
+    }
+  }
+  return sizes;
+}
+
+namespace {
+
+/// Size of processor p's block when `total` items are split as evenly as
+/// possible over `parts` processors.
+std::uint64_t block_size(std::size_t total, std::size_t parts, std::size_t p) {
+  const std::uint64_t base = total / parts;
+  return base + (p < total % parts ? 1 : 0);
+}
+
+}  // namespace
+
+MessageMatrix transpose_messages(std::size_t processor_count,
+                                 std::size_t matrix_rows, std::size_t matrix_cols,
+                                 std::uint64_t element_bytes) {
+  if (processor_count == 0) throw InputError("transpose_messages: zero processors");
+  if (matrix_rows == 0 || matrix_cols == 0 || element_bytes == 0)
+    throw InputError("transpose_messages: degenerate matrix");
+  MessageMatrix sizes(processor_count, processor_count, 0);
+  for (std::size_t i = 0; i < processor_count; ++i) {
+    const std::uint64_t rows_at_i = block_size(matrix_rows, processor_count, i);
+    for (std::size_t j = 0; j < processor_count; ++j) {
+      if (i == j) continue;
+      const std::uint64_t cols_at_j = block_size(matrix_cols, processor_count, j);
+      sizes(i, j) = rows_at_i * cols_at_j * element_bytes;
+    }
+  }
+  return sizes;
+}
+
+}  // namespace hcs

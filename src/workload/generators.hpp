@@ -1,0 +1,74 @@
+// Message-size workload generators for total exchange.
+//
+// A total-exchange workload is a P x P matrix of message sizes in bytes;
+// entry (src, dst) is the personalized message from src to dst. Diagonals
+// are zero — a node keeps its own block. These generators produce the
+// workloads of the paper's evaluation (§5): uniform 1 kB, uniform 1 MB, a
+// random mix of the two, and the 20%-servers multimedia scenario of
+// Figure 12 — plus the matrix-transpose workload §4.1 uses to motivate
+// the pattern.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace hcs {
+
+/// P x P message sizes in bytes; entry (src, dst) is src's message to dst.
+using MessageMatrix = Matrix<std::uint64_t>;
+
+/// Every off-diagonal message has the same size.
+[[nodiscard]] MessageMatrix uniform_messages(std::size_t processor_count,
+                                             std::uint64_t bytes);
+
+/// Each off-diagonal message independently picks one of `sizes` uniformly
+/// at random (paper: "a random mix" of 1 kB and 1 MB).
+[[nodiscard]] MessageMatrix mixed_messages(std::size_t processor_count,
+                                           std::uint64_t seed,
+                                           const std::vector<std::uint64_t>& sizes);
+
+/// Parameters of the Figure 12 multimedia scenario.
+struct ServerWorkloadOptions {
+  /// Fraction of processors acting as servers (paper uses 20%).
+  double server_fraction = 0.2;
+  /// Server -> client message size (images / video clips).
+  std::uint64_t large_bytes = 1024 * 1024;
+  /// All other messages (client->client, client->server, server<->server).
+  std::uint64_t small_bytes = 1024;
+  /// When set, server identities are chosen randomly (seeded); otherwise
+  /// processors 0 .. ceil(fraction*P)-1 are the servers.
+  bool randomize_placement = false;
+};
+
+/// The Figure 12 workload: a subset of processors are servers that send
+/// large messages to every client; all other messages are small. Data is
+/// partitioned over the servers, so server loads are balanced by
+/// construction. At least one processor is a server and at least one is a
+/// client (requires P >= 2).
+[[nodiscard]] MessageMatrix server_client_messages(
+    std::size_t processor_count, std::uint64_t seed,
+    const ServerWorkloadOptions& options = {});
+
+/// Indices of the servers chosen by `server_client_messages` for the same
+/// (processor_count, seed, options) — used by benches and tests to label
+/// processors.
+[[nodiscard]] std::vector<std::size_t> server_indices(
+    std::size_t processor_count, std::uint64_t seed,
+    const ServerWorkloadOptions& options = {});
+
+/// The matrix-transpose workload of §4.1: an R x C element matrix is
+/// distributed by contiguous row blocks and must be redistributed by
+/// contiguous column blocks. The message from processor i to processor j
+/// is (rows held by i) * (columns owned by j) * element_bytes; blocks are
+/// split as evenly as possible (the first R mod P / C mod P processors
+/// get one extra row/column).
+[[nodiscard]] MessageMatrix transpose_messages(std::size_t processor_count,
+                                               std::size_t matrix_rows,
+                                               std::size_t matrix_cols,
+                                               std::uint64_t element_bytes);
+
+}  // namespace hcs

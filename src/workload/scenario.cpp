@@ -1,0 +1,45 @@
+#include "workload/scenario.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hcs {
+
+std::string_view scenario_name(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kSmallMessages: return "small-1kB";
+    case Scenario::kLargeMessages: return "large-1MB";
+    case Scenario::kMixedMessages: return "mixed-1kB-1MB";
+    case Scenario::kServers: return "servers-20pct";
+  }
+  throw InputError("scenario_name: unknown scenario");
+}
+
+ProblemInstance make_instance(Scenario scenario, std::size_t processor_count,
+                              std::uint64_t seed) {
+  // Decorrelate the network draw from the workload draw so that, e.g.,
+  // changing the mixed-size pattern does not perturb the network.
+  Rng seeder{seed};
+  const std::uint64_t network_seed = seeder.next_u64();
+  const std::uint64_t workload_seed = seeder.next_u64();
+
+  ProblemInstance instance{generate_network(processor_count, network_seed), {}};
+  switch (scenario) {
+    case Scenario::kSmallMessages:
+      instance.messages = uniform_messages(processor_count, kKiB);
+      break;
+    case Scenario::kLargeMessages:
+      instance.messages = uniform_messages(processor_count, kMiB);
+      break;
+    case Scenario::kMixedMessages:
+      instance.messages = mixed_messages(processor_count, workload_seed,
+                                         {kKiB, kMiB});
+      break;
+    case Scenario::kServers:
+      instance.messages = server_client_messages(processor_count, workload_seed);
+      break;
+  }
+  return instance;
+}
+
+}  // namespace hcs

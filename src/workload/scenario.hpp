@@ -1,0 +1,41 @@
+// Named end-to-end scenarios: the network + workload combinations of the
+// paper's four evaluation figures, packaged so benches, examples, and the
+// experiment harness generate identical inputs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "netmodel/generator.hpp"
+#include "netmodel/network_model.hpp"
+#include "workload/generators.hpp"
+
+namespace hcs {
+
+/// The four simulation scenarios of §5.
+enum class Scenario {
+  kSmallMessages,  ///< Figure 9: every message 1 kB.
+  kLargeMessages,  ///< Figure 10: every message 1 MB.
+  kMixedMessages,  ///< Figure 11: random mix of 1 kB and 1 MB.
+  kServers,        ///< Figure 12: 20% servers send 1 MB to clients.
+};
+
+/// Human-readable scenario name ("small-1kB", "large-1MB", ...).
+[[nodiscard]] std::string_view scenario_name(Scenario scenario);
+
+/// One generated problem instance: the network snapshot and the message
+/// sizes for a total exchange.
+struct ProblemInstance {
+  NetworkModel network;
+  MessageMatrix messages;
+};
+
+/// Generates a problem instance for `scenario` with P processors.
+/// Networks are GUSTO-guided random draws (netmodel/generator.hpp);
+/// message sizes follow the scenario. Deterministic in (scenario, P,
+/// seed); the network and workload use decorrelated sub-seeds.
+[[nodiscard]] ProblemInstance make_instance(Scenario scenario,
+                                            std::size_t processor_count,
+                                            std::uint64_t seed);
+
+}  // namespace hcs

@@ -1,0 +1,162 @@
+// Tests for the allgather collective and the least-laxity QoS ordering.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "collectives/allgather.hpp"
+#include "netmodel/generator.hpp"
+#include "qos/qos_scheduler.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "workload/generators.hpp"
+
+namespace hcs {
+namespace {
+
+TEST(Allgather, MessageMatrixIsRowUniform) {
+  const MessageMatrix sizes = allgather_messages({100, 200, 300});
+  for (std::size_t j = 0; j < 3; ++j) {
+    if (j != 0) { EXPECT_EQ(sizes(0, j), 100u); }
+    if (j != 1) { EXPECT_EQ(sizes(1, j), 200u); }
+    if (j != 2) { EXPECT_EQ(sizes(2, j), 300u); }
+  }
+  EXPECT_EQ(sizes(1, 1), 0u);
+  EXPECT_THROW((void)allgather_messages({}), InputError);
+}
+
+TEST(Allgather, OpenShopBeatsRingOnHeterogeneousNetworks) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const NetworkModel network = generate_network(10, seed);
+    BlockSizes blocks(10, kMiB);
+    const double openshop =
+        allgather_openshop(network, blocks).completion_time();
+    const double ring = allgather_ring(network, blocks).completion_time();
+    EXPECT_LE(openshop, ring + 1e-9) << "seed " << seed;
+    EXPECT_GE(openshop, allgather_lower_bound(network, blocks) - 1e-9);
+  }
+}
+
+TEST(Allgather, UnevenBlocksAreHonoured) {
+  const NetworkModel network = generate_network(5, 3);
+  BlockSizes blocks = {kKiB, kMiB, kKiB, 4 * kMiB, kKiB};
+  const Schedule schedule = allgather_openshop(network, blocks);
+  // Sender 3's events are the longest row; its send total dominates many
+  // instances — at minimum its events exist and durations reflect size.
+  for (const ScheduledEvent& event : schedule.sender_events(3))
+    EXPECT_DOUBLE_EQ(event.duration(), network.cost(3, event.dst, 4 * kMiB));
+}
+
+TEST(AllgatherRelay, EveryNodeEndsWithEveryBlock) {
+  const NetworkModel network = generate_network(6, 7);
+  BlockSizes blocks(6, 256 * kKiB);
+  const AllgatherRelayResult result = allgather_relay_fnf(network, blocks);
+  ASSERT_EQ(result.events.size(), result.block_of.size());
+  EXPECT_EQ(result.events.size(), 6u * 5u);
+  // holders[b] accumulates who holds block b, in event order.
+  std::vector<std::set<std::size_t>> holders(6);
+  for (std::size_t b = 0; b < 6; ++b) holders[b].insert(b);
+  for (std::size_t k = 0; k < result.events.size(); ++k) {
+    const std::size_t b = result.block_of[k];
+    const ScheduledEvent& event = result.events[k];
+    EXPECT_TRUE(holders[b].count(event.src)) << "relay from a non-holder";
+    holders[b].insert(event.dst);
+  }
+  for (std::size_t b = 0; b < 6; ++b) EXPECT_EQ(holders[b].size(), 6u);
+}
+
+TEST(AllgatherRelay, PortsNeverOverlap) {
+  const NetworkModel network = generate_network(5, 11);
+  BlockSizes blocks(5, 512 * kKiB);
+  const AllgatherRelayResult result = allgather_relay_fnf(network, blocks);
+  for (std::size_t p = 0; p < 5; ++p) {
+    for (const bool sender_side : {true, false}) {
+      std::vector<ScheduledEvent> mine;
+      for (const ScheduledEvent& event : result.events)
+        if ((sender_side ? event.src : event.dst) == p) mine.push_back(event);
+      std::sort(mine.begin(), mine.end(),
+                [](const ScheduledEvent& a, const ScheduledEvent& b) {
+                  return a.start_s < b.start_s;
+                });
+      for (std::size_t k = 0; k + 1 < mine.size(); ++k)
+        EXPECT_LE(mine[k].finish_s, mine[k + 1].start_s + 1e-9);
+    }
+  }
+}
+
+TEST(AllgatherRelay, RelayingNeverLosesToDirectOpenShop) {
+  // Relaying strictly enlarges the feasible schedule space; the greedy
+  // relay heuristic is not optimal, but on slow-owner instances it wins
+  // big. Construct one: node 0's outgoing links are terrible, node 1's
+  // are fast.
+  const std::size_t n = 6;
+  Matrix<double> startup(n, n, 0.0);
+  Matrix<double> bandwidth(n, n, 1e6);
+  for (std::size_t j = 1; j < n; ++j) bandwidth(0, j) = 1e4;  // slow owner
+  bandwidth(0, 1) = 1e6;  // except to its fast neighbor
+  const NetworkModel network{std::move(startup), std::move(bandwidth)};
+  BlockSizes blocks(n, kMiB);
+  const double direct = allgather_openshop(network, blocks).completion_time();
+  const double relayed = allgather_relay_fnf(network, blocks).completion_time;
+  EXPECT_LT(relayed, direct);
+}
+
+// ---------------------------------------------------------------------------
+// Least-laxity QoS ordering
+// ---------------------------------------------------------------------------
+
+TEST(LeastLaxity, NameAndValidity) {
+  const QosScheduler scheduler{QosSpec::unconstrained(5),
+                               QosOrdering::kLeastLaxity};
+  EXPECT_EQ(scheduler.name(), "qos-laxity");
+  const CommMatrix comm = testing::random_comm(5, 3);
+  EXPECT_NO_THROW(scheduler.schedule(comm).validate(comm));
+}
+
+TEST(LeastLaxity, PrefersTheTighterSlackNotTheEarlierDeadline) {
+  // Message to receiver 1: deadline 10 but takes 9 s (slack 1).
+  // Message to receiver 2: deadline 5 but takes 1 s (slack 4).
+  // EDF sends to 2 first; least-laxity sends to 1 first.
+  Matrix<double> times(3, 3, 0.0);
+  times(0, 1) = 9.0;
+  times(0, 2) = 1.0;
+  times(1, 0) = 1.0;
+  times(1, 2) = 1.0;
+  times(2, 0) = 1.0;
+  times(2, 1) = 1.0;
+  const CommMatrix comm{std::move(times)};
+  QosSpec spec = QosSpec::unconstrained(3);
+  spec.deadline_s(0, 1) = 10.0;
+  spec.deadline_s(0, 2) = 5.0;
+
+  const QosScheduler edf{spec, QosOrdering::kEdf};
+  EXPECT_EQ(edf.schedule(comm).sender_events(0).front().dst, 2u);
+  const QosScheduler laxity{spec, QosOrdering::kLeastLaxity};
+  EXPECT_EQ(laxity.schedule(comm).sender_events(0).front().dst, 1u);
+  // (For a single contended port EDF is feasibility-optimal — the classic
+  // result — so least-laxity's value shows up only under multi-resource
+  // contention; the aggregate test below checks it stays competitive.)
+}
+
+TEST(LeastLaxity, AggregateMissesAtWorstSlightlyAboveEdf) {
+  // Across random deadline workloads the two heuristics trade wins;
+  // neither should dominate by a large margin.
+  std::size_t edf_total = 0, laxity_total = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const std::size_t n = 8;
+    const CommMatrix comm = testing::random_comm(n, seed, 0.5, 3.0);
+    QosSpec spec = QosSpec::unconstrained(n);
+    Rng rng{seed * 131};
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        if (i != j && rng.bernoulli(0.3))
+          spec.deadline_s(i, j) = comm.time(i, j) + 0.2 * comm.lower_bound();
+    const QosScheduler edf{spec, QosOrdering::kEdf};
+    const QosScheduler laxity{spec, QosOrdering::kLeastLaxity};
+    edf_total += evaluate_qos(edf.schedule(comm), spec).missed_deadlines;
+    laxity_total += evaluate_qos(laxity.schedule(comm), spec).missed_deadlines;
+  }
+  EXPECT_LE(laxity_total, edf_total + edf_total / 2 + 2);
+}
+
+}  // namespace
+}  // namespace hcs

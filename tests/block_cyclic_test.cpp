@@ -1,0 +1,113 @@
+// Tests for the block-cyclic redistribution workload (paper ref [19])
+// and its integration with the sparse-exchange schedulers.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "collectives/sparse_exchange.hpp"
+#include "netmodel/generator.hpp"
+#include "util/error.hpp"
+#include "workload/block_cyclic.hpp"
+
+namespace hcs {
+namespace {
+
+TEST(CyclicOwner, MatchesDefinition) {
+  // cyclic(2) over 3 processors: elements 0,1 -> P0; 2,3 -> P1; 4,5 -> P2;
+  // 6,7 -> P0; ...
+  EXPECT_EQ(cyclic_owner(0, 2, 3), 0u);
+  EXPECT_EQ(cyclic_owner(1, 2, 3), 0u);
+  EXPECT_EQ(cyclic_owner(2, 2, 3), 1u);
+  EXPECT_EQ(cyclic_owner(5, 2, 3), 2u);
+  EXPECT_EQ(cyclic_owner(6, 2, 3), 0u);
+}
+
+TEST(CyclicOwner, BlockOneIsPureCyclic) {
+  for (std::size_t e = 0; e < 20; ++e)
+    EXPECT_EQ(cyclic_owner(e, 1, 4), e % 4);
+}
+
+TEST(BlockCyclic, IdentityRedistributionMovesNothing) {
+  const MessageMatrix sizes = block_cyclic_messages(4, 1000, 8, 8, 8);
+  sizes.for_each([](std::size_t, std::size_t, const std::uint64_t& bytes) {
+    EXPECT_EQ(bytes, 0u);
+  });
+}
+
+TEST(BlockCyclic, TotalVolumeAccountsForEveryMovedElement) {
+  const std::size_t P = 5, N = 1237, x = 3, y = 7;
+  const std::uint64_t elem = 4;
+  const MessageMatrix sizes = block_cyclic_messages(P, N, x, y, elem);
+  std::uint64_t total = 0;
+  sizes.for_each([&](std::size_t, std::size_t, const std::uint64_t& bytes) {
+    total += bytes;
+  });
+  std::uint64_t moved = 0;
+  for (std::size_t e = 0; e < N; ++e)
+    if (cyclic_owner(e, x, P) != cyclic_owner(e, y, P)) moved += elem;
+  EXPECT_EQ(total, moved);
+  EXPECT_GT(total, 0u);
+}
+
+TEST(BlockCyclic, KnownSmallCase) {
+  // 2 processors, cyclic(1) -> cyclic(2), 8 elements, 1 byte each.
+  // cyclic(1): 0,2,4,6 -> P0; 1,3,5,7 -> P1.
+  // cyclic(2): 0,1,4,5 -> P0; 2,3,6,7 -> P1.
+  // Moves: 2 (P0->P1), 6 (P0->P1)? e=2: from P0 to P1; e=6: P0->P1;
+  // e=1: P1->P0; e=5: P1->P0. So 2 bytes each direction.
+  const MessageMatrix sizes = block_cyclic_messages(2, 8, 1, 2, 1);
+  EXPECT_EQ(sizes(0, 1), 2u);
+  EXPECT_EQ(sizes(1, 0), 2u);
+}
+
+TEST(BlockCyclic, VolumesAreSkewedForCoprimeBlocks) {
+  // cyclic(x) -> cyclic(y) with x, y coprime to P produces markedly
+  // non-uniform pair volumes — the adaptive-scheduling regime. Check the
+  // spread exceeds 2x on a representative case.
+  const MessageMatrix sizes = block_cyclic_messages(6, 4096, 2, 9, 8);
+  std::uint64_t smallest = UINT64_MAX, largest = 0;
+  sizes.for_each([&](std::size_t i, std::size_t j, const std::uint64_t& bytes) {
+    if (i == j || bytes == 0) return;
+    smallest = std::min(smallest, bytes);
+    largest = std::max(largest, bytes);
+  });
+  EXPECT_GE(largest, 2 * smallest);
+}
+
+TEST(BlockCyclic, DegenerateParametersThrow) {
+  EXPECT_THROW((void)block_cyclic_messages(0, 10, 1, 2, 1), InputError);
+  EXPECT_THROW((void)block_cyclic_messages(2, 0, 1, 2, 1), InputError);
+  EXPECT_THROW((void)block_cyclic_messages(2, 10, 0, 2, 1), InputError);
+  EXPECT_THROW((void)block_cyclic_messages(2, 10, 1, 0, 1), InputError);
+  EXPECT_THROW((void)block_cyclic_messages(2, 10, 1, 2, 0), InputError);
+}
+
+TEST(BlockCyclic, SparseSchedulersHandleTheRedistribution) {
+  // End to end: build the redistribution pattern, schedule it sparsely,
+  // validate, and check the adaptive schedule wins.
+  const std::size_t P = 8;
+  const NetworkModel network = generate_network(P, 13);
+  const MessageMatrix sizes = block_cyclic_messages(P, 32768, 3, 5, 8);
+  const SparsePattern pattern = SparsePattern::from_messages(sizes);
+  ASSERT_GT(pattern.event_count(), 0u);
+  const CommMatrix comm{network, sizes};
+
+  const Schedule openshop = schedule_sparse_openshop(pattern, comm);
+  pattern.validate(openshop, comm);
+  const Schedule baseline = schedule_sparse_baseline(pattern, comm);
+  pattern.validate(baseline, comm);
+  EXPECT_LE(openshop.completion_time(), baseline.completion_time() + 1e-9);
+  EXPECT_LE(openshop.completion_time(),
+            2.0 * pattern.lower_bound(comm) + 1e-9);
+}
+
+TEST(BlockCyclic, PatternFromMessagesMatchesNonZeroEntries) {
+  const MessageMatrix sizes = block_cyclic_messages(4, 64, 1, 2, 1);
+  const SparsePattern pattern = SparsePattern::from_messages(sizes);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_EQ(pattern.needs(i, j), i != j && sizes(i, j) > 0);
+}
+
+}  // namespace
+}  // namespace hcs

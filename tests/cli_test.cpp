@@ -1,0 +1,242 @@
+// Tests for the CSV utilities and the hcs command-line tool (run through
+// its in-process entry point; no subprocesses).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tools/cli.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace hcs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+
+TEST(Csv, ParsesPlainCells) {
+  std::istringstream in{"a,b,c\n1,2,3\n"};
+  const auto rows = parse_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(Csv, HandlesQuotedCellsWithCommasAndQuotes) {
+  std::istringstream in{"\"a,b\",\"say \"\"hi\"\"\"\nplain,x\n"};
+  const auto rows = parse_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "say \"hi\"");
+}
+
+TEST(Csv, HandlesEmbeddedNewlineInQuotes) {
+  std::istringstream in{"\"line1\nline2\",b\n"};
+  const auto rows = parse_csv(in);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\nline2");
+}
+
+TEST(Csv, HandlesCrLf) {
+  std::istringstream in{"a,b\r\nc,d\r\n"};
+  const auto rows = parse_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(Csv, MissingFinalNewlineStillYieldsRow) {
+  std::istringstream in{"a,b"};
+  const auto rows = parse_csv(in);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].size(), 2u);
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  std::istringstream in{"\"abc"};
+  EXPECT_THROW((void)parse_csv(in), InputError);
+}
+
+TEST(Csv, LineParserRejectsEmbeddedNewlines) {
+  EXPECT_EQ(parse_csv_line("x,y").size(), 2u);
+  EXPECT_TRUE(parse_csv_line("").empty());
+}
+
+TEST(Csv, MatrixRoundTrip) {
+  Matrix<double> matrix = {{0.0, 1.5}, {2.25, 0.0}};
+  std::ostringstream out;
+  write_csv_matrix(out, matrix, 6);
+  std::istringstream in{out.str()};
+  const Matrix<double> back = read_csv_matrix(in);
+  ASSERT_EQ(back.rows(), 2u);
+  EXPECT_DOUBLE_EQ(back(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(back(1, 0), 2.25);
+}
+
+TEST(Csv, MatrixRejectsRaggedAndNonNumeric) {
+  std::istringstream ragged{"1,2\n3\n"};
+  EXPECT_THROW((void)read_csv_matrix(ragged), InputError);
+  std::istringstream text{"1,banana\n2,3\n"};
+  EXPECT_THROW((void)read_csv_matrix(text), InputError);
+  std::istringstream empty{""};
+  EXPECT_THROW((void)read_csv_matrix(empty), InputError);
+}
+
+// ---------------------------------------------------------------------------
+// CLI
+// ---------------------------------------------------------------------------
+
+struct CliRun {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(const std::vector<std::string>& args, const std::string& input = "") {
+  std::istringstream in{input};
+  std::ostringstream out, err;
+  const int code = cli::run_cli(args, in, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Cli, HelpIsPrinted) {
+  const CliRun result = run({"help"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("usage"), std::string::npos);
+}
+
+TEST(Cli, NoArgsIsUsageError) {
+  const CliRun result = run({});
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(Cli, UnknownCommandIsUsageError) {
+  const CliRun result = run({"frobnicate"});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, GenerateEmitsSquareCsv) {
+  const CliRun result = run({"generate", "--processors", "5", "--seed", "3"});
+  EXPECT_EQ(result.exit_code, 0);
+  std::istringstream in{result.out};
+  const Matrix<double> matrix = read_csv_matrix(in);
+  EXPECT_EQ(matrix.rows(), 5u);
+  EXPECT_TRUE(matrix.square());
+  for (std::size_t p = 0; p < 5; ++p) EXPECT_DOUBLE_EQ(matrix(p, p), 0.0);
+}
+
+TEST(Cli, GenerateIsDeterministic) {
+  const CliRun a = run({"generate", "--processors", "4", "--seed", "9"});
+  const CliRun b = run({"generate", "--processors", "4", "--seed", "9"});
+  EXPECT_EQ(a.out, b.out);
+}
+
+TEST(Cli, GenerateValidatesArguments) {
+  EXPECT_EQ(run({"generate"}).exit_code, 1);
+  EXPECT_EQ(run({"generate", "--processors", "1"}).exit_code, 1);
+  EXPECT_EQ(run({"generate", "--processors", "x"}).exit_code, 1);
+  EXPECT_EQ(run({"generate", "--bogus", "1"}).exit_code, 1);
+  EXPECT_EQ(
+      run({"generate", "--processors", "4", "--scenario", "nope"}).exit_code, 1);
+}
+
+TEST(Cli, SchedulePipelineRoundTrips) {
+  const CliRun generated =
+      run({"generate", "--processors", "6", "--seed", "2"});
+  ASSERT_EQ(generated.exit_code, 0);
+  const CliRun scheduled =
+      run({"schedule", "--algorithm", "openshop"}, generated.out);
+  EXPECT_EQ(scheduled.exit_code, 0);
+  EXPECT_NE(scheduled.out.find("openshop"), std::string::npos);
+  EXPECT_NE(scheduled.out.find("lower bound"), std::string::npos);
+}
+
+TEST(Cli, ScheduleAllListsEveryAlgorithm) {
+  const CliRun generated = run({"generate", "--processors", "5"});
+  const CliRun scheduled = run({"schedule", "--algorithm", "all"}, generated.out);
+  EXPECT_EQ(scheduled.exit_code, 0);
+  for (const char* name :
+       {"baseline", "max-matching", "min-matching", "greedy", "openshop",
+        "baseline-barrier"})
+    EXPECT_NE(scheduled.out.find(name), std::string::npos) << name;
+}
+
+TEST(Cli, ScheduleEventsEmitsEventCsv) {
+  const CliRun generated = run({"generate", "--processors", "4"});
+  const CliRun scheduled = run({"schedule", "--events"}, generated.out);
+  EXPECT_EQ(scheduled.exit_code, 0);
+  EXPECT_NE(scheduled.out.find("src,dst,start_s,finish_s"), std::string::npos);
+}
+
+TEST(Cli, ScheduleDiagramRendersColumns) {
+  const CliRun generated = run({"generate", "--processors", "4"});
+  const CliRun scheduled = run({"schedule", "--diagram"}, generated.out);
+  EXPECT_NE(scheduled.out.find("P0"), std::string::npos);
+}
+
+TEST(Cli, ScheduleRejectsGarbageInput) {
+  const CliRun result = run({"schedule"}, "not,a\nmatrix");
+  EXPECT_EQ(result.exit_code, 1);
+}
+
+TEST(Cli, LowerBoundMatchesCommMatrix) {
+  const CliRun result = run({"lowerbound"}, "0,2,3\n1,0,1\n4,1,0\n");
+  EXPECT_EQ(result.exit_code, 0);
+  // Send totals: 5, 2, 5; receive totals: 5, 3, 4 -> t_lb = 5.
+  EXPECT_NE(result.out.find("5"), std::string::npos);
+}
+
+TEST(Cli, BroadcastRunsAllAlgorithms) {
+  for (const char* algorithm : {"fnf", "binomial", "linear"}) {
+    const CliRun result = run({"broadcast", "--processors", "8", "--seed", "4",
+                               "--algorithm", algorithm});
+    EXPECT_EQ(result.exit_code, 0) << algorithm;
+    EXPECT_NE(result.out.find("completion"), std::string::npos);
+  }
+}
+
+TEST(Cli, BroadcastRejectsUnknownAlgorithm) {
+  const CliRun result =
+      run({"broadcast", "--processors", "4", "--algorithm", "magic"});
+  EXPECT_EQ(result.exit_code, 1);
+}
+
+TEST(Cli, ScheduleStatsPrintsUtilization) {
+  const CliRun generated = run({"generate", "--processors", "5"});
+  const CliRun scheduled = run({"schedule", "--stats"}, generated.out);
+  EXPECT_EQ(scheduled.exit_code, 0);
+  EXPECT_NE(scheduled.out.find("mean port utilization"), std::string::npos);
+  EXPECT_NE(scheduled.out.find("bottleneck"), std::string::npos);
+}
+
+TEST(Cli, SimulateStaticDriftMatchesPlan) {
+  const CliRun result = run({"simulate", "--processors", "6", "--seed", "2",
+                             "--drift", "0"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("planned"), std::string::npos);
+  EXPECT_NE(result.out.find("actual"), std::string::npos);
+}
+
+TEST(Cli, SimulateRejectsNegativeDrift) {
+  const CliRun result = run({"simulate", "--processors", "6", "--drift", "-1"});
+  EXPECT_EQ(result.exit_code, 1);
+}
+
+TEST(CliOptions, ParsesPairsAndFlags) {
+  const cli::Options options({"cmd", "--a", "1", "--flag", "--b", "x"}, 1,
+                             {"a", "flag", "b"});
+  EXPECT_EQ(options.get_long("a", 0), 1);
+  EXPECT_TRUE(options.has("flag"));
+  EXPECT_EQ(options.get("b", ""), "x");
+  EXPECT_EQ(options.get("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(options.get_double("missing", 2.5), 2.5);
+}
+
+TEST(CliOptions, RejectsUnknownKeysAndBareWords) {
+  EXPECT_THROW(cli::Options({"cmd", "--zzz", "1"}, 1, {"a"}), InputError);
+  EXPECT_THROW(cli::Options({"cmd", "stray"}, 1, {"a"}), InputError);
+}
+
+}  // namespace
+}  // namespace hcs

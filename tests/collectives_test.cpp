@@ -1,0 +1,305 @@
+// Tests for src/collectives: sparse exchange patterns, heterogeneous
+// broadcast (linear / binomial / fastest-node-first), and scatter/gather
+// ordering.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "collectives/broadcast.hpp"
+#include "collectives/scatter_gather.hpp"
+#include "collectives/sparse_exchange.hpp"
+#include "netmodel/generator.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace hcs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SparsePattern
+// ---------------------------------------------------------------------------
+
+TEST(SparsePattern, TotalExchangeCountsAllPairs) {
+  const SparsePattern pattern = SparsePattern::total_exchange(6);
+  EXPECT_EQ(pattern.event_count(), 30u);
+  EXPECT_TRUE(pattern.needs(0, 5));
+  EXPECT_FALSE(pattern.needs(3, 3));
+}
+
+TEST(SparsePattern, AllToSomeShape) {
+  const SparsePattern pattern = SparsePattern::all_to_some(6, {0, 1});
+  // Every processor sends to 0 and 1, except self-messages.
+  EXPECT_EQ(pattern.event_count(), 5u + 5u);
+  EXPECT_TRUE(pattern.needs(4, 0));
+  EXPECT_FALSE(pattern.needs(4, 3));
+  EXPECT_FALSE(pattern.needs(0, 0));
+}
+
+TEST(SparsePattern, SomeToAllShape) {
+  const SparsePattern pattern = SparsePattern::some_to_all(5, {2});
+  EXPECT_EQ(pattern.event_count(), 4u);
+  EXPECT_TRUE(pattern.needs(2, 4));
+  EXPECT_FALSE(pattern.needs(4, 2));
+}
+
+TEST(SparsePattern, RejectsSelfMessages) {
+  Matrix<unsigned char> mask(3, 3, 0);
+  mask(1, 1) = 1;
+  EXPECT_THROW(SparsePattern(3, std::move(mask)), InputError);
+}
+
+TEST(SparsePattern, SparseLowerBoundUsesRequiredEventsOnly) {
+  // 3 processors; only 0->1 and 2->1 required, 2 s each: the bound is
+  // receiver 1's total, 4 s, not anything involving the unused pairs.
+  Matrix<double> times(3, 3, 0.0);
+  times(0, 1) = 2.0;
+  times(2, 1) = 2.0;
+  times(0, 2) = 50.0;  // irrelevant: not required
+  const CommMatrix comm{std::move(times)};
+  Matrix<unsigned char> mask(3, 3, 0);
+  mask(0, 1) = 1;
+  mask(2, 1) = 1;
+  const SparsePattern pattern{3, std::move(mask)};
+  EXPECT_DOUBLE_EQ(pattern.lower_bound(comm), 4.0);
+}
+
+/// Sweep: both sparse schedulers produce valid schedules on random
+/// patterns, and the open-shop variant keeps its 2x guarantee.
+class SparseSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(SparseSweep, SchedulersValidAndBounded) {
+  const auto [n, seed] = GetParam();
+  const CommMatrix comm = testing::random_comm(n, seed, 0.1, 5.0);
+  Rng rng{seed ^ 0xABCDEF};
+  Matrix<unsigned char> mask(n, n, 0);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j && rng.bernoulli(0.4)) {
+        mask(i, j) = 1;
+        ++count;
+      }
+  if (count == 0) mask(0, 1) = 1;
+  const SparsePattern pattern{n, std::move(mask)};
+  const double lb = pattern.lower_bound(comm);
+
+  const Schedule openshop = schedule_sparse_openshop(pattern, comm);
+  pattern.validate(openshop, comm);
+  EXPECT_LE(openshop.completion_time(), 2.0 * lb + 1e-9);
+
+  const Schedule matching = schedule_sparse_matching(pattern, comm);
+  pattern.validate(matching, comm);
+  EXPECT_GE(matching.completion_time(), lb - 1e-9);
+
+  const Schedule baseline = schedule_sparse_baseline(pattern, comm);
+  pattern.validate(baseline, comm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, SparseSweep,
+    ::testing::Combine(::testing::Values(2, 4, 7, 12, 20),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(SparseMatching, StepCountMatchesMaxDegreeOnRegularPatterns) {
+  // All-to-some with 3 destinations: every receiver has degree P-1... no:
+  // each destination receives from P-1 senders, each sender sends 3 (or
+  // 2) messages. Koenig: chromatic index = max degree = P-1.
+  const std::size_t n = 6;
+  const SparsePattern pattern = SparsePattern::all_to_some(n, {0, 1, 2});
+  const CommMatrix comm = testing::random_comm(n, 5);
+  const StepSchedule steps = sparse_matching_steps(pattern, comm);
+  // Max degree: receiver 0 hears from 5 senders -> at least 5 steps; the
+  // maximum-cardinality extraction should not need more than 5 + 1 slack.
+  EXPECT_GE(steps.steps().size(), 5u);
+  EXPECT_LE(steps.steps().size(), 6u);
+}
+
+TEST(SparseExchange, DenseCaseMatchesDenseOpenShop) {
+  // On the dense pattern the sparse open shop is the §4.5 algorithm.
+  const CommMatrix comm = testing::random_comm(7, 9);
+  const SparsePattern pattern = SparsePattern::total_exchange(7);
+  const Schedule sparse = schedule_sparse_openshop(pattern, comm);
+  EXPECT_NO_THROW(sparse.validate(comm));  // dense validator also applies
+  EXPECT_DOUBLE_EQ(pattern.lower_bound(comm), comm.lower_bound());
+}
+
+TEST(SparseExchange, GatherPatternOpenShopBeatsBaselineOrder) {
+  // All-to-some concentrates receiver contention; the adaptive schedule
+  // cannot be worse than the caterpillar visit order.
+  const std::size_t n = 10;
+  const CommMatrix comm = testing::random_comm(n, 17, 0.5, 5.0);
+  const SparsePattern pattern = SparsePattern::all_to_some(n, {0});
+  const double openshop =
+      schedule_sparse_openshop(pattern, comm).completion_time();
+  const double baseline =
+      schedule_sparse_baseline(pattern, comm).completion_time();
+  EXPECT_LE(openshop, baseline + 1e-9);
+  // A pure gather is receiver-bound: open shop meets the bound exactly.
+  EXPECT_NEAR(openshop, pattern.lower_bound(comm), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast
+// ---------------------------------------------------------------------------
+
+NetworkModel homogeneous(std::size_t n, double startup, double bw) {
+  return NetworkModel{n, LinkParams{startup, bw}};
+}
+
+TEST(Broadcast, LinearInformsEveryoneSerially) {
+  const NetworkModel net = homogeneous(5, 0.0, 1000.0);
+  const BroadcastSchedule bc = broadcast_linear(net, 2, 1000);
+  validate_broadcast(bc, net);
+  EXPECT_EQ(bc.events.size(), 4u);
+  // Serial root: completion = 4 transfers of 1 s.
+  EXPECT_NEAR(bc.completion_time(), 4.0, 1e-9);
+}
+
+TEST(Broadcast, BinomialIsLogDepthOnHomogeneousNetworks) {
+  const NetworkModel net = homogeneous(8, 0.0, 1000.0);
+  const BroadcastSchedule bc = broadcast_binomial(net, 0, 1000);
+  validate_broadcast(bc, net);
+  // 8 nodes, 1 s per hop: ceil(log2(8)) = 3 rounds.
+  EXPECT_NEAR(bc.completion_time(), 3.0, 1e-9);
+}
+
+TEST(Broadcast, FnfMatchesBinomialOnHomogeneousNetworks) {
+  const NetworkModel net = homogeneous(16, 0.01, 1e6);
+  const BroadcastSchedule fnf = broadcast_fnf(net, 3, 64 * kKiB);
+  const BroadcastSchedule binomial = broadcast_binomial(net, 3, 64 * kKiB);
+  validate_broadcast(fnf, net);
+  EXPECT_NEAR(fnf.completion_time(), binomial.completion_time(), 1e-9);
+}
+
+TEST(Broadcast, FnfNeverLosesToBinomialOrLinear) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const NetworkModel net = generate_network(12, seed);
+    const std::size_t root = seed % 12;
+    const BroadcastSchedule fnf = broadcast_fnf(net, root, kMiB);
+    const BroadcastSchedule binomial = broadcast_binomial(net, root, kMiB);
+    const BroadcastSchedule linear = broadcast_linear(net, root, kMiB);
+    validate_broadcast(fnf, net);
+    validate_broadcast(binomial, net);
+    validate_broadcast(linear, net);
+    EXPECT_LE(fnf.completion_time(), binomial.completion_time() + 1e-9)
+        << "seed " << seed;
+    EXPECT_LE(fnf.completion_time(), linear.completion_time() + 1e-9)
+        << "seed " << seed;
+    EXPECT_GE(fnf.completion_time(),
+              broadcast_lower_bound(net, root, kMiB) - 1e-9);
+  }
+}
+
+TEST(Broadcast, FnfExploitsAFastRelay) {
+  // Root 0 has slow links to everyone; node 1 is reachable fast and has
+  // fast links onward. FNF must relay through node 1; linear cannot.
+  const std::size_t n = 5;
+  Matrix<double> startup(n, n, 0.0);
+  Matrix<double> bandwidth(n, n, 1000.0);  // slow default
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j != 1) bandwidth(1, j) = 1e6;  // node 1 fans out fast
+  }
+  bandwidth(0, 1) = 1e6;  // fast first hop
+  const NetworkModel net{std::move(startup), std::move(bandwidth)};
+  const BroadcastSchedule fnf = broadcast_fnf(net, 0, 10'000);
+  validate_broadcast(fnf, net);
+  const BroadcastSchedule linear = broadcast_linear(net, 0, 10'000);
+  EXPECT_LT(fnf.completion_time(), 0.5 * linear.completion_time());
+  // Node 1 relays at least two of the transfers.
+  std::size_t relayed = 0;
+  for (const ScheduledEvent& event : fnf.events)
+    if (event.src == 1) ++relayed;
+  EXPECT_GE(relayed, 2u);
+}
+
+TEST(Broadcast, ValidatorCatchesUninformedSender) {
+  const NetworkModel net = homogeneous(3, 0.0, 1000.0);
+  BroadcastSchedule bad{0, 1000, {{1, 2, 0.0, 1.0}, {0, 1, 0.0, 1.0}}};
+  // Node 1 sends at t=0 but is informed only at t=1.
+  EXPECT_THROW(validate_broadcast(bad, net), ScheduleError);
+}
+
+TEST(Broadcast, ValidatorCatchesDoubleInform) {
+  const NetworkModel net = homogeneous(3, 0.0, 1000.0);
+  BroadcastSchedule bad{
+      0, 1000, {{0, 1, 0.0, 1.0}, {0, 2, 1.0, 2.0}, {1, 2, 1.0, 2.0}}};
+  EXPECT_THROW(validate_broadcast(bad, net), ScheduleError);
+}
+
+TEST(Broadcast, InformedAtReportsFinishTimes) {
+  const NetworkModel net = homogeneous(3, 0.0, 1000.0);
+  const BroadcastSchedule bc = broadcast_linear(net, 0, 2000);
+  EXPECT_DOUBLE_EQ(bc.informed_at(0), 0.0);
+  EXPECT_NEAR(bc.informed_at(1), 2.0, 1e-9);
+  EXPECT_NEAR(bc.informed_at(2), 4.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Scatter / gather
+// ---------------------------------------------------------------------------
+
+TEST(Scatter, MakespanIsOrderInvariant) {
+  const CommMatrix comm = testing::random_comm(6, 3);
+  const double spt = scatter(comm, 0, RootOrder::kShortestFirst).makespan_s;
+  const double lpt = scatter(comm, 0, RootOrder::kLongestFirst).makespan_s;
+  const double idx = scatter(comm, 0, RootOrder::kByIndex).makespan_s;
+  EXPECT_NEAR(spt, lpt, 1e-9);
+  EXPECT_NEAR(spt, idx, 1e-9);
+  EXPECT_NEAR(spt, comm.send_total(0), 1e-9);
+}
+
+TEST(Scatter, SptMinimizesMeanCompletion) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const CommMatrix comm = testing::random_comm(7, seed);
+    const double spt =
+        scatter(comm, 2, RootOrder::kShortestFirst).mean_completion_s;
+    for (const RootOrder other :
+         {RootOrder::kLongestFirst, RootOrder::kByIndex}) {
+      EXPECT_LE(spt, scatter(comm, 2, other).mean_completion_s + 1e-9);
+    }
+  }
+}
+
+TEST(Scatter, EdfMeetsFeasibleDeadlines) {
+  // Deadlines set to the SPT completion times are feasible; EDF (which
+  // reproduces SPT order here) must meet them all.
+  const CommMatrix comm = testing::random_comm(6, 7);
+  const RootedCollective spt = scatter(comm, 0, RootOrder::kShortestFirst);
+  std::vector<double> deadlines(6, 0.0);
+  for (const ScheduledEvent& event : spt.events)
+    deadlines[event.dst] = event.finish_s;
+  const RootedCollective edf =
+      scatter(comm, 0, RootOrder::kByDeadline, deadlines);
+  EXPECT_EQ(count_deadline_misses(edf, deadlines, /*scatter_side=*/true), 0u);
+}
+
+TEST(Gather, ReleaseTimesDelayTheRoot) {
+  Matrix<double> times(3, 3, 0.0);
+  times(1, 0) = 1.0;
+  times(2, 0) = 1.0;
+  const CommMatrix comm{std::move(times)};
+  // Source 1 is only ready at t = 5.
+  const RootedCollective result =
+      gather(comm, 0, RootOrder::kByIndex, {}, {0.0, 5.0, 0.0});
+  ASSERT_EQ(result.events.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.events[0].start_s, 5.0);  // waits for release
+  EXPECT_DOUBLE_EQ(result.events[1].start_s, 6.0);
+}
+
+TEST(Gather, SptMinimizesMeanCollection) {
+  const CommMatrix comm = testing::random_comm(8, 11);
+  const double spt =
+      gather(comm, 3, RootOrder::kShortestFirst).mean_completion_s;
+  const double lpt = gather(comm, 3, RootOrder::kLongestFirst).mean_completion_s;
+  EXPECT_LE(spt, lpt + 1e-9);
+}
+
+TEST(Gather, BadVectorsThrow) {
+  const CommMatrix comm = testing::random_comm(4, 1);
+  EXPECT_THROW((void)gather(comm, 0, RootOrder::kByDeadline, {1.0}), InputError);
+  EXPECT_THROW((void)gather(comm, 0, RootOrder::kByIndex, {}, {1.0}), InputError);
+}
+
+}  // namespace
+}  // namespace hcs

@@ -1,0 +1,281 @@
+// Edge-case and cross-cutting coverage: rendering extremes, simulator
+// corner paths, program-consistency validation, topology degenerations,
+// and solver budget behaviour not covered by the per-module suites.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "collectives/sparse_exchange.hpp"
+#include "core/baseline.hpp"
+#include "core/depgraph.hpp"
+#include "core/exact.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "core/matching_scheduler.hpp"
+#include "core/schedule.hpp"
+#include "netmodel/directory.hpp"
+#include "netmodel/generator.hpp"
+#include "netmodel/topology.hpp"
+#include "sim/simulator.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "workload/generators.hpp"
+
+namespace hcs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rendering extremes
+// ---------------------------------------------------------------------------
+
+TEST(TimingDiagram, ZeroMakespanDoesNotDivideByZero) {
+  const Schedule schedule{3, {}};
+  EXPECT_NO_THROW((void)render_timing_diagram(schedule, 10));
+}
+
+TEST(TimingDiagram, WideDiagramsUseWiderColumns) {
+  // P > 10 needs two-digit destination labels.
+  const std::size_t n = 12;
+  const CommMatrix comm = testing::random_comm(n, 1);
+  const BaselineScheduler baseline;
+  const std::string text = render_timing_diagram(baseline.schedule(comm), 12);
+  EXPECT_NE(text.find("P11"), std::string::npos);
+  EXPECT_NE(text.find(">1"), std::string::npos);
+}
+
+TEST(TimingDiagram, SingleRowRequestClamps) {
+  const Schedule schedule{2, {{0, 1, 0.0, 1.0}, {1, 0, 0.0, 1.0}}};
+  EXPECT_NO_THROW((void)render_timing_diagram(schedule, 0));  // clamped to 1
+}
+
+// ---------------------------------------------------------------------------
+// Directory base-class snapshot path
+// ---------------------------------------------------------------------------
+
+TEST(DriftingDirectory, SnapshotMatchesPointQueries) {
+  DriftingDirectory::Options options;
+  options.step_sigma = 0.3;
+  const DriftingDirectory directory{generate_network(4, 2), 5, options};
+  const NetworkModel snap = directory.snapshot(12.0);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      if (i != j) { EXPECT_EQ(snap.link(i, j), directory.query(i, j, 12.0)); }
+}
+
+// ---------------------------------------------------------------------------
+// Barrier execution of adaptive step structures
+// ---------------------------------------------------------------------------
+
+TEST(Barrier, MatchingAndGreedyStepsAlsoRunBarriered) {
+  const CommMatrix comm = testing::random_comm(7, 3);
+  for (const StepSchedule& steps :
+       {matching_steps(comm, MatchingObjective::kMaxWeight),
+        greedy_steps(comm)}) {
+    const Schedule barriered = execute_barrier(steps, comm);
+    EXPECT_NO_THROW(barriered.validate(comm));
+    EXPECT_GE(barriered.completion_time(),
+              execute_async(steps, comm).completion_time() - 1e-9);
+  }
+}
+
+TEST(Barrier, BarrierCompletionIsSumOfStepMaxima) {
+  Matrix<double> times(3, 3, 0.0);
+  times(0, 1) = 5.0;
+  times(1, 2) = 1.0;
+  times(2, 0) = 2.0;
+  times(0, 2) = 1.0;
+  times(1, 0) = 1.0;
+  times(2, 1) = 1.0;
+  const CommMatrix comm{std::move(times)};
+  const StepSchedule steps = baseline_steps(3);
+  // Step 1 max = 5 (offsets 1), step 2 max = 1: 0->2 (1), 1->0 (1), 2->1 (1).
+  EXPECT_DOUBLE_EQ(execute_barrier(steps, comm).completion_time(), 6.0);
+}
+
+// ---------------------------------------------------------------------------
+// Dependence graph on non-caterpillar structures
+// ---------------------------------------------------------------------------
+
+TEST(DependenceGraph, MatchingStepsLongestPathMatchesExecutor) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const CommMatrix comm = testing::random_comm(6, seed);
+    const StepSchedule steps = matching_steps(comm, MatchingObjective::kMaxWeight);
+    const DependenceGraph graph{steps, comm};
+    EXPECT_NEAR(graph.longest_path_weight(),
+                execute_async(steps, comm).completion_time(), 1e-9);
+  }
+}
+
+TEST(DependenceGraph, EmptyScheduleHasNoPath) {
+  const CommMatrix comm{Matrix<double>{{0.0}}};
+  const DependenceGraph graph{StepSchedule{1, {}}, comm};
+  EXPECT_EQ(graph.node_count(), 0u);
+  EXPECT_DOUBLE_EQ(graph.longest_path_weight(), 0.0);
+  EXPECT_TRUE(graph.critical_path().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Exact solver budgets
+// ---------------------------------------------------------------------------
+
+TEST(Exact, LargerBudgetNeverWorsens) {
+  const CommMatrix comm = testing::random_comm(4, 7);
+  const ExactResult small = solve_exact(comm, 100);
+  const ExactResult large = solve_exact(comm, 1'000'000);
+  EXPECT_LE(large.schedule.completion_time(),
+            small.schedule.completion_time() + 1e-9);
+  EXPECT_GE(small.nodes, 1u);
+}
+
+TEST(Exact, ReportsNodeCount) {
+  const CommMatrix comm = testing::random_comm(3, 7);
+  const ExactResult result = solve_exact(comm);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_GT(result.nodes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Topology degenerations
+// ---------------------------------------------------------------------------
+
+TEST(Topology, SingleSiteIsPureLan) {
+  const std::vector<SiteSpec> sites = {{4, LinkParams{0.001, 1e7}}};
+  const HierarchicalTopology topo{sites, Matrix<LinkParams>(1, 1)};
+  const NetworkModel net = topo.to_network();
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      if (i != j) { EXPECT_DOUBLE_EQ(net.link(i, j).bandwidth_Bps, 1e7); }
+}
+
+TEST(Topology, AsymmetricWanRespectsDirection) {
+  std::vector<SiteSpec> sites = {{1, LinkParams{0.0, 1e9}},
+                                 {1, LinkParams{0.0, 1e9}}};
+  Matrix<LinkParams> wan(2, 2, LinkParams{0.0, 1.0});
+  wan(0, 1) = LinkParams{0.010, 2e6};
+  wan(1, 0) = LinkParams{0.020, 1e6};
+  const HierarchicalTopology topo{std::move(sites), std::move(wan)};
+  EXPECT_DOUBLE_EQ(topo.end_to_end(0, 1).startup_s, 0.010);
+  EXPECT_DOUBLE_EQ(topo.end_to_end(1, 0).startup_s, 0.020);
+  EXPECT_DOUBLE_EQ(topo.end_to_end(0, 1).bandwidth_Bps, 2e6);
+}
+
+// ---------------------------------------------------------------------------
+// SendProgram consistency validation
+// ---------------------------------------------------------------------------
+
+TEST(SendProgram, InconsistentReceiverOrdersAreRejected) {
+  using Orders = std::vector<std::vector<std::size_t>>;
+  // 0 sends to 1, but receiver orders claim 1 hears from 2.
+  EXPECT_THROW(SendProgram(Orders{{1}, {}, {}}, Orders{{}, {2}, {}}),
+               InputError);
+  // Count mismatch: a send with no receive slot.
+  EXPECT_THROW(SendProgram(Orders{{1}, {}}, Orders{{}, {}}), InputError);
+  // Consistent case passes.
+  EXPECT_NO_THROW(SendProgram(Orders{{1}, {}}, Orders{{}, {0}}));
+}
+
+TEST(SendProgram, FifoFallbackWhenNoReceiverOrders) {
+  using Orders = std::vector<std::vector<std::size_t>>;
+  const SendProgram program{Orders{{1}, {}}};
+  EXPECT_FALSE(program.has_receiver_orders());
+}
+
+// ---------------------------------------------------------------------------
+// Simulator corner paths
+// ---------------------------------------------------------------------------
+
+TEST(InterleavedSim, ThreeWayShareFollowsRateModel) {
+  // Three equal 1 s messages arriving together, alpha = 0: processor
+  // sharing finishes all at t = 3.
+  const StaticDirectory directory{NetworkModel{4, LinkParams{0.0, 1000.0}}};
+  MessageMatrix messages(4, 4, 0);
+  for (std::size_t s = 0; s < 3; ++s) messages(s, 3) = 1000;
+  const NetworkSimulator simulator{directory, messages};
+  SimOptions options;
+  options.model = ReceiveModel::kInterleaved;
+  options.alpha = 0.0;
+  const SimResult result = simulator.run(
+      SendProgram(std::vector<std::vector<std::size_t>>{{3}, {3}, {3}, {}}),
+      options);
+  EXPECT_NEAR(result.completion_time, 3.0, 1e-9);
+}
+
+TEST(BufferedSim, MultipleBlockedSendersReleaseFifo) {
+  // Capacity 1; three senders contend. They must transmit strictly one
+  // after another, in request order.
+  const StaticDirectory directory{NetworkModel{4, LinkParams{0.0, 1000.0}}};
+  MessageMatrix messages(4, 4, 0);
+  for (std::size_t s = 0; s < 3; ++s) messages(s, 3) = 1000;
+  const NetworkSimulator simulator{directory, messages};
+  SimOptions options;
+  options.model = ReceiveModel::kBuffered;
+  options.buffer_capacity = 1;
+  options.drain_factor = 0.0;
+  const SimResult result = simulator.run(
+      SendProgram(std::vector<std::vector<std::size_t>>{{3}, {3}, {3}, {}}),
+      options);
+  ASSERT_EQ(result.events.size(), 3u);
+  EXPECT_EQ(result.events[0].src, 0u);
+  EXPECT_EQ(result.events[1].src, 1u);
+  EXPECT_EQ(result.events[2].src, 2u);
+}
+
+TEST(ProgrammedSim, InconsistentOrdersDeadlockIsDiagnosed) {
+  // Valid SendProgram (counts match) whose orders cross — the programmed
+  // executor must throw rather than hang. 0 and 1 both send to 2 and 3;
+  // receivers' posted orders conflict with the send orders.
+  using Orders = std::vector<std::vector<std::size_t>>;
+  const SendProgram program{Orders{{2, 3}, {3, 2}, {}, {}},
+                            Orders{{}, {}, {1, 0}, {0, 1}}};
+  const StaticDirectory directory{NetworkModel{4, LinkParams{0.0, 1000.0}}};
+  MessageMatrix messages(4, 4, 0);
+  messages(0, 2) = messages(0, 3) = messages(1, 2) = messages(1, 3) = 10;
+  const NetworkSimulator simulator{directory, messages};
+  EXPECT_THROW((void)simulator.run(program), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse patterns with silent processors
+// ---------------------------------------------------------------------------
+
+TEST(SparsePattern, ProcessorsWithNoTrafficAreHarmless) {
+  // Only 0 -> 1 communicates in a 5-processor system.
+  Matrix<unsigned char> mask(5, 5, 0);
+  mask(0, 1) = 1;
+  const SparsePattern pattern{5, std::move(mask)};
+  const CommMatrix comm = testing::random_comm(5, 9);
+  const Schedule schedule = schedule_sparse_openshop(pattern, comm);
+  pattern.validate(schedule, comm);
+  EXPECT_EQ(schedule.events().size(), 1u);
+  EXPECT_NEAR(schedule.completion_time(), comm.time(0, 1), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Greedy tiny sizes
+// ---------------------------------------------------------------------------
+
+TEST(Greedy, TinySystems) {
+  EXPECT_EQ(greedy_steps(CommMatrix{Matrix<double>{{0.0}}}).steps().size(), 0u);
+  const CommMatrix two{Matrix<double>{{0, 1}, {2, 0}}};
+  const StepSchedule steps = greedy_steps(two);
+  EXPECT_TRUE(steps.covers_total_exchange());
+}
+
+// ---------------------------------------------------------------------------
+// Stats table marks the bottleneck
+// ---------------------------------------------------------------------------
+
+TEST(IdleProfile, SumsToMakespanForBusyBottleneck) {
+  const CommMatrix comm = testing::random_comm(5, 4);
+  const GreedyScheduler scheduler;
+  const Schedule schedule = scheduler.schedule(comm);
+  const auto profile = schedule.idle_profile();
+  for (std::size_t p = 0; p < 5; ++p) {
+    // Busy + leading/internal idle can never exceed the makespan.
+    EXPECT_LE(profile[p].send_busy_s + profile[p].send_idle_s,
+              schedule.completion_time() + 1e-9);
+    EXPECT_NEAR(profile[p].send_busy_s, comm.send_total(p), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace hcs

@@ -1,0 +1,124 @@
+// Tests for src/experiment: the figure-reproduction harness.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "experiment/experiment.hpp"
+#include "util/error.hpp"
+
+namespace hcs {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig config;
+  config.scenario = Scenario::kMixedMessages;
+  config.processor_counts = {5, 10};
+  config.repetitions = 3;
+  config.base_seed = 7;
+  return config;
+}
+
+TEST(Experiment, SeriesShapesMatchConfig) {
+  const ExperimentResult result = run_experiment(small_config());
+  EXPECT_EQ(result.series.size(), paper_schedulers().size());
+  EXPECT_EQ(result.mean_lower_bound_s.size(), 2u);
+  for (const SchedulerSeries& series : result.series) {
+    EXPECT_EQ(series.mean_completion_s.size(), 2u);
+    EXPECT_EQ(series.mean_ratio_to_lb.size(), 2u);
+    EXPECT_EQ(series.max_ratio_to_lb.size(), 2u);
+  }
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  const ExperimentResult a = run_experiment(small_config());
+  const ExperimentResult b = run_experiment(small_config());
+  for (std::size_t s = 0; s < a.series.size(); ++s)
+    EXPECT_EQ(a.series[s].mean_completion_s, b.series[s].mean_completion_s);
+}
+
+TEST(Experiment, DifferentSeedsGiveDifferentNumbers) {
+  ExperimentConfig other = small_config();
+  other.base_seed = 8;
+  const ExperimentResult a = run_experiment(small_config());
+  const ExperimentResult b = run_experiment(other);
+  EXPECT_NE(a.series[0].mean_completion_s, b.series[0].mean_completion_s);
+}
+
+TEST(Experiment, RatiosAreAtLeastOne) {
+  const ExperimentResult result = run_experiment(small_config());
+  for (const SchedulerSeries& series : result.series)
+    for (const double ratio : series.mean_ratio_to_lb)
+      EXPECT_GE(ratio, 1.0 - 1e-9);
+}
+
+TEST(Experiment, MeanRatioNeverExceedsMaxRatio) {
+  const ExperimentResult result = run_experiment(small_config());
+  for (const SchedulerSeries& series : result.series)
+    for (std::size_t p = 0; p < series.mean_ratio_to_lb.size(); ++p)
+      EXPECT_LE(series.mean_ratio_to_lb[p], series.max_ratio_to_lb[p] + 1e-12);
+}
+
+TEST(Experiment, CompletionTableHasRowPerProcessorCount) {
+  const ExperimentResult result = run_experiment(small_config());
+  const Table table = completion_table(result);
+  EXPECT_EQ(table.row_count(), 2u);
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("openshop"), std::string::npos);
+  EXPECT_NE(out.str().find("lower-bound"), std::string::npos);
+}
+
+TEST(Experiment, RatioTableOmitsLowerBoundColumn) {
+  const ExperimentResult result = run_experiment(small_config());
+  std::ostringstream out;
+  ratio_table(result).print(out);
+  EXPECT_EQ(out.str().find("lower-bound"), std::string::npos);
+}
+
+TEST(Experiment, EmptyConfigThrows) {
+  ExperimentConfig config = small_config();
+  config.processor_counts.clear();
+  EXPECT_THROW((void)run_experiment(config), InputError);
+  config = small_config();
+  config.repetitions = 0;
+  EXPECT_THROW((void)run_experiment(config), InputError);
+  config = small_config();
+  config.schedulers.clear();
+  EXPECT_THROW((void)run_experiment(config), InputError);
+}
+
+TEST(Experiment, ParallelRunMatchesSerialRun) {
+  ExperimentConfig serial = small_config();
+  serial.repetitions = 8;
+  ExperimentConfig parallel = serial;
+  parallel.parallelism = 4;
+  const ExperimentResult a = run_experiment(serial);
+  const ExperimentResult b = run_experiment(parallel);
+  for (std::size_t s = 0; s < a.series.size(); ++s)
+    for (std::size_t p = 0; p < a.series[s].mean_completion_s.size(); ++p) {
+      // Equal up to floating-point summation order.
+      EXPECT_NEAR(a.series[s].mean_completion_s[p],
+                  b.series[s].mean_completion_s[p],
+                  1e-9 * a.series[s].mean_completion_s[p]);
+      EXPECT_NEAR(a.series[s].max_ratio_to_lb[p],
+                  b.series[s].max_ratio_to_lb[p], 1e-12);
+    }
+}
+
+TEST(Experiment, OversizedParallelismIsClamped) {
+  ExperimentConfig config = small_config();
+  config.repetitions = 2;
+  config.parallelism = 64;  // more threads than repetitions
+  EXPECT_NO_THROW((void)run_experiment(config));
+}
+
+TEST(Experiment, CustomSchedulerSubsetIsHonoured) {
+  ExperimentConfig config = small_config();
+  config.schedulers = {SchedulerKind::kOpenShop};
+  const ExperimentResult result = run_experiment(config);
+  ASSERT_EQ(result.series.size(), 1u);
+  EXPECT_EQ(result.series[0].kind, SchedulerKind::kOpenShop);
+}
+
+}  // namespace
+}  // namespace hcs

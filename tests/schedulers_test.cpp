@@ -1,0 +1,446 @@
+// Tests for the five scheduling algorithms plus the exact solver:
+// structural properties, the paper's theorems, cross-validation against
+// the optimum on small instances, and validity sweeps across sizes and
+// seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/baseline.hpp"
+#include "core/exact.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "core/matching_scheduler.hpp"
+#include "core/openshop_scheduler.hpp"
+#include "core/paper_example.hpp"
+#include "core/random_scheduler.hpp"
+#include "core/scheduler.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace hcs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Baseline (caterpillar, §4.2)
+// ---------------------------------------------------------------------------
+
+TEST(Baseline, StepPatternIsIPlusJModP) {
+  const StepSchedule steps = baseline_steps(5);
+  ASSERT_EQ(steps.steps().size(), 4u);  // offsets 1..4; offset 0 is self
+  for (std::size_t offset = 1; offset < 5; ++offset) {
+    const auto& step = steps.steps()[offset - 1];
+    ASSERT_EQ(step.size(), 5u);
+    for (const CommEvent& event : step)
+      EXPECT_EQ(event.dst, (event.src + offset) % 5);
+  }
+}
+
+TEST(Baseline, CoversTotalExchange) {
+  EXPECT_TRUE(baseline_steps(7).covers_total_exchange());
+  EXPECT_TRUE(baseline_steps(2).covers_total_exchange());
+}
+
+TEST(Baseline, SingleProcessorHasNoSteps) {
+  EXPECT_EQ(baseline_steps(1).steps().size(), 0u);
+}
+
+TEST(Baseline, Theorem2WorstCaseScalesLikeHalfP) {
+  // Theorem 2's tightness construction adapted to the zero-diagonal
+  // convention (the paper's instance uses a self-message; without the
+  // self step the caterpillar's worst case is (P-1)/2 ~ P/2). Build a
+  // unit-duration dependence chain through all P-1 steps, alternating
+  // same-sender and same-receiver links, with everything else epsilon:
+  // t_max -> P-1 while t_lb -> 2, so the ratio approaches (P-1)/2.
+  const std::size_t n = 8;
+  const double eps = 1e-6;
+  Matrix<double> times(n, n, eps);
+  for (std::size_t i = 0; i < n; ++i) times(i, i) = 0.0;
+  // Chain events, one per caterpillar step k = 1..7 (dst = src+k mod 8):
+  times(1, 2) = 1.0;  // step 1
+  times(0, 2) = 1.0;  // step 2, same receiver as step 1
+  times(0, 3) = 1.0;  // step 3, same sender as step 2
+  times(7, 3) = 1.0;  // step 4, same receiver
+  times(7, 4) = 1.0;  // step 5, same sender
+  times(6, 4) = 1.0;  // step 6, same receiver
+  times(6, 5) = 1.0;  // step 7, same sender
+  const CommMatrix comm{std::move(times)};
+  EXPECT_NEAR(comm.lower_bound(), 2.0, 0.01);
+  const BaselineScheduler baseline;
+  const Schedule schedule = baseline.schedule(comm);
+  schedule.validate(comm);
+  const double ratio = schedule.completion_time() / comm.lower_bound();
+  EXPECT_GT(ratio, 3.0);  // approaches (P-1)/2 = 3.5 as eps -> 0
+  EXPECT_LE(ratio, 4.0 + 1e-6);  // and never exceeds P/2 (Theorem 2)
+}
+
+TEST(Baseline, RespectsTheorem2UpperBound) {
+  // t_max <= (P/2) * t_lb on random instances.
+  const BaselineScheduler baseline;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const CommMatrix comm = testing::random_comm(8, seed);
+    const Schedule schedule = baseline.schedule(comm);
+    EXPECT_LE(schedule.completion_time(), 4.0 * comm.lower_bound() + 1e-9);
+  }
+}
+
+TEST(Baseline, FixedScheduleIgnoresDurations) {
+  // The baseline's event *order* is independent of the matrix — that is
+  // its documented weakness.
+  const BaselineScheduler baseline;
+  const CommMatrix a = testing::random_comm(5, 1);
+  const CommMatrix b = testing::random_comm(5, 2);
+  const auto order_of = [](const Schedule& s, std::size_t src) {
+    std::vector<std::size_t> order;
+    for (const ScheduledEvent& event : s.sender_events(src))
+      order.push_back(event.dst);
+    return order;
+  };
+  const Schedule sa = baseline.schedule(a);
+  const Schedule sb = baseline.schedule(b);
+  for (std::size_t src = 0; src < 5; ++src)
+    EXPECT_EQ(order_of(sa, src), order_of(sb, src));
+}
+
+// ---------------------------------------------------------------------------
+// Matching schedulers (§4.3)
+// ---------------------------------------------------------------------------
+
+TEST(Matching, ProducesAtMostPStepsEachAPartialPermutation) {
+  const CommMatrix comm = testing::random_comm(6, 3);
+  const StepSchedule steps = matching_steps(comm, MatchingObjective::kMaxWeight);
+  EXPECT_LE(steps.steps().size(), 6u);
+  EXPECT_TRUE(steps.covers_total_exchange());
+}
+
+TEST(Matching, MaxVariantFirstStepIsHeaviestMatching) {
+  const CommMatrix comm = testing::random_comm(6, 4);
+  const StepSchedule steps = matching_steps(comm, MatchingObjective::kMaxWeight);
+  double first_weight = 0.0;
+  for (const CommEvent& event : steps.steps().front())
+    first_weight += comm.time(event.src, event.dst);
+  // No later step outweighs the first.
+  for (const auto& step : steps.steps()) {
+    double weight = 0.0;
+    for (const CommEvent& event : step) weight += comm.time(event.src, event.dst);
+    EXPECT_LE(weight, first_weight + 1e-9);
+  }
+}
+
+TEST(Matching, MinVariantAlsoCovers) {
+  const CommMatrix comm = testing::random_comm(6, 5);
+  const StepSchedule steps = matching_steps(comm, MatchingObjective::kMinWeight);
+  EXPECT_TRUE(steps.covers_total_exchange());
+}
+
+TEST(Matching, AdaptsToDurations) {
+  // Unlike the baseline, the matching schedule changes when durations do.
+  const MatchingScheduler scheduler{MatchingObjective::kMaxWeight};
+  const CommMatrix a = testing::random_comm(6, 6);
+  const CommMatrix b = testing::random_comm(6, 7);
+  const auto orders = [](const Schedule& s) {
+    std::vector<std::vector<std::size_t>> all;
+    for (std::size_t src = 0; src < s.processor_count(); ++src) {
+      std::vector<std::size_t> order;
+      for (const ScheduledEvent& event : s.sender_events(src))
+        order.push_back(event.dst);
+      all.push_back(order);
+    }
+    return all;
+  };
+  EXPECT_NE(orders(scheduler.schedule(a)), orders(scheduler.schedule(b)));
+}
+
+TEST(Matching, GroupsSimilarLengths) {
+  // One long event per row/column (a permutation of long events), rest
+  // short: the max matching pulls all the long events into step one, and
+  // the schedule meets the lower bound exactly.
+  const std::size_t n = 5;
+  Matrix<double> times(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) times(i, j) = ((j == (i + 2) % n) ? 10.0 : 1.0);
+  const CommMatrix comm{std::move(times)};
+  const StepSchedule steps = matching_steps(comm, MatchingObjective::kMaxWeight);
+  for (const CommEvent& event : steps.steps().front())
+    EXPECT_DOUBLE_EQ(comm.time(event.src, event.dst), 10.0);
+  const Schedule schedule = execute_async(steps, comm);
+  EXPECT_NEAR(schedule.completion_time(), comm.lower_bound(), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Greedy (§4.4)
+// ---------------------------------------------------------------------------
+
+TEST(Greedy, CoversTotalExchange) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed)
+    EXPECT_TRUE(greedy_steps(testing::random_comm(7, seed)).covers_total_exchange());
+}
+
+TEST(Greedy, FirstStepPicksLongestEventsFirstComeFirstServed) {
+  const CommMatrix comm = testing::random_comm(5, 8);
+  const StepSchedule steps = greedy_steps(comm);
+  const auto& first = steps.steps().front();
+  // Processor 0 picks first in step 1, so it gets its longest event.
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first.front().src, 0u);
+  double longest = 0.0;
+  for (std::size_t dst = 0; dst < 5; ++dst)
+    longest = std::max(longest, comm.time(0, dst));
+  EXPECT_DOUBLE_EQ(comm.time(first.front().src, first.front().dst), longest);
+}
+
+TEST(Greedy, StepsMayExceedPMinusOne) {
+  // Adversarial instance: every sender's longest event targets receiver
+  // 0, which forces idling and extra steps.
+  const std::size_t n = 4;
+  Matrix<double> times(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) times(i, j) = (j == 0) ? 10.0 : 1.0;
+  const CommMatrix comm{std::move(times)};
+  const StepSchedule steps = greedy_steps(comm);
+  EXPECT_TRUE(steps.covers_total_exchange());
+  EXPECT_GE(steps.steps().size(), n - 1);
+}
+
+TEST(Greedy, ContendedReceiverRotatesAmongSenders) {
+  // All three other senders want receiver 0 first; the fairness rule must
+  // hand it to each of them across the steps.
+  const std::size_t n = 4;
+  Matrix<double> times(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) times(i, j) = (j == 0) ? 10.0 : 1.0;
+  const CommMatrix comm{std::move(times)};
+  const StepSchedule steps = greedy_steps(comm);
+  std::vector<std::size_t> receiver0_senders;
+  for (const auto& step : steps.steps())
+    for (const CommEvent& event : step)
+      if (event.dst == 0) receiver0_senders.push_back(event.src);
+  std::vector<std::size_t> sorted = receiver0_senders;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(Greedy, ValidTimedSchedule) {
+  const GreedyScheduler scheduler;
+  const CommMatrix comm = testing::random_comm(9, 13);
+  EXPECT_NO_THROW(scheduler.schedule(comm).validate(comm));
+}
+
+// ---------------------------------------------------------------------------
+// Open shop (§4.5)
+// ---------------------------------------------------------------------------
+
+TEST(OpenShop, ValidTimedSchedule) {
+  const OpenShopScheduler scheduler;
+  const CommMatrix comm = testing::random_comm(9, 17);
+  EXPECT_NO_THROW(scheduler.schedule(comm).validate(comm));
+}
+
+TEST(OpenShop, Theorem3TwiceLowerBound) {
+  // The open-shop heuristic is guaranteed within 2 * t_lb. Sweep many
+  // random instances with a wide duration spread.
+  const OpenShopScheduler scheduler;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const CommMatrix comm = testing::random_comm(8, seed, 0.01, 10.0);
+    const Schedule schedule = scheduler.schedule(comm);
+    EXPECT_LE(schedule.completion_time(), 2.0 * comm.lower_bound() + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(OpenShop, SenderGapsAreCoveredByItsNextReceiver) {
+  // Structural property behind Theorem 3: idle cycles appear in a
+  // sender's schedule only while its next receiver is busy.
+  const OpenShopScheduler scheduler;
+  const CommMatrix comm = testing::random_comm(6, 23);
+  const Schedule schedule = scheduler.schedule(comm);
+  for (std::size_t src = 0; src < 6; ++src) {
+    const auto sends = schedule.sender_events(src);
+    double cursor = 0.0;
+    for (const ScheduledEvent& event : sends) {
+      if (event.start_s > cursor + 1e-12) {
+        // Gap [cursor, event.start): event.dst must be receiving for the
+        // whole gap (otherwise the heuristic would have started earlier).
+        const auto receives = schedule.receiver_events(event.dst);
+        double covered = cursor;
+        for (const ScheduledEvent& r : receives) {
+          if (r.finish_s <= covered + 1e-12 || r.start_s >= event.start_s)
+            continue;
+          EXPECT_LE(r.start_s, covered + 1e-9)
+              << "receiver " << event.dst << " idle inside sender " << src
+              << "'s gap";
+          covered = std::max(covered, r.finish_s);
+        }
+        EXPECT_GE(covered, event.start_s - 1e-9);
+      }
+      cursor = std::max(cursor, event.finish_s);
+    }
+  }
+}
+
+TEST(OpenShop, UniformMatrixStaysWellInsideTheoremBound) {
+  // Greedy open shop is not exactly optimal on uniform instances (its
+  // first-come-first-served pairing can strand one sender per round), but
+  // it stays far inside the 2x guarantee.
+  const std::size_t n = 5;
+  Matrix<double> times(n, n, 3.0);
+  for (std::size_t i = 0; i < n; ++i) times(i, i) = 0.0;
+  const CommMatrix comm{std::move(times)};
+  const OpenShopScheduler scheduler;
+  const double completion = scheduler.schedule(comm).completion_time();
+  EXPECT_GE(completion, comm.lower_bound() - 1e-9);
+  EXPECT_LE(completion, 1.5 * comm.lower_bound() + 1e-9);
+}
+
+TEST(OpenShop, TwoProcessorsIsOptimal) {
+  // P = 2: both events run concurrently; completion equals the lower
+  // bound exactly.
+  const CommMatrix comm{Matrix<double>{{0, 4}, {9, 0}}};
+  const OpenShopScheduler scheduler;
+  EXPECT_DOUBLE_EQ(scheduler.schedule(comm).completion_time(), 9.0);
+}
+
+// ---------------------------------------------------------------------------
+// Random scheduler (control)
+// ---------------------------------------------------------------------------
+
+TEST(Random, CoversAndValidates) {
+  const RandomScheduler scheduler{77};
+  const CommMatrix comm = testing::random_comm(8, 19);
+  EXPECT_NO_THROW(scheduler.schedule(comm).validate(comm));
+}
+
+TEST(Random, DeterministicInSeed) {
+  const CommMatrix comm = testing::random_comm(8, 19);
+  const RandomScheduler a{5}, b{5}, c{6};
+  EXPECT_EQ(a.schedule(comm).events(), b.schedule(comm).events());
+  EXPECT_NE(a.schedule(comm).events(), c.schedule(comm).events());
+}
+
+// ---------------------------------------------------------------------------
+// Exact solver + cross-validation
+// ---------------------------------------------------------------------------
+
+TEST(Exact, TrivialSizes) {
+  EXPECT_DOUBLE_EQ(
+      solve_exact(CommMatrix{Matrix<double>{{0.0}}}).schedule.completion_time(),
+      0.0);
+  const CommMatrix two{Matrix<double>{{0, 5}, {7, 0}}};
+  const ExactResult result = solve_exact(two);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.schedule.completion_time(), 7.0);
+}
+
+TEST(Exact, MatchesLowerBoundWhenAchievable) {
+  // Uniform 3-processor instance: optimum equals the lower bound.
+  Matrix<double> times(3, 3, 1.0);
+  for (std::size_t i = 0; i < 3; ++i) times(i, i) = 0.0;
+  const CommMatrix comm{std::move(times)};
+  const ExactResult result = solve_exact(comm);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_NEAR(result.schedule.completion_time(), comm.lower_bound(), 1e-9);
+}
+
+TEST(Exact, ProducesValidSchedules) {
+  const CommMatrix comm = testing::random_comm(4, 31);
+  const ExactResult result = solve_exact(comm);
+  EXPECT_NO_THROW(result.schedule.validate(comm));
+}
+
+TEST(Exact, BudgetExhaustionStillReturnsValidSchedule) {
+  const CommMatrix comm = testing::random_comm(5, 37);
+  const ExactResult result = solve_exact(comm, /*node_budget=*/10);
+  EXPECT_FALSE(result.proven_optimal);
+  EXPECT_NO_THROW(result.schedule.validate(comm));
+}
+
+/// Heuristics vs the exact optimum, across sizes and seeds.
+class HeuristicVsExact
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(HeuristicVsExact, HeuristicsNeverBeatAndOpenShopStaysWithin2x) {
+  const auto [n, seed] = GetParam();
+  const CommMatrix comm = testing::random_comm(n, seed);
+  const ExactResult exact = solve_exact(comm);
+  ASSERT_TRUE(exact.proven_optimal);
+  const double optimum = exact.schedule.completion_time();
+  EXPECT_GE(optimum, comm.lower_bound() - 1e-9);
+
+  for (const SchedulerKind kind : paper_schedulers()) {
+    const auto scheduler = make_scheduler(kind);
+    const Schedule schedule = scheduler->schedule(comm);
+    schedule.validate(comm);
+    EXPECT_GE(schedule.completion_time(), optimum - 1e-9)
+        << scheduler_name(kind) << " beat the proven optimum";
+  }
+  const OpenShopScheduler openshop;
+  EXPECT_LE(openshop.schedule(comm).completion_time(), 2.0 * optimum + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, HeuristicVsExact,
+    ::testing::Combine(::testing::Values(3, 4),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u)));
+
+// ---------------------------------------------------------------------------
+// Cross-cutting validity and quality sweeps
+// ---------------------------------------------------------------------------
+
+/// Every scheduler must produce a valid schedule on every instance.
+class ValiditySweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(ValiditySweep, AllSchedulersValidAndAboveLowerBound) {
+  const auto [n, seed] = GetParam();
+  const CommMatrix comm = testing::random_comm(n, seed, 0.0, 20.0);
+  for (const SchedulerKind kind :
+       {SchedulerKind::kBaseline, SchedulerKind::kMaxMatching,
+        SchedulerKind::kMinMatching, SchedulerKind::kGreedy,
+        SchedulerKind::kOpenShop, SchedulerKind::kRandom}) {
+    const auto scheduler = make_scheduler(kind, seed);
+    const Schedule schedule = scheduler->schedule(comm);
+    EXPECT_NO_THROW(schedule.validate(comm)) << scheduler_name(kind);
+    EXPECT_GE(schedule.completion_time(), comm.lower_bound() - 1e-9)
+        << scheduler_name(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, ValiditySweep,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8, 13, 21, 34),
+                       ::testing::Values(11u, 22u, 33u)));
+
+TEST(PaperExample, AdaptiveSchedulersBeatBaseline) {
+  const CommMatrix comm = paper_example_comm();
+  const double lb = comm.lower_bound();
+  const double baseline =
+      make_scheduler(SchedulerKind::kBaseline)->schedule(comm).completion_time();
+  const double openshop =
+      make_scheduler(SchedulerKind::kOpenShop)->schedule(comm).completion_time();
+  const double matching = make_scheduler(SchedulerKind::kMaxMatching)
+                              ->schedule(comm)
+                              .completion_time();
+  EXPECT_GT(baseline, lb);
+  EXPECT_LE(openshop, baseline);
+  EXPECT_LE(matching, baseline + 1e-9);
+  EXPECT_LE(openshop, 2.0 * lb);
+}
+
+TEST(SchedulerFactory, NamesAreConsistent) {
+  for (const SchedulerKind kind : paper_schedulers())
+    EXPECT_EQ(make_scheduler(kind)->name(), scheduler_name(kind));
+  EXPECT_EQ(make_scheduler(SchedulerKind::kRandom, 1)->name(), "random");
+}
+
+TEST(SchedulerFactory, PaperListHasFiveAlgorithmsInPlotOrder) {
+  const auto& kinds = paper_schedulers();
+  ASSERT_EQ(kinds.size(), 5u);
+  EXPECT_EQ(kinds.front(), SchedulerKind::kBaseline);
+  EXPECT_EQ(kinds.back(), SchedulerKind::kOpenShop);
+}
+
+}  // namespace
+}  // namespace hcs

@@ -1,0 +1,22 @@
+// Shared helpers for the hcs test suite.
+#pragma once
+
+#include "core/comm_matrix.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace hcs::testing {
+
+/// Random communication matrix: off-diagonal times uniform in [lo, hi),
+/// zero diagonal. Deterministic in (n, seed).
+inline CommMatrix random_comm(std::size_t n, std::uint64_t seed,
+                              double lo = 0.1, double hi = 10.0) {
+  Rng rng{seed};
+  Matrix<double> times(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) times(i, j) = rng.uniform(lo, hi);
+  return CommMatrix{std::move(times)};
+}
+
+}  // namespace hcs::testing

@@ -1,0 +1,201 @@
+// Tests for src/workload: the message generators behind Figures 9–12 and
+// the matrix-transpose workload of §4.1.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/error.hpp"
+#include "workload/generators.hpp"
+#include "workload/scenario.hpp"
+
+namespace hcs {
+namespace {
+
+TEST(UniformMessages, AllOffDiagonalEqual) {
+  const MessageMatrix sizes = uniform_messages(6, kKiB);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_EQ(sizes(i, j), i == j ? 0u : kKiB);
+}
+
+TEST(UniformMessages, ZeroProcessorsThrows) {
+  EXPECT_THROW((void)uniform_messages(0, kKiB), InputError);
+}
+
+TEST(MixedMessages, OnlyUsesOfferedSizes) {
+  const MessageMatrix sizes = mixed_messages(10, 42, {kKiB, kMiB});
+  for (std::size_t i = 0; i < 10; ++i)
+    for (std::size_t j = 0; j < 10; ++j) {
+      if (i == j) {
+        EXPECT_EQ(sizes(i, j), 0u);
+      } else {
+        EXPECT_TRUE(sizes(i, j) == kKiB || sizes(i, j) == kMiB);
+      }
+    }
+}
+
+TEST(MixedMessages, UsesBothSizes) {
+  const MessageMatrix sizes = mixed_messages(10, 42, {kKiB, kMiB});
+  bool small = false, large = false;
+  sizes.for_each([&](std::size_t i, std::size_t j, const std::uint64_t& s) {
+    if (i == j) return;
+    small = small || s == kKiB;
+    large = large || s == kMiB;
+  });
+  EXPECT_TRUE(small);
+  EXPECT_TRUE(large);
+}
+
+TEST(MixedMessages, DeterministicInSeed) {
+  EXPECT_EQ(mixed_messages(8, 7, {kKiB, kMiB}), mixed_messages(8, 7, {kKiB, kMiB}));
+  EXPECT_NE(mixed_messages(8, 7, {kKiB, kMiB}), mixed_messages(8, 8, {kKiB, kMiB}));
+}
+
+TEST(MixedMessages, EmptySizeListThrows) {
+  EXPECT_THROW((void)mixed_messages(4, 1, {}), InputError);
+}
+
+// ---------------------------------------------------------------------------
+// Server/client workload (Figure 12)
+// ---------------------------------------------------------------------------
+
+TEST(ServerWorkload, TwentyPercentServers) {
+  const auto servers = server_indices(20, 1);
+  EXPECT_EQ(servers.size(), 4u);  // ceil(0.2 * 20)
+}
+
+TEST(ServerWorkload, AtLeastOneServerEvenWhenTiny) {
+  const auto servers = server_indices(2, 1);
+  EXPECT_EQ(servers.size(), 1u);
+}
+
+TEST(ServerWorkload, ServerToClientIsLargeEverythingElseSmall) {
+  ServerWorkloadOptions options;
+  const MessageMatrix sizes = server_client_messages(10, 3, options);
+  const auto servers = server_indices(10, 3, options);
+  std::vector<bool> is_server(10, false);
+  for (const std::size_t s : servers) is_server[s] = true;
+  for (std::size_t i = 0; i < 10; ++i)
+    for (std::size_t j = 0; j < 10; ++j) {
+      if (i == j) continue;
+      const std::uint64_t expected = (is_server[i] && !is_server[j])
+                                         ? options.large_bytes
+                                         : options.small_bytes;
+      EXPECT_EQ(sizes(i, j), expected) << "pair " << i << "->" << j;
+    }
+}
+
+TEST(ServerWorkload, ServerLoadsAreBalanced) {
+  // Each server sends large messages to every client, so all server row
+  // sums are equal — the paper's "load on the servers is balanced".
+  const MessageMatrix sizes = server_client_messages(15, 5);
+  const auto servers = server_indices(15, 5);
+  const std::uint64_t reference = sizes.row_sum(servers.front());
+  for (const std::size_t s : servers) EXPECT_EQ(sizes.row_sum(s), reference);
+}
+
+TEST(ServerWorkload, RandomPlacementIsSeededAndSorted) {
+  ServerWorkloadOptions options;
+  options.randomize_placement = true;
+  const auto a = server_indices(30, 9, options);
+  const auto b = server_indices(30, 9, options);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  const auto c = server_indices(30, 10, options);
+  EXPECT_NE(a, c);
+}
+
+TEST(ServerWorkload, DefaultPlacementIsPrefix) {
+  const auto servers = server_indices(10, 1);
+  EXPECT_EQ(servers, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(ServerWorkload, InvalidInputsThrow) {
+  EXPECT_THROW((void)server_indices(1, 1), InputError);
+  ServerWorkloadOptions bad;
+  bad.server_fraction = 0.0;
+  EXPECT_THROW((void)server_indices(10, 1, bad), InputError);
+  bad.server_fraction = 1.0;
+  EXPECT_THROW((void)server_indices(10, 1, bad), InputError);
+}
+
+// ---------------------------------------------------------------------------
+// Matrix-transpose workload (§4.1)
+// ---------------------------------------------------------------------------
+
+TEST(TransposeWorkload, EvenDivision) {
+  // 8x8 matrix of 8-byte elements over 4 processors: every processor owns
+  // 2 rows and will own 2 columns; each pair exchanges 2*2*8 = 32 bytes.
+  const MessageMatrix sizes = transpose_messages(4, 8, 8, 8);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_EQ(sizes(i, j), i == j ? 0u : 32u);
+}
+
+TEST(TransposeWorkload, UnevenDivisionGivesExtraToLowRanks) {
+  // 5 rows over 3 processors: blocks of 2, 2, 1.
+  const MessageMatrix sizes = transpose_messages(3, 5, 3, 1);
+  // Processor 0 holds 2 rows; processor 2 owns 1 column.
+  EXPECT_EQ(sizes(0, 2), 2u * 1u * 1u);
+  // Processor 2 holds 1 row; processor 0 owns 1 column.
+  EXPECT_EQ(sizes(2, 0), 1u * 1u * 1u);
+}
+
+TEST(TransposeWorkload, TotalBytesMatchMatrixVolume) {
+  // Total communicated volume = full matrix minus the locally kept
+  // row-block x column-block intersections.
+  const std::size_t P = 4, R = 12, C = 8;
+  const std::uint64_t elem = 4;
+  const MessageMatrix sizes = transpose_messages(P, R, C, elem);
+  std::uint64_t off_diagonal = 0;
+  sizes.for_each([&](std::size_t, std::size_t, const std::uint64_t& s) {
+    off_diagonal += s;
+  });
+  std::uint64_t kept = 0;
+  for (std::size_t p = 0; p < P; ++p) kept += (R / P) * (C / P) * elem;
+  EXPECT_EQ(off_diagonal + kept, static_cast<std::uint64_t>(R * C) * elem);
+}
+
+TEST(TransposeWorkload, DegenerateInputsThrow) {
+  EXPECT_THROW((void)transpose_messages(0, 4, 4, 1), InputError);
+  EXPECT_THROW((void)transpose_messages(4, 0, 4, 1), InputError);
+  EXPECT_THROW((void)transpose_messages(4, 4, 4, 0), InputError);
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------------
+
+TEST(Scenario, NamesAreStable) {
+  EXPECT_EQ(scenario_name(Scenario::kSmallMessages), "small-1kB");
+  EXPECT_EQ(scenario_name(Scenario::kServers), "servers-20pct");
+}
+
+TEST(Scenario, InstanceIsDeterministic) {
+  const ProblemInstance a = make_instance(Scenario::kMixedMessages, 8, 5);
+  const ProblemInstance b = make_instance(Scenario::kMixedMessages, 8, 5);
+  EXPECT_EQ(a.messages, b.messages);
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j)
+      if (i != j) EXPECT_EQ(a.network.link(i, j), b.network.link(i, j));
+}
+
+TEST(Scenario, MessageSizesMatchScenario) {
+  const ProblemInstance small = make_instance(Scenario::kSmallMessages, 6, 1);
+  EXPECT_EQ(small.messages(0, 1), kKiB);
+  const ProblemInstance large = make_instance(Scenario::kLargeMessages, 6, 1);
+  EXPECT_EQ(large.messages(0, 1), kMiB);
+}
+
+TEST(Scenario, NetworkAndWorkloadSizesAgree) {
+  for (const Scenario scenario :
+       {Scenario::kSmallMessages, Scenario::kLargeMessages,
+        Scenario::kMixedMessages, Scenario::kServers}) {
+    const ProblemInstance instance = make_instance(scenario, 12, 3);
+    EXPECT_EQ(instance.network.processor_count(), 12u);
+    EXPECT_EQ(instance.messages.rows(), 12u);
+  }
+}
+
+}  // namespace
+}  // namespace hcs

@@ -1,0 +1,305 @@
+#include "tools/cli.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "collectives/broadcast.hpp"
+#include "core/comm_matrix.hpp"
+#include "core/schedule_stats.hpp"
+#include "core/scheduler.hpp"
+#include "netmodel/directory.hpp"
+#include "netmodel/generator.hpp"
+#include "sim/simulator.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "workload/scenario.hpp"
+
+namespace hcs::cli {
+namespace {
+
+constexpr const char* kUsage = R"(hcs — heterogeneous communication scheduling tool
+
+usage:
+  hcs generate --processors N [--seed S] [--scenario small|large|mixed|servers]
+      Print a P x P communication-matrix CSV (seconds) for a random
+      GUSTO-guided network and the scenario's message sizes.
+
+  hcs schedule [--algorithm NAME] [--diagram] [--events] [--stats]
+      Read a communication-matrix CSV on stdin and schedule it.
+      Algorithms: baseline, baseline-barrier, max-matching, min-matching,
+      greedy, openshop (default), random, all.
+
+  hcs simulate --processors N [--seed S] [--scenario NAME]
+               [--algorithm NAME] [--drift SIGMA]
+      Generate an instance, schedule it, then execute the plan against a
+      directory whose bandwidths drift (geometric random walk with the
+      given per-second log-sigma; 0 = static). Reports planned vs actual.
+
+  hcs lowerbound
+      Read a communication-matrix CSV on stdin and print t_lb.
+
+  hcs broadcast --processors N [--seed S] [--root R] [--bytes B]
+                [--algorithm fnf|binomial|linear]
+      Schedule a heterogeneous broadcast on a random network.
+
+  hcs help
+      Show this message.
+)";
+
+Scenario parse_scenario(const std::string& name) {
+  if (name == "small") return Scenario::kSmallMessages;
+  if (name == "large") return Scenario::kLargeMessages;
+  if (name == "mixed") return Scenario::kMixedMessages;
+  if (name == "servers") return Scenario::kServers;
+  throw InputError("unknown scenario '" + name + "'");
+}
+
+SchedulerKind parse_algorithm(const std::string& name) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kBaseline, SchedulerKind::kBaselineBarrier,
+        SchedulerKind::kMaxMatching, SchedulerKind::kMinMatching,
+        SchedulerKind::kGreedy, SchedulerKind::kOpenShop,
+        SchedulerKind::kRandom})
+    if (scheduler_name(kind) == name) return kind;
+  throw InputError("unknown algorithm '" + name + "'");
+}
+
+int cmd_generate(const Options& options, std::ostream& out) {
+  const long processors = options.get_long("processors", 0);
+  if (processors < 2) throw InputError("--processors must be >= 2");
+  const auto seed = static_cast<std::uint64_t>(options.get_long("seed", 1));
+  const Scenario scenario = parse_scenario(options.get("scenario", "mixed"));
+  const ProblemInstance instance =
+      make_instance(scenario, static_cast<std::size_t>(processors), seed);
+  const CommMatrix comm{instance.network, instance.messages};
+  write_csv_matrix(out, comm.times(), 9);
+  return 0;
+}
+
+int cmd_schedule(const Options& options, std::istream& in, std::ostream& out) {
+  const CommMatrix comm{read_csv_matrix(in)};
+  const std::string algorithm = options.get("algorithm", "openshop");
+  const double lb = comm.lower_bound();
+
+  std::vector<SchedulerKind> kinds;
+  if (algorithm == "all") {
+    kinds = paper_schedulers();
+    kinds.push_back(SchedulerKind::kBaselineBarrier);
+  } else {
+    kinds.push_back(parse_algorithm(algorithm));
+  }
+
+  Table table{{"algorithm", "completion (s)", "ratio to t_lb"}};
+  for (const SchedulerKind kind : kinds) {
+    const auto scheduler = make_scheduler(kind, /*seed=*/1);
+    const Schedule schedule = scheduler->schedule(comm);
+    schedule.validate(comm);
+    table.add_row({std::string(scheduler->name()),
+                   format_double(schedule.completion_time(), 4),
+                   format_double(lb > 0 ? schedule.completion_time() / lb : 1.0,
+                                 4)});
+    if (kinds.size() == 1) {
+      if (options.has("events")) {
+        out << "src,dst,start_s,finish_s\n";
+        for (const ScheduledEvent& event : schedule.events())
+          out << event.src << ',' << event.dst << ','
+              << format_double(event.start_s, 6) << ','
+              << format_double(event.finish_s, 6) << '\n';
+      }
+      if (options.has("diagram")) out << render_timing_diagram(schedule, 24);
+      if (options.has("stats")) {
+        const ScheduleStats stats = analyze_schedule(schedule, comm);
+        out << "mean port utilization: "
+            << format_double(stats.mean_utilization, 3) << "  (bottleneck P"
+            << stats.bottleneck_processor << ")\n";
+        stats_table(stats).print(out);
+      }
+    }
+  }
+  out << "lower bound: " << format_double(lb, 4) << " s\n";
+  table.print(out);
+  return 0;
+}
+
+int cmd_lowerbound(std::istream& in, std::ostream& out) {
+  const CommMatrix comm{read_csv_matrix(in)};
+  out << format_double(comm.lower_bound(), 9) << '\n';
+  return 0;
+}
+
+int cmd_broadcast(const Options& options, std::ostream& out) {
+  const long processors = options.get_long("processors", 0);
+  if (processors < 2) throw InputError("--processors must be >= 2");
+  const auto n = static_cast<std::size_t>(processors);
+  const auto seed = static_cast<std::uint64_t>(options.get_long("seed", 1));
+  const auto root = static_cast<std::size_t>(options.get_long("root", 0));
+  const auto bytes = static_cast<std::uint64_t>(
+      options.get_long("bytes", static_cast<long>(kMiB)));
+  const std::string algorithm = options.get("algorithm", "fnf");
+
+  const NetworkModel network = generate_network(n, seed);
+  BroadcastSchedule broadcast;
+  if (algorithm == "fnf") {
+    broadcast = broadcast_fnf(network, root, bytes);
+  } else if (algorithm == "binomial") {
+    broadcast = broadcast_binomial(network, root, bytes);
+  } else if (algorithm == "linear") {
+    broadcast = broadcast_linear(network, root, bytes);
+  } else {
+    throw InputError("unknown broadcast algorithm '" + algorithm + "'");
+  }
+  validate_broadcast(broadcast, network);
+
+  out << "broadcast " << algorithm << ": completion "
+      << format_double(broadcast.completion_time(), 4) << " s (relay lower bound "
+      << format_double(broadcast_lower_bound(network, root, bytes), 4)
+      << " s)\n";
+  out << "src,dst,start_s,finish_s\n";
+  for (const ScheduledEvent& event : broadcast.events)
+    out << event.src << ',' << event.dst << ','
+        << format_double(event.start_s, 6) << ','
+        << format_double(event.finish_s, 6) << '\n';
+  return 0;
+}
+
+int cmd_simulate(const Options& options, std::ostream& out) {
+  const long processors = options.get_long("processors", 0);
+  if (processors < 2) throw InputError("--processors must be >= 2");
+  const auto n = static_cast<std::size_t>(processors);
+  const auto seed = static_cast<std::uint64_t>(options.get_long("seed", 1));
+  const Scenario scenario = parse_scenario(options.get("scenario", "mixed"));
+  const SchedulerKind kind =
+      parse_algorithm(options.get("algorithm", "openshop"));
+  const double sigma = options.get_double("drift", 0.2);
+  if (sigma < 0.0) throw InputError("--drift must be non-negative");
+
+  const ProblemInstance instance = make_instance(scenario, n, seed);
+  const CommMatrix comm{instance.network, instance.messages};
+  const auto scheduler = make_scheduler(kind, seed);
+  const Schedule planned = scheduler->schedule(comm);
+  planned.validate(comm);
+
+  DriftingDirectory::Options drift;
+  drift.step_sigma = sigma;
+  const DriftingDirectory directory{instance.network, seed * 97, drift};
+  const NetworkSimulator simulator{directory, instance.messages};
+  const SimResult actual =
+      simulator.run(SendProgram::from_schedule(planned));
+
+  out << "scenario " << scenario_name(scenario) << ", P = " << n << ", "
+      << scheduler->name() << " schedule\n";
+  Table table{{"", "completion (s)", "ratio to t_lb"}};
+  const double lb = comm.lower_bound();
+  table.add_row({"planned (directory estimate)",
+                 format_double(planned.completion_time(), 4),
+                 format_double(planned.completion_time() / lb, 4)});
+  table.add_row({"actual (drift sigma " + format_double(sigma, 2) + ")",
+                 format_double(actual.completion_time, 4),
+                 format_double(actual.completion_time / lb, 4)});
+  table.print(out);
+  out << "sender wait total: " << format_double(actual.total_sender_wait_s, 3)
+      << " s\n";
+  return 0;
+}
+
+}  // namespace
+
+Options::Options(const std::vector<std::string>& args, std::size_t from,
+                 const std::vector<std::string>& allowed) {
+  for (std::size_t k = from; k < args.size(); ++k) {
+    const std::string& arg = args[k];
+    if (arg.rfind("--", 0) != 0)
+      throw InputError("unexpected argument '" + arg + "'");
+    const std::string key = arg.substr(2);
+    bool known = false;
+    for (const std::string& candidate : allowed)
+      if (candidate == key) known = true;
+    if (!known) throw InputError("unknown option '--" + key + "'");
+    // Bare flag when the next token is absent or another option.
+    if (k + 1 < args.size() && args[k + 1].rfind("--", 0) != 0) {
+      values_.emplace_back(key, args[k + 1]);
+      ++k;
+    } else {
+      values_.emplace_back(key, "");
+    }
+  }
+}
+
+bool Options::has(const std::string& key) const {
+  for (const auto& [k, v] : values_)
+    if (k == key) return true;
+  return false;
+}
+
+std::string Options::get(const std::string& key,
+                         const std::string& fallback) const {
+  for (const auto& [k, v] : values_)
+    if (k == key) return v;
+  return fallback;
+}
+
+long Options::get_long(const std::string& key, long fallback) const {
+  const std::string value = get(key, "");
+  if (value.empty()) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0')
+    throw InputError("option --" + key + " expects an integer");
+  return parsed;
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const std::string value = get(key, "");
+  if (value.empty()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0')
+    throw InputError("option --" + key + " expects a number");
+  return parsed;
+}
+
+int run_cli(const std::vector<std::string>& args, std::istream& in,
+            std::ostream& out, std::ostream& err) {
+  try {
+    if (args.empty() || args[0] == "help" || args[0] == "--help") {
+      out << kUsage;
+      return args.empty() ? 2 : 0;
+    }
+    const std::string& command = args[0];
+    if (command == "generate") {
+      const Options options(args, 1, {"processors", "seed", "scenario"});
+      return cmd_generate(options, out);
+    }
+    if (command == "schedule") {
+      const Options options(args, 1, {"algorithm", "diagram", "events", "stats"});
+      return cmd_schedule(options, in, out);
+    }
+    if (command == "simulate") {
+      const Options options(
+          args, 1, {"processors", "seed", "scenario", "algorithm", "drift"});
+      return cmd_simulate(options, out);
+    }
+    if (command == "lowerbound") {
+      (void)Options(args, 1, {});
+      return cmd_lowerbound(in, out);
+    }
+    if (command == "broadcast") {
+      const Options options(args, 1,
+                            {"processors", "seed", "root", "bytes", "algorithm"});
+      return cmd_broadcast(options, out);
+    }
+    err << "hcs: unknown command '" << command << "'\n" << kUsage;
+    return 2;
+  } catch (const InputError& error) {
+    err << "hcs: " << error.what() << '\n';
+    return 1;
+  } catch (const std::exception& error) {
+    err << "hcs: internal error: " << error.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace hcs::cli

@@ -1,0 +1,11 @@
+// Thin binary wrapper around the testable CLI library (tools/cli.hpp).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return hcs::cli::run_cli(args, std::cin, std::cout, std::cerr);
+}
