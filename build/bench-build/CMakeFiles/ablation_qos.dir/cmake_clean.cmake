@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_qos"
+  "../bench/ablation_qos.pdb"
+  "CMakeFiles/ablation_qos.dir/ablation_qos.cpp.o"
+  "CMakeFiles/ablation_qos.dir/ablation_qos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_large_messages"
+  "../bench/fig10_large_messages.pdb"
+  "CMakeFiles/fig10_large_messages.dir/fig10_large_messages.cpp.o"
+  "CMakeFiles/fig10_large_messages.dir/fig10_large_messages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_large_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

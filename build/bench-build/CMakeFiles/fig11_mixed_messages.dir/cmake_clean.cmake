@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_mixed_messages"
+  "../bench/fig11_mixed_messages.pdb"
+  "CMakeFiles/fig11_mixed_messages.dir/fig11_mixed_messages.cpp.o"
+  "CMakeFiles/fig11_mixed_messages.dir/fig11_mixed_messages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mixed_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

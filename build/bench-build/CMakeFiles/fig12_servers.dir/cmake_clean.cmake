@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_servers"
+  "../bench/fig12_servers.pdb"
+  "CMakeFiles/fig12_servers.dir/fig12_servers.cpp.o"
+  "CMakeFiles/fig12_servers.dir/fig12_servers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

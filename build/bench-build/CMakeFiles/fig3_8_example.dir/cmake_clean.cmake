@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_8_example"
+  "../bench/fig3_8_example.pdb"
+  "CMakeFiles/fig3_8_example.dir/fig3_8_example.cpp.o"
+  "CMakeFiles/fig3_8_example.dir/fig3_8_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_8_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

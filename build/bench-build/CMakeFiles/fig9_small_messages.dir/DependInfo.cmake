@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_small_messages.cpp" "bench-build/CMakeFiles/fig9_small_messages.dir/fig9_small_messages.cpp.o" "gcc" "bench-build/CMakeFiles/fig9_small_messages.dir/fig9_small_messages.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiment/CMakeFiles/hcs_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hcs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/hcs_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_small_messages"
+  "../bench/fig9_small_messages.pdb"
+  "CMakeFiles/fig9_small_messages.dir/fig9_small_messages.cpp.o"
+  "CMakeFiles/fig9_small_messages.dir/fig9_small_messages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_small_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

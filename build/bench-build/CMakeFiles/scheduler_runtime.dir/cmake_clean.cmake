@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scheduler_runtime"
+  "../bench/scheduler_runtime.pdb"
+  "CMakeFiles/scheduler_runtime.dir/scheduler_runtime.cpp.o"
+  "CMakeFiles/scheduler_runtime.dir/scheduler_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

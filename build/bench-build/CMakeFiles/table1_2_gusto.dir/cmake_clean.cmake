@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_2_gusto"
+  "../bench/table1_2_gusto.pdb"
+  "CMakeFiles/table1_2_gusto.dir/table1_2_gusto.cpp.o"
+  "CMakeFiles/table1_2_gusto.dir/table1_2_gusto.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_2_gusto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_rescheduling.dir/adaptive_rescheduling.cpp.o"
+  "CMakeFiles/adaptive_rescheduling.dir/adaptive_rescheduling.cpp.o.d"
+  "adaptive_rescheduling"
+  "adaptive_rescheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_rescheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectives_tour.dir/collectives_tour.cpp.o"
+  "CMakeFiles/collectives_tour.dir/collectives_tour.cpp.o.d"
+  "collectives_tour"
+  "collectives_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectives_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

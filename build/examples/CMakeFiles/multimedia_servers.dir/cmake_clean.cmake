@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimedia_servers.dir/multimedia_servers.cpp.o"
+  "CMakeFiles/multimedia_servers.dir/multimedia_servers.cpp.o.d"
+  "multimedia_servers"
+  "multimedia_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimedia_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_deadlines.dir/qos_deadlines.cpp.o"
+  "CMakeFiles/qos_deadlines.dir/qos_deadlines.cpp.o.d"
+  "qos_deadlines"
+  "qos_deadlines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_deadlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("netmodel")
+subdirs("graph")
+subdirs("workload")
+subdirs("core")
+subdirs("sim")
+subdirs("adaptive")
+subdirs("qos")
+subdirs("collectives")
+subdirs("staging")
+subdirs("runtime")
+subdirs("experiment")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_adaptive.dir/checkpoint.cpp.o"
+  "CMakeFiles/hcs_adaptive.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/hcs_adaptive.dir/incremental.cpp.o"
+  "CMakeFiles/hcs_adaptive.dir/incremental.cpp.o.d"
+  "libhcs_adaptive.a"
+  "libhcs_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_collectives.dir/allgather.cpp.o"
+  "CMakeFiles/hcs_collectives.dir/allgather.cpp.o.d"
+  "CMakeFiles/hcs_collectives.dir/broadcast.cpp.o"
+  "CMakeFiles/hcs_collectives.dir/broadcast.cpp.o.d"
+  "CMakeFiles/hcs_collectives.dir/scatter_gather.cpp.o"
+  "CMakeFiles/hcs_collectives.dir/scatter_gather.cpp.o.d"
+  "CMakeFiles/hcs_collectives.dir/sparse_exchange.cpp.o"
+  "CMakeFiles/hcs_collectives.dir/sparse_exchange.cpp.o.d"
+  "libhcs_collectives.a"
+  "libhcs_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

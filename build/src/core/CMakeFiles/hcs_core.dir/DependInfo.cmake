@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline.cpp" "src/core/CMakeFiles/hcs_core.dir/baseline.cpp.o" "gcc" "src/core/CMakeFiles/hcs_core.dir/baseline.cpp.o.d"
+  "/root/repo/src/core/comm_matrix.cpp" "src/core/CMakeFiles/hcs_core.dir/comm_matrix.cpp.o" "gcc" "src/core/CMakeFiles/hcs_core.dir/comm_matrix.cpp.o.d"
+  "/root/repo/src/core/depgraph.cpp" "src/core/CMakeFiles/hcs_core.dir/depgraph.cpp.o" "gcc" "src/core/CMakeFiles/hcs_core.dir/depgraph.cpp.o.d"
+  "/root/repo/src/core/exact.cpp" "src/core/CMakeFiles/hcs_core.dir/exact.cpp.o" "gcc" "src/core/CMakeFiles/hcs_core.dir/exact.cpp.o.d"
+  "/root/repo/src/core/greedy_scheduler.cpp" "src/core/CMakeFiles/hcs_core.dir/greedy_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/hcs_core.dir/greedy_scheduler.cpp.o.d"
+  "/root/repo/src/core/matching_scheduler.cpp" "src/core/CMakeFiles/hcs_core.dir/matching_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/hcs_core.dir/matching_scheduler.cpp.o.d"
+  "/root/repo/src/core/openshop_scheduler.cpp" "src/core/CMakeFiles/hcs_core.dir/openshop_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/hcs_core.dir/openshop_scheduler.cpp.o.d"
+  "/root/repo/src/core/paper_example.cpp" "src/core/CMakeFiles/hcs_core.dir/paper_example.cpp.o" "gcc" "src/core/CMakeFiles/hcs_core.dir/paper_example.cpp.o.d"
+  "/root/repo/src/core/random_scheduler.cpp" "src/core/CMakeFiles/hcs_core.dir/random_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/hcs_core.dir/random_scheduler.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/hcs_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/hcs_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/schedule_stats.cpp" "src/core/CMakeFiles/hcs_core.dir/schedule_stats.cpp.o" "gcc" "src/core/CMakeFiles/hcs_core.dir/schedule_stats.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/hcs_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/hcs_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/step_schedule.cpp" "src/core/CMakeFiles/hcs_core.dir/step_schedule.cpp.o" "gcc" "src/core/CMakeFiles/hcs_core.dir/step_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/hcs_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hcs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hcs_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_core.dir/baseline.cpp.o"
+  "CMakeFiles/hcs_core.dir/baseline.cpp.o.d"
+  "CMakeFiles/hcs_core.dir/comm_matrix.cpp.o"
+  "CMakeFiles/hcs_core.dir/comm_matrix.cpp.o.d"
+  "CMakeFiles/hcs_core.dir/depgraph.cpp.o"
+  "CMakeFiles/hcs_core.dir/depgraph.cpp.o.d"
+  "CMakeFiles/hcs_core.dir/exact.cpp.o"
+  "CMakeFiles/hcs_core.dir/exact.cpp.o.d"
+  "CMakeFiles/hcs_core.dir/greedy_scheduler.cpp.o"
+  "CMakeFiles/hcs_core.dir/greedy_scheduler.cpp.o.d"
+  "CMakeFiles/hcs_core.dir/matching_scheduler.cpp.o"
+  "CMakeFiles/hcs_core.dir/matching_scheduler.cpp.o.d"
+  "CMakeFiles/hcs_core.dir/openshop_scheduler.cpp.o"
+  "CMakeFiles/hcs_core.dir/openshop_scheduler.cpp.o.d"
+  "CMakeFiles/hcs_core.dir/paper_example.cpp.o"
+  "CMakeFiles/hcs_core.dir/paper_example.cpp.o.d"
+  "CMakeFiles/hcs_core.dir/random_scheduler.cpp.o"
+  "CMakeFiles/hcs_core.dir/random_scheduler.cpp.o.d"
+  "CMakeFiles/hcs_core.dir/schedule.cpp.o"
+  "CMakeFiles/hcs_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/hcs_core.dir/schedule_stats.cpp.o"
+  "CMakeFiles/hcs_core.dir/schedule_stats.cpp.o.d"
+  "CMakeFiles/hcs_core.dir/scheduler.cpp.o"
+  "CMakeFiles/hcs_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/hcs_core.dir/step_schedule.cpp.o"
+  "CMakeFiles/hcs_core.dir/step_schedule.cpp.o.d"
+  "libhcs_core.a"
+  "libhcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_experiment.dir/experiment.cpp.o"
+  "CMakeFiles/hcs_experiment.dir/experiment.cpp.o.d"
+  "libhcs_experiment.a"
+  "libhcs_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_graph.dir/auction.cpp.o"
+  "CMakeFiles/hcs_graph.dir/auction.cpp.o.d"
+  "CMakeFiles/hcs_graph.dir/lap.cpp.o"
+  "CMakeFiles/hcs_graph.dir/lap.cpp.o.d"
+  "CMakeFiles/hcs_graph.dir/matching.cpp.o"
+  "CMakeFiles/hcs_graph.dir/matching.cpp.o.d"
+  "libhcs_graph.a"
+  "libhcs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

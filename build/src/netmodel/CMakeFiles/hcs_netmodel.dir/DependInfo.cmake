@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netmodel/directory.cpp" "src/netmodel/CMakeFiles/hcs_netmodel.dir/directory.cpp.o" "gcc" "src/netmodel/CMakeFiles/hcs_netmodel.dir/directory.cpp.o.d"
+  "/root/repo/src/netmodel/generator.cpp" "src/netmodel/CMakeFiles/hcs_netmodel.dir/generator.cpp.o" "gcc" "src/netmodel/CMakeFiles/hcs_netmodel.dir/generator.cpp.o.d"
+  "/root/repo/src/netmodel/gusto.cpp" "src/netmodel/CMakeFiles/hcs_netmodel.dir/gusto.cpp.o" "gcc" "src/netmodel/CMakeFiles/hcs_netmodel.dir/gusto.cpp.o.d"
+  "/root/repo/src/netmodel/network_model.cpp" "src/netmodel/CMakeFiles/hcs_netmodel.dir/network_model.cpp.o" "gcc" "src/netmodel/CMakeFiles/hcs_netmodel.dir/network_model.cpp.o.d"
+  "/root/repo/src/netmodel/outage.cpp" "src/netmodel/CMakeFiles/hcs_netmodel.dir/outage.cpp.o" "gcc" "src/netmodel/CMakeFiles/hcs_netmodel.dir/outage.cpp.o.d"
+  "/root/repo/src/netmodel/topology.cpp" "src/netmodel/CMakeFiles/hcs_netmodel.dir/topology.cpp.o" "gcc" "src/netmodel/CMakeFiles/hcs_netmodel.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_netmodel.dir/directory.cpp.o"
+  "CMakeFiles/hcs_netmodel.dir/directory.cpp.o.d"
+  "CMakeFiles/hcs_netmodel.dir/generator.cpp.o"
+  "CMakeFiles/hcs_netmodel.dir/generator.cpp.o.d"
+  "CMakeFiles/hcs_netmodel.dir/gusto.cpp.o"
+  "CMakeFiles/hcs_netmodel.dir/gusto.cpp.o.d"
+  "CMakeFiles/hcs_netmodel.dir/network_model.cpp.o"
+  "CMakeFiles/hcs_netmodel.dir/network_model.cpp.o.d"
+  "CMakeFiles/hcs_netmodel.dir/outage.cpp.o"
+  "CMakeFiles/hcs_netmodel.dir/outage.cpp.o.d"
+  "CMakeFiles/hcs_netmodel.dir/topology.cpp.o"
+  "CMakeFiles/hcs_netmodel.dir/topology.cpp.o.d"
+  "libhcs_netmodel.a"
+  "libhcs_netmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_netmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_qos.dir/critical_resource.cpp.o"
+  "CMakeFiles/hcs_qos.dir/critical_resource.cpp.o.d"
+  "CMakeFiles/hcs_qos.dir/qos_scheduler.cpp.o"
+  "CMakeFiles/hcs_qos.dir/qos_scheduler.cpp.o.d"
+  "libhcs_qos.a"
+  "libhcs_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

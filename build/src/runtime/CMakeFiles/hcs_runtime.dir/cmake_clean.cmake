@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_runtime.dir/collective_ops.cpp.o"
+  "CMakeFiles/hcs_runtime.dir/collective_ops.cpp.o.d"
+  "CMakeFiles/hcs_runtime.dir/virtual_cluster.cpp.o"
+  "CMakeFiles/hcs_runtime.dir/virtual_cluster.cpp.o.d"
+  "libhcs_runtime.a"
+  "libhcs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

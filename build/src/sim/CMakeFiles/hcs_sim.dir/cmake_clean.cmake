@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_sim.dir/send_program.cpp.o"
+  "CMakeFiles/hcs_sim.dir/send_program.cpp.o.d"
+  "CMakeFiles/hcs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hcs_sim.dir/simulator.cpp.o.d"
+  "libhcs_sim.a"
+  "libhcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

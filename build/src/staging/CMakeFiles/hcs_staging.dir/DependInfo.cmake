@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/staging/link_graph.cpp" "src/staging/CMakeFiles/hcs_staging.dir/link_graph.cpp.o" "gcc" "src/staging/CMakeFiles/hcs_staging.dir/link_graph.cpp.o.d"
+  "/root/repo/src/staging/staging.cpp" "src/staging/CMakeFiles/hcs_staging.dir/staging.cpp.o" "gcc" "src/staging/CMakeFiles/hcs_staging.dir/staging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netmodel/CMakeFiles/hcs_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

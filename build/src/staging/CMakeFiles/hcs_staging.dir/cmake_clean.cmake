@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_staging.dir/link_graph.cpp.o"
+  "CMakeFiles/hcs_staging.dir/link_graph.cpp.o.d"
+  "CMakeFiles/hcs_staging.dir/staging.cpp.o"
+  "CMakeFiles/hcs_staging.dir/staging.cpp.o.d"
+  "libhcs_staging.a"
+  "libhcs_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/block_cyclic.cpp" "src/workload/CMakeFiles/hcs_workload.dir/block_cyclic.cpp.o" "gcc" "src/workload/CMakeFiles/hcs_workload.dir/block_cyclic.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/workload/CMakeFiles/hcs_workload.dir/generators.cpp.o" "gcc" "src/workload/CMakeFiles/hcs_workload.dir/generators.cpp.o.d"
+  "/root/repo/src/workload/scenario.cpp" "src/workload/CMakeFiles/hcs_workload.dir/scenario.cpp.o" "gcc" "src/workload/CMakeFiles/hcs_workload.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/hcs_netmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_workload.dir/block_cyclic.cpp.o"
+  "CMakeFiles/hcs_workload.dir/block_cyclic.cpp.o.d"
+  "CMakeFiles/hcs_workload.dir/generators.cpp.o"
+  "CMakeFiles/hcs_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/hcs_workload.dir/scenario.cpp.o"
+  "CMakeFiles/hcs_workload.dir/scenario.cpp.o.d"
+  "libhcs_workload.a"
+  "libhcs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

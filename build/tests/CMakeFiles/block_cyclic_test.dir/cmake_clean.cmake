@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_cyclic_test.dir/block_cyclic_test.cpp.o"
+  "CMakeFiles/block_cyclic_test.dir/block_cyclic_test.cpp.o.d"
+  "block_cyclic_test"
+  "block_cyclic_test.pdb"
+  "block_cyclic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_cyclic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

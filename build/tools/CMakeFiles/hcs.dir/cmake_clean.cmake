@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs.dir/hcs_main.cpp.o"
+  "CMakeFiles/hcs.dir/hcs_main.cpp.o.d"
+  "hcs"
+  "hcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

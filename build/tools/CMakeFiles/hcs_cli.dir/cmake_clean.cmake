@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_cli.dir/cli.cpp.o"
+  "CMakeFiles/hcs_cli.dir/cli.cpp.o.d"
+  "libhcs_cli.a"
+  "libhcs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
