@@ -62,8 +62,8 @@ void BM_ExactSmall(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(BM_Baseline)->RangeMultiplier(2)->Range(8, 128)->Complexity();
-BENCHMARK(BM_MaxMatching)->RangeMultiplier(2)->Range(8, 64)->Complexity();
-BENCHMARK(BM_MinMatching)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+BENCHMARK(BM_MaxMatching)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+BENCHMARK(BM_MinMatching)->RangeMultiplier(2)->Range(8, 128)->Complexity();
 BENCHMARK(BM_Greedy)->RangeMultiplier(2)->Range(8, 128)->Complexity(benchmark::oNCubed);
 BENCHMARK(BM_OpenShop)->RangeMultiplier(2)->Range(8, 128)->Complexity(benchmark::oNCubed);
 BENCHMARK(BM_ExactSmall)->DenseRange(3, 4, 1);

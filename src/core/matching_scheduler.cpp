@@ -4,9 +4,15 @@ namespace hcs {
 
 StepSchedule matching_steps(const CommMatrix& comm,
                             MatchingObjective objective) {
+  LapSolver solver;
+  return matching_steps(comm, objective, solver);
+}
+
+StepSchedule matching_steps(const CommMatrix& comm,
+                            MatchingObjective objective, LapSolver& solver) {
   const std::size_t n = comm.processor_count();
   const std::vector<std::vector<std::size_t>> matchings =
-      decompose_into_matchings(comm.times(), objective);
+      decompose_into_matchings(comm.times(), objective, solver);
 
   std::vector<std::vector<CommEvent>> steps;
   steps.reserve(matchings.size());
@@ -25,7 +31,7 @@ StepSchedule matching_steps(const CommMatrix& comm,
 }
 
 Schedule MatchingScheduler::schedule(const CommMatrix& comm) const {
-  return execute_async(matching_steps(comm, objective_), comm);
+  return execute_async(matching_steps(comm, objective_, solver_), comm);
 }
 
 }  // namespace hcs

@@ -21,7 +21,16 @@ namespace hcs {
 [[nodiscard]] StepSchedule matching_steps(const CommMatrix& comm,
                                           MatchingObjective objective);
 
-/// Scheduler built on a series of weight matchings.
+/// As above with a caller-owned LAP workspace, for hot paths that
+/// re-schedule repeatedly (adaptive/, qos/, runtime/).
+[[nodiscard]] StepSchedule matching_steps(const CommMatrix& comm,
+                                          MatchingObjective objective,
+                                          LapSolver& solver);
+
+/// Scheduler built on a series of weight matchings. The instance owns a
+/// LapSolver workspace reused across schedule() calls, making repeated
+/// re-scheduling (the §6.2 adaptivity loop) allocation-free in the LAP
+/// kernel; consequently a single instance is not thread-safe.
 class MatchingScheduler final : public Scheduler {
  public:
   explicit MatchingScheduler(MatchingObjective objective)
@@ -35,6 +44,7 @@ class MatchingScheduler final : public Scheduler {
 
  private:
   MatchingObjective objective_;
+  mutable LapSolver solver_;  // scratch workspace, not logical state
 };
 
 }  // namespace hcs

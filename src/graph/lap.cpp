@@ -12,74 +12,146 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 }  // namespace
 
-Assignment solve_lap_min(const Matrix<double>& cost) {
-  if (!cost.square() || cost.empty())
-    throw InputError("solve_lap_min: cost matrix must be square and non-empty");
-  const std::size_t n = cost.rows();
+void LapSolver::load(const Matrix<double>& weights, LapObjective objective) {
+  if (!weights.square() || weights.empty())
+    throw InputError("LapSolver: cost matrix must be square and non-empty");
+  n_ = weights.rows();
+  sign_ = objective == LapObjective::kMaximize ? -1.0 : 1.0;
+
+  cost_.resize(n_ * n_);
+  for (std::size_t r = 0; r < n_; ++r)
+    for (std::size_t c = 0; c < n_; ++c)
+      cost_[r * n_ + c] = sign_ * weights.unchecked(r, c);
+  deleted_.assign(n_ * n_, 0);
+
+  u_.assign(n_, 0.0);
+  v_.assign(n_, 0.0);
+  col_to_row_.assign(n_, 0);
+  predecessor_.assign(n_, 0);
+  scanned_cols_.resize(n_);
+  dist_.resize(n_);
+  visited_.resize(n_);
+}
+
+void LapSolver::mark_deleted(std::size_t r, std::size_t c) {
+  check(r < n_ && c < n_, "LapSolver: deleted edge out of range");
+  deleted_[r * n_ + c] = 1;
+  // In effective (minimizing) space the sentinel is always +kDeletedCost,
+  // which only raises the edge's cost — the persistent duals stay
+  // feasible, keeping warm-started solves exact.
+  cost_[r * n_ + c] = kDeletedCost;
+}
+
+bool LapSolver::deleted(std::size_t r, std::size_t c) const {
+  check(r < n_ && c < n_, "LapSolver: deleted edge out of range");
+  return deleted_[r * n_ + c] != 0;
+}
+
+Assignment LapSolver::solve() {
+  if (n_ == 0) throw InputError("LapSolver: solve before load");
+  const std::size_t n = n_;
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
   // Shortest augmenting path with dual potentials (u on rows, v on
-  // columns). Rows are introduced one at a time; each introduction runs a
-  // Dijkstra-like scan over columns, maintaining reduced costs
-  // cost(i,j) - u[i] - v[j] >= 0 as an invariant. Indices are offset by
-  // one so that slot 0 acts as the virtual "unassigned" column.
-  std::vector<double> u(n + 1, 0.0);
-  std::vector<double> v(n + 1, 0.0);
-  std::vector<std::size_t> col_to_row(n + 1, 0);  // 0 = unassigned
-  std::vector<std::size_t> predecessor(n + 1, 0);
+  // columns), in the deferred-update (LAPJV-style) form: dist_ holds
+  // absolute path distances in reduced-cost space, and the duals are
+  // updated once per augmentation instead of once per Dijkstra step —
+  // the selection sequence is exactly the classic per-step-delta scan's,
+  // just without its O(n) bookkeeping per visited column. The duals
+  // carry over from the previous solve (warm start); the assignment does
+  // not — deletions may have removed matched edges, so every row is
+  // re-augmented, just against already-useful prices that keep the
+  // augmenting paths short.
+  std::fill(col_to_row_.begin(), col_to_row_.end(), kNone);
 
-  for (std::size_t row = 1; row <= n; ++row) {
-    col_to_row[0] = row;
-    std::size_t j0 = 0;
-    std::vector<double> min_reduced(n + 1, kInf);
-    std::vector<bool> visited(n + 1, false);
+  for (std::size_t cur = 0; cur < n; ++cur) {
+    std::fill(dist_.begin(), dist_.end(), kInf);
+    std::fill(visited_.begin(), visited_.end(), std::uint8_t{0});
+    std::size_t scanned = 0;     // assigned columns pulled into the tree
+    std::size_t i = cur;         // row whose edges are being relaxed
+    std::size_t i_col = kNone;   // column through which `i` was reached
+    double dist_i = 0.0;         // path distance to row `i`
+    std::size_t sink = kNone;
     do {
-      visited[j0] = true;
-      const std::size_t i0 = col_to_row[j0];
-      double delta = kInf;
-      std::size_t j1 = 0;
-      for (std::size_t j = 1; j <= n; ++j) {
-        if (visited[j]) continue;
-        const double reduced = cost(i0 - 1, j - 1) - u[i0] - v[j];
-        if (reduced < min_reduced[j]) {
-          min_reduced[j] = reduced;
-          predecessor[j] = j0;
+      const double off = dist_i - u_[i];
+      const double* cost_row = cost_.data() + i * n;
+      double lowest = kInf;
+      std::size_t j1 = kNone;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (visited_[j]) continue;
+        const double alt = off + cost_row[j] - v_[j];
+        if (alt < dist_[j]) {
+          dist_[j] = alt;
+          predecessor_[j] = i_col;
         }
-        if (min_reduced[j] < delta) {
-          delta = min_reduced[j];
+        if (dist_[j] < lowest) {
+          lowest = dist_[j];
           j1 = j;
         }
       }
-      check(delta < kInf, "solve_lap_min: no augmenting path (non-finite costs?)");
-      for (std::size_t j = 0; j <= n; ++j) {
-        if (visited[j]) {
-          u[col_to_row[j]] += delta;
-          v[j] -= delta;
-        } else {
-          min_reduced[j] -= delta;
-        }
+      check(lowest < kInf, "LapSolver: no augmenting path (non-finite costs?)");
+      visited_[j1] = 1;
+      dist_i = lowest;
+      if (col_to_row_[j1] == kNone) {
+        sink = j1;
+      } else {
+        i = col_to_row_[j1];
+        i_col = j1;
+        scanned_cols_[scanned++] = j1;
       }
-      j0 = j1;
-    } while (col_to_row[j0] != 0);
-    // Augment along the alternating path back to the virtual column.
-    do {
-      const std::size_t j1 = predecessor[j0];
-      col_to_row[j0] = col_to_row[j1];
-      j0 = j1;
-    } while (j0 != 0);
+    } while (sink == kNone);
+
+    // Deferred dual update: one pass over the columns the search actually
+    // scanned (few, once the warm duals price the graph well).
+    const double dist_sink = dist_i;
+    u_[cur] += dist_sink;
+    for (std::size_t k = 0; k < scanned; ++k) {
+      const std::size_t j = scanned_cols_[k];
+      const double slack = dist_sink - dist_[j];
+      u_[col_to_row_[j]] += slack;
+      v_[j] -= slack;
+    }
+
+    // Augment along the alternating path back to `cur`.
+    std::size_t j = sink;
+    for (;;) {
+      const std::size_t pj = predecessor_[j];
+      if (pj == kNone) {
+        col_to_row_[j] = cur;
+        break;
+      }
+      col_to_row_[j] = col_to_row_[pj];
+      j = pj;
+    }
   }
 
   Assignment result;
   result.row_to_col.assign(n, 0);
-  for (std::size_t j = 1; j <= n; ++j)
-    result.row_to_col[col_to_row[j] - 1] = j - 1;
-  result.cost = assignment_cost(cost, result.row_to_col);
+  for (std::size_t j = 0; j < n; ++j) result.row_to_col[col_to_row_[j]] = j;
+  // Effective costs summed in row order, then mapped back through the
+  // sign flag. IEEE rounding is sign-symmetric, so for kMaximize this is
+  // bit-identical to summing the original weights directly.
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r)
+    total += cost_[r * n + result.row_to_col[r]];
+  result.cost = sign_ * total;
   return result;
 }
 
+Assignment solve_lap_min(const Matrix<double>& cost) {
+  if (!cost.square() || cost.empty())
+    throw InputError("solve_lap_min: cost matrix must be square and non-empty");
+  LapSolver solver;
+  solver.load(cost, LapObjective::kMinimize);
+  return solver.solve();
+}
+
 Assignment solve_lap_max(const Matrix<double>& cost) {
-  Assignment result = solve_lap_min(cost.map([](double c) { return -c; }));
-  result.cost = assignment_cost(cost, result.row_to_col);
-  return result;
+  if (!cost.square() || cost.empty())
+    throw InputError("solve_lap_max: cost matrix must be square and non-empty");
+  LapSolver solver;
+  solver.load(cost, LapObjective::kMaximize);
+  return solver.solve();
 }
 
 bool is_permutation(const std::vector<std::size_t>& row_to_col) {

@@ -6,9 +6,20 @@
 // used Roy Jonker's public-domain LAP program; this is a from-scratch
 // implementation of the same shortest-augmenting-path family of
 // algorithms (Jonker–Volgenant style), running in O(n^3).
+//
+// Two entry points:
+//  - `solve_lap_min` / `solve_lap_max`: one-shot free functions.
+//  - `LapSolver`: a reusable workspace for hot paths (the matching
+//    schedulers re-solve P times per decomposition). It owns every
+//    scratch buffer, handles the max objective with a sign flag instead
+//    of a negated-matrix copy, tracks deleted edges internally, and
+//    warm-starts successive solves from the previous solve's dual
+//    potentials so incremental re-solves after edge deletions do far
+//    less Dijkstra work than a from-scratch run.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/matrix.hpp"
@@ -22,6 +33,76 @@ struct Assignment {
   double cost = 0.0;
 };
 
+/// Optimization direction for LapSolver.
+enum class LapObjective { kMinimize, kMaximize };
+
+/// Reusable LAP workspace: allocation-free solves after `load`, and
+/// warm-started incremental re-solves after edge deletions.
+///
+/// Lifecycle: `load` a square weight matrix (copied once, sign-adjusted so
+/// both objectives run the same minimizing kernel), then alternate
+/// `solve` and `mark_deleted` calls. The first solve after `load` starts
+/// from zero dual potentials and is bit-identical to the free functions;
+/// later solves reuse the previous solve's duals. Deleting edges only
+/// *raises* effective costs, so the previous duals stay feasible
+/// (reduced costs remain >= 0) and each warm solve is still exactly
+/// optimal — it just starts with a near-tight pricing of the graph and
+/// augments in far fewer Dijkstra steps.
+///
+/// Not thread-safe: one solver per thread.
+class LapSolver {
+ public:
+  /// Sentinel effective cost assigned to deleted edges. Far outside any
+  /// real communication time (seconds-scale values), yet small enough
+  /// that dual-potential arithmetic keeps full precision.
+  static constexpr double kDeletedCost = 1e9;
+
+  LapSolver() = default;
+
+  /// Loads an n x n problem, replacing any previous one: copies the
+  /// weights (negating via the sign flag for kMaximize), clears the
+  /// deleted-edge mask, and resets the dual potentials so the next solve
+  /// is a cold start. Throws InputError if `weights` is not square or is
+  /// empty. Weights may be any finite doubles; callers that use
+  /// `mark_deleted` must keep magnitudes below kDeletedCost / 2 so real
+  /// edges can never tie the sentinel.
+  void load(const Matrix<double>& weights, LapObjective objective);
+
+  /// Marks edge (r, c) as deleted: it takes the sentinel cost and is
+  /// avoided by every later solve whenever a deletion-free complete
+  /// assignment exists. check-fails on out-of-range indices.
+  void mark_deleted(std::size_t r, std::size_t c);
+
+  /// True when (r, c) has been deleted since the last `load`.
+  [[nodiscard]] bool deleted(std::size_t r, std::size_t c) const;
+
+  /// Solves the current problem. Warm-starts from the previous solve's
+  /// dual potentials (a cold start right after `load`). The returned
+  /// cost is the true objective under the loaded weights — deleted edges,
+  /// if chosen because no deletion-free assignment exists, contribute
+  /// their sentinel cost. Throws InputError if nothing is loaded.
+  [[nodiscard]] Assignment solve();
+
+  /// Rows (== columns) of the loaded problem; 0 before the first `load`.
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sign_ = 1.0;                  // +1 minimize, -1 maximize
+  std::vector<double> cost_;           // effective costs, row-major n x n
+  std::vector<std::uint8_t> deleted_;  // deletion mask, row-major n x n
+  // Dual potentials (u on rows, v on columns) persist across solves —
+  // this is the warm start.
+  std::vector<double> u_;
+  std::vector<double> v_;
+  // Per-solve scratch, allocated once in `load`.
+  std::vector<std::size_t> col_to_row_;
+  std::vector<std::size_t> predecessor_;
+  std::vector<std::size_t> scanned_cols_;
+  std::vector<double> dist_;
+  std::vector<std::uint8_t> visited_;
+};
+
 /// Minimum-cost complete assignment of an n x n cost matrix in O(n^3)
 /// via shortest augmenting paths with dual potentials.
 ///
@@ -29,8 +110,8 @@ struct Assignment {
 /// InputError if the matrix is not square or is empty.
 [[nodiscard]] Assignment solve_lap_min(const Matrix<double>& cost);
 
-/// Maximum-cost complete assignment (solved as min on negated costs; the
-/// returned `cost` is the true maximized sum).
+/// Maximum-cost complete assignment (same kernel run on sign-flipped
+/// costs; the returned `cost` is the true maximized sum).
 [[nodiscard]] Assignment solve_lap_max(const Matrix<double>& cost);
 
 /// True when `row_to_col` is a permutation of 0..n-1.

@@ -6,44 +6,45 @@
 #include "util/error.hpp"
 
 namespace hcs {
-namespace {
-
-// Sentinel cost for deleted edges. Far outside any real communication
-// time (seconds-scale values), yet small enough that dual-potential
-// arithmetic keeps full precision.
-constexpr double kDeleted = 1e9;
-
-}  // namespace
 
 std::vector<std::vector<std::size_t>> decompose_into_matchings(
     const Matrix<double>& weights, MatchingObjective objective) {
+  LapSolver solver;
+  return decompose_into_matchings(weights, objective, solver);
+}
+
+std::vector<std::vector<std::size_t>> decompose_into_matchings(
+    const Matrix<double>& weights, MatchingObjective objective,
+    LapSolver& solver) {
   if (!weights.square() || weights.empty())
     throw InputError("decompose_into_matchings: weights must be square and non-empty");
+  // The solver's deleted-edge sentinel must dominate any real edge sum;
+  // seconds-scale communication times clear this by orders of magnitude.
   weights.for_each([](std::size_t, std::size_t, const double& w) {
-    if (!(std::abs(w) < kDeleted / 2))
+    if (!(std::abs(w) < LapSolver::kDeletedCost / 2))
       throw InputError("decompose_into_matchings: weight magnitude too large");
   });
 
   const std::size_t n = weights.rows();
-  // Deleted edges get a cost that the optimizer will always avoid when a
-  // deletion-free perfect matching exists — which it always does (Hall).
-  const double avoid =
-      objective == MatchingObjective::kMaxWeight ? -kDeleted : kDeleted;
-  Matrix<double> working = weights;
+  solver.load(weights, objective == MatchingObjective::kMaxWeight
+                           ? LapObjective::kMaximize
+                           : LapObjective::kMinimize);
 
   std::vector<std::vector<std::size_t>> matchings;
   matchings.reserve(n);
   for (std::size_t step = 0; step < n; ++step) {
-    const Assignment assignment = objective == MatchingObjective::kMaxWeight
-                                      ? solve_lap_max(working)
-                                      : solve_lap_min(working);
+    // Cold solve on step 0, warm-started from the previous step's duals
+    // afterwards. Deleting a perfect matching keeps the remaining graph
+    // regular, so a deletion-free perfect matching always exists (Hall)
+    // and the optimizer never needs a deleted edge.
+    Assignment assignment = solver.solve();
     for (std::size_t r = 0; r < n; ++r) {
       const std::size_t c = assignment.row_to_col[r];
-      check(working(r, c) != avoid,
+      check(!solver.deleted(r, c),
             "decompose_into_matchings: optimizer chose a deleted edge");
-      working(r, c) = avoid;
+      solver.mark_deleted(r, c);
     }
-    matchings.push_back(assignment.row_to_col);
+    matchings.push_back(std::move(assignment.row_to_col));
   }
   return matchings;
 }

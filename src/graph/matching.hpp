@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "graph/lap.hpp"
 #include "util/matrix.hpp"
 
 namespace hcs {
@@ -27,9 +28,20 @@ enum class MatchingObjective { kMaxWeight, kMinWeight };
 /// vertex (sender) to its matched right vertex (receiver) in step k.
 ///
 /// Matchings are extracted best-first under `objective`; deleted edges are
-/// excluded from later matchings.
+/// excluded from later matchings. The n successive LAP solves run through
+/// one warm-started `LapSolver` workspace, so steps 2..n re-solve
+/// incrementally from the previous step's dual potentials instead of from
+/// scratch.
 [[nodiscard]] std::vector<std::vector<std::size_t>> decompose_into_matchings(
     const Matrix<double>& weights, MatchingObjective objective);
+
+/// As above, but reusing a caller-owned solver workspace — the form hot
+/// paths (adaptive re-scheduling) should use: repeated decompositions
+/// allocate nothing beyond the result vectors once the workspace has
+/// grown to the largest P seen.
+[[nodiscard]] std::vector<std::vector<std::size_t>> decompose_into_matchings(
+    const Matrix<double>& weights, MatchingObjective objective,
+    LapSolver& solver);
 
 /// Checks that `matchings` is a valid decomposition of an n x n complete
 /// bipartite graph: n permutations jointly covering every (row, col) pair

@@ -51,6 +51,17 @@ class Matrix {
     return data_[r * cols_ + c];
   }
 
+  /// Unchecked element access for validated inner loops (LAP scans, bulk
+  /// copies) where the bounds check defeats vectorization. Callers must
+  /// have established r < rows() && c < cols(); checked operator() stays
+  /// the default everywhere else.
+  [[nodiscard]] T& unchecked(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const T& unchecked(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
   /// Contiguous view of row r.
   [[nodiscard]] std::span<const T> row(std::size_t r) const {
     check(r < rows_, "Matrix: row out of range");

@@ -152,6 +152,68 @@ TEST(Auction, BadOptionsThrow) {
   EXPECT_THROW((void)solve_auction_max(cost, bad_scaling), InputError);
 }
 
+// ---------------------------------------------------------------------------
+// LapSolver workspace
+// ---------------------------------------------------------------------------
+
+TEST(LapSolver, RejectsNonSquareEmptyAndUnloaded) {
+  LapSolver solver;
+  // Exactly the free functions' contract: InputError on bad shapes.
+  EXPECT_THROW(solver.load(Matrix<double>(2, 3, 0.0), LapObjective::kMinimize),
+               InputError);
+  EXPECT_THROW(solver.load(Matrix<double>{}, LapObjective::kMaximize),
+               InputError);
+  EXPECT_THROW((void)solver.solve(), InputError);  // solve before load
+  EXPECT_EQ(solver.size(), 0u);
+}
+
+TEST(LapSolver, OutOfRangeDeletionIsALogicError) {
+  LapSolver solver;
+  solver.load(Matrix<double>(2, 2, 1.0), LapObjective::kMinimize);
+  EXPECT_THROW(solver.mark_deleted(2, 0), std::logic_error);
+  EXPECT_THROW((void)solver.deleted(0, 2), std::logic_error);
+}
+
+TEST(LapSolver, MatchesFreeFunctionsForBothObjectives) {
+  Rng rng{500};
+  const Matrix<double> cost = random_cost(9, rng, -30.0, 30.0);
+  LapSolver solver;
+  solver.load(cost, LapObjective::kMinimize);
+  const Assignment min_solved = solver.solve();
+  const Assignment min_free = solve_lap_min(cost);
+  EXPECT_EQ(min_solved.row_to_col, min_free.row_to_col);
+  EXPECT_EQ(min_solved.cost, min_free.cost);  // bit-identical
+
+  solver.load(cost, LapObjective::kMaximize);
+  const Assignment max_solved = solver.solve();
+  const Assignment max_free = solve_lap_max(cost);
+  EXPECT_EQ(max_solved.row_to_col, max_free.row_to_col);
+  EXPECT_EQ(max_solved.cost, max_free.cost);
+}
+
+TEST(LapSolver, WarmResolveAfterDeletionsStaysOptimal) {
+  // Delete the first optimal matching's edges, then check the warm
+  // re-solve against brute force over the explicitly masked matrix.
+  Rng rng{501};
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(trial) % 6;
+    const Matrix<double> cost = random_cost(n, rng, 0.0, 50.0);
+    LapSolver solver;
+    solver.load(cost, LapObjective::kMinimize);
+    const Assignment first = solver.solve();
+    Matrix<double> masked = cost;
+    for (std::size_t r = 0; r < n; ++r) {
+      solver.mark_deleted(r, first.row_to_col[r]);
+      EXPECT_TRUE(solver.deleted(r, first.row_to_col[r]));
+      masked(r, first.row_to_col[r]) = LapSolver::kDeletedCost;
+    }
+    const Assignment second = solver.solve();
+    ASSERT_TRUE(is_permutation(second.row_to_col));
+    EXPECT_NEAR(assignment_cost(masked, second.row_to_col),
+                brute_force_min(masked), 1e-9);
+  }
+}
+
 TEST(IsPermutation, DetectsDuplicatesAndRange) {
   EXPECT_TRUE(is_permutation({2, 0, 1}));
   EXPECT_FALSE(is_permutation({0, 0, 1}));
@@ -222,6 +284,67 @@ TEST(Decomposition, ValidatorCatchesBadDecompositions) {
   // Non-permutation rows.
   const std::vector<std::vector<std::size_t>> dup = {{0, 0}, {1, 1}};
   EXPECT_FALSE(is_valid_decomposition(2, dup));
+}
+
+/// From-scratch reference decomposition: the pre-LapSolver algorithm — a
+/// working copy whose chosen edges are overwritten with the sentinel, and
+/// a cold LAP solve per step.
+std::vector<std::vector<std::size_t>> reference_decomposition(
+    const Matrix<double>& weights, MatchingObjective objective) {
+  const std::size_t n = weights.rows();
+  const double avoid = objective == MatchingObjective::kMaxWeight
+                           ? -LapSolver::kDeletedCost
+                           : LapSolver::kDeletedCost;
+  Matrix<double> working = weights;
+  std::vector<std::vector<std::size_t>> matchings;
+  matchings.reserve(n);
+  for (std::size_t step = 0; step < n; ++step) {
+    const Assignment assignment = objective == MatchingObjective::kMaxWeight
+                                      ? solve_lap_max(working)
+                                      : solve_lap_min(working);
+    for (std::size_t r = 0; r < n; ++r)
+      working(r, assignment.row_to_col[r]) = avoid;
+    matchings.push_back(assignment.row_to_col);
+  }
+  return matchings;
+}
+
+/// Property sweep: the warm-started decomposition is bit-identical —
+/// matchings and per-step costs — to the from-scratch reference across
+/// 100+ random seeds, sizes 2..32, both objectives.
+TEST(Decomposition, WarmStartMatchesFromScratchReference) {
+  for (std::uint64_t seed = 1; seed <= 104; ++seed) {
+    const std::size_t n = 2 + (seed - 1) % 31;  // cycles 2..32
+    Rng rng{7000 + seed};
+    const Matrix<double> weights = random_cost(n, rng);
+    for (const MatchingObjective objective :
+         {MatchingObjective::kMaxWeight, MatchingObjective::kMinWeight}) {
+      const auto warm = decompose_into_matchings(weights, objective);
+      const auto reference = reference_decomposition(weights, objective);
+      ASSERT_EQ(warm, reference)
+          << "seed " << seed << " n " << n << " objective "
+          << (objective == MatchingObjective::kMaxWeight ? "max" : "min");
+      for (std::size_t k = 0; k < n; ++k)
+        ASSERT_EQ(assignment_cost(weights, warm[k]),
+                  assignment_cost(weights, reference[k]));
+    }
+  }
+}
+
+TEST(Decomposition, ReusedSolverWorkspaceIsStateless) {
+  // One workspace across several decompositions (the MatchingScheduler
+  // pattern, including a size change) must reproduce fresh-solver output.
+  Rng rng{8000};
+  LapSolver solver;
+  for (const std::size_t n : {6u, 11u, 4u}) {
+    const Matrix<double> weights = random_cost(n, rng);
+    for (const MatchingObjective objective :
+         {MatchingObjective::kMaxWeight, MatchingObjective::kMinWeight}) {
+      const auto reused = decompose_into_matchings(weights, objective, solver);
+      const auto fresh = decompose_into_matchings(weights, objective);
+      EXPECT_EQ(reused, fresh);
+    }
+  }
 }
 
 /// Property sweep: decompositions stay valid across sizes and seeds.

@@ -1,0 +1,89 @@
+// Benchmark-trajectory runner: executes a google-benchmark binary with
+// --benchmark_format=json and wraps its report in a small envelope written
+// to a BENCH_*.json file at the repo root (EXPERIMENTS.md §bench_json
+// documents the schema). Keeping the trajectory machine-readable lets each
+// PR quote before/after numbers for the scheduler hot paths instead of
+// pasting ad-hoc console output.
+//
+// Usage: hcs_bench_json <benchmark-binary> <output.json> [filter-regex]
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+namespace {
+
+/// Runs `command`, returning its stdout; exits on failure.
+std::string capture_stdout(const std::string& command) {
+  const std::unique_ptr<FILE, int (*)(FILE*)> pipe(
+      popen(command.c_str(), "r"), pclose);
+  if (!pipe) {
+    std::cerr << "bench_json: failed to run: " << command << "\n";
+    std::exit(1);
+  }
+  std::string output;
+  std::array<char, 4096> buffer;
+  std::size_t read = 0;
+  while ((read = fread(buffer.data(), 1, buffer.size(), pipe.get())) > 0)
+    output.append(buffer.data(), read);
+  return output;
+}
+
+/// Escapes a string for embedding in a JSON literal.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || argc > 4) {
+    std::cerr << "usage: " << argv[0]
+              << " <benchmark-binary> <output.json> [filter-regex]\n";
+    return 2;
+  }
+  const std::string binary = argv[1];
+  const std::string output_path = argv[2];
+  const std::string filter = argc == 4 ? argv[3] : "";
+
+  std::string command = "'" + binary + "' --benchmark_format=json";
+  if (!filter.empty()) command += " --benchmark_filter='" + filter + "'";
+  command += " --benchmark_min_time=0.2 2>/dev/null";
+
+  const std::string report = capture_stdout(command);
+  // google-benchmark's JSON report is a single object; anything else means
+  // the run failed (bad filter, crashed bench, ...).
+  const std::size_t start = report.find('{');
+  if (start == std::string::npos) {
+    std::cerr << "bench_json: benchmark produced no JSON report\n";
+    return 1;
+  }
+
+  std::ofstream out(output_path);
+  if (!out) {
+    std::cerr << "bench_json: cannot write " << output_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"generated_by\": \"tools/bench_json\",\n"
+      << "  \"benchmark_binary\": \"" << json_escape(binary) << "\",\n"
+      << "  \"filter\": \"" << json_escape(filter) << "\",\n"
+      << "  \"report\": " << report.substr(start) << "}\n";
+  std::cout << "bench_json: wrote " << output_path << "\n";
+  return 0;
+}
