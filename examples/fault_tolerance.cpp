@@ -1,0 +1,86 @@
+// Fault-tolerant exchange execution (src/fault) under injected faults.
+//
+// The same total exchange runs against an increasingly hostile network:
+// fault-free, a permanently cut link, a crashed node, and a persistently
+// lossy pair. The resilient executor retries with backoff, reroutes cut
+// traffic through 2-hop relays, quarantines the pair that keeps lying,
+// and reports what could not be delivered instead of hanging.
+#include <iostream>
+
+#include "core/openshop_scheduler.hpp"
+#include "fault/resilient.hpp"
+#include "netmodel/generator.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+  using namespace hcs;
+
+  const std::size_t P = 8;
+  const std::uint64_t seed = 42;
+  const StaticDirectory directory{generate_network(P, seed)};
+  const MessageMatrix messages = uniform_messages(P, kMiB);
+  const OpenShopScheduler scheduler;
+
+  std::cout << "Resilient total exchange, P = " << P
+            << ", 1 MiB messages, open-shop scheduler.\n\n";
+
+  struct Scenario {
+    const char* name;
+    FaultPlan plan;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"fault-free", {}});
+
+  FaultPlan cut;  // the (0, 1) link is down for the whole run
+  cut.cuts.push_back({0, 1, 0.0, 1e12});
+  scenarios.push_back({"link (0,1) cut", cut});
+
+  FaultPlan crash;  // node 7 dies before the exchange starts
+  crash.crashes.push_back({7, 0.0});
+  scenarios.push_back({"node 7 crashed", crash});
+
+  FaultPlan lossy;  // (2,3) drops nearly every attempt until quarantined
+  lossy.flaky.push_back({2, 3, 0.999});
+  lossy.seed = seed;
+  scenarios.push_back({"pair (2,3) lossy", lossy});
+
+  Table table{{"scenario", "direct", "relayed", "undeliverable",
+               "completion (s)", "reschedules"}};
+  for (const Scenario& scenario : scenarios) {
+    ResilientOptions options;
+    options.adaptive.policy = CheckpointPolicy::kEveryEvent;
+    const ResilientResult result = run_resilient(scheduler, directory, messages,
+                                                 scenario.plan, options);
+    std::size_t direct = 0;
+    for (const MessageOutcome& outcome : result.outcomes)
+      if (outcome.status == DeliveryStatus::kDirect) ++direct;
+    table.add_row({scenario.name, std::to_string(direct),
+                   std::to_string(result.relayed_count),
+                   std::to_string(result.undelivered_count),
+                   format_double(result.completion_time, 3),
+                   std::to_string(result.reschedule_count)});
+  }
+  table.print(std::cout);
+
+  // Show one relay route end to end.
+  ResilientOptions options;
+  options.adaptive.policy = CheckpointPolicy::kEveryEvent;
+  const ResilientResult result =
+      run_resilient(scheduler, directory, messages, cut, options);
+  for (const MessageOutcome& outcome : result.outcomes) {
+    if (outcome.status != DeliveryStatus::kRelayed) continue;
+    std::cout << "\nmessage (" << outcome.src << " -> " << outcome.dst
+              << ") rerouted via";
+    for (const std::size_t hop : outcome.via) std::cout << ' ' << hop;
+    std::cout << ", arrived at " << format_double(outcome.finish_s, 3)
+              << " s\n";
+  }
+
+  std::cout << "\nA cut link reroutes through a relay; a crashed node's"
+               " messages are reported undeliverable (the rest of the"
+               " exchange still completes); a lossy pair burns its retry"
+               " budget, gets quarantined by the health monitor, and its"
+               " traffic moves to relays at the next checkpoint.\n";
+  return 0;
+}

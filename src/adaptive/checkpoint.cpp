@@ -7,6 +7,12 @@
 
 namespace hcs {
 
+void AdaptiveOptions::validate() const {
+  if (!(reschedule_threshold >= 0.0) || !std::isfinite(reschedule_threshold))
+    throw InputError(
+        "AdaptiveOptions: reschedule_threshold must be finite and >= 0");
+}
+
 std::string_view checkpoint_policy_name(CheckpointPolicy policy) {
   switch (policy) {
     case CheckpointPolicy::kNever: return "never";
@@ -45,8 +51,7 @@ AdaptiveResult run_adaptive(const Scheduler& scheduler,
   const std::size_t n = directory.processor_count();
   if (messages.rows() != n || !messages.square())
     throw InputError("run_adaptive: directory and messages disagree on size");
-  if (options.reschedule_threshold < 0.0)
-    throw InputError("run_adaptive: negative threshold");
+  options.validate();
 
   Matrix<unsigned char> remaining(n, n, 0);
   std::size_t remaining_count = 0;

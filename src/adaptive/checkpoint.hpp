@@ -52,6 +52,10 @@ struct AdaptiveOptions {
   /// more than this relative amount (0 = always reschedule at a
   /// checkpoint). Mirrors the paper's "difference ... large enough".
   double reschedule_threshold = 0.0;
+
+  /// Throws InputError on malformed values (negative or non-finite
+  /// threshold). Called by run_adaptive and run_resilient.
+  void validate() const;
 };
 
 /// Runs one total exchange adaptively: (re)schedules with `scheduler`

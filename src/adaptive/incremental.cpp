@@ -60,8 +60,14 @@ std::size_t find_sender(const std::vector<CommEvent>& step, std::size_t src) {
 
 }  // namespace
 
+void RefineOptions::validate() const {
+  if (step_window == 0)
+    throw InputError("RefineOptions: step_window must be >= 1");
+}
+
 RefineResult refine_schedule(const StepSchedule& input, const CommMatrix& comm,
                              const RefineOptions& options) {
+  options.validate();
   check(input.processor_count() == comm.processor_count(),
         "refine_schedule: size mismatch");
   const std::size_t n = input.processor_count();

@@ -38,6 +38,12 @@ struct RefineOptions {
   /// refinement pass O(P^3) — asymptotically cheaper than the O(P^4)
   /// matching recomputation it replaces.
   std::size_t step_window = 8;
+
+  /// Throws InputError on malformed values. A zero step window permits
+  /// no cross-step move at all, so the call could never refine — it is
+  /// rejected as malformed; zero passes or moves are legitimate
+  /// identity requests and stay allowed.
+  void validate() const;
 };
 
 /// Result of a refinement run.

@@ -1,0 +1,74 @@
+#include "fault/fault_plan.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+bool FaultPlan::empty() const {
+  return crashes.empty() && cuts.empty() && flaky.empty() &&
+         transient_loss_prob == 0.0;
+}
+
+void FaultPlan::validate(std::size_t processor_count) const {
+  for (const CrashStop& crash : crashes) {
+    if (crash.node >= processor_count)
+      throw InputError("FaultPlan: crash node out of range");
+    if (!std::isfinite(crash.at_s) || crash.at_s < 0.0)
+      throw InputError("FaultPlan: crash time must be finite and >= 0");
+  }
+  for (const LinkCut& cut : cuts) {
+    if (cut.src >= processor_count || cut.dst >= processor_count)
+      throw InputError("FaultPlan: cut processor out of range");
+    if (cut.src == cut.dst) throw InputError("FaultPlan: self-pair cut");
+    if (!std::isfinite(cut.begin_s) || !std::isfinite(cut.end_s))
+      throw InputError("FaultPlan: non-finite cut window");
+    if (cut.end_s < cut.begin_s)
+      throw InputError("FaultPlan: cut ends before it begins");
+  }
+  for (const FlakyLink& link : flaky) {
+    if (link.src >= processor_count || link.dst >= processor_count)
+      throw InputError("FaultPlan: flaky processor out of range");
+    if (link.src == link.dst) throw InputError("FaultPlan: self-pair flaky link");
+    if (!(link.loss_prob >= 0.0) || !(link.loss_prob < 1.0) ||
+        !std::isfinite(link.loss_prob))
+      throw InputError("FaultPlan: loss probability must be in [0, 1)");
+  }
+  if (!(transient_loss_prob >= 0.0) || !(transient_loss_prob < 1.0) ||
+      !std::isfinite(transient_loss_prob))
+    throw InputError("FaultPlan: transient_loss_prob must be in [0, 1)");
+}
+
+bool FaultPlan::node_dead(std::size_t node, double now_s) const {
+  for (const CrashStop& crash : crashes)
+    if (crash.node == node && now_s >= crash.at_s) return true;
+  return false;
+}
+
+bool FaultPlan::link_cut(std::size_t src, std::size_t dst, double now_s) const {
+  return cut_overlaps(src, dst, now_s, now_s);
+}
+
+bool FaultPlan::cut_overlaps(std::size_t src, std::size_t dst, double begin_s,
+                             double end_s) const {
+  for (const LinkCut& cut : cuts) {
+    const bool forward = cut.src == src && cut.dst == dst;
+    const bool backward = cut.symmetric && cut.src == dst && cut.dst == src;
+    if (!forward && !backward) continue;
+    if (begin_s < cut.end_s && end_s >= cut.begin_s) return true;
+  }
+  return false;
+}
+
+double FaultPlan::loss_probability(std::size_t src, std::size_t dst) const {
+  double survive = 1.0 - transient_loss_prob;
+  for (const FlakyLink& link : flaky) {
+    const bool forward = link.src == src && link.dst == dst;
+    const bool backward = link.symmetric && link.src == dst && link.dst == src;
+    if (forward || backward) survive *= 1.0 - link.loss_prob;
+  }
+  return 1.0 - survive;
+}
+
+}  // namespace hcs

@@ -1,0 +1,82 @@
+// Hard-fault scenarios: what breaks, where, and when.
+//
+// The paper's adaptive framework (§6.3) assumes the network only drifts;
+// OutageDirectory (src/netmodel) adds soft failures where bandwidth
+// collapses but transfers still complete. Real metacomputing networks
+// also fail *hard*: a node crashes and stays down (crash-stop), a link is
+// cut outright for a window, and individual transmissions are lost. A
+// FaultPlan describes one such scenario declaratively; FaultyDirectory
+// exposes it to planning, and FaultPlanModel (both in faulty_directory.hpp)
+// exposes it to execution through the simulator's send-failure hook, so
+// schedulers and the resilient executor see a consistent world.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hcs {
+
+/// A node that dies at `at_s` and never recovers (crash-stop): from then
+/// on it neither sends, receives, nor relays.
+struct CrashStop {
+  std::size_t node = 0;
+  double at_s = 0.0;
+};
+
+/// A pair unreachable over [begin_s, end_s): every transmission attempt
+/// overlapping the window times out. The hard sibling of Outage.
+struct LinkCut {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  /// When set, the opposite direction is cut too.
+  bool symmetric = true;
+};
+
+/// A pair whose transmissions are lost with the given probability per
+/// attempt (flaky NIC, lossy tunnel) — on top of the plan-wide
+/// transient_loss_prob.
+struct FlakyLink {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  double loss_prob = 0.5;
+  bool symmetric = true;
+};
+
+/// One fault scenario. An empty plan (the default) injects nothing —
+/// planning and execution are bit-identical to runs without it.
+struct FaultPlan {
+  std::vector<CrashStop> crashes;
+  std::vector<LinkCut> cuts;
+  std::vector<FlakyLink> flaky;
+  /// Plan-wide per-attempt transmission loss probability in [0, 1).
+  double transient_loss_prob = 0.0;
+  /// Seed for the deterministic transient-loss draws.
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool empty() const;
+
+  /// Throws InputError unless every fault is well-formed and references
+  /// processors below `processor_count`.
+  void validate(std::size_t processor_count) const;
+
+  /// True when `node` is dead at `now_s`.
+  [[nodiscard]] bool node_dead(std::size_t node, double now_s) const;
+
+  /// True when some cut of (src, dst) covers `now_s`.
+  [[nodiscard]] bool link_cut(std::size_t src, std::size_t dst,
+                              double now_s) const;
+
+  /// True when some cut of (src, dst) overlaps [begin_s, end_s) — the
+  /// question a transmission attempt over that interval asks.
+  [[nodiscard]] bool cut_overlaps(std::size_t src, std::size_t dst,
+                                  double begin_s, double end_s) const;
+
+  /// Combined per-attempt loss probability for (src, dst): the plan-wide
+  /// rate and any matching flaky links, composed as independent causes.
+  [[nodiscard]] double loss_probability(std::size_t src, std::size_t dst) const;
+};
+
+}  // namespace hcs

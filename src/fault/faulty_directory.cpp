@@ -1,0 +1,87 @@
+#include "fault/faulty_directory.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hcs {
+
+FaultyDirectory::FaultyDirectory(const DirectoryService& base, FaultPlan plan,
+                                 double unreachable_factor)
+    : base_(base), plan_(std::move(plan)), unreachable_factor_(unreachable_factor) {
+  plan_.validate(base_.processor_count());
+  if (!(unreachable_factor > 0.0) || !(unreachable_factor <= 1.0) ||
+      !std::isfinite(unreachable_factor))
+    throw InputError("FaultyDirectory: unreachable_factor must be in (0, 1]");
+}
+
+std::size_t FaultyDirectory::processor_count() const {
+  return base_.processor_count();
+}
+
+bool FaultyDirectory::reachable(std::size_t src, std::size_t dst,
+                                double now_s) const {
+  return !plan_.node_dead(src, now_s) && !plan_.node_dead(dst, now_s) &&
+         !plan_.link_cut(src, dst, now_s);
+}
+
+LinkParams FaultyDirectory::query(std::size_t src, std::size_t dst,
+                                  double now_s) const {
+  LinkParams params = base_.query(src, dst, now_s);
+  if (src != dst && !reachable(src, dst, now_s))
+    params.bandwidth_Bps *= unreachable_factor_;
+  return params;
+}
+
+FaultPlanModel::FaultPlanModel(const FaultPlan& plan, double timeout_slack,
+                               double transient_detect_factor)
+    : plan_(plan),
+      timeout_slack_(timeout_slack),
+      transient_detect_factor_(transient_detect_factor) {
+  if (!(timeout_slack >= 1.0) || !std::isfinite(timeout_slack))
+    throw InputError("FaultPlanModel: timeout_slack must be finite and >= 1");
+  if (!(transient_detect_factor > 0.0) ||
+      !(transient_detect_factor <= timeout_slack) ||
+      !std::isfinite(transient_detect_factor))
+    throw InputError(
+        "FaultPlanModel: transient_detect_factor must be in (0, timeout_slack]");
+}
+
+SendVerdict FaultPlanModel::judge(const SendAttempt& attempt) const {
+  const double finish = attempt.start_s + attempt.nominal_s;
+  const double timeout = timeout_slack_ * attempt.nominal_s;
+
+  // A sender already dead at the start never transmits at all; one dying
+  // mid-transfer, or a dead/dying receiver, costs the watchdog timeout.
+  if (plan_.node_dead(attempt.src, attempt.start_s))
+    return {false, 0.0, true};
+  if (plan_.node_dead(attempt.src, finish) || plan_.node_dead(attempt.dst, finish))
+    return {false, timeout, true};
+
+  // A cut anywhere in the attempt's nominal interval stalls the transfer
+  // until the watchdog fires; the cut may clear later, so retrying (or
+  // rerouting) can still succeed.
+  if (plan_.cut_overlaps(attempt.src, attempt.dst, attempt.start_s, finish))
+    return {false, timeout, false};
+
+  const double loss = plan_.loss_probability(attempt.src, attempt.dst);
+  if (loss > 0.0) {
+    // Deterministic per-attempt draw: reproducible across replays, yet
+    // independent across pairs, attempt numbers, and start times.
+    std::uint64_t state = plan_.seed;
+    state ^= 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(attempt.src) + 1);
+    state ^= 0xC2B2AE3D27D4EB4FULL * (static_cast<std::uint64_t>(attempt.dst) + 1);
+    state ^= 0x165667B19E3779F9ULL * static_cast<std::uint64_t>(attempt.attempt);
+    state ^= std::bit_cast<std::uint64_t>(attempt.start_s);
+    const double draw =
+        static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+    if (draw < loss)
+      return {false, transient_detect_factor_ * attempt.nominal_s, false};
+  }
+  return {true, 0.0, false};
+}
+
+}  // namespace hcs

@@ -1,0 +1,441 @@
+#include "fault/resilient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "fault/faulty_directory.hpp"
+#include "staging/link_graph.hpp"
+#include "util/error.hpp"
+
+namespace hcs {
+
+void ResilientOptions::validate() const {
+  adaptive.validate();
+  if (!(timeout_slack >= 1.0) || !std::isfinite(timeout_slack))
+    throw InputError("ResilientOptions: timeout_slack must be finite and >= 1");
+  if (max_attempts < 1)
+    throw InputError("ResilientOptions: max_attempts must be >= 1");
+  if (!(backoff_base_s >= 0.0) || !std::isfinite(backoff_base_s))
+    throw InputError("ResilientOptions: backoff_base_s must be finite and >= 0");
+  if (!(backoff_factor >= 1.0) || !std::isfinite(backoff_factor))
+    throw InputError("ResilientOptions: backoff_factor must be finite and >= 1");
+  if (!(transient_detect_factor > 0.0) ||
+      !(transient_detect_factor <= timeout_slack) ||
+      !std::isfinite(transient_detect_factor))
+    throw InputError(
+        "ResilientOptions: transient_detect_factor must be in (0, timeout_slack]");
+  health.validate();
+  if (!(unreachable_bandwidth_factor > 0.0) ||
+      !(unreachable_bandwidth_factor <= 1.0) ||
+      !std::isfinite(unreachable_bandwidth_factor))
+    throw InputError(
+        "ResilientOptions: unreachable_bandwidth_factor must be in (0, 1]");
+}
+
+std::string_view delivery_status_name(DeliveryStatus status) {
+  switch (status) {
+    case DeliveryStatus::kDirect: return "direct";
+    case DeliveryStatus::kRelayed: return "relayed";
+    case DeliveryStatus::kUndeliverable: return "undeliverable";
+  }
+  throw InputError("delivery_status_name: unknown status");
+}
+
+std::string_view failure_reason_name(FailureReason reason) {
+  switch (reason) {
+    case FailureReason::kNone: return "none";
+    case FailureReason::kEndpointCrashed: return "endpoint-crashed";
+    case FailureReason::kNoRoute: return "no-route";
+    case FailureReason::kRetriesExhausted: return "retries-exhausted";
+  }
+  throw InputError("failure_reason_name: unknown reason");
+}
+
+namespace {
+
+/// Events of `schedule` whose pairs are still remaining, as per-sender
+/// orders (mirrors run_adaptive's round construction).
+SendProgram remaining_program(const Schedule& schedule,
+                              const Matrix<unsigned char>& remaining) {
+  const std::size_t n = schedule.processor_count();
+  std::vector<std::vector<std::size_t>> orders(n);
+  std::vector<std::vector<std::size_t>> recv_orders(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (const ScheduledEvent& event : schedule.sender_events(p))
+      if (remaining(event.src, event.dst) != 0) orders[p].push_back(event.dst);
+    for (const ScheduledEvent& event : schedule.receiver_events(p))
+      if (remaining(event.src, event.dst) != 0)
+        recv_orders[p].push_back(event.src);
+  }
+  return SendProgram{std::move(orders), std::move(recv_orders)};
+}
+
+double backoff_delay(const ResilientOptions& options, std::size_t attempt) {
+  double delay = options.backoff_base_s;
+  for (std::size_t k = 1; k < attempt; ++k) delay *= options.backoff_factor;
+  return delay;
+}
+
+/// One round's commit stream: delivered events and give-ups, merged so a
+/// round where every attempt failed still advances the checkpoint clock.
+struct Candidate {
+  ScheduledEvent event;  ///< give-ups span first attempt .. give-up time
+  bool delivered = false;
+  std::size_t attempts = 1;
+  bool permanent = false;
+};
+
+/// Store-and-forward relay of one (src, dst) message through healthy
+/// intermediates. The route comes from the staging machinery's
+/// time-dependent Dijkstra over the currently reachable ordered pairs;
+/// hops execute under the executor's port discipline with hop-level
+/// retries, and a hop failure triggers a bounded re-route from the
+/// intermediate that holds the data.
+MessageOutcome relay_message(std::size_t src, std::size_t dst,
+                             const DirectoryService& directory,
+                             const MessageMatrix& messages,
+                             const FaultPlan& plan,
+                             const FaultPlanModel& fault_model,
+                             HealthMonitor& health,
+                             const ResilientOptions& options, double now,
+                             std::vector<double>& send_avail,
+                             std::vector<double>& recv_avail,
+                             std::vector<ScheduledEvent>& events,
+                             std::size_t& failed_attempts) {
+  const std::size_t n = directory.processor_count();
+  const std::uint64_t bytes = messages(src, dst);
+
+  std::size_t holder = src;
+  double ready = now;  ///< data available at `holder` from here on
+  std::vector<std::size_t> via;
+  // Ordered pairs a route must avoid: the failed direct link, plus every
+  // hop that fails underway.
+  std::vector<unsigned char> banned(n * n, 0);
+  banned[src * n + dst] = 1;
+
+  MessageOutcome outcome;
+  outcome.src = src;
+  outcome.dst = dst;
+
+  for (std::size_t reroute = 0;; ++reroute) {
+    const double depart_earliest = std::max(ready, send_avail[holder]);
+    LinkGraph graph(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (plan.node_dead(i, depart_earliest)) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j || banned[i * n + j] != 0) continue;
+        if (plan.node_dead(j, depart_earliest)) continue;
+        if (plan.link_cut(i, j, depart_earliest)) continue;
+        if (health.processor_count() > 0 && health.quarantined(i, j)) continue;
+        graph.add_link(i, j, directory.query(i, j, depart_earliest));
+      }
+    }
+    const Route route =
+        graph.earliest_arrival({holder}, {depart_earliest}, dst, bytes);
+    if (!route.reachable()) {
+      outcome.status = DeliveryStatus::kUndeliverable;
+      outcome.reason = FailureReason::kNoRoute;
+      outcome.via = std::move(via);
+      outcome.finish_s = depart_earliest;
+      return outcome;
+    }
+    std::vector<std::size_t> path{holder};
+    for (const Route::Hop& hop : route.hops)
+      path.push_back(graph.link(hop.link_index).to);
+
+    bool stranded = false;
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      const std::size_t i = path[k];
+      const std::size_t j = path[k + 1];
+      bool hop_done = false;
+      for (std::size_t attempt = 1; attempt <= options.max_attempts; ++attempt) {
+        const double depart = std::max({ready, send_avail[i], recv_avail[j]});
+        const double nominal = directory.query(i, j, depart).transfer_time(bytes);
+        const SendVerdict verdict =
+            fault_model.judge({i, j, depart, attempt, nominal});
+        if (verdict.delivered) {
+          const double finish = depart + nominal;
+          events.push_back({i, j, depart, finish});
+          send_avail[i] = std::max(send_avail[i], finish);
+          recv_avail[j] = std::max(recv_avail[j], finish);
+          health.record_transfer(i, j, nominal, nominal);
+          ready = finish;
+          hop_done = true;
+          break;
+        }
+        ++failed_attempts;
+        const double freed = depart + verdict.elapsed_s;
+        send_avail[i] = std::max(send_avail[i], freed);
+        recv_avail[j] = std::max(recv_avail[j], freed);
+        health.record_failure(i, j);
+        if (verdict.permanent) break;
+        ready = std::max(ready, freed + backoff_delay(options, attempt));
+      }
+      if (!hop_done) {
+        banned[i * n + j] = 1;
+        holder = i;
+        stranded = true;
+        break;
+      }
+      if (j != dst) via.push_back(j);
+      holder = j;
+    }
+    if (!stranded) {
+      outcome.status = DeliveryStatus::kRelayed;
+      outcome.via = std::move(via);
+      outcome.finish_s = ready;
+      return outcome;
+    }
+    if (reroute >= options.max_reroutes) {
+      outcome.status = DeliveryStatus::kUndeliverable;
+      outcome.reason = FailureReason::kRetriesExhausted;
+      outcome.via = std::move(via);
+      outcome.finish_s = std::max(ready, send_avail[holder]);
+      return outcome;
+    }
+  }
+}
+
+}  // namespace
+
+ResilientResult run_resilient(const Scheduler& scheduler,
+                              const DirectoryService& directory,
+                              const MessageMatrix& messages,
+                              const FaultPlan& plan,
+                              const ResilientOptions& options) {
+  const std::size_t n = directory.processor_count();
+  if (messages.rows() != n || !messages.square())
+    throw InputError("run_resilient: directory and messages disagree on size");
+  options.validate();
+  plan.validate(n);
+
+  // Planning sees the plan's hard faults and the evolving health ledger;
+  // execution runs against the live directory with the plan as the
+  // simulator's send-failure hook.
+  HealthMonitor health(n, options.health);
+  const FaultyDirectory faulty(directory, plan,
+                               options.unreachable_bandwidth_factor);
+  const QuarantineDirectory planning(faulty, health);
+  const FaultPlanModel fault_model(plan, options.timeout_slack,
+                                   options.transient_detect_factor);
+  const NetworkSimulator simulator{directory, messages};
+
+  Matrix<unsigned char> remaining(n, n, 0);
+  std::size_t remaining_count = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) {
+        remaining(i, j) = 1;
+        ++remaining_count;
+      }
+
+  std::vector<double> send_avail(n, 0.0);
+  std::vector<double> recv_avail(n, 0.0);
+  double now = 0.0;
+
+  ResilientResult result;
+  result.events.reserve(remaining_count);
+  result.outcomes.reserve(remaining_count);
+  std::vector<std::pair<std::size_t, std::size_t>> relay_queue;
+
+  const auto relay_now = [&](std::size_t src, std::size_t dst) {
+    if (plan.node_dead(src, now) || plan.node_dead(dst, now)) {
+      result.outcomes.push_back({src, dst, DeliveryStatus::kUndeliverable,
+                                 FailureReason::kEndpointCrashed, {}, now});
+      ++result.undelivered_count;
+      return;
+    }
+    MessageOutcome outcome = relay_message(
+        src, dst, directory, messages, plan, fault_model, health, options, now,
+        send_avail, recv_avail, result.events, result.failed_attempts);
+    if (outcome.status == DeliveryStatus::kRelayed)
+      ++result.relayed_count;
+    else
+      ++result.undelivered_count;
+    result.completion_time = std::max(result.completion_time, outcome.finish_s);
+    result.outcomes.push_back(std::move(outcome));
+  };
+
+  while (remaining_count > 0 || !relay_queue.empty()) {
+    // Quarantined pairs leave the direct plan for the relay path: the
+    // planning view would advertise them near-unreachable anyway, and a
+    // relay through healthy links beats retrying a link that keeps lying.
+    if (options.relay && health.quarantined_pair_count() > 0) {
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+          if (remaining(i, j) != 0 && health.quarantined(i, j)) {
+            remaining(i, j) = 0;
+            --remaining_count;
+            relay_queue.emplace_back(i, j);
+          }
+    }
+    for (const auto& [src, dst] : relay_queue) relay_now(src, dst);
+    relay_queue.clear();
+    if (remaining_count == 0) break;
+
+    // Plan the remaining pairs from the fault- and health-aware view
+    // (same round construction as run_adaptive). With nothing to overlay
+    // the decorators answer exactly like the base directory, so skip them
+    // and keep the base's (possibly O(1)) snapshot fast path.
+    const bool overlay_active =
+        !plan.empty() || health.quarantined_pair_count() > 0;
+    const NetworkModel snapshot =
+        overlay_active ? planning.snapshot(now) : directory.snapshot(now);
+    Matrix<double> estimate(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        if (remaining(i, j) != 0)
+          estimate(i, j) = snapshot.cost(i, j, messages(i, j));
+    const CommMatrix comm{std::move(estimate)};
+    Schedule planned = [&] {
+      const auto* avail_aware =
+          dynamic_cast<const AvailabilityAwareScheduler*>(&scheduler);
+      if (avail_aware == nullptr) return scheduler.schedule(comm);
+      std::vector<double> send_offset(n, 0.0);
+      std::vector<double> recv_offset(n, 0.0);
+      for (std::size_t p = 0; p < n; ++p) {
+        send_offset[p] = std::max(send_avail[p] - now, 0.0);
+        recv_offset[p] = std::max(recv_avail[p] - now, 0.0);
+      }
+      return avail_aware->schedule_with_availability(comm, send_offset,
+                                                     recv_offset);
+    }();
+    const SendProgram program = remaining_program(planned, remaining);
+
+    SimOptions sim_options;
+    sim_options.initial_send_avail.assign(n, 0.0);
+    sim_options.initial_recv_avail.assign(n, 0.0);
+    for (std::size_t p = 0; p < n; ++p) {
+      sim_options.initial_send_avail[p] = std::max(send_avail[p], now);
+      sim_options.initial_recv_avail[p] = std::max(recv_avail[p], now);
+    }
+    // An empty plan never fails an attempt, so the hook would only slow
+    // the simulator's hot loop down; executing without it is identical.
+    sim_options.fault_model = plan.empty() ? nullptr : &fault_model;
+    sim_options.max_attempts = options.max_attempts;
+    sim_options.backoff_base_s = options.backoff_base_s;
+    sim_options.backoff_factor = options.backoff_factor;
+    SimResult executed = simulator.run(program, sim_options);
+    result.failed_attempts += executed.failed_attempts;
+
+    // Merge deliveries and give-ups into one commit stream so an
+    // all-failed round still advances the checkpoint clock. Rounds where
+    // everything delivered (every round of a healthy run) skip the merge
+    // and sort the simulator's event array in place, like run_adaptive.
+    std::vector<Candidate> merged;
+    if (!executed.undelivered.empty()) {
+      merged.reserve(executed.events.size() + executed.undelivered.size());
+      for (const ScheduledEvent& event : executed.events)
+        merged.push_back({event, true, 1, false});
+      for (const UndeliveredSend& failed : executed.undelivered)
+        merged.push_back(
+            {{failed.src, failed.dst, failed.first_attempt_s, failed.gave_up_s},
+             false, failed.attempts, failed.permanent});
+      std::sort(merged.begin(), merged.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.event.finish_s < b.event.finish_s;
+                });
+    } else {
+      std::sort(executed.events.begin(), executed.events.end(),
+                [](const ScheduledEvent& a, const ScheduledEvent& b) {
+                  return a.finish_s < b.finish_s;
+                });
+    }
+    const bool all_delivered = executed.undelivered.empty();
+    const std::size_t candidate_count =
+        all_delivered ? executed.events.size() : merged.size();
+    const auto candidate_event = [&](std::size_t k) -> const ScheduledEvent& {
+      return all_delivered ? executed.events[k] : merged[k].event;
+    };
+    double round_completion = std::max(now, executed.completion_time);
+    for (const Candidate& candidate : merged)
+      round_completion = std::max(round_completion, candidate.event.finish_s);
+
+    std::size_t commit_target = remaining_count;
+    switch (options.adaptive.policy) {
+      case CheckpointPolicy::kNever: break;
+      case CheckpointPolicy::kEveryEvent: commit_target = 1; break;
+      case CheckpointPolicy::kHalveRemaining:
+        commit_target = (remaining_count + 1) / 2;
+        break;
+    }
+
+    // Threshold: keep executing the same plan while the committed prefix
+    // tracked its estimate. A give-up in the prefix is an unbounded
+    // deviation — always reschedule past it.
+    if (commit_target < candidate_count &&
+        options.adaptive.reschedule_threshold > 0.0) {
+      while (commit_target < candidate_count) {
+        double worst = 0.0;
+        for (std::size_t k = 0; k < commit_target; ++k) {
+          if (!all_delivered && !merged[k].delivered) {
+            worst = std::numeric_limits<double>::infinity();
+            break;
+          }
+          const ScheduledEvent& event = candidate_event(k);
+          const double estimated = comm.time(event.src, event.dst);
+          if (estimated <= 0.0) continue;
+          worst = std::max(worst,
+                           std::abs(event.duration() - estimated) / estimated);
+        }
+        if (worst > options.adaptive.reschedule_threshold) break;
+        commit_target = std::min(candidate_count,
+                                 commit_target + (remaining_count + 1) / 2);
+      }
+    }
+
+    double cut_time = round_completion;
+    if (commit_target < candidate_count)
+      cut_time = candidate_event(commit_target - 1).finish_s;
+    std::size_t committed = 0;
+    for (std::size_t k = 0; k < candidate_count; ++k) {
+      const ScheduledEvent& event = candidate_event(k);
+      const bool before_cut = event.finish_s <= cut_time;
+      const bool in_flight = event.start_s < cut_time;
+      if (!before_cut && !in_flight) continue;
+      remaining(event.src, event.dst) = 0;
+      send_avail[event.src] = std::max(send_avail[event.src], event.finish_s);
+      recv_avail[event.dst] = std::max(recv_avail[event.dst], event.finish_s);
+      if (all_delivered || merged[k].delivered) {
+        result.events.push_back(event);
+        result.completion_time =
+            std::max(result.completion_time, event.finish_s);
+        result.outcomes.push_back({event.src, event.dst,
+                                   DeliveryStatus::kDirect, FailureReason::kNone,
+                                   {}, event.finish_s});
+        health.record_transfer(event.src, event.dst, event.duration(),
+                               comm.time(event.src, event.dst));
+      } else {
+        const Candidate& candidate = merged[k];
+        for (std::size_t a = 0; a < candidate.attempts; ++a)
+          health.record_failure(event.src, event.dst);
+        if (candidate.permanent || !options.relay) {
+          result.outcomes.push_back(
+              {event.src, event.dst, DeliveryStatus::kUndeliverable,
+               candidate.permanent ? FailureReason::kEndpointCrashed
+                                   : FailureReason::kRetriesExhausted,
+               {}, event.finish_s});
+          ++result.undelivered_count;
+          result.completion_time =
+              std::max(result.completion_time, event.finish_s);
+        } else {
+          relay_queue.emplace_back(event.src, event.dst);
+        }
+      }
+      ++committed;
+    }
+    check(committed > 0, "run_resilient: no progress");
+    remaining_count -= committed;
+    now = cut_time;
+    if (remaining_count > 0) ++result.reschedule_count;
+  }
+
+  check(result.outcomes.size() == (n == 0 ? 0 : n * (n - 1)),
+        "run_resilient: outcome accounting is off");
+  result.health = std::move(health);
+  return result;
+}
+
+}  // namespace hcs

@@ -1,5 +1,7 @@
 #include "netmodel/outage.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace hcs {
@@ -7,16 +9,22 @@ namespace hcs {
 OutageDirectory::OutageDirectory(const DirectoryService& base,
                                  std::vector<Outage> outages)
     : base_(base), outages_(std::move(outages)) {
-  for (const Outage& outage : outages_) {
-    if (outage.src >= base_.processor_count() ||
-        outage.dst >= base_.processor_count())
+  const std::size_t n = base_.processor_count();
+  for (std::size_t k = 0; k < outages_.size(); ++k) {
+    const Outage& outage = outages_[k];
+    if (outage.src >= n || outage.dst >= n)
       throw InputError("OutageDirectory: processor out of range");
     if (outage.src == outage.dst)
       throw InputError("OutageDirectory: self-pair outage");
+    if (!std::isfinite(outage.begin_s) || !std::isfinite(outage.end_s) ||
+        !std::isfinite(outage.bandwidth_factor))
+      throw InputError("OutageDirectory: non-finite outage field");
     if (outage.end_s < outage.begin_s)
       throw InputError("OutageDirectory: outage ends before it begins");
     if (outage.bandwidth_factor <= 0.0 || outage.bandwidth_factor > 1.0)
       throw InputError("OutageDirectory: factor must be in (0, 1]");
+    by_pair_[outage.src * n + outage.dst].push_back(k);
+    if (outage.symmetric) by_pair_[outage.dst * n + outage.src].push_back(k);
   }
 }
 
@@ -26,13 +34,13 @@ std::size_t OutageDirectory::processor_count() const {
 
 double OutageDirectory::degradation(std::size_t src, std::size_t dst,
                                     double now_s) const {
+  const auto bucket = by_pair_.find(src * base_.processor_count() + dst);
+  if (bucket == by_pair_.end()) return 1.0;
   double factor = 1.0;
-  for (const Outage& outage : outages_) {
-    if (now_s < outage.begin_s || now_s >= outage.end_s) continue;
-    const bool forward = outage.src == src && outage.dst == dst;
-    const bool backward =
-        outage.symmetric && outage.src == dst && outage.dst == src;
-    if (forward || backward) factor *= outage.bandwidth_factor;
+  for (const std::size_t index : bucket->second) {
+    const Outage& outage = outages_[index];
+    if (now_s >= outage.begin_s && now_s < outage.end_s)
+      factor *= outage.bandwidth_factor;
   }
   return factor;
 }

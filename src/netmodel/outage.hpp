@@ -8,9 +8,13 @@
 // failure — the transfer crawls rather than erroring. Adaptive executors
 // (src/adaptive) can then be tested for whether checkpointed re-planning
 // steers work away from degraded pairs.
+//
+// Hard failures — a pair unreachable outright, or a node dead — are the
+// stronger siblings modelled by FaultPlan / FaultyDirectory (src/fault).
 #pragma once
 
 #include <cstddef>
+#include <unordered_map>
 #include <vector>
 
 #include "netmodel/directory.hpp"
@@ -48,6 +52,11 @@ class OutageDirectory final : public DirectoryService {
  private:
   const DirectoryService& base_;
   std::vector<Outage> outages_;
+  /// Outage windows per ordered pair, keyed src * P + dst (symmetric
+  /// outages appear under both keys). `degradation` sits inside the
+  /// simulator's per-event hot loop, so queries must touch only the
+  /// queried pair's windows, not the whole outage vector.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> by_pair_;
 };
 
 }  // namespace hcs

@@ -1,0 +1,54 @@
+// Execution-side fault injection: the simulator's send-failure hook.
+//
+// The directory abstraction (netmodel) covers how a network *advertises*
+// itself; whether a particular transmission actually completes is an
+// execution-time question. A TransferFaultModel is consulted once per
+// transmission attempt and decides its fate: delivered, failed after
+// consuming some port time (a watchdog timeout on a cut link, a dropped
+// connection), or permanently hopeless (the receiver is dead). The
+// simulator (sim/simulator.hpp, SimOptions::fault_model) retries failed
+// attempts with exponential backoff and reports messages it gave up on
+// as undelivered instead of hanging — crash-stop faults must never stall
+// an exchange. src/fault supplies the FaultPlan-backed implementation.
+#pragma once
+
+#include <cstddef>
+
+namespace hcs {
+
+/// One transmission attempt, as the simulator is about to execute it.
+struct SendAttempt {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  /// Time the attempt starts (both ports engaged from here).
+  double start_s = 0.0;
+  /// 1-based attempt number for this message.
+  std::size_t attempt = 1;
+  /// Transfer time the directory advertises at start_s — the T_ij + m/B_ij
+  /// estimate watchdog timeouts are derived from.
+  double nominal_s = 0.0;
+};
+
+/// The fate of one transmission attempt.
+struct SendVerdict {
+  bool delivered = true;
+  /// Port time the attempt consumed when it failed (e.g. the watchdog
+  /// timeout for a transfer that never completed). Ignored when
+  /// delivered — a delivered attempt takes its nominal transfer time.
+  double elapsed_s = 0.0;
+  /// No retry can ever succeed (crash-stop endpoint); the simulator
+  /// reports the message undelivered immediately.
+  bool permanent = false;
+};
+
+/// Decides the fate of transmission attempts. Implementations must be
+/// deterministic functions of the attempt (plus their own construction
+/// state) so simulations stay reproducible.
+class TransferFaultModel {
+ public:
+  virtual ~TransferFaultModel() = default;
+
+  [[nodiscard]] virtual SendVerdict judge(const SendAttempt& attempt) const = 0;
+};
+
+}  // namespace hcs

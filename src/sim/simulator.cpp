@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <queue>
 #include <tuple>
@@ -11,6 +12,13 @@ namespace hcs {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Sender-side delay before retrying after failed attempt `attempt`.
+double backoff_delay(const SimOptions& options, std::size_t attempt) {
+  double delay = options.backoff_base_s;
+  for (std::size_t k = 1; k < attempt; ++k) delay *= options.backoff_factor;
+  return delay;
+}
 
 /// Port availability vector from options or zeros.
 std::vector<double> initial_avail(const std::vector<double>& provided,
@@ -43,6 +51,19 @@ SimResult NetworkSimulator::run(const SendProgram& program,
                                 const SimOptions& options) const {
   check(program.processor_count() == directory_.processor_count(),
         "NetworkSimulator: program size mismatch");
+  if (options.fault_model != nullptr) {
+    if (options.model != ReceiveModel::kSerialized)
+      throw InputError(
+          "NetworkSimulator: fault injection requires the serialized model");
+    if (options.max_attempts < 1)
+      throw InputError("SimOptions: max_attempts must be >= 1");
+    if (!(options.backoff_base_s >= 0.0) ||
+        !std::isfinite(options.backoff_base_s))
+      throw InputError("SimOptions: backoff_base_s must be finite and >= 0");
+    if (!(options.backoff_factor >= 1.0) ||
+        !std::isfinite(options.backoff_factor))
+      throw InputError("SimOptions: backoff_factor must be finite and >= 1");
+  }
   switch (options.model) {
     case ReceiveModel::kSerialized: return run_serialized(program, options);
     case ReceiveModel::kInterleaved: return run_interleaved(program, options);
@@ -78,6 +99,10 @@ SimResult NetworkSimulator::run_serialized(const SendProgram& program,
       waiting(n);
   std::vector<bool> receiver_busy(n, false);
   std::vector<std::size_t> next_index(n, 0);
+  // Fault injection: attempt number for each sender's current message,
+  // and the start of its first attempt (for the undelivered report).
+  std::vector<std::size_t> attempt_no(n, 1);
+  std::vector<double> first_attempt(n, 0.0);
 
   SimResult result;
   result.events.reserve(program.event_count());
@@ -85,6 +110,33 @@ SimResult NetworkSimulator::run_serialized(const SendProgram& program,
   const auto start_transfer = [&](std::size_t src, std::size_t dst,
                                   double request_time, double start) {
     const double duration = transfer_time(src, dst, start);
+    if (options.fault_model != nullptr) {
+      const SendVerdict verdict = options.fault_model->judge(
+          {src, dst, start, attempt_no[src], duration});
+      if (!verdict.delivered) {
+        ++result.failed_attempts;
+        if (attempt_no[src] == 1) first_attempt[src] = start;
+        // Both ports were engaged for the failed attempt's duration.
+        const double freed = start + verdict.elapsed_s;
+        receiver_busy[dst] = true;
+        recv_avail[dst] = freed;
+        send_avail[src] = freed;
+        queue.push({freed, kReceiverFree, dst});
+        if (verdict.permanent || attempt_no[src] >= options.max_attempts) {
+          result.undelivered.push_back({src, dst, first_attempt[src], freed,
+                                        attempt_no[src], verdict.permanent});
+          attempt_no[src] = 1;
+          ++next_index[src];
+          queue.push({freed, kSenderReady, src});
+        } else {
+          queue.push({freed + backoff_delay(options, attempt_no[src]),
+                      kSenderReady, src});
+          ++attempt_no[src];
+        }
+        return;
+      }
+      attempt_no[src] = 1;
+    }
     result.events.push_back({src, dst, start, start + duration});
     result.total_sender_wait_s += start - request_time;
     receiver_busy[dst] = true;
@@ -167,12 +219,40 @@ SimResult NetworkSimulator::run_programmed(const SendProgram& program,
         const auto& expected = program.receiver_order_of(dst);
         if (expected[next_recv[dst]] != src) break;  // receiver not ready for us
         const double request = send_avail[src];
-        const double start = std::max(request, recv_avail[dst]);
-        const double duration = transfer_time(src, dst, start);
-        result.events.push_back({src, dst, start, start + duration});
-        result.total_sender_wait_s += start - request;
-        send_avail[src] = start + duration;
-        recv_avail[dst] = start + duration;
+        double start = std::max(request, recv_avail[dst]);
+        if (options.fault_model == nullptr) {
+          const double duration = transfer_time(src, dst, start);
+          result.events.push_back({src, dst, start, start + duration});
+          result.total_sender_wait_s += start - request;
+          send_avail[src] = start + duration;
+          recv_avail[dst] = start + duration;
+        } else {
+          // Attempt loop: each failed attempt engages both ports for its
+          // elapsed time, then the sender backs off and retries.
+          const double first_start = start;
+          for (std::size_t attempt = 1;; ++attempt) {
+            const double duration = transfer_time(src, dst, start);
+            const SendVerdict verdict = options.fault_model->judge(
+                {src, dst, start, attempt, duration});
+            if (verdict.delivered) {
+              result.events.push_back({src, dst, start, start + duration});
+              result.total_sender_wait_s += start - request;
+              send_avail[src] = start + duration;
+              recv_avail[dst] = start + duration;
+              break;
+            }
+            ++result.failed_attempts;
+            const double freed = start + verdict.elapsed_s;
+            send_avail[src] = freed;
+            recv_avail[dst] = freed;
+            if (verdict.permanent || attempt >= options.max_attempts) {
+              result.undelivered.push_back(
+                  {src, dst, first_start, freed, attempt, verdict.permanent});
+              break;
+            }
+            start = freed + backoff_delay(options, attempt);
+          }
+        }
         ++next_send[src];
         ++next_recv[dst];
         --remaining;
@@ -200,8 +280,8 @@ SimResult NetworkSimulator::run_programmed(const SendProgram& program,
 
 SimResult NetworkSimulator::run_interleaved(const SendProgram& program,
                                             const SimOptions& options) const {
-  if (options.alpha < 0.0)
-    throw InputError("run_interleaved: alpha must be non-negative");
+  if (!(options.alpha >= 0.0) || !std::isfinite(options.alpha))
+    throw InputError("run_interleaved: alpha must be finite and non-negative");
   const std::size_t n = program.processor_count();
   std::vector<double> send_avail =
       initial_avail(options.initial_send_avail, n, "initial_send_avail");
@@ -316,8 +396,8 @@ SimResult NetworkSimulator::run_buffered(const SendProgram& program,
                                          const SimOptions& options) const {
   if (options.buffer_capacity < 1)
     throw InputError("run_buffered: buffer capacity must be >= 1");
-  if (options.drain_factor < 0.0)
-    throw InputError("run_buffered: drain_factor must be non-negative");
+  if (!(options.drain_factor >= 0.0) || !std::isfinite(options.drain_factor))
+    throw InputError("run_buffered: drain_factor must be finite and non-negative");
   const std::size_t n = program.processor_count();
   std::vector<double> send_avail =
       initial_avail(options.initial_send_avail, n, "initial_send_avail");

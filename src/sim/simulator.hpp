@@ -23,6 +23,7 @@
 
 #include "core/schedule.hpp"
 #include "netmodel/directory.hpp"
+#include "sim/fault_hook.hpp"
 #include "sim/send_program.hpp"
 #include "workload/generators.hpp"
 
@@ -74,6 +75,30 @@ struct SimOptions {
   /// zeros.
   std::vector<double> initial_send_avail;
   std::vector<double> initial_recv_avail;
+
+  /// Execution-side fault injection (see sim/fault_hook.hpp; src/fault
+  /// supplies the FaultPlan-backed model). Null = every attempt succeeds,
+  /// and the simulation is bit-identical to one without the hook. Only
+  /// the kSerialized receive model supports fault injection. Borrowed.
+  const TransferFaultModel* fault_model = nullptr;
+  /// Transmission attempts per message before it is reported undelivered.
+  /// Must be >= 1; read only when fault_model is set.
+  std::size_t max_attempts = 3;
+  /// Sender-side retry delay after failed attempt k is
+  /// backoff_base_s * backoff_factor^(k-1) (exponential backoff).
+  double backoff_base_s = 0.0;
+  double backoff_factor = 2.0;
+};
+
+/// One message the simulator gave up on (fault injection only): either
+/// its fate was permanent (crash-stop endpoint) or max_attempts failed.
+struct UndeliveredSend {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  double first_attempt_s = 0.0;  ///< start of the first attempt
+  double gave_up_s = 0.0;        ///< both ports are free again from here
+  std::size_t attempts = 0;
+  bool permanent = false;        ///< no retry could ever have succeeded
 };
 
 /// What one simulated exchange produced.
@@ -86,6 +111,12 @@ struct SimResult {
   double completion_time = 0.0;
   /// Summed time senders spent blocked waiting for receivers or buffers.
   double total_sender_wait_s = 0.0;
+  /// Messages given up on under fault injection, in give-up order. The
+  /// exchange is only complete when this is empty.
+  std::vector<UndeliveredSend> undelivered;
+  /// Transmission attempts that failed (including those later retried
+  /// successfully). 0 without fault injection.
+  std::size_t failed_attempts = 0;
 };
 
 /// Executes send programs against a directory service.

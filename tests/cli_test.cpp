@@ -223,6 +223,33 @@ TEST(Cli, SimulateRejectsNegativeDrift) {
   EXPECT_EQ(result.exit_code, 1);
 }
 
+TEST(Cli, FaultSweepReportsDeliveryMix) {
+  const CliRun result = run({"fault-sweep", "--processors", "5", "--seed", "2",
+                             "--max-crashes", "1", "--cuts", "1"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("fault-free completion"), std::string::npos);
+  EXPECT_NE(result.out.find("relayed"), std::string::npos);
+  EXPECT_NE(result.out.find("undeliverable"), std::string::npos);
+}
+
+TEST(Cli, FaultSweepIsDeterministic) {
+  const std::vector<std::string> args{"fault-sweep", "--processors", "5",
+                                      "--seed",      "3",          "--loss",
+                                      "0.1",         "--cuts",     "2"};
+  EXPECT_EQ(run(args).out, run(args).out);
+}
+
+TEST(Cli, FaultSweepValidatesArguments) {
+  EXPECT_EQ(run({"fault-sweep"}).exit_code, 1);
+  EXPECT_EQ(run({"fault-sweep", "--processors", "5", "--loss", "1.5"}).exit_code,
+            1);
+  EXPECT_EQ(
+      run({"fault-sweep", "--processors", "5", "--max-crashes", "9"}).exit_code,
+      1);
+  EXPECT_EQ(run({"fault-sweep", "--processors", "5", "--cuts", "-1"}).exit_code,
+            1);
+}
+
 TEST(CliOptions, ParsesPairsAndFlags) {
   const cli::Options options({"cmd", "--a", "1", "--flag", "--b", "x"}, 1,
                              {"a", "flag", "b"});

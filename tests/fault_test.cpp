@@ -1,0 +1,580 @@
+// Tests for src/fault: fault plans, the planning/execution views of a
+// plan, health-driven quarantine, and the resilient executor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "adaptive/checkpoint.hpp"
+#include "core/matching_scheduler.hpp"
+#include "core/openshop_scheduler.hpp"
+#include "fault/faulty_directory.hpp"
+#include "fault/health.hpp"
+#include "fault/resilient.hpp"
+#include "netmodel/generator.hpp"
+#include "netmodel/outage.hpp"
+#include "util/error.hpp"
+
+namespace hcs {
+namespace {
+
+constexpr CheckpointPolicy kAllPolicies[] = {CheckpointPolicy::kNever,
+                                             CheckpointPolicy::kEveryEvent,
+                                             CheckpointPolicy::kHalveRemaining};
+
+/// No two events of the same send or receive port may overlap, relay hops
+/// included.
+void check_no_port_overlap(const std::vector<ScheduledEvent>& events,
+                           std::size_t n) {
+  for (std::size_t p = 0; p < n; ++p) {
+    for (const bool sender_side : {true, false}) {
+      std::vector<ScheduledEvent> mine;
+      for (const ScheduledEvent& event : events)
+        if ((sender_side ? event.src : event.dst) == p) mine.push_back(event);
+      std::sort(mine.begin(), mine.end(),
+                [](const ScheduledEvent& a, const ScheduledEvent& b) {
+                  return a.start_s < b.start_s;
+                });
+      for (std::size_t k = 0; k + 1 < mine.size(); ++k)
+        EXPECT_LE(mine[k].finish_s, mine[k + 1].start_s + 1e-9)
+            << (sender_side ? "send" : "receive") << " port " << p;
+    }
+  }
+}
+
+const MessageOutcome& outcome_of(const ResilientResult& result,
+                                 std::size_t src, std::size_t dst) {
+  for (const MessageOutcome& outcome : result.outcomes)
+    if (outcome.src == src && outcome.dst == dst) return outcome;
+  throw std::logic_error("outcome_of: pair not found");
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, ValidateRejectsMalformedPlans) {
+  {
+    FaultPlan plan;
+    plan.crashes.push_back({9, 0.0});
+    EXPECT_THROW(plan.validate(4), InputError);
+  }
+  {
+    FaultPlan plan;
+    plan.cuts.push_back({0, 0, 0.0, 1.0});
+    EXPECT_THROW(plan.validate(4), InputError);
+  }
+  {
+    FaultPlan plan;
+    plan.cuts.push_back({0, 1, 2.0, 1.0});
+    EXPECT_THROW(plan.validate(4), InputError);
+  }
+  {
+    FaultPlan plan;
+    plan.flaky.push_back({0, 1, 1.0});
+    EXPECT_THROW(plan.validate(4), InputError);
+  }
+  {
+    FaultPlan plan;
+    plan.transient_loss_prob = -0.1;
+    EXPECT_THROW(plan.validate(4), InputError);
+  }
+}
+
+TEST(FaultPlan, QueriesMatchDeclaredScenario) {
+  FaultPlan plan;
+  plan.crashes.push_back({2, 5.0});
+  plan.cuts.push_back({0, 1, 1.0, 2.0});
+  plan.flaky.push_back({0, 3, 0.25});
+  plan.transient_loss_prob = 0.5;
+  plan.validate(4);
+
+  EXPECT_FALSE(plan.empty());
+  EXPECT_FALSE(plan.node_dead(2, 4.9));
+  EXPECT_TRUE(plan.node_dead(2, 5.0));
+  EXPECT_TRUE(plan.node_dead(2, 100.0));
+  EXPECT_FALSE(plan.node_dead(0, 100.0));
+
+  EXPECT_FALSE(plan.link_cut(0, 1, 0.5));
+  EXPECT_TRUE(plan.link_cut(0, 1, 1.5));
+  EXPECT_TRUE(plan.link_cut(1, 0, 1.5)) << "cuts default to symmetric";
+  EXPECT_FALSE(plan.link_cut(0, 1, 2.0)) << "window is half-open";
+  EXPECT_TRUE(plan.cut_overlaps(0, 1, 0.0, 1.5));
+  EXPECT_FALSE(plan.cut_overlaps(0, 1, 2.5, 3.0));
+
+  // Flaky and plan-wide losses compose as independent causes.
+  EXPECT_NEAR(plan.loss_probability(0, 3), 1.0 - 0.5 * 0.75, 1e-12);
+  EXPECT_NEAR(plan.loss_probability(3, 0), 1.0 - 0.5 * 0.75, 1e-12);
+  EXPECT_NEAR(plan.loss_probability(1, 2), 0.5, 1e-12);
+
+  EXPECT_TRUE(FaultPlan{}.empty());
+}
+
+// ---------------------------------------------------------------------------
+// FaultyDirectory / FaultPlanModel
+// ---------------------------------------------------------------------------
+
+TEST(FaultyDirectory, CollapsesCutAndCrashedPairsOnly) {
+  const StaticDirectory base{generate_network(4, 21)};
+  FaultPlan plan;
+  plan.cuts.push_back({0, 1, 1.0, 2.0});
+  plan.crashes.push_back({3, 5.0});
+  const FaultyDirectory faulty{base, plan};
+
+  EXPECT_EQ(faulty.processor_count(), 4u);
+  EXPECT_EQ(faulty.query(0, 1, 0.5), base.query(0, 1, 0.5));
+  EXPECT_NEAR(faulty.query(0, 1, 1.5).bandwidth_Bps,
+              base.query(0, 1, 1.5).bandwidth_Bps * 1e-6, 1e-9);
+  EXPECT_FALSE(faulty.reachable(1, 0, 1.5)) << "symmetric cut";
+  EXPECT_TRUE(faulty.reachable(3, 2, 4.9));
+  EXPECT_FALSE(faulty.reachable(3, 2, 5.0)) << "dead endpoint";
+  EXPECT_FALSE(faulty.reachable(2, 3, 6.0));
+}
+
+TEST(FaultPlanModel, WatchdogAndCrashSemantics) {
+  FaultPlan plan;
+  plan.crashes.push_back({1, 10.0});
+  plan.cuts.push_back({2, 3, 0.0, 5.0});
+  const FaultPlanModel model{plan, 3.0, 0.5};
+
+  // Healthy pair, no loss: delivered.
+  EXPECT_TRUE(model.judge({0, 2, 0.0, 1, 1.0}).delivered);
+
+  // Sender dead at start: immediate permanent failure.
+  const SendVerdict dead_src = model.judge({1, 0, 11.0, 1, 1.0});
+  EXPECT_FALSE(dead_src.delivered);
+  EXPECT_TRUE(dead_src.permanent);
+  EXPECT_EQ(dead_src.elapsed_s, 0.0);
+
+  // Receiver dead by the nominal finish: watchdog timeout, permanent.
+  const SendVerdict dead_dst = model.judge({0, 1, 9.5, 1, 1.0});
+  EXPECT_FALSE(dead_dst.delivered);
+  EXPECT_TRUE(dead_dst.permanent);
+  EXPECT_NEAR(dead_dst.elapsed_s, 3.0, 1e-12);
+
+  // Cut overlapping the attempt: watchdog timeout, retryable.
+  const SendVerdict cut = model.judge({2, 3, 4.0, 1, 2.0});
+  EXPECT_FALSE(cut.delivered);
+  EXPECT_FALSE(cut.permanent);
+  EXPECT_NEAR(cut.elapsed_s, 6.0, 1e-12);
+
+  // Past the cut window the pair works again.
+  EXPECT_TRUE(model.judge({2, 3, 5.0, 1, 2.0}).delivered);
+}
+
+TEST(FaultPlanModel, TransientLossIsDeterministic) {
+  FaultPlan plan;
+  plan.transient_loss_prob = 0.5;
+  plan.seed = 7;
+  const FaultPlanModel model{plan, 3.0, 0.5};
+
+  int lost = 0;
+  for (int k = 0; k < 64; ++k) {
+    const SendAttempt attempt{0, 1, 0.125 * k, 1, 1.0};
+    const SendVerdict first = model.judge(attempt);
+    const SendVerdict second = model.judge(attempt);
+    EXPECT_EQ(first.delivered, second.delivered);
+    if (!first.delivered) {
+      EXPECT_FALSE(first.permanent);
+      EXPECT_NEAR(first.elapsed_s, 0.5, 1e-12) << "fast loss detection";
+      ++lost;
+    }
+  }
+  // ~50% loss: wildly off means the hash is broken.
+  EXPECT_GT(lost, 16);
+  EXPECT_LT(lost, 48);
+}
+
+// ---------------------------------------------------------------------------
+// HealthMonitor / QuarantineDirectory
+// ---------------------------------------------------------------------------
+
+TEST(Health, StrikesAccumulateResetAndQuarantineSticks) {
+  HealthMonitor health{3, {}};
+  EXPECT_EQ(health.strikes(0, 1), 0u);
+
+  health.record_failure(0, 1);
+  health.record_transfer(0, 1, 10.0, 1.0);  // deviation > 3x: strike
+  EXPECT_EQ(health.strikes(0, 1), 2u);
+  EXPECT_FALSE(health.quarantined(0, 1));
+
+  health.record_transfer(0, 1, 1.0, 1.0);  // on-estimate: reset
+  EXPECT_EQ(health.strikes(0, 1), 0u);
+
+  health.record_failure(0, 1);
+  health.record_failure(0, 1);
+  health.record_failure(0, 1);
+  EXPECT_TRUE(health.quarantined(0, 1));
+  EXPECT_EQ(health.quarantined_pair_count(), 1u);
+
+  health.record_transfer(0, 1, 1.0, 1.0);
+  EXPECT_TRUE(health.quarantined(0, 1)) << "quarantine is sticky";
+  EXPECT_FALSE(health.quarantined(1, 0)) << "per ordered pair";
+}
+
+TEST(Health, QuarantineDirectoryDegradesOnlyQuarantinedPairs) {
+  const StaticDirectory base{generate_network(3, 22)};
+  HealthMonitor health{3, {}};
+  const QuarantineDirectory directory{base, health};
+
+  EXPECT_EQ(directory.query(0, 1, 0.0), base.query(0, 1, 0.0));
+  for (int k = 0; k < 3; ++k) health.record_failure(0, 1);
+  EXPECT_NEAR(directory.query(0, 1, 0.0).bandwidth_Bps,
+              base.query(0, 1, 0.0).bandwidth_Bps * 1e-6, 1e-9);
+  EXPECT_EQ(directory.query(1, 0, 0.0), base.query(1, 0, 0.0));
+}
+
+TEST(Health, OptionValidation) {
+  EXPECT_THROW(HealthMonitor(3, {0, 3.0, 1e-6}), InputError);
+  EXPECT_THROW(HealthMonitor(3, {3, 0.5, 1e-6}), InputError);
+  EXPECT_THROW(HealthMonitor(3, {3, 3.0, 0.0}), InputError);
+}
+
+// ---------------------------------------------------------------------------
+// run_resilient
+// ---------------------------------------------------------------------------
+
+TEST(Resilient, EmptyPlanIsBitIdenticalToRunAdaptive) {
+  // The fault path with nothing to inject must not perturb a single
+  // double: same events, same times, same reschedule count.
+  const std::size_t n = 6;
+  DriftingDirectory::Options drift;
+  drift.update_period_s = 0.5;
+  drift.step_sigma = 0.4;
+  const DriftingDirectory drifting{generate_network(n, 31), 13, drift};
+  const StaticDirectory fixed{generate_network(n, 32)};
+  const MessageMatrix messages = uniform_messages(n, kMiB);
+  const OpenShopScheduler scheduler;
+
+  for (const DirectoryService* directory :
+       {static_cast<const DirectoryService*>(&drifting),
+        static_cast<const DirectoryService*>(&fixed)}) {
+    for (const CheckpointPolicy policy : kAllPolicies) {
+      AdaptiveOptions adaptive_options;
+      adaptive_options.policy = policy;
+      const AdaptiveResult expected =
+          run_adaptive(scheduler, *directory, messages, adaptive_options);
+
+      ResilientOptions options;
+      options.adaptive = adaptive_options;
+      const ResilientResult actual =
+          run_resilient(scheduler, *directory, messages, {}, options);
+
+      ASSERT_EQ(actual.events.size(), expected.events.size());
+      for (std::size_t k = 0; k < expected.events.size(); ++k)
+        EXPECT_EQ(actual.events[k], expected.events[k]);
+      EXPECT_EQ(actual.completion_time, expected.completion_time);
+      EXPECT_EQ(actual.reschedule_count, expected.reschedule_count);
+      EXPECT_EQ(actual.failed_attempts, 0u);
+      EXPECT_TRUE(actual.complete());
+      for (const MessageOutcome& outcome : actual.outcomes)
+        EXPECT_EQ(outcome.status, DeliveryStatus::kDirect);
+    }
+  }
+}
+
+TEST(Resilient, CrashStopAndCutLinkExchangeStillCompletes) {
+  // The headline scenario: one node dead from the start, one pair cut for
+  // the whole run. The exchange must terminate (not hang), report
+  // messages touching the dead node undeliverable, and deliver the cut
+  // pair's messages through a relay.
+  const std::size_t n = 6;
+  const StaticDirectory directory{generate_network(n, 33)};
+  const MessageMatrix messages = uniform_messages(n, 64 * kKiB);
+  const OpenShopScheduler scheduler;
+
+  FaultPlan plan;
+  plan.crashes.push_back({5, 0.0});
+  plan.cuts.push_back({0, 1, 0.0, 1e9});
+
+  ResilientOptions options;
+  options.adaptive.policy = CheckpointPolicy::kHalveRemaining;
+  const ResilientResult result =
+      run_resilient(scheduler, directory, messages, plan, options);
+
+  EXPECT_EQ(result.outcomes.size(), n * (n - 1));
+  EXPECT_FALSE(result.complete());
+  check_no_port_overlap(result.events, n);
+
+  // Every pair touching the dead node: undeliverable, endpoint-crashed.
+  for (std::size_t p = 0; p < n - 1; ++p) {
+    for (const auto& outcome : {outcome_of(result, 5, p), outcome_of(result, p, 5)}) {
+      EXPECT_EQ(outcome.status, DeliveryStatus::kUndeliverable);
+      EXPECT_EQ(outcome.reason, FailureReason::kEndpointCrashed);
+    }
+  }
+  EXPECT_EQ(result.undelivered_count, 2 * (n - 1));
+
+  // The dead node never moves a byte.
+  for (const ScheduledEvent& event : result.events) {
+    EXPECT_NE(event.src, 5u);
+    EXPECT_NE(event.dst, 5u);
+  }
+
+  // The cut pair's messages arrive via a relay through a live intermediate.
+  for (const auto& outcome : {outcome_of(result, 0, 1), outcome_of(result, 1, 0)}) {
+    EXPECT_EQ(outcome.status, DeliveryStatus::kRelayed);
+    ASSERT_FALSE(outcome.via.empty());
+    for (const std::size_t hop : outcome.via) EXPECT_NE(hop, 5u);
+  }
+  EXPECT_EQ(result.relayed_count, 2u);
+  EXPECT_GT(result.failed_attempts, 0u);
+
+  // Everything else went direct.
+  for (const MessageOutcome& outcome : result.outcomes) {
+    if (outcome.src != 5 && outcome.dst != 5 &&
+        !(outcome.src == 0 && outcome.dst == 1) &&
+        !(outcome.src == 1 && outcome.dst == 0)) {
+      EXPECT_EQ(outcome.status, DeliveryStatus::kDirect);
+    }
+  }
+}
+
+TEST(Resilient, QuarantinedPairVanishesFromDirectSchedules) {
+  // A persistently lossy pair exhausts its retries, gets quarantined by
+  // the health monitor, and its traffic moves to relays: no executed
+  // event may use the sick pair in either direction afterwards.
+  const std::size_t n = 5;
+  const StaticDirectory directory{generate_network(n, 34)};
+  const MessageMatrix messages = uniform_messages(n, 64 * kKiB);
+  const OpenShopScheduler scheduler;
+
+  FaultPlan plan;
+  plan.flaky.push_back({2, 3, 0.999});
+  plan.seed = 5;
+
+  ResilientOptions options;
+  options.adaptive.policy = CheckpointPolicy::kEveryEvent;
+  const ResilientResult result =
+      run_resilient(scheduler, directory, messages, plan, options);
+
+  EXPECT_TRUE(result.complete());
+  EXPECT_TRUE(result.health.quarantined(2, 3));
+  check_no_port_overlap(result.events, n);
+
+  for (const ScheduledEvent& event : result.events) {
+    EXPECT_FALSE(event.src == 2 && event.dst == 3)
+        << "quarantined pair scheduled directly";
+    EXPECT_FALSE(event.src == 3 && event.dst == 2)
+        << "quarantined pair scheduled directly";
+  }
+  for (const auto& outcome : {outcome_of(result, 2, 3), outcome_of(result, 3, 2)}) {
+    EXPECT_EQ(outcome.status, DeliveryStatus::kRelayed);
+    EXPECT_FALSE(outcome.via.empty());
+  }
+  EXPECT_GE(result.relayed_count, 2u);
+}
+
+TEST(Resilient, RetryAfterCutClearsDeliversDirectly) {
+  // On a 2-node network there is nowhere to relay through: a short cut
+  // must be survived by backoff and retry alone.
+  const StaticDirectory directory{generate_network(2, 35)};
+  const MessageMatrix messages = uniform_messages(2, kKiB);
+  const OpenShopScheduler scheduler;
+
+  FaultPlan plan;
+  plan.cuts.push_back({0, 1, 0.0, 0.5});
+
+  ResilientOptions options;
+  options.backoff_base_s = 1.0;
+  const ResilientResult result =
+      run_resilient(scheduler, directory, messages, plan, options);
+
+  EXPECT_TRUE(result.complete());
+  EXPECT_GT(result.failed_attempts, 0u);
+  for (const MessageOutcome& outcome : result.outcomes)
+    EXPECT_EQ(outcome.status, DeliveryStatus::kDirect);
+}
+
+TEST(Resilient, NoRouteIsReportedWhenRelayingIsImpossible) {
+  // Node 0 is cut off from everyone for the whole run; its messages have
+  // no direct link and no relay path.
+  const std::size_t n = 3;
+  const StaticDirectory directory{generate_network(n, 36)};
+  const MessageMatrix messages = uniform_messages(n, kKiB);
+  const OpenShopScheduler scheduler;
+
+  FaultPlan plan;
+  plan.cuts.push_back({0, 1, 0.0, 1e9});
+  plan.cuts.push_back({0, 2, 0.0, 1e9});
+
+  const ResilientResult result =
+      run_resilient(scheduler, directory, messages, plan, {});
+
+  EXPECT_FALSE(result.complete());
+  EXPECT_EQ(result.undelivered_count, 4u);
+  for (const auto& pair : {std::pair<std::size_t, std::size_t>{0, 1},
+                           {0, 2}, {1, 0}, {2, 0}}) {
+    const MessageOutcome& outcome = outcome_of(result, pair.first, pair.second);
+    EXPECT_EQ(outcome.status, DeliveryStatus::kUndeliverable);
+    EXPECT_EQ(outcome.reason, FailureReason::kNoRoute);
+  }
+  EXPECT_EQ(outcome_of(result, 1, 2).status, DeliveryStatus::kDirect);
+  EXPECT_EQ(outcome_of(result, 2, 1).status, DeliveryStatus::kDirect);
+}
+
+TEST(Resilient, RelayDisabledReportsRetriesExhausted) {
+  const std::size_t n = 5;
+  const StaticDirectory directory{generate_network(n, 34)};
+  const MessageMatrix messages = uniform_messages(n, 64 * kKiB);
+  const OpenShopScheduler scheduler;
+
+  FaultPlan plan;
+  plan.flaky.push_back({2, 3, 0.999});
+  plan.seed = 5;
+
+  ResilientOptions options;
+  options.relay = false;
+  const ResilientResult result =
+      run_resilient(scheduler, directory, messages, plan, options);
+
+  EXPECT_FALSE(result.complete());
+  EXPECT_EQ(outcome_of(result, 2, 3).reason, FailureReason::kRetriesExhausted);
+  EXPECT_EQ(result.relayed_count, 0u);
+}
+
+TEST(Resilient, WorksWithMatchingSchedulers) {
+  // Non-availability-aware schedulers go through the plain schedule()
+  // path; the fault machinery must compose with them too.
+  const std::size_t n = 5;
+  const StaticDirectory directory{generate_network(n, 37)};
+  const MessageMatrix messages = uniform_messages(n, 64 * kKiB);
+  const MatchingScheduler scheduler{MatchingObjective::kMaxWeight};
+
+  FaultPlan plan;
+  plan.crashes.push_back({4, 0.0});
+  plan.cuts.push_back({0, 1, 0.0, 1e9});
+
+  const ResilientResult result =
+      run_resilient(scheduler, directory, messages, plan, {});
+  EXPECT_EQ(result.undelivered_count, 2 * (n - 1));
+  EXPECT_EQ(outcome_of(result, 0, 1).status, DeliveryStatus::kRelayed);
+  check_no_port_overlap(result.events, n);
+}
+
+TEST(Resilient, OptionValidation) {
+  const StaticDirectory directory{generate_network(3, 38)};
+  const MessageMatrix messages = uniform_messages(3, kKiB);
+  const OpenShopScheduler scheduler;
+
+  {
+    ResilientOptions options;
+    options.timeout_slack = 0.5;
+    EXPECT_THROW(
+        (void)run_resilient(scheduler, directory, messages, {}, options),
+        InputError);
+  }
+  {
+    ResilientOptions options;
+    options.max_attempts = 0;
+    EXPECT_THROW(
+        (void)run_resilient(scheduler, directory, messages, {}, options),
+        InputError);
+  }
+  {
+    ResilientOptions options;
+    options.adaptive.reschedule_threshold = -1.0;
+    EXPECT_THROW(
+        (void)run_resilient(scheduler, directory, messages, {}, options),
+        InputError);
+  }
+  {
+    FaultPlan plan;
+    plan.crashes.push_back({7, 0.0});
+    EXPECT_THROW((void)run_resilient(scheduler, directory, messages, plan, {}),
+                 InputError);
+  }
+}
+
+TEST(Resilient, NamesAreStable) {
+  EXPECT_EQ(delivery_status_name(DeliveryStatus::kDirect), "direct");
+  EXPECT_EQ(delivery_status_name(DeliveryStatus::kRelayed), "relayed");
+  EXPECT_EQ(delivery_status_name(DeliveryStatus::kUndeliverable),
+            "undeliverable");
+  EXPECT_EQ(failure_reason_name(FailureReason::kNone), "none");
+  EXPECT_EQ(failure_reason_name(FailureReason::kEndpointCrashed),
+            "endpoint-crashed");
+  EXPECT_EQ(failure_reason_name(FailureReason::kNoRoute), "no-route");
+  EXPECT_EQ(failure_reason_name(FailureReason::kRetriesExhausted),
+            "retries-exhausted");
+}
+
+// ---------------------------------------------------------------------------
+// Property: no executor emits overlapping port intervals under faults.
+// ---------------------------------------------------------------------------
+
+TEST(FaultProperty, AdaptiveUnderOutagesNeverOverlapsPorts) {
+  const std::size_t n = 6;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    DriftingDirectory::Options drift;
+    drift.update_period_s = 0.5;
+    drift.step_sigma = 0.3;
+    const DriftingDirectory base{generate_network(n, seed), seed, drift};
+    const OutageDirectory directory{
+        base,
+        {{0, 1, 0.2, 1.5, 0.02}, {2, 3, 0.0, 0.8, 0.05}, {1, 4, 0.5, 2.0, 0.1}}};
+    const MessageMatrix messages = uniform_messages(n, 256 * kKiB);
+    const OpenShopScheduler scheduler;
+    for (const CheckpointPolicy policy : kAllPolicies) {
+      AdaptiveOptions options;
+      options.policy = policy;
+      const AdaptiveResult result =
+          run_adaptive(scheduler, directory, messages, options);
+      check_no_port_overlap(result.events, n);
+      EXPECT_EQ(result.events.size(), n * (n - 1));
+    }
+  }
+}
+
+TEST(FaultProperty, AdaptiveUnderFaultyDirectoryNeverOverlapsPorts) {
+  // run_adaptive treats a FaultyDirectory as a very slow network: cut
+  // pairs crawl instead of erroring, but port exclusivity must hold.
+  const std::size_t n = 5;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const StaticDirectory base{generate_network(n, seed)};
+    FaultPlan plan;
+    plan.cuts.push_back({0, 1, 0.0, 2.0});
+    plan.cuts.push_back({static_cast<std::size_t>(seed % n),
+                         static_cast<std::size_t>((seed + 2) % n), 0.5, 3.0});
+    if (plan.cuts.back().src == plan.cuts.back().dst) plan.cuts.pop_back();
+    const FaultyDirectory directory{base, plan};
+    const MessageMatrix messages = uniform_messages(n, kKiB);
+    const OpenShopScheduler scheduler;
+    for (const CheckpointPolicy policy : kAllPolicies) {
+      AdaptiveOptions options;
+      options.policy = policy;
+      const AdaptiveResult result =
+          run_adaptive(scheduler, directory, messages, options);
+      check_no_port_overlap(result.events, n);
+      EXPECT_EQ(result.events.size(), n * (n - 1));
+    }
+  }
+}
+
+TEST(FaultProperty, ResilientUnderMixedFaultsNeverOverlapsPorts) {
+  const std::size_t n = 6;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const StaticDirectory directory{generate_network(n, 40 + seed)};
+    const MessageMatrix messages = uniform_messages(n, 64 * kKiB);
+    const OpenShopScheduler scheduler;
+
+    FaultPlan plan;
+    plan.crashes.push_back({n - 1, 0.1 * static_cast<double>(seed)});
+    plan.cuts.push_back({0, 1, 0.0, 1e9});
+    plan.flaky.push_back({2, 3, 0.7});
+    plan.transient_loss_prob = 0.05;
+    plan.seed = seed;
+
+    for (const CheckpointPolicy policy : kAllPolicies) {
+      ResilientOptions options;
+      options.adaptive.policy = policy;
+      const ResilientResult result =
+          run_resilient(scheduler, directory, messages, plan, options);
+      EXPECT_EQ(result.outcomes.size(), n * (n - 1));
+      check_no_port_overlap(result.events, n);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hcs

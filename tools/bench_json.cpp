@@ -1,11 +1,12 @@
-// Benchmark-trajectory runner: executes a google-benchmark binary with
-// --benchmark_format=json and wraps its report in a small envelope written
-// to a BENCH_*.json file at the repo root (EXPERIMENTS.md §bench_json
-// documents the schema). Keeping the trajectory machine-readable lets each
-// PR quote before/after numbers for the scheduler hot paths instead of
-// pasting ad-hoc console output.
+// Benchmark-trajectory runner: executes one or more google-benchmark
+// binaries with --benchmark_format=json and wraps their reports in a
+// small envelope written to a BENCH_*.json file at the repo root
+// (EXPERIMENTS.md §bench_json documents the schema). Keeping the
+// trajectory machine-readable lets each PR quote before/after numbers for
+// the scheduler and executor hot paths instead of pasting ad-hoc console
+// output.
 //
-// Usage: hcs_bench_json <benchmark-binary> <output.json> [filter-regex]
+// Usage: hcs_bench_json <output.json> <benchmark-binary>[:filter-regex]...
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +14,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -51,26 +53,45 @@ std::string json_escape(const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3 || argc > 4) {
+  if (argc < 3) {
     std::cerr << "usage: " << argv[0]
-              << " <benchmark-binary> <output.json> [filter-regex]\n";
+              << " <output.json> <benchmark-binary>[:filter-regex]...\n";
     return 2;
   }
-  const std::string binary = argv[1];
-  const std::string output_path = argv[2];
-  const std::string filter = argc == 4 ? argv[3] : "";
+  const std::string output_path = argv[1];
 
-  std::string command = "'" + binary + "' --benchmark_format=json";
-  if (!filter.empty()) command += " --benchmark_filter='" + filter + "'";
-  command += " --benchmark_min_time=0.2 2>/dev/null";
+  std::string reports;
+  for (int arg = 2; arg < argc; ++arg) {
+    std::string binary = argv[arg];
+    std::string filter;
+    // The filter rides after the last ':' (binary paths have none).
+    if (const std::size_t colon = binary.rfind(':');
+        colon != std::string::npos) {
+      filter = binary.substr(colon + 1);
+      binary = binary.substr(0, colon);
+    }
 
-  const std::string report = capture_stdout(command);
-  // google-benchmark's JSON report is a single object; anything else means
-  // the run failed (bad filter, crashed bench, ...).
-  const std::size_t start = report.find('{');
-  if (start == std::string::npos) {
-    std::cerr << "bench_json: benchmark produced no JSON report\n";
-    return 1;
+    std::string command = "'" + binary + "' --benchmark_format=json";
+    if (!filter.empty()) command += " --benchmark_filter='" + filter + "'";
+    // Single runs are too noisy for the few-percent deltas the trajectory
+    // tracks (the fault-path overhead bar is 5%); record aggregates over
+    // repeated runs and let readers take the median.
+    command +=
+        " --benchmark_min_time=0.1 --benchmark_repetitions=5"
+        " --benchmark_report_aggregates_only=true 2>/dev/null";
+
+    const std::string report = capture_stdout(command);
+    // google-benchmark's JSON report is a single object; anything else
+    // means the run failed (bad filter, crashed bench, ...).
+    const std::size_t start = report.find('{');
+    if (start == std::string::npos) {
+      std::cerr << "bench_json: " << binary << " produced no JSON report\n";
+      return 1;
+    }
+    if (!reports.empty()) reports += ",\n";
+    reports += "    {\n      \"benchmark_binary\": \"" + json_escape(binary) +
+               "\",\n      \"filter\": \"" + json_escape(filter) +
+               "\",\n      \"report\": " + report.substr(start) + "    }";
   }
 
   std::ofstream out(output_path);
@@ -79,11 +100,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   out << "{\n"
-      << "  \"schema_version\": 1,\n"
+      << "  \"schema_version\": 2,\n"
       << "  \"generated_by\": \"tools/bench_json\",\n"
-      << "  \"benchmark_binary\": \"" << json_escape(binary) << "\",\n"
-      << "  \"filter\": \"" << json_escape(filter) << "\",\n"
-      << "  \"report\": " << report.substr(start) << "}\n";
+      << "  \"reports\": [\n"
+      << reports << "\n  ]\n}\n";
   std::cout << "bench_json: wrote " << output_path << "\n";
   return 0;
 }
