@@ -1,0 +1,140 @@
+// Simulator-core benchmarks (google-benchmark).
+//
+// The workspace-backed NetworkSimulator promises two things: zero heap
+// allocation per run after warm-up (BM_SimSerialized / BM_SimBuffered
+// against the priority_queue-rebuilding reference), and an event-driven
+// O((E + P) log P) interleaved model replacing the reference's
+// O(E * P^2) per-event scans (BM_SimInterleaved vs BM_RefSimInterleaved —
+// the Complexity() fits make the asymptotic gap visible). BM_AdaptiveRound
+// times the unit the executors loop over: one round's simulation through
+// a warm workspace, ports carried in. The BM_RefSim* twins run the
+// retained naive implementation (sim/reference_simulator.hpp) so
+// BENCH_scheduler.json records before/after numbers side by side; both
+// sides are golden-trace verified bit-identical (tests/sim_golden_test).
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "netmodel/directory.hpp"
+#include "netmodel/generator.hpp"
+#include "sim/reference_simulator.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+/// Complete total exchange in rotation order, send orders only (FIFO
+/// arbitration — the serialized model's queue-heavy path).
+hcs::SendProgram rotation_program(std::size_t n) {
+  std::vector<std::vector<std::size_t>> orders(n);
+  for (std::size_t src = 0; src < n; ++src) {
+    orders[src].reserve(n - 1);
+    for (std::size_t k = 1; k < n; ++k) orders[src].push_back((src + k) % n);
+  }
+  return hcs::SendProgram{std::move(orders)};
+}
+
+/// Shared per-size fixture: network, messages, program.
+struct Fixture {
+  std::size_t n;
+  hcs::StaticDirectory directory;
+  hcs::MessageMatrix messages;
+  hcs::SendProgram program;
+
+  explicit Fixture(std::size_t procs)
+      : n(procs),
+        directory(hcs::generate_network(n, kSeed)),
+        messages(hcs::mixed_messages(n, kSeed, {hcs::kKiB, hcs::kMiB})),
+        program(rotation_program(n)) {}
+};
+
+hcs::SimOptions options_for(hcs::ReceiveModel model) {
+  hcs::SimOptions options;
+  options.model = model;
+  return options;
+}
+
+void run_fast(benchmark::State& state, hcs::ReceiveModel model) {
+  const Fixture fx{static_cast<std::size_t>(state.range(0))};
+  const hcs::NetworkSimulator simulator{fx.directory, fx.messages};
+  const hcs::SimOptions options = options_for(model);
+  hcs::SimResult result;  // reused: steady state allocates nothing
+  for (auto _ : state) {
+    simulator.run_into(fx.program, options, result);
+    benchmark::DoNotOptimize(result.completion_time);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void run_reference(benchmark::State& state, hcs::ReceiveModel model) {
+  const Fixture fx{static_cast<std::size_t>(state.range(0))};
+  const hcs::SimOptions options = options_for(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hcs::run_reference(fx.directory, fx.messages, fx.program, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_SimSerialized(benchmark::State& state) {
+  run_fast(state, hcs::ReceiveModel::kSerialized);
+}
+
+void BM_RefSimSerialized(benchmark::State& state) {
+  run_reference(state, hcs::ReceiveModel::kSerialized);
+}
+
+void BM_SimInterleaved(benchmark::State& state) {
+  run_fast(state, hcs::ReceiveModel::kInterleaved);
+}
+
+void BM_RefSimInterleaved(benchmark::State& state) {
+  run_reference(state, hcs::ReceiveModel::kInterleaved);
+}
+
+void BM_SimBuffered(benchmark::State& state) {
+  run_fast(state, hcs::ReceiveModel::kBuffered);
+}
+
+void BM_RefSimBuffered(benchmark::State& state) {
+  run_reference(state, hcs::ReceiveModel::kBuffered);
+}
+
+/// One adaptive-executor round: simulate the remaining exchange with
+/// carried-in port availability through a warm workspace — the unit
+/// run_adaptive / run_resilient execute once per checkpoint.
+void BM_AdaptiveRound(benchmark::State& state) {
+  const Fixture fx{static_cast<std::size_t>(state.range(0))};
+  const hcs::NetworkSimulator simulator{fx.directory, fx.messages};
+  hcs::SimOptions options;
+  options.initial_send_avail.assign(fx.n, 0.0);
+  options.initial_recv_avail.assign(fx.n, 0.0);
+  for (std::size_t p = 0; p < fx.n; ++p) {
+    options.initial_send_avail[p] = 1e-3 * static_cast<double>(p % 7);
+    options.initial_recv_avail[p] = 1e-3 * static_cast<double>(p % 5);
+  }
+  hcs::SimResult result;
+  for (auto _ : state) {
+    simulator.run_into(fx.program, options, result);
+    benchmark::DoNotOptimize(result.completion_time);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_SimSerialized)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+BENCHMARK(BM_RefSimSerialized)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+BENCHMARK(BM_SimInterleaved)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+BENCHMARK(BM_RefSimInterleaved)
+    ->RangeMultiplier(2)
+    ->Range(8, 64)
+    ->Complexity();
+BENCHMARK(BM_SimBuffered)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+BENCHMARK(BM_RefSimBuffered)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+BENCHMARK(BM_AdaptiveRound)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+BENCHMARK_MAIN();

@@ -72,6 +72,11 @@ AdaptiveResult run_adaptive(const Scheduler& scheduler,
   AdaptiveResult result;
   result.events.reserve(remaining_count);
 
+  // Per-round simulation state, hoisted so the simulator's warm workspace
+  // and these buffers are reused across every checkpoint round.
+  SimOptions sim_options;
+  SimResult executed;
+
   while (remaining_count > 0) {
     // Plan from the current directory snapshot: estimated event times for
     // the remaining pairs only (finished pairs cost zero and are dropped
@@ -102,14 +107,13 @@ AdaptiveResult run_adaptive(const Scheduler& scheduler,
     const SendProgram program = remaining_program(planned, remaining);
 
     // Execute the plan against the live directory.
-    SimOptions sim_options;
     sim_options.initial_send_avail.assign(n, 0.0);
     sim_options.initial_recv_avail.assign(n, 0.0);
     for (std::size_t p = 0; p < n; ++p) {
       sim_options.initial_send_avail[p] = std::max(send_avail[p], now);
       sim_options.initial_recv_avail[p] = std::max(recv_avail[p], now);
     }
-    SimResult executed = simulator.run(program, sim_options);
+    simulator.run_into(program, sim_options, executed);
     std::sort(executed.events.begin(), executed.events.end(),
               [](const ScheduledEvent& a, const ScheduledEvent& b) {
                 return a.finish_s < b.finish_s;

@@ -4,6 +4,8 @@
 #include <string>
 #include <thread>
 
+#include "netmodel/directory.hpp"
+#include "sim/send_program.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -25,6 +27,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.processor_counts.empty() || config.repetitions == 0 ||
       config.schedulers.empty())
     throw InputError("run_experiment: empty config");
+  if (config.execute && (!config.execution.initial_send_avail.empty() ||
+                         !config.execution.initial_recv_avail.empty()))
+    throw InputError(
+        "run_experiment: execution options must not carry initial "
+        "availability vectors");
 
   ExperimentResult result;
   result.config = config;
@@ -35,6 +42,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const std::size_t workers =
       std::max<std::size_t>(1, std::min(config.parallelism, config.repetitions));
 
+  // Execution-pass scratch, one per worker and reused across the whole
+  // sweep: after warm-up a repetition's simulation allocates nothing.
+  std::vector<SimWorkspace> worker_workspace(config.execute ? workers : 0);
+  std::vector<SimResult> worker_sim_result(config.execute ? workers : 0);
+
   for (const std::size_t processors : config.processor_counts) {
     // Per-worker accumulators; merged in worker order so results are
     // reproducible for a fixed parallelism setting (and equal up to
@@ -44,6 +56,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         workers, std::vector<RunningStats>(config.schedulers.size()));
     std::vector<std::vector<RunningStats>> worker_ratio(
         workers, std::vector<RunningStats>(config.schedulers.size()));
+    std::vector<std::vector<RunningStats>> worker_executed(
+        config.execute ? workers : 0,
+        std::vector<RunningStats>(config.schedulers.size()));
 
     const auto run_repetition = [&](std::size_t worker, std::size_t rep) {
       const std::uint64_t seed =
@@ -62,6 +77,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         worker_completion[worker][s].add(completion);
         worker_ratio[worker][s].add(
             lower_bound > 0.0 ? completion / lower_bound : 1.0);
+        if (config.execute) {
+          const StaticDirectory directory{instance.network};
+          const NetworkSimulator simulator{directory, instance.messages};
+          simulator.run_into(SendProgram::from_schedule(schedule),
+                             config.execution, worker_workspace[worker],
+                             worker_sim_result[worker]);
+          worker_executed[worker][s].add(
+              worker_sim_result[worker].completion_time);
+        }
       }
     };
 
@@ -87,11 +111,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     RunningStats lower_bound_stats;
     std::vector<RunningStats> completion_stats(config.schedulers.size());
     std::vector<RunningStats> ratio_stats(config.schedulers.size());
+    std::vector<RunningStats> executed_stats(config.schedulers.size());
     for (std::size_t worker = 0; worker < workers; ++worker) {
       lower_bound_stats.merge(worker_lower_bound[worker]);
       for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
         completion_stats[s].merge(worker_completion[worker][s]);
         ratio_stats[s].merge(worker_ratio[worker][s]);
+        if (config.execute) executed_stats[s].merge(worker_executed[worker][s]);
       }
     }
 
@@ -100,6 +126,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       result.series[s].mean_completion_s.push_back(completion_stats[s].mean());
       result.series[s].mean_ratio_to_lb.push_back(ratio_stats[s].mean());
       result.series[s].max_ratio_to_lb.push_back(ratio_stats[s].max());
+      if (config.execute)
+        result.series[s].mean_executed_s.push_back(executed_stats[s].mean());
     }
   }
   return result;

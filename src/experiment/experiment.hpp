@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/scheduler.hpp"
+#include "sim/simulator.hpp"
 #include "util/table.hpp"
 #include "workload/scenario.hpp"
 
@@ -34,6 +35,16 @@ struct ExperimentConfig {
   /// instance seed depends only on (P, repetition), and per-thread
   /// accumulators merge deterministically.
   std::size_t parallelism = 1;
+  /// Also *execute* every schedule through the network simulator (on a
+  /// static directory of the instance's network) and report the mean
+  /// simulated completion time per series. Each worker thread keeps its
+  /// own warm SimWorkspace, so the execution pass allocates nothing in
+  /// the simulator after the first repetition at each processor count.
+  bool execute = false;
+  /// Simulator options for the execution pass (receive model, alpha,
+  /// buffer capacity, ...). The initial availability vectors must stay
+  /// empty — they are per-processor-count and owned by the sweep.
+  SimOptions execution;
 };
 
 /// Per-algorithm series over the processor-count axis.
@@ -42,6 +53,9 @@ struct SchedulerSeries {
   std::vector<double> mean_completion_s;  ///< one entry per processor count
   std::vector<double> mean_ratio_to_lb;   ///< completion / t_lb, averaged
   std::vector<double> max_ratio_to_lb;    ///< worst ratio seen at that P
+  /// Mean *simulated* completion time per processor count; filled only
+  /// when ExperimentConfig::execute is set (empty otherwise).
+  std::vector<double> mean_executed_s;
 };
 
 /// Result of one sweep.

@@ -72,12 +72,6 @@ SendProgram remaining_program(const Schedule& schedule,
   return SendProgram{std::move(orders), std::move(recv_orders)};
 }
 
-double backoff_delay(const ResilientOptions& options, std::size_t attempt) {
-  double delay = options.backoff_base_s;
-  for (std::size_t k = 1; k < attempt; ++k) delay *= options.backoff_factor;
-  return delay;
-}
-
 /// One round's commit stream: delivered events and give-ups, merged so a
 /// round where every attempt failed still advances the checkpoint clock.
 struct Candidate {
@@ -150,6 +144,10 @@ MessageOutcome relay_message(std::size_t src, std::size_t dst,
       const std::size_t i = path[k];
       const std::size_t j = path[k + 1];
       bool hop_done = false;
+      // Exponential backoff carried forward across this hop's attempts:
+      // delay k is backoff_base_s * backoff_factor^(k-1) with the same
+      // left-to-right rounding as recomputing the product each time.
+      double retry_delay = options.backoff_base_s;
       for (std::size_t attempt = 1; attempt <= options.max_attempts; ++attempt) {
         const double depart = std::max({ready, send_avail[i], recv_avail[j]});
         const double nominal = directory.query(i, j, depart).transfer_time(bytes);
@@ -171,7 +169,8 @@ MessageOutcome relay_message(std::size_t src, std::size_t dst,
         recv_avail[j] = std::max(recv_avail[j], freed);
         health.record_failure(i, j);
         if (verdict.permanent) break;
-        ready = std::max(ready, freed + backoff_delay(options, attempt));
+        ready = std::max(ready, freed + retry_delay);
+        retry_delay *= options.backoff_factor;
       }
       if (!hop_done) {
         banned[i * n + j] = 1;
@@ -240,6 +239,11 @@ ResilientResult run_resilient(const Scheduler& scheduler,
   result.outcomes.reserve(remaining_count);
   std::vector<std::pair<std::size_t, std::size_t>> relay_queue;
 
+  // Per-round simulation state, hoisted so the simulator's warm workspace
+  // and these buffers are reused across every checkpoint round.
+  SimOptions sim_options;
+  SimResult executed;
+
   const auto relay_now = [&](std::size_t src, std::size_t dst) {
     if (plan.node_dead(src, now) || plan.node_dead(dst, now)) {
       result.outcomes.push_back({src, dst, DeliveryStatus::kUndeliverable,
@@ -304,7 +308,6 @@ ResilientResult run_resilient(const Scheduler& scheduler,
     }();
     const SendProgram program = remaining_program(planned, remaining);
 
-    SimOptions sim_options;
     sim_options.initial_send_avail.assign(n, 0.0);
     sim_options.initial_recv_avail.assign(n, 0.0);
     for (std::size_t p = 0; p < n; ++p) {
@@ -317,7 +320,7 @@ ResilientResult run_resilient(const Scheduler& scheduler,
     sim_options.max_attempts = options.max_attempts;
     sim_options.backoff_base_s = options.backoff_base_s;
     sim_options.backoff_factor = options.backoff_factor;
-    SimResult executed = simulator.run(program, sim_options);
+    simulator.run_into(program, sim_options, executed);
     result.failed_attempts += executed.failed_attempts;
 
     // Merge deliveries and give-ups into one commit stream so an

@@ -105,4 +105,6 @@ LinkParams TraceDirectory::query(std::size_t src, std::size_t dst,
 
 NetworkModel TraceDirectory::snapshot(double now_s) const { return active(now_s); }
 
+bool TraceDirectory::time_invariant() const { return trace_.size() == 1; }
+
 }  // namespace hcs

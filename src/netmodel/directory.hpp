@@ -36,6 +36,11 @@ class DirectoryService {
 
   /// Full network view at time `now_s`.
   [[nodiscard]] virtual NetworkModel snapshot(double now_s) const;
+
+  /// True if query(src, dst, t) is the same for every t — a promise that
+  /// lets clients (e.g. the simulator) cache per-pair answers instead of
+  /// re-querying at every event. Conservative default: false.
+  [[nodiscard]] virtual bool time_invariant() const { return false; }
 };
 
 /// Directory backed by a fixed NetworkModel; performance never changes.
@@ -47,6 +52,7 @@ class StaticDirectory final : public DirectoryService {
   [[nodiscard]] LinkParams query(std::size_t src, std::size_t dst,
                                  double now_s) const override;
   [[nodiscard]] NetworkModel snapshot(double now_s) const override;
+  [[nodiscard]] bool time_invariant() const override { return true; }
 
  private:
   NetworkModel model_;
@@ -104,6 +110,8 @@ class TraceDirectory final : public DirectoryService {
   [[nodiscard]] LinkParams query(std::size_t src, std::size_t dst,
                                  double now_s) const override;
   [[nodiscard]] NetworkModel snapshot(double now_s) const override;
+  /// A one-snapshot trace never changes.
+  [[nodiscard]] bool time_invariant() const override;
 
  private:
   [[nodiscard]] const NetworkModel& active(double now_s) const;

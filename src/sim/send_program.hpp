@@ -48,6 +48,12 @@ class SendProgram {
   [[nodiscard]] const std::vector<std::size_t>& order_of(std::size_t src) const {
     return orders_.at(src);
   }
+  /// All send orders at once — lets per-event loops index senders without
+  /// the bounds check order_of() performs.
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& orders()
+      const noexcept {
+    return orders_;
+  }
   /// True when the program fixes each receiver's grant order.
   [[nodiscard]] bool has_receiver_orders() const noexcept {
     return !recv_orders_.empty();

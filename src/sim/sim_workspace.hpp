@@ -1,0 +1,326 @@
+// Reusable simulator workspace.
+//
+// NetworkSimulator::run is called in tight loops — every checkpoint round
+// of run_adaptive / run_resilient and every repetition of the experiment
+// sweeps re-executes a send program — yet each run used to rebuild a
+// forest of std::priority_queues and per-port vectors from scratch. A
+// SimWorkspace owns all of that scratch storage as flat, index-based
+// structures that are cleared (never shrunk) between runs, so after the
+// first run at a given processor count a simulation performs zero heap
+// allocation inside the simulator. This is the same warm-workspace
+// pattern LapSolver applies to the matching schedulers' LAP hot path.
+//
+// The workspace is pure scratch: it carries no results and no semantics,
+// and any run may be handed a freshly constructed workspace with
+// bit-identical output. Not thread-safe: one workspace per thread.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hcs {
+
+class NetworkSimulator;
+
+namespace sim_detail {
+
+/// Flat array-backed binary min-heap. Semantically equivalent to
+/// std::priority_queue with std::greater, but the backing vector is
+/// reusable: clear() keeps capacity, so a warmed heap pushes without
+/// allocating. push/pop sift a hole through the array — one move per
+/// level, like std::push_heap / std::pop_heap — rather than swapping
+/// elements. Any correct min-heap pops values in nondecreasing order, and
+/// every equal-key collision in the simulator involves identical values,
+/// so heap layout never influences simulation results.
+template <class T>
+class FlatMinHeap {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] const T& top() const { return items_.front(); }
+
+  void clear() noexcept { items_.clear(); }
+
+  void push(const T& value) {
+    const T v = value;  // by value: `value` may alias into items_
+    items_.push_back(v);
+    std::size_t i = items_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!(v < items_[parent])) break;
+      items_[i] = items_[parent];
+      i = parent;
+    }
+    items_[i] = v;
+  }
+
+  /// Replaces the minimum with `value` in one sift — equivalent to pop()
+  /// followed by push(value), but the hole the pop opens at the root is
+  /// filled directly. Event loops that pop an event and immediately
+  /// schedule its continuation cut their heap traffic nearly in half.
+  void replace_top(const T& value) {
+    const T v = value;  // by value: `value` may alias into items_
+    sift_from_root(v);
+  }
+
+  void pop() {
+    const T last = items_.back();
+    items_.pop_back();
+    if (items_.empty()) return;
+    sift_from_root(last);
+  }
+
+ private:
+  /// Fills the root hole with `v`: sink the hole to a leaf along
+  /// min-children (one compare per level, no compare against `v`), then
+  /// bubble `v` up from there. For a `v` that belongs near the bottom —
+  /// pop() reinserts a leaf, replace_top() usually inserts a later
+  /// timestamp — the bubble-up stops almost immediately, about half the
+  /// compares of the textbook down-sift.
+  void sift_from_root(const T& v) {
+    const std::size_t n = items_.size();
+    std::size_t i = 0;
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && items_[child + 1] < items_[child]) ++child;
+      items_[i] = items_[child];
+      i = child;
+    }
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!(v < items_[parent])) break;
+      items_[i] = items_[parent];
+      i = parent;
+    }
+    items_[i] = v;
+  }
+
+  std::vector<T> items_;
+};
+
+/// Indexed binary min-heap over at most n ids keyed by (time, id): an id's
+/// key can be inserted, updated, or removed in O(log n) via a position
+/// index. The interleaved model keeps one entry per receiver with active
+/// messages, keyed by that receiver's projected earliest completion time;
+/// equal times resolve to the lowest receiver id, matching a naive
+/// ascending scan with strict <.
+class IndexedTimeHeap {
+ public:
+  /// Empties the heap and (re)sizes the position index for ids < n.
+  void reset(std::size_t n) {
+    pos_.assign(n, kAbsent);
+    heap_.clear();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] double top_time() const { return heap_.front().time; }
+  [[nodiscard]] std::size_t top_id() const { return heap_.front().id; }
+  [[nodiscard]] bool contains(std::size_t id) const {
+    return pos_[id] != kAbsent;
+  }
+
+  /// Inserts `id` with key `time`, or changes its key if present.
+  void update(std::size_t id, double time) {
+    if (pos_[id] == kAbsent) {
+      pos_[id] = heap_.size();
+      heap_.push_back({time, id});
+      sift_up(heap_.size() - 1);
+    } else {
+      const std::size_t i = pos_[id];
+      heap_[i].time = time;
+      sift_up(i);
+      sift_down(pos_[id]);
+    }
+  }
+
+  /// Removes `id`; no-op if absent.
+  void remove(std::size_t id) {
+    if (pos_[id] == kAbsent) return;
+    const std::size_t i = pos_[id];
+    pos_[id] = kAbsent;
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    if (i == heap_.size()) return;
+    heap_[i] = last;
+    pos_[last.id] = i;
+    sift_up(i);
+    sift_down(pos_[last.id]);
+  }
+
+ private:
+  struct Entry {
+    double time;
+    std::size_t id;
+    [[nodiscard]] bool less_than(const Entry& other) const {
+      return time < other.time || (time == other.time && id < other.id);
+    }
+  };
+
+  static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!heap_[i].less_than(heap_[parent])) break;
+      swap_entries(i, parent);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t smallest = i;
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = 2 * i + 2;
+      if (left < n && heap_[left].less_than(heap_[smallest])) smallest = left;
+      if (right < n && heap_[right].less_than(heap_[smallest])) smallest = right;
+      if (smallest == i) break;
+      swap_entries(i, smallest);
+      i = smallest;
+    }
+  }
+
+  void swap_entries(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a].id] = a;
+    pos_[heap_[b].id] = b;
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::size_t> pos_;
+};
+
+}  // namespace sim_detail
+
+/// All scratch storage one simulation run needs, reusable across runs and
+/// across receive models. Pass one to NetworkSimulator::run (or rely on
+/// the simulator's internal workspace) and repeated simulations stop
+/// allocating. See the file comment for the contract.
+class SimWorkspace {
+ public:
+  SimWorkspace() = default;
+
+ private:
+  friend class NetworkSimulator;
+
+  /// Global event-queue entry: (time, kind, id), ordered so that at equal
+  /// times lower kinds run first and ties break on the lower id. Kind and
+  /// id are packed into one word so the tie-break is a single integer
+  /// compare.
+  struct Event {
+    double time;
+    std::uint64_t key;  ///< kind << 32 | id
+
+    [[nodiscard]] static Event make(double time, std::uint32_t kind,
+                                    std::size_t id) {
+      // `+ 0.0` canonicalizes -0.0 to +0.0 (a caller-supplied initial
+      // availability may carry the sign bit), which operator< requires.
+      return {time + 0.0, (static_cast<std::uint64_t>(kind) << 32) |
+                              static_cast<std::uint32_t>(id)};
+    }
+    [[nodiscard]] std::uint32_t kind() const {
+      return static_cast<std::uint32_t>(key >> 32);
+    }
+    [[nodiscard]] std::size_t id() const {
+      return static_cast<std::uint32_t>(key);
+    }
+    [[nodiscard]] bool operator<(const Event& other) const {
+      // Simulation times are finite, nonnegative, and never -0.0 (see
+      // make), so their IEEE-754 bit patterns order exactly like their
+      // values and (time, key) compares as one unsigned 128-bit integer —
+      // branch-free, which matters inside heap sifts whose compare
+      // outcomes are data-dependent.
+      const auto hi = [](double t) {
+        return static_cast<unsigned __int128>(std::bit_cast<std::uint64_t>(t))
+               << 64;
+      };
+      return (hi(time) | key) < (hi(other.time) | other.key);
+    }
+  };
+
+  /// A sender parked at a port: (request time, sender id).
+  struct Request {
+    double time;
+    std::size_t src;
+    [[nodiscard]] bool operator<(const Request& other) const {
+      return time < other.time || (time == other.time && src < other.src);
+    }
+  };
+
+  /// A buffered-model arrival awaiting receiver-side processing.
+  struct Arrival {
+    double arrive_time;
+    std::size_t src;
+    double process_cost;
+    [[nodiscard]] bool operator<(const Arrival& other) const {
+      return arrive_time < other.arrive_time ||
+             (arrive_time == other.arrive_time && src < other.src);
+    }
+  };
+
+  /// An in-flight receive under the interleaved model. `target` is the
+  /// receiver's virtual-work level at which this message completes;
+  /// `seq` breaks target ties in favour of the earlier-started message.
+  struct ActiveRecv {
+    double target;
+    std::uint64_t seq;
+    std::uint32_t src;
+    double start;
+    [[nodiscard]] bool operator<(const ActiveRecv& other) const {
+      return target < other.target ||
+             (target == other.target && seq < other.seq);
+    }
+  };
+
+  /// A sender whose port is free and who has messages left to send.
+  struct ReadySender {
+    double avail;
+    std::size_t src;
+    [[nodiscard]] bool operator<(const ReadySender& other) const {
+      return avail < other.avail || (avail == other.avail && src < other.src);
+    }
+  };
+
+  /// Grows the per-receiver heap arrays to at least n entries without
+  /// discarding warmed capacity, and clears the first n.
+  template <class T>
+  static void reset_per_port(std::vector<sim_detail::FlatMinHeap<T>>& heaps,
+                             std::size_t n) {
+    if (heaps.size() < n) heaps.resize(n);
+    for (std::size_t p = 0; p < n; ++p) heaps[p].clear();
+  }
+
+  // Global event queue (serialized + buffered models).
+  sim_detail::FlatMinHeap<Event> events;
+  // Per-receiver parked senders: `waiting` under serialized receives,
+  // blocked-on-full-buffer under the buffered model.
+  std::vector<sim_detail::FlatMinHeap<Request>> parked;
+  // Buffered model: arrived, not-yet-processed messages per receiver.
+  std::vector<sim_detail::FlatMinHeap<Arrival>> inbox;
+  // Interleaved model: in-flight receives per receiver, ready senders,
+  // and the per-receiver earliest-completion index.
+  std::vector<sim_detail::FlatMinHeap<ActiveRecv>> active;
+  sim_detail::FlatMinHeap<ReadySender> ready;
+  sim_detail::IndexedTimeHeap completions;
+
+  // Per-port arrays, sized to the processor count per run.
+  std::vector<double> send_avail;
+  std::vector<double> recv_avail;
+  std::vector<double> virtual_work;   // interleaved: per-message work done
+  std::vector<double> last_update;    // interleaved: time virtual_work is at
+  std::vector<double> first_attempt;  // fault path: first attempt start
+  std::vector<double> retry_delay;    // fault path: next backoff, carried
+  std::vector<std::size_t> next_index;
+  std::vector<std::size_t> next_recv;   // programmed arbitration
+  std::vector<std::size_t> attempt_no;  // fault path: 1-based attempt
+  std::vector<std::size_t> slots_used;  // buffered: occupied buffer slots
+  std::vector<std::uint8_t> receiver_busy;
+};
+
+}  // namespace hcs

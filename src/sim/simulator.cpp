@@ -3,33 +3,53 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
-#include <tuple>
 
 #include "util/error.hpp"
+
+// Implementation notes.
+//
+// All four execution paths draw their scratch storage from a SimWorkspace
+// (sim_workspace.hpp): flat index-based binary heaps and per-port arrays
+// that are cleared — never shrunk — between runs, so a warmed workspace
+// makes every run allocation-free inside the simulator. The semantics are
+// pinned by tests/sim_golden_test.cpp, which asserts event-for-event
+// bit-identical traces against the retained naive implementation in
+// sim/reference_simulator.cpp across all receive models, arbitration
+// modes, and fault hooks.
+//
+// The interleaved model is event-driven rather than scan-driven. All
+// active receives at one receiver progress at the same per-message rate
+// (interleaved_rate), so each receiver carries a virtual-work clock
+// V(t) = seconds of service every active message has accumulated; a
+// message inserted at level V with w seconds of work completes when the
+// clock reaches target = V + w. V is advanced lazily — only when the
+// receiver's active set changes, because that is the only time its rate
+// changes — which keeps per-event cost at O(log P): a per-receiver
+// min-heap on (target, seq) yields the earliest completion at that
+// receiver, an indexed heap across receivers yields the earliest
+// completion overall, and a ready-sender heap replaces the old O(P^2)
+// "is this sender in flight" rescan (membership itself encodes the
+// in-flight bit). Total: O((E + P) log P) per run instead of O(E * P^2).
 
 namespace hcs {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Sender-side delay before retrying after failed attempt `attempt`.
-double backoff_delay(const SimOptions& options, std::size_t attempt) {
-  double delay = options.backoff_base_s;
-  for (std::size_t k = 1; k < attempt; ++k) delay *= options.backoff_factor;
-  return delay;
-}
-
-/// Port availability vector from options or zeros.
-std::vector<double> initial_avail(const std::vector<double>& provided,
-                                  std::size_t n, const char* which) {
-  if (provided.empty()) return std::vector<double>(n, 0.0);
+/// Fills `avail` from the provided initial-port-availability vector, or
+/// zeros. Validates like the original per-run copy but reuses storage.
+void init_avail(std::vector<double>& avail, const std::vector<double>& provided,
+                std::size_t n, const char* which) {
+  if (provided.empty()) {
+    avail.assign(n, 0.0);
+    return;
+  }
   if (provided.size() != n)
     throw InputError(std::string("SimOptions: bad size for ") + which);
   for (const double t : provided)
     if (t < 0.0)
       throw InputError(std::string("SimOptions: negative avail in ") + which);
-  return provided;
+  avail.assign(provided.begin(), provided.end());
 }
 
 }  // namespace
@@ -47,8 +67,43 @@ double NetworkSimulator::transfer_time(std::size_t src, std::size_t dst,
   return directory_.query(src, dst, now_s).transfer_time(messages_(src, dst));
 }
 
+const double* NetworkSimulator::pair_times() const {
+  if (!directory_.time_invariant()) return nullptr;
+  std::call_once(pair_time_once_, [&] {
+    const std::size_t n = directory_.processor_count();
+    pair_time_.resize(n * n);
+    for (std::size_t src = 0; src < n; ++src)
+      for (std::size_t dst = 0; dst < n; ++dst)
+        pair_time_[src * n + dst] = transfer_time(src, dst, 0.0);
+  });
+  return pair_time_.data();
+}
+
 SimResult NetworkSimulator::run(const SendProgram& program,
                                 const SimOptions& options) const {
+  SimResult result;
+  run_into(program, options, workspace_, result);
+  return result;
+}
+
+SimResult NetworkSimulator::run(const SendProgram& program,
+                                const SimOptions& options,
+                                SimWorkspace& workspace) const {
+  SimResult result;
+  run_into(program, options, workspace, result);
+  return result;
+}
+
+void NetworkSimulator::run_into(const SendProgram& program,
+                                const SimOptions& options,
+                                SimResult& result) const {
+  run_into(program, options, workspace_, result);
+}
+
+void NetworkSimulator::run_into(const SendProgram& program,
+                                const SimOptions& options,
+                                SimWorkspace& workspace,
+                                SimResult& result) const {
   check(program.processor_count() == directory_.processor_count(),
         "NetworkSimulator: program size mismatch");
   if (options.fault_model != nullptr) {
@@ -64,10 +119,18 @@ SimResult NetworkSimulator::run(const SendProgram& program,
         !std::isfinite(options.backoff_factor))
       throw InputError("SimOptions: backoff_factor must be finite and >= 1");
   }
+  result.events.clear();
+  result.undelivered.clear();
+  result.completion_time = 0.0;
+  result.total_sender_wait_s = 0.0;
+  result.failed_attempts = 0;
   switch (options.model) {
-    case ReceiveModel::kSerialized: return run_serialized(program, options);
-    case ReceiveModel::kInterleaved: return run_interleaved(program, options);
-    case ReceiveModel::kBuffered: return run_buffered(program, options);
+    case ReceiveModel::kSerialized:
+      return run_serialized(program, options, workspace, result);
+    case ReceiveModel::kInterleaved:
+      return run_interleaved(program, options, workspace, result);
+    case ReceiveModel::kBuffered:
+      return run_buffered(program, options, workspace, result);
   }
   throw InputError("NetworkSimulator: unknown receive model");
 }
@@ -76,117 +139,264 @@ SimResult NetworkSimulator::run(const SendProgram& program,
 // Serialized receives (base model).
 // ---------------------------------------------------------------------------
 
-SimResult NetworkSimulator::run_serialized(const SendProgram& program,
-                                           const SimOptions& options) const {
+namespace {
+
+// Event kinds for the serialized model, ordered so that at equal times
+// new requests join a receiver's wait queue before that receiver's grant
+// decision runs.
+enum SerializedKind : std::uint32_t { kSenderReady = 0, kReceiverFree = 1 };
+
+}  // namespace
+
+void NetworkSimulator::run_serialized(const SendProgram& program,
+                                      const SimOptions& options,
+                                      SimWorkspace& ws,
+                                      SimResult& result) const {
   if (program.has_receiver_orders() &&
       options.arbitration == ReceiverArbitration::kProgrammed)
-    return run_programmed(program, options);
+    return run_programmed(program, options, ws, result);
+  if (options.fault_model != nullptr)
+    return run_serialized_faulty(program, options, ws, result);
   const std::size_t n = program.processor_count();
-  std::vector<double> recv_avail =
-      initial_avail(options.initial_recv_avail, n, "initial_recv_avail");
-  std::vector<double> send_avail =
-      initial_avail(options.initial_send_avail, n, "initial_send_avail");
+  init_avail(ws.recv_avail, options.initial_recv_avail, n, "initial_recv_avail");
+  init_avail(ws.send_avail, options.initial_send_avail, n, "initial_send_avail");
 
-  // Event kinds, ordered so that at equal times new requests join a
-  // receiver's wait queue before that receiver's grant decision runs.
-  enum Kind : int { kSenderReady = 0, kReceiverFree = 1 };
-  using Event = std::tuple<double, int, std::size_t>;  // time, kind, id
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+  using Event = SimWorkspace::Event;
+  auto& queue = ws.events;
+  queue.clear();
 
   // Per-receiver FIFO of blocked requests: (request time, sender).
-  using Request = std::pair<double, std::size_t>;
-  std::vector<std::priority_queue<Request, std::vector<Request>, std::greater<>>>
-      waiting(n);
-  std::vector<bool> receiver_busy(n, false);
-  std::vector<std::size_t> next_index(n, 0);
-  // Fault injection: attempt number for each sender's current message,
-  // and the start of its first attempt (for the undelivered report).
-  std::vector<std::size_t> attempt_no(n, 1);
-  std::vector<double> first_attempt(n, 0.0);
+  SimWorkspace::reset_per_port(ws.parked, n);
+  ws.receiver_busy.assign(n, 0);
+  ws.next_index.assign(n, 0);
 
-  SimResult result;
   result.events.reserve(program.event_count());
 
+  // Receiver-free wake-ups are scheduled lazily: a transfer does not
+  // announce its own finish; instead the first sender to park at an
+  // engaged receiver schedules the wake-up (at recv_avail, exactly when
+  // the engagement ends), and a grant that leaves the queue non-empty
+  // schedules the next one. An uncontended transfer therefore costs one
+  // event push instead of two. Grant times, winners, and even the order
+  // transfers are recorded in are unchanged from eager scheduling: a
+  // wake-up, when it exists, carries the same (recv_avail, kReceiverFree,
+  // dst) key the eager push used, and the busy flag below keeps the
+  // eager tie semantics — a sender finding the port freed exactly at
+  // `now` still parks and is granted in the receiver-free phase, because
+  // with eager wake-ups the (now, kReceiverFree) event that frees the
+  // port sorts after every (now, kSenderReady). A flag left stale (its
+  // wake-up was elided) is ignored once recv_avail < now: the engagement
+  // provably ended in the past, which is exactly when the eager wake-up
+  // would have cleared it. tests/sim_golden_test.cpp pins this loop
+  // event-for-event to the eagerly-scheduled reference implementation.
+  const double* const times = pair_times();
+  const std::vector<std::size_t>* const orders = program.orders().data();
+  // Raw views of the per-port state. None of these vectors is resized
+  // inside the loop (only the heaps' internal storage grows), so hoisting
+  // the data pointers once spares the loop re-deriving them after every
+  // call the compiler cannot see through.
+  double* const send_avail = ws.send_avail.data();
+  double* const recv_avail = ws.recv_avail.data();
+  std::size_t* const next_index = ws.next_index.data();
+  std::uint8_t* const receiver_busy = ws.receiver_busy.data();
+  auto* const parked = ws.parked.data();
+  double sender_wait = 0.0;
+
+  // Events an event handler schedules (at most two: a continuation for the
+  // sender plus a wake-up for the receiver). They are buffered so the loop
+  // tail can fuse the pop of the handled event with the push of the first
+  // follow-up into a single replace_top sift. Pop order — and therefore
+  // the simulation — is unchanged: events are totally ordered except for
+  // exact duplicates, so heap layout never influences what pops next.
+  Event pending[2];
+  std::size_t n_pending = 0;
   const auto start_transfer = [&](std::size_t src, std::size_t dst,
                                   double request_time, double start) {
-    const double duration = transfer_time(src, dst, start);
-    if (options.fault_model != nullptr) {
-      const SendVerdict verdict = options.fault_model->judge(
-          {src, dst, start, attempt_no[src], duration});
-      if (!verdict.delivered) {
-        ++result.failed_attempts;
-        if (attempt_no[src] == 1) first_attempt[src] = start;
-        // Both ports were engaged for the failed attempt's duration.
-        const double freed = start + verdict.elapsed_s;
-        receiver_busy[dst] = true;
-        recv_avail[dst] = freed;
-        send_avail[src] = freed;
-        queue.push({freed, kReceiverFree, dst});
-        if (verdict.permanent || attempt_no[src] >= options.max_attempts) {
-          result.undelivered.push_back({src, dst, first_attempt[src], freed,
-                                        attempt_no[src], verdict.permanent});
-          attempt_no[src] = 1;
-          ++next_index[src];
-          queue.push({freed, kSenderReady, src});
+    const double duration = times != nullptr ? times[src * n + dst]
+                                             : transfer_time(src, dst, start);
+    const double finish = start + duration;
+    result.events.push_back({src, dst, start, finish});
+    sender_wait += start - request_time;
+    receiver_busy[dst] = 1;
+    recv_avail[dst] = finish;
+    send_avail[src] = finish;
+    ++next_index[src];
+    if (!parked[dst].empty())
+      pending[n_pending++] = Event::make(finish, kReceiverFree, dst);
+    if (next_index[src] < orders[src].size())
+      pending[n_pending++] = Event::make(finish, kSenderReady, src);
+  };
+
+  for (std::size_t src = 0; src < n; ++src)
+    if (!orders[src].empty())
+      queue.push(Event::make(send_avail[src], kSenderReady, src));
+
+  while (!queue.empty()) {
+    const Event event = queue.top();
+    const double now = event.time;
+    if (event.kind() == kSenderReady) {
+      const std::size_t src = event.id();
+      const auto& order = orders[src];
+      if (next_index[src] < order.size() && send_avail[src] <= now) {
+        const std::size_t dst = order[next_index[src]];
+        if (parked[dst].empty() &&
+            (recv_avail[dst] < now ||
+             (receiver_busy[dst] == 0 && recv_avail[dst] <= now))) {
+          start_transfer(src, dst, now, now);
         } else {
-          queue.push({freed + backoff_delay(options, attempt_no[src]),
-                      kSenderReady, src});
-          ++attempt_no[src];
+          // Engaged (or reserved) receiver: the first parker schedules the
+          // wake-up for when the port frees. recv_avail >= now here.
+          if (parked[dst].empty())
+            pending[n_pending++] =
+                Event::make(recv_avail[dst], kReceiverFree, dst);
+          parked[dst].push({now, src});
         }
-        return;
       }
-      attempt_no[src] = 1;
+    } else {  // kReceiverFree
+      const std::size_t dst = event.id();
+      if (recv_avail[dst] <= now) {  // else stale: re-engaged meanwhile
+        receiver_busy[dst] = 0;
+        if (!parked[dst].empty()) {
+          const auto [request_time, src] = parked[dst].top();
+          parked[dst].pop();
+          start_transfer(src, dst, request_time, now);
+        }
+      }
     }
+    if (n_pending == 0) {
+      queue.pop();
+    } else {
+      queue.replace_top(pending[0]);
+      if (n_pending == 2) queue.push(pending[1]);
+      n_pending = 0;
+    }
+  }
+  result.total_sender_wait_s += sender_wait;
+
+  for (std::size_t p = 0; p < n; ++p)
+    check(ws.next_index[p] == program.order_of(p).size(),
+          "run_serialized: deadlock — unsent messages remain");
+  for (const ScheduledEvent& event : result.events)
+    result.completion_time = std::max(result.completion_time, event.finish_s);
+}
+
+// Serialized model with fault injection. Same event structure as the
+// no-fault loop above; kept separate so the retry machinery stays out of
+// the no-fault hot path. Golden tests pin both loops to the reference.
+void NetworkSimulator::run_serialized_faulty(const SendProgram& program,
+                                             const SimOptions& options,
+                                             SimWorkspace& ws,
+                                             SimResult& result) const {
+  const std::size_t n = program.processor_count();
+  init_avail(ws.recv_avail, options.initial_recv_avail, n, "initial_recv_avail");
+  init_avail(ws.send_avail, options.initial_send_avail, n, "initial_send_avail");
+
+  using Event = SimWorkspace::Event;
+  auto& queue = ws.events;
+  queue.clear();
+
+  SimWorkspace::reset_per_port(ws.parked, n);
+  ws.receiver_busy.assign(n, 0);
+  ws.next_index.assign(n, 0);
+  // Attempt number for each sender's current message, the start of its
+  // first attempt (for the undelivered report), and the backoff delay its
+  // next retry will wait — carried forward through the attempt sequence
+  // instead of being recomputed from scratch.
+  ws.attempt_no.assign(n, 1);
+  ws.first_attempt.assign(n, 0.0);
+  ws.retry_delay.assign(n, 0.0);
+
+  result.events.reserve(program.event_count());
+
+  const double* const times = pair_times();
+  const auto start_transfer = [&](std::size_t src, std::size_t dst,
+                                  double request_time, double start) {
+    const double duration = times != nullptr ? times[src * n + dst]
+                                             : transfer_time(src, dst, start);
+    const SendVerdict verdict = options.fault_model->judge(
+        {src, dst, start, ws.attempt_no[src], duration});
+    if (!verdict.delivered) {
+      ++result.failed_attempts;
+      if (ws.attempt_no[src] == 1) {
+        ws.first_attempt[src] = start;
+        ws.retry_delay[src] = options.backoff_base_s;
+      }
+      // Both ports were engaged for the failed attempt's duration.
+      const double freed = start + verdict.elapsed_s;
+      ws.receiver_busy[dst] = 1;
+      ws.recv_avail[dst] = freed;
+      ws.send_avail[src] = freed;
+      if (!ws.parked[dst].empty())
+        queue.push(Event::make(freed, kReceiverFree, dst));
+      if (verdict.permanent || ws.attempt_no[src] >= options.max_attempts) {
+        result.undelivered.push_back({src, dst, ws.first_attempt[src], freed,
+                                      ws.attempt_no[src], verdict.permanent});
+        ws.attempt_no[src] = 1;
+        ++ws.next_index[src];
+        if (ws.next_index[src] < program.order_of(src).size())
+          queue.push(Event::make(freed, kSenderReady, src));
+      } else {
+        queue.push(Event::make(freed + ws.retry_delay[src], kSenderReady, src));
+        ws.retry_delay[src] *= options.backoff_factor;
+        ++ws.attempt_no[src];
+      }
+      return;
+    }
+    ws.attempt_no[src] = 1;
     result.events.push_back({src, dst, start, start + duration});
     result.total_sender_wait_s += start - request_time;
-    receiver_busy[dst] = true;
-    recv_avail[dst] = start + duration;
-    send_avail[src] = start + duration;
-    ++next_index[src];
-    queue.push({start + duration, kReceiverFree, dst});
-    queue.push({start + duration, kSenderReady, src});
+    ws.receiver_busy[dst] = 1;
+    ws.recv_avail[dst] = start + duration;
+    ws.send_avail[src] = start + duration;
+    ++ws.next_index[src];
+    if (!ws.parked[dst].empty())
+      queue.push(Event::make(start + duration, kReceiverFree, dst));
+    if (ws.next_index[src] < program.order_of(src).size())
+      queue.push(Event::make(start + duration, kSenderReady, src));
   };
 
   for (std::size_t src = 0; src < n; ++src)
     if (!program.order_of(src).empty())
-      queue.push({send_avail[src], kSenderReady, src});
+      queue.push(Event::make(ws.send_avail[src], kSenderReady, src));
 
   while (!queue.empty()) {
-    const auto [now, kind, id] = queue.top();
+    const Event event = queue.top();
     queue.pop();
-    if (kind == kSenderReady) {
-      const std::size_t src = id;
+    const double now = event.time;
+    if (event.kind() == kSenderReady) {
+      const std::size_t src = event.id();
       const auto& order = program.order_of(src);
-      if (next_index[src] >= order.size()) continue;
-      if (send_avail[src] > now) continue;  // stale wakeup
-      const std::size_t dst = order[next_index[src]];
-      if (!receiver_busy[dst] && waiting[dst].empty() && recv_avail[dst] <= now) {
+      if (ws.next_index[src] >= order.size()) continue;
+      if (ws.send_avail[src] > now) continue;  // stale wakeup
+      const std::size_t dst = order[ws.next_index[src]];
+      if (ws.parked[dst].empty() &&
+          (ws.recv_avail[dst] < now ||
+           (ws.receiver_busy[dst] == 0 && ws.recv_avail[dst] <= now))) {
         start_transfer(src, dst, now, now);
-      } else if (!receiver_busy[dst] && waiting[dst].empty()) {
-        // Receiver port carries an initial-avail reservation; wait it out.
-        waiting[dst].push({now, src});
-        queue.push({recv_avail[dst], kReceiverFree, dst});
       } else {
-        waiting[dst].push({now, src});
+        // Engaged (or reserved) receiver: lazy wake-up, as in the
+        // no-fault loop. recv_avail >= now here.
+        if (ws.parked[dst].empty())
+          queue.push(Event::make(ws.recv_avail[dst], kReceiverFree, dst));
+        ws.parked[dst].push({now, src});
       }
     } else {  // kReceiverFree
-      const std::size_t dst = id;
-      if (receiver_busy[dst] && recv_avail[dst] > now) continue;  // stale
-      receiver_busy[dst] = false;
-      if (!waiting[dst].empty() && recv_avail[dst] <= now) {
-        const auto [request_time, src] = waiting[dst].top();
-        waiting[dst].pop();
+      const std::size_t dst = event.id();
+      if (ws.recv_avail[dst] > now) continue;  // stale: re-engaged meanwhile
+      ws.receiver_busy[dst] = 0;
+      if (!ws.parked[dst].empty()) {
+        const auto [request_time, src] = ws.parked[dst].top();
+        ws.parked[dst].pop();
         start_transfer(src, dst, request_time, now);
       }
     }
   }
 
   for (std::size_t p = 0; p < n; ++p)
-    check(next_index[p] == program.order_of(p).size(),
+    check(ws.next_index[p] == program.order_of(p).size(),
           "run_serialized: deadlock — unsent messages remain");
   for (const ScheduledEvent& event : result.events)
     result.completion_time = std::max(result.completion_time, event.finish_s);
-  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -197,39 +407,43 @@ SimResult NetworkSimulator::run_serialized(const SendProgram& program,
 // O(E * P) regardless of processing order.
 // ---------------------------------------------------------------------------
 
-SimResult NetworkSimulator::run_programmed(const SendProgram& program,
-                                           const SimOptions& options) const {
+void NetworkSimulator::run_programmed(const SendProgram& program,
+                                      const SimOptions& options,
+                                      SimWorkspace& ws,
+                                      SimResult& result) const {
   const std::size_t n = program.processor_count();
-  std::vector<double> send_avail =
-      initial_avail(options.initial_send_avail, n, "initial_send_avail");
-  std::vector<double> recv_avail =
-      initial_avail(options.initial_recv_avail, n, "initial_recv_avail");
-  std::vector<std::size_t> next_send(n, 0);
-  std::vector<std::size_t> next_recv(n, 0);
+  init_avail(ws.send_avail, options.initial_send_avail, n, "initial_send_avail");
+  init_avail(ws.recv_avail, options.initial_recv_avail, n, "initial_recv_avail");
+  ws.next_index.assign(n, 0);
+  ws.next_recv.assign(n, 0);
 
-  SimResult result;
   std::size_t remaining = program.event_count();
   result.events.reserve(remaining);
+  const double* const times = pair_times();
 
   while (remaining > 0) {
     bool progressed = false;
     for (std::size_t src = 0; src < n; ++src) {
-      while (next_send[src] < program.order_of(src).size()) {
-        const std::size_t dst = program.order_of(src)[next_send[src]];
+      while (ws.next_index[src] < program.order_of(src).size()) {
+        const std::size_t dst = program.order_of(src)[ws.next_index[src]];
         const auto& expected = program.receiver_order_of(dst);
-        if (expected[next_recv[dst]] != src) break;  // receiver not ready for us
-        const double request = send_avail[src];
-        double start = std::max(request, recv_avail[dst]);
+        if (expected[ws.next_recv[dst]] != src) break;  // receiver not ready for us
+        const double request = ws.send_avail[src];
+        double start = std::max(request, ws.recv_avail[dst]);
         if (options.fault_model == nullptr) {
-          const double duration = transfer_time(src, dst, start);
+          const double duration = times != nullptr
+                                      ? times[src * n + dst]
+                                      : transfer_time(src, dst, start);
           result.events.push_back({src, dst, start, start + duration});
           result.total_sender_wait_s += start - request;
-          send_avail[src] = start + duration;
-          recv_avail[dst] = start + duration;
+          ws.send_avail[src] = start + duration;
+          ws.recv_avail[dst] = start + duration;
         } else {
           // Attempt loop: each failed attempt engages both ports for its
-          // elapsed time, then the sender backs off and retries.
+          // elapsed time, then the sender backs off and retries. The
+          // backoff delay is carried forward through the loop.
           const double first_start = start;
+          double retry_delay = options.backoff_base_s;
           for (std::size_t attempt = 1;; ++attempt) {
             const double duration = transfer_time(src, dst, start);
             const SendVerdict verdict = options.fault_model->judge(
@@ -237,24 +451,25 @@ SimResult NetworkSimulator::run_programmed(const SendProgram& program,
             if (verdict.delivered) {
               result.events.push_back({src, dst, start, start + duration});
               result.total_sender_wait_s += start - request;
-              send_avail[src] = start + duration;
-              recv_avail[dst] = start + duration;
+              ws.send_avail[src] = start + duration;
+              ws.recv_avail[dst] = start + duration;
               break;
             }
             ++result.failed_attempts;
             const double freed = start + verdict.elapsed_s;
-            send_avail[src] = freed;
-            recv_avail[dst] = freed;
+            ws.send_avail[src] = freed;
+            ws.recv_avail[dst] = freed;
             if (verdict.permanent || attempt >= options.max_attempts) {
               result.undelivered.push_back(
                   {src, dst, first_start, freed, attempt, verdict.permanent});
               break;
             }
-            start = freed + backoff_delay(options, attempt);
+            start = freed + retry_delay;
+            retry_delay *= options.backoff_factor;
           }
         }
-        ++next_send[src];
-        ++next_recv[dst];
+        ++ws.next_index[src];
+        ++ws.next_recv[dst];
         --remaining;
         progressed = true;
       }
@@ -265,7 +480,6 @@ SimResult NetworkSimulator::run_programmed(const SendProgram& program,
 
   for (const ScheduledEvent& event : result.events)
     result.completion_time = std::max(result.completion_time, event.finish_s);
-  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -275,111 +489,104 @@ SimResult NetworkSimulator::run_programmed(const SendProgram& program,
 // active receives the node's combined service rate drops to 1/(1+alpha),
 // shared equally, so a pair of messages started together completes in
 // (1+alpha)(t1+t2). Senders are never blocked by receivers — only by
-// their own serial send port.
+// their own serial send port. Event-driven: see the implementation notes
+// at the top of this file.
 // ---------------------------------------------------------------------------
 
-SimResult NetworkSimulator::run_interleaved(const SendProgram& program,
-                                            const SimOptions& options) const {
+void NetworkSimulator::run_interleaved(const SendProgram& program,
+                                       const SimOptions& options,
+                                       SimWorkspace& ws,
+                                       SimResult& result) const {
   if (!(options.alpha >= 0.0) || !std::isfinite(options.alpha))
     throw InputError("run_interleaved: alpha must be finite and non-negative");
   const std::size_t n = program.processor_count();
-  std::vector<double> send_avail =
-      initial_avail(options.initial_send_avail, n, "initial_send_avail");
+  init_avail(ws.send_avail, options.initial_send_avail, n, "initial_send_avail");
+  ws.next_index.assign(n, 0);
+  ws.virtual_work.assign(n, 0.0);
+  ws.last_update.assign(n, 0.0);
+  SimWorkspace::reset_per_port(ws.active, n);
+  ws.completions.reset(n);
+  ws.ready.clear();
 
-  struct Active {
-    std::size_t src;
-    std::size_t dst;
-    double start;
-    double remaining_work;  // seconds of dedicated receive time left
+  // Re-projects receiver `dst`'s earliest completion after its active set
+  // changed. Called with virtual_work/last_update already advanced to the
+  // change point.
+  const auto refresh_completion = [&](std::size_t dst) {
+    auto& heap = ws.active[dst];
+    if (heap.empty()) {
+      ws.completions.remove(dst);
+      return;
+    }
+    const double rate = interleaved_rate(heap.size(), options.alpha);
+    ws.completions.update(
+        dst, ws.last_update[dst] +
+                 (heap.top().target - ws.virtual_work[dst]) / rate);
   };
-  std::vector<std::vector<Active>> active(n);  // per receiver
-  std::vector<std::size_t> next_index(n, 0);
 
-  const auto rate_of = [&](std::size_t dst) {
-    const std::size_t k = active[dst].size();
-    if (k == 0) return 0.0;
-    if (k == 1) return 1.0;
-    return 1.0 / ((1.0 + options.alpha) * static_cast<double>(k));
-  };
-
-  SimResult result;
   result.events.reserve(program.event_count());
+  const double* const times = pair_times();
+  const std::vector<std::size_t>* const orders = program.orders().data();
   double now = 0.0;
   std::size_t outstanding = program.event_count();
+  std::size_t active_total = 0;
+  std::uint64_t seq = 0;
 
-  while (outstanding > 0 || [&] {
-    for (std::size_t d = 0; d < n; ++d)
-      if (!active[d].empty()) return true;
-    return false;
-  }()) {
-    // Next sender start: the earliest sender with work left whose port is
-    // free (its port frees when its in-flight message completes, which is
-    // handled as a completion event below).
-    double next_send = kInf;
-    std::size_t next_src = 0;
-    for (std::size_t src = 0; src < n; ++src) {
-      if (next_index[src] >= program.order_of(src).size()) continue;
-      bool in_flight = false;
-      for (std::size_t d = 0; d < n && !in_flight; ++d)
-        for (const Active& a : active[d])
-          if (a.src == src) { in_flight = true; break; }
-      if (in_flight) continue;
-      if (send_avail[src] < next_send) {
-        next_send = send_avail[src];
-        next_src = src;
-      }
-    }
+  for (std::size_t src = 0; src < n; ++src)
+    if (!orders[src].empty())
+      ws.ready.push({ws.send_avail[src], src});
 
-    // Next completion among active receives.
-    double next_completion = kInf;
-    std::size_t completion_dst = 0;
-    for (std::size_t dst = 0; dst < n; ++dst) {
-      const double rate = rate_of(dst);
-      if (rate <= 0.0) continue;
-      for (const Active& a : active[dst]) {
-        const double t = now + a.remaining_work / rate;
-        if (t < next_completion) {
-          next_completion = t;
-          completion_dst = dst;
-        }
-      }
-    }
+  while (outstanding > 0 || active_total > 0) {
+    // Next sender start: the earliest ready sender (free port, work left;
+    // a started sender leaves the heap until its message completes, so
+    // membership is the in-flight test). Next completion: the earliest
+    // projected completion across receivers.
+    const double next_send = ws.ready.empty() ? kInf : ws.ready.top().avail;
+    const double next_completion =
+        ws.completions.empty() ? kInf : ws.completions.top_time();
 
     check(next_send < kInf || next_completion < kInf,
           "run_interleaved: no progress");
-    const double next_time = std::min(std::max(next_send, now), next_completion);
+    now = std::min(std::max(next_send, now), next_completion);
 
-    // Advance all active receives to next_time.
-    for (std::size_t dst = 0; dst < n; ++dst) {
-      const double rate = rate_of(dst);
-      const double elapsed = next_time - now;
-      for (Active& a : active[dst]) a.remaining_work -= elapsed * rate;
-    }
-    now = next_time;
-
-    if (next_completion <= next_send + 0.0 && next_completion <= now) {
-      // Complete the message with no remaining work at completion_dst.
-      auto& list = active[completion_dst];
-      auto it = std::min_element(list.begin(), list.end(),
-                                 [](const Active& a, const Active& b) {
-                                   return a.remaining_work < b.remaining_work;
-                                 });
-      result.events.push_back({it->src, it->dst, it->start, now});
-      send_avail[it->src] = now;
-      list.erase(it);
+    if (completion_wins(next_completion, next_send, now)) {
+      // Complete the earliest-finishing message at the top receiver.
+      const std::size_t dst = ws.completions.top_id();
+      auto& heap = ws.active[dst];
+      ws.virtual_work[dst] +=
+          (now - ws.last_update[dst]) *
+          interleaved_rate(heap.size(), options.alpha);
+      ws.last_update[dst] = now;
+      const SimWorkspace::ActiveRecv done = heap.top();
+      heap.pop();
+      --active_total;
+      result.events.push_back({done.src, dst, done.start, now});
+      ws.send_avail[done.src] = now;
+      if (ws.next_index[done.src] < orders[done.src].size())
+        ws.ready.push({now, done.src});
+      refresh_completion(dst);
     } else {
-      // Start next_src's next message.
-      const std::size_t dst = program.order_of(next_src)[next_index[next_src]];
-      ++next_index[next_src];
+      // Start the ready sender's next message.
+      const std::size_t src = ws.ready.top().src;
+      ws.ready.pop();
+      const std::size_t dst = orders[src][ws.next_index[src]];
+      ++ws.next_index[src];
       --outstanding;
-      active[dst].push_back(
-          {next_src, dst, now, transfer_time(next_src, dst, now)});
+      auto& heap = ws.active[dst];
+      ws.virtual_work[dst] +=
+          (now - ws.last_update[dst]) *
+          interleaved_rate(heap.size(), options.alpha);
+      ws.last_update[dst] = now;
+      const double work = times != nullptr ? times[src * n + dst]
+                                           : transfer_time(src, dst, now);
+      heap.push({ws.virtual_work[dst] + work, seq++,
+                 static_cast<std::uint32_t>(src), now});
+      ++active_total;
+      refresh_completion(dst);
     }
   }
 
   for (const ScheduledEvent& event : result.events)
     result.completion_time = std::max(result.completion_time, event.finish_s);
-  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -392,111 +599,104 @@ SimResult NetworkSimulator::run_interleaved(const SendProgram& program,
 // drain_factor * transfer time of receiver port time.
 // ---------------------------------------------------------------------------
 
-SimResult NetworkSimulator::run_buffered(const SendProgram& program,
-                                         const SimOptions& options) const {
+void NetworkSimulator::run_buffered(const SendProgram& program,
+                                    const SimOptions& options,
+                                    SimWorkspace& ws,
+                                    SimResult& result) const {
   if (options.buffer_capacity < 1)
     throw InputError("run_buffered: buffer capacity must be >= 1");
   if (!(options.drain_factor >= 0.0) || !std::isfinite(options.drain_factor))
     throw InputError("run_buffered: drain_factor must be finite and non-negative");
   const std::size_t n = program.processor_count();
-  std::vector<double> send_avail =
-      initial_avail(options.initial_send_avail, n, "initial_send_avail");
-  std::vector<double> recv_port_avail =
-      initial_avail(options.initial_recv_avail, n, "initial_recv_avail");
+  init_avail(ws.send_avail, options.initial_send_avail, n, "initial_send_avail");
+  init_avail(ws.recv_avail, options.initial_recv_avail, n, "initial_recv_avail");
 
-  struct Arrival {
-    double arrive_time;
-    std::size_t src;
-    double process_cost;
-    [[nodiscard]] bool operator>(const Arrival& other) const {
-      return std::tie(arrive_time, src) > std::tie(other.arrive_time, other.src);
-    }
-  };
+  enum BufferedKind : std::uint32_t { kBufSenderReady = 0, kArrival = 1 };
+  using Event = SimWorkspace::Event;
+  auto& queue = ws.events;
+  queue.clear();
 
-  enum Kind : int { kSenderReady = 0, kArrival = 1 };
-  using Event = std::tuple<double, int, std::size_t>;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+  ws.slots_used.assign(n, 0);
+  // Senders blocked on a full buffer, FIFO per receiver; arrived,
+  // not-yet-processed messages, FIFO per receiver.
+  SimWorkspace::reset_per_port(ws.parked, n);
+  SimWorkspace::reset_per_port(ws.inbox, n);
+  ws.next_index.assign(n, 0);
 
-  std::vector<std::size_t> slots_used(n, 0);
-  // Senders blocked on a full buffer, FIFO per receiver.
-  using Blocked = std::pair<double, std::size_t>;
-  std::vector<std::priority_queue<Blocked, std::vector<Blocked>, std::greater<>>>
-      blocked(n);
-  // Arrived, not-yet-processed messages, FIFO per receiver.
-  std::vector<std::priority_queue<Arrival, std::vector<Arrival>, std::greater<>>>
-      inbox(n);
-  std::vector<std::size_t> next_index(n, 0);
-
-  SimResult result;
   result.events.reserve(program.event_count());
+  const double* const times = pair_times();
   double drain_finish = 0.0;
 
   const auto begin_transmit = [&](std::size_t src, std::size_t dst,
                                   double request_time, double start) {
-    const double duration = transfer_time(src, dst, start);
+    const double duration = times != nullptr ? times[src * n + dst]
+                                             : transfer_time(src, dst, start);
     result.events.push_back({src, dst, start, start + duration});
     result.total_sender_wait_s += start - request_time;
-    ++slots_used[dst];
-    send_avail[src] = start + duration;
-    ++next_index[src];
-    queue.push({start + duration, kArrival, dst});
-    inbox[dst].push({start + duration, src, duration * options.drain_factor});
-    queue.push({start + duration, kSenderReady, src});
+    ++ws.slots_used[dst];
+    ws.send_avail[src] = start + duration;
+    ++ws.next_index[src];
+    queue.push(Event::make(start + duration, kArrival, dst));
+    ws.inbox[dst].push({start + duration, src, duration * options.drain_factor});
+    if (ws.next_index[src] < program.order_of(src).size())
+      queue.push(Event::make(start + duration, kBufSenderReady, src));
   };
 
   // Receiver processing: drain the earliest arrival whose time has come.
   const auto try_drain = [&](std::size_t dst, double now) {
-    while (!inbox[dst].empty() && inbox[dst].top().arrive_time <= now &&
-           recv_port_avail[dst] <= now) {
-      const Arrival arrival = inbox[dst].top();
-      inbox[dst].pop();
-      const double start = std::max(recv_port_avail[dst], arrival.arrive_time);
-      recv_port_avail[dst] = start + arrival.process_cost;
-      drain_finish = std::max(drain_finish, recv_port_avail[dst]);
-      --slots_used[dst];
+    while (!ws.inbox[dst].empty() && ws.inbox[dst].top().arrive_time <= now &&
+           ws.recv_avail[dst] <= now) {
+      const SimWorkspace::Arrival arrival = ws.inbox[dst].top();
+      ws.inbox[dst].pop();
+      const double start = std::max(ws.recv_avail[dst], arrival.arrive_time);
+      ws.recv_avail[dst] = start + arrival.process_cost;
+      drain_finish = std::max(drain_finish, ws.recv_avail[dst]);
+      --ws.slots_used[dst];
       // A slot freed: release the earliest blocked sender, if any.
-      if (!blocked[dst].empty() && slots_used[dst] < options.buffer_capacity) {
-        const auto [request_time, src] = blocked[dst].top();
-        blocked[dst].pop();
-        begin_transmit(src, dst, request_time, std::max(now, send_avail[src]));
+      if (!ws.parked[dst].empty() &&
+          ws.slots_used[dst] < options.buffer_capacity) {
+        const auto [request_time, src] = ws.parked[dst].top();
+        ws.parked[dst].pop();
+        begin_transmit(src, dst, request_time,
+                       std::max(now, ws.send_avail[src]));
       }
-      // Port busy until recv_port_avail; schedule a wake-up to continue.
-      queue.push({recv_port_avail[dst], kArrival, dst});
+      // Port busy until recv_avail; schedule a wake-up to continue.
+      queue.push(Event::make(ws.recv_avail[dst], kArrival, dst));
     }
   };
 
   for (std::size_t src = 0; src < n; ++src)
     if (!program.order_of(src).empty())
-      queue.push({send_avail[src], kSenderReady, src});
+      queue.push(Event::make(ws.send_avail[src], kBufSenderReady, src));
 
   while (!queue.empty()) {
-    const auto [now, kind, id] = queue.top();
+    const Event event = queue.top();
     queue.pop();
-    if (kind == kSenderReady) {
-      const std::size_t src = id;
+    const double now = event.time;
+    if (event.kind() == kBufSenderReady) {
+      const std::size_t src = event.id();
       const auto& order = program.order_of(src);
-      if (next_index[src] >= order.size()) continue;
-      if (send_avail[src] > now) continue;  // stale wakeup
-      const std::size_t dst = order[next_index[src]];
-      if (slots_used[dst] < options.buffer_capacity) {
+      if (ws.next_index[src] >= order.size()) continue;
+      if (ws.send_avail[src] > now) continue;  // stale wakeup
+      const std::size_t dst = order[ws.next_index[src]];
+      if (ws.slots_used[dst] < options.buffer_capacity) {
         begin_transmit(src, dst, now, now);
       } else {
-        blocked[dst].push({now, src});
+        ws.parked[dst].push({now, src});
       }
     } else {  // kArrival / port wake-up at receiver id
-      try_drain(id, now);
+      try_drain(event.id(), now);
     }
   }
 
   for (std::size_t p = 0; p < n; ++p) {
-    check(next_index[p] == program.order_of(p).size(),
+    check(ws.next_index[p] == program.order_of(p).size(),
           "run_buffered: deadlock — unsent messages remain");
-    check(inbox[p].empty(), "run_buffered: undrained inbox");
+    check(ws.inbox[p].empty(), "run_buffered: undrained inbox");
   }
   for (const ScheduledEvent& event : result.events)
     result.completion_time = std::max(result.completion_time, event.finish_s);
   result.completion_time = std::max(result.completion_time, drain_finish);
-  return result;
 }
 
 }  // namespace hcs

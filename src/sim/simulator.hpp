@@ -19,15 +19,37 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "core/schedule.hpp"
 #include "netmodel/directory.hpp"
 #include "sim/fault_hook.hpp"
 #include "sim/send_program.hpp"
+#include "sim/sim_workspace.hpp"
 #include "workload/generators.hpp"
 
 namespace hcs {
+
+/// Per-message service rate at a receiver with k simultaneous receives
+/// (§6.1): a single receive runs at full rate; k > 1 receives share a
+/// combined rate of 1/(1+alpha) equally, so two messages received
+/// together take (1+alpha)(t1+t2).
+[[nodiscard]] inline double interleaved_rate(std::size_t k, double alpha) {
+  if (k == 0) return 0.0;
+  if (k == 1) return 1.0;
+  return 1.0 / ((1.0 + alpha) * static_cast<double>(k));
+}
+
+/// Tie rule between the interleaved model's next receive completion and
+/// next send start: at equal times the completion wins, so an in-flight
+/// message finishes — and frees its sender's port — before any new send
+/// begins. `now` has already been advanced to the chosen event time, so
+/// the second clause rejects a completion that lies beyond this step.
+[[nodiscard]] inline bool completion_wins(double next_completion,
+                                          double next_send, double now) {
+  return next_completion <= next_send && next_completion <= now;
+}
 
 /// Receive-side model to simulate.
 enum class ReceiveModel {
@@ -120,6 +142,13 @@ struct SimResult {
 };
 
 /// Executes send programs against a directory service.
+///
+/// Every entry point runs against a SimWorkspace (sim_workspace.hpp):
+/// the overloads without one use the simulator's internal workspace, so
+/// repeated runs through one simulator instance are allocation-free after
+/// warm-up but NOT safe to call concurrently. Concurrent callers pass
+/// their own per-thread workspace. Results never depend on which
+/// workspace serves a run, or on what it served before.
 class NetworkSimulator {
  public:
   /// `directory` supplies per-pair performance over time; `messages`
@@ -128,25 +157,58 @@ class NetworkSimulator {
   /// alive for the simulator's lifetime.
   NetworkSimulator(const DirectoryService& directory, const MessageMatrix& messages);
 
-  /// Runs `program` to completion under `options`.
+  /// Runs `program` to completion under `options` using the internal
+  /// workspace. Not thread-safe.
   [[nodiscard]] SimResult run(const SendProgram& program,
                               const SimOptions& options = {}) const;
 
+  /// Same, with a caller-owned workspace (per-thread use).
+  [[nodiscard]] SimResult run(const SendProgram& program,
+                              const SimOptions& options,
+                              SimWorkspace& workspace) const;
+
+  /// Fully reusing form: clears and refills `result` (its vectors keep
+  /// their capacity), so a caller looping over runs allocates nothing
+  /// once result and workspace are warm. Not thread-safe (internal
+  /// workspace).
+  void run_into(const SendProgram& program, const SimOptions& options,
+                SimResult& result) const;
+
+  /// Fully reusing form with a caller-owned workspace.
+  void run_into(const SendProgram& program, const SimOptions& options,
+                SimWorkspace& workspace, SimResult& result) const;
+
  private:
-  [[nodiscard]] SimResult run_serialized(const SendProgram& program,
-                                         const SimOptions& options) const;
-  [[nodiscard]] SimResult run_programmed(const SendProgram& program,
-                                         const SimOptions& options) const;
-  [[nodiscard]] SimResult run_interleaved(const SendProgram& program,
-                                          const SimOptions& options) const;
-  [[nodiscard]] SimResult run_buffered(const SendProgram& program,
-                                       const SimOptions& options) const;
+  void run_serialized(const SendProgram& program, const SimOptions& options,
+                      SimWorkspace& ws, SimResult& result) const;
+  void run_serialized_faulty(const SendProgram& program,
+                             const SimOptions& options, SimWorkspace& ws,
+                             SimResult& result) const;
+  void run_programmed(const SendProgram& program, const SimOptions& options,
+                      SimWorkspace& ws, SimResult& result) const;
+  void run_interleaved(const SendProgram& program, const SimOptions& options,
+                       SimWorkspace& ws, SimResult& result) const;
+  void run_buffered(const SendProgram& program, const SimOptions& options,
+                    SimWorkspace& ws, SimResult& result) const;
 
   [[nodiscard]] double transfer_time(std::size_t src, std::size_t dst,
                                      double now_s) const;
 
+  /// Per-pair transfer-time table, valid only when the directory promises
+  /// time_invariant(): entry [src * P + dst] equals
+  /// transfer_time(src, dst, t) for every t, computed by the identical
+  /// expression, so cached and uncached runs are bit-identical. Built
+  /// lazily once per simulator (thread-safe); returns nullptr for
+  /// time-varying directories.
+  [[nodiscard]] const double* pair_times() const;
+
   const DirectoryService& directory_;
   const MessageMatrix& messages_;
+  mutable std::vector<double> pair_time_;
+  mutable std::once_flag pair_time_once_;
+  /// Scratch for the workspace-less overloads; mutable because a run is
+  /// logically const (the workspace carries no observable state).
+  mutable SimWorkspace workspace_;
 };
 
 }  // namespace hcs

@@ -105,6 +105,50 @@ TEST(Experiment, ParallelRunMatchesSerialRun) {
     }
 }
 
+TEST(Experiment, ExecuteModeFillsSimulatedSeries) {
+  ExperimentConfig config = small_config();
+  config.execute = true;
+  const ExperimentResult result = run_experiment(config);
+  for (const SchedulerSeries& series : result.series) {
+    ASSERT_EQ(series.mean_executed_s.size(), 2u);
+    for (std::size_t p = 0; p < 2; ++p) {
+      // On a static network under the default (programmed, serialized)
+      // model, executing a valid schedule reproduces the planned times.
+      EXPECT_NEAR(series.mean_executed_s[p], series.mean_completion_s[p],
+                  1e-9 * series.mean_completion_s[p]);
+    }
+  }
+}
+
+TEST(Experiment, ExecuteModeIsDeterministicAcrossParallelism) {
+  ExperimentConfig serial = small_config();
+  serial.execute = true;
+  serial.repetitions = 8;
+  serial.execution.model = ReceiveModel::kInterleaved;
+  ExperimentConfig parallel = serial;
+  parallel.parallelism = 4;
+  const ExperimentResult a = run_experiment(serial);
+  const ExperimentResult b = run_experiment(parallel);
+  for (std::size_t s = 0; s < a.series.size(); ++s)
+    for (std::size_t p = 0; p < a.series[s].mean_executed_s.size(); ++p)
+      EXPECT_NEAR(a.series[s].mean_executed_s[p],
+                  b.series[s].mean_executed_s[p],
+                  1e-9 * a.series[s].mean_executed_s[p]);
+}
+
+TEST(Experiment, ExecuteModeRejectsAvailabilityVectors) {
+  ExperimentConfig config = small_config();
+  config.execute = true;
+  config.execution.initial_send_avail = {0.0};
+  EXPECT_THROW((void)run_experiment(config), InputError);
+}
+
+TEST(Experiment, SkipsExecutedSeriesWhenExecuteIsOff) {
+  const ExperimentResult result = run_experiment(small_config());
+  for (const SchedulerSeries& series : result.series)
+    EXPECT_TRUE(series.mean_executed_s.empty());
+}
+
 TEST(Experiment, OversizedParallelismIsClamped) {
   ExperimentConfig config = small_config();
   config.repetitions = 2;
