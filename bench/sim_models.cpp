@@ -69,6 +69,25 @@ void run_fast(benchmark::State& state, hcs::ReceiveModel model) {
   state.SetComplexityN(state.range(0));
 }
 
+/// Same run with a live EventTrace sink: the tracing-on cost. The trace
+/// is cleared each iteration so the ring never wraps and every record
+/// takes the common (no-overwrite) path.
+void run_traced(benchmark::State& state, hcs::ReceiveModel model) {
+  const Fixture fx{static_cast<std::size_t>(state.range(0))};
+  const hcs::NetworkSimulator simulator{fx.directory, fx.messages};
+  const hcs::SimOptions options = options_for(model);
+  hcs::SimResult result;
+  hcs::SimWorkspace workspace;
+  hcs::EventTrace trace;
+  for (auto _ : state) {
+    trace.clear();
+    simulator.run_into_traced(fx.program, options, workspace, result, trace);
+    benchmark::DoNotOptimize(result.completion_time);
+    benchmark::DoNotOptimize(trace.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+
 void run_reference(benchmark::State& state, hcs::ReceiveModel model) {
   const Fixture fx{static_cast<std::size_t>(state.range(0))};
   const hcs::SimOptions options = options_for(model);
@@ -85,6 +104,18 @@ void BM_SimSerialized(benchmark::State& state) {
 
 void BM_RefSimSerialized(benchmark::State& state) {
   run_reference(state, hcs::ReceiveModel::kSerialized);
+}
+
+void BM_SimSerializedTraced(benchmark::State& state) {
+  run_traced(state, hcs::ReceiveModel::kSerialized);
+}
+
+void BM_SimInterleavedTraced(benchmark::State& state) {
+  run_traced(state, hcs::ReceiveModel::kInterleaved);
+}
+
+void BM_SimBufferedTraced(benchmark::State& state) {
+  run_traced(state, hcs::ReceiveModel::kBuffered);
 }
 
 void BM_SimInterleaved(benchmark::State& state) {
@@ -134,6 +165,9 @@ BENCHMARK(BM_RefSimInterleaved)
     ->Range(8, 64)
     ->Complexity();
 BENCHMARK(BM_SimBuffered)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+BENCHMARK(BM_SimSerializedTraced)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+BENCHMARK(BM_SimInterleavedTraced)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+BENCHMARK(BM_SimBufferedTraced)->RangeMultiplier(2)->Range(8, 128)->Complexity();
 BENCHMARK(BM_RefSimBuffered)->RangeMultiplier(2)->Range(8, 64)->Complexity();
 BENCHMARK(BM_AdaptiveRound)->RangeMultiplier(2)->Range(8, 64)->Complexity();
 

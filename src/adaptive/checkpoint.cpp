@@ -42,12 +42,12 @@ SendProgram remaining_program(const Schedule& schedule,
   return SendProgram{std::move(orders), std::move(recv_orders)};
 }
 
-}  // namespace
-
-AdaptiveResult run_adaptive(const Scheduler& scheduler,
-                            const DirectoryService& directory,
-                            const MessageMatrix& messages,
-                            const AdaptiveOptions& options) {
+/// Shared implementation; `trace` is null for the untraced entry point.
+AdaptiveResult run_adaptive_impl(const Scheduler& scheduler,
+                                 const DirectoryService& directory,
+                                 const MessageMatrix& messages,
+                                 const AdaptiveOptions& options,
+                                 EventTrace* trace) {
   const std::size_t n = directory.processor_count();
   if (messages.rows() != n || !messages.square())
     throw InputError("run_adaptive: directory and messages disagree on size");
@@ -76,8 +76,10 @@ AdaptiveResult run_adaptive(const Scheduler& scheduler,
   // and these buffers are reused across every checkpoint round.
   SimOptions sim_options;
   SimResult executed;
+  std::size_t round = 0;
 
   while (remaining_count > 0) {
+    ++round;
     // Plan from the current directory snapshot: estimated event times for
     // the remaining pairs only (finished pairs cost zero and are dropped
     // from the program afterwards).
@@ -159,6 +161,17 @@ AdaptiveResult run_adaptive(const Scheduler& scheduler,
       const bool before_cut = event.finish_s <= cut_time;
       const bool in_flight = event.start_s < cut_time;
       if (!before_cut && !in_flight) continue;
+      if (trace != nullptr) {
+        const auto src32 = static_cast<std::uint32_t>(event.src);
+        const auto dst32 = static_cast<std::uint32_t>(event.dst);
+        const auto round32 = static_cast<std::uint32_t>(round);
+        trace->record({event.start_s, event.start_s,
+                       messages(event.src, event.dst), src32, dst32, round32,
+                       TraceEventKind::kSendStart});
+        trace->record({event.start_s, event.finish_s,
+                       messages(event.src, event.dst), src32, dst32, round32,
+                       TraceEventKind::kSendEnd});
+      }
       result.events.push_back(event);
       remaining(event.src, event.dst) = 0;
       send_avail[event.src] = std::max(send_avail[event.src], event.finish_s);
@@ -169,9 +182,35 @@ AdaptiveResult run_adaptive(const Scheduler& scheduler,
     check(committed > 0, "run_adaptive: no progress");
     remaining_count -= committed;
     now = cut_time;
-    if (remaining_count > 0) ++result.reschedule_count;
+    if (remaining_count > 0) {
+      ++result.reschedule_count;
+      if (trace != nullptr) {
+        const auto round32 = static_cast<std::uint32_t>(round);
+        trace->record({cut_time, cut_time, 0, 0, 0, round32,
+                       TraceEventKind::kCheckpoint});
+        trace->record({cut_time, cut_time, 0, 0, 0, round32,
+                       TraceEventKind::kReschedule});
+      }
+    }
   }
   return result;
+}
+
+}  // namespace
+
+AdaptiveResult run_adaptive(const Scheduler& scheduler,
+                            const DirectoryService& directory,
+                            const MessageMatrix& messages,
+                            const AdaptiveOptions& options) {
+  return run_adaptive_impl(scheduler, directory, messages, options, nullptr);
+}
+
+AdaptiveResult run_adaptive_traced(const Scheduler& scheduler,
+                                   const DirectoryService& directory,
+                                   const MessageMatrix& messages,
+                                   const AdaptiveOptions& options,
+                                   EventTrace& trace) {
+  return run_adaptive_impl(scheduler, directory, messages, options, &trace);
 }
 
 }  // namespace hcs

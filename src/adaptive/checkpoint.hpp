@@ -66,4 +66,16 @@ struct AdaptiveOptions {
                                           const MessageMatrix& messages,
                                           const AdaptiveOptions& options = {});
 
+/// Traced variant: identical result, and appends to `trace` what the
+/// adaptive run actually did — a send-start/send pair for every committed
+/// event (attempt carries the 1-based round that committed it), plus a
+/// checkpoint/reschedule instant pair at every cut. Events executed
+/// beyond a checkpoint and then re-planned are NOT traced: the trace is
+/// the committed history, which is what the ScheduleAuditor can hold to
+/// the model invariants.
+[[nodiscard]] AdaptiveResult run_adaptive_traced(
+    const Scheduler& scheduler, const DirectoryService& directory,
+    const MessageMatrix& messages, const AdaptiveOptions& options,
+    EventTrace& trace);
+
 }  // namespace hcs

@@ -76,65 +76,67 @@ std::vector<ProcessorIdle> Schedule::idle_profile() const {
 
 namespace {
 
-void require(bool condition, const std::string& message) {
-  if (!condition) throw ScheduleError(message);
-}
-
-void check_no_overlap(const std::vector<ScheduledEvent>& sorted,
-                      double tolerance, const char* port,
-                      std::size_t processor) {
+std::optional<std::string> find_overlap(
+    const std::vector<ScheduledEvent>& sorted, double tolerance,
+    const char* port, std::size_t processor) {
   // Zero-duration events occupy no port time; skip them.
   const ScheduledEvent* previous = nullptr;
   for (const ScheduledEvent& event : sorted) {
     if (event.duration() <= tolerance) continue;
-    if (previous != nullptr) {
+    if (previous != nullptr &&
+        event.start_s < previous->finish_s - tolerance) {
       std::ostringstream message;
       message << "overlapping " << port << " events at processor " << processor
               << ": [" << previous->start_s << ", " << previous->finish_s
               << ") and [" << event.start_s << ", " << event.finish_s << ")";
-      require(event.start_s >= previous->finish_s - tolerance, message.str());
+      return message.str();
     }
     previous = &event;
   }
+  return std::nullopt;
 }
 
 }  // namespace
 
-void Schedule::validate(const CommMatrix& comm, double tolerance) const {
+std::optional<std::string> Schedule::first_violation(const CommMatrix& comm,
+                                                     double tolerance) const {
   const std::size_t n = processor_count_;
-  require(comm.processor_count() == n,
-          "schedule and communication matrix sizes differ");
+  if (comm.processor_count() != n)
+    return "schedule and communication matrix sizes differ";
 
   // Coverage: exactly one event per ordered pair of distinct processors.
   Matrix<int> covered(n, n, 0);
   for (const ScheduledEvent& event : events_) {
-    require(event.src != event.dst, "self-message scheduled");
-    require(event.start_s >= -tolerance, "event starts before time zero");
-    require(covered(event.src, event.dst) == 0,
-            "duplicate event for a processor pair (message splitting?)");
+    if (event.src == event.dst) return "self-message scheduled";
+    if (event.start_s < -tolerance) return "event starts before time zero";
+    if (covered(event.src, event.dst) != 0)
+      return "duplicate event for a processor pair (message splitting?)";
     covered(event.src, event.dst) = 1;
     const double expected = comm.time(event.src, event.dst);
-    require(std::abs(event.duration() - expected) <=
-                tolerance * std::max(1.0, expected),
-            "event duration does not match the communication matrix");
+    if (std::abs(event.duration() - expected) >
+        tolerance * std::max(1.0, expected))
+      return "event duration does not match the communication matrix";
   }
   std::size_t expected_events = n * (n - 1);
-  require(events_.size() == expected_events,
-          "schedule does not cover every processor pair exactly once");
+  if (events_.size() != expected_events)
+    return "schedule does not cover every processor pair exactly once";
 
   for (std::size_t p = 0; p < n; ++p) {
-    check_no_overlap(sender_events(p), tolerance, "send", p);
-    check_no_overlap(receiver_events(p), tolerance, "receive", p);
+    if (auto overlap = find_overlap(sender_events(p), tolerance, "send", p))
+      return overlap;
+    if (auto overlap = find_overlap(receiver_events(p), tolerance, "receive", p))
+      return overlap;
   }
+  return std::nullopt;
+}
+
+void Schedule::validate(const CommMatrix& comm, double tolerance) const {
+  if (auto violation = first_violation(comm, tolerance))
+    throw ScheduleError(*violation);
 }
 
 bool Schedule::is_valid(const CommMatrix& comm, double tolerance) const noexcept {
-  try {
-    validate(comm, tolerance);
-    return true;
-  } catch (const ScheduleError&) {
-    return false;
-  }
+  return !first_violation(comm, tolerance).has_value();
 }
 
 std::string render_timing_diagram(const Schedule& schedule, std::size_t rows) {

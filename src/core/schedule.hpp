@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -60,14 +61,22 @@ class Schedule {
   /// Per-processor busy/idle breakdown.
   [[nodiscard]] std::vector<ProcessorIdle> idle_profile() const;
 
-  /// Throws ScheduleError (with a diagnostic message) unless this schedule
-  /// satisfies all validity rules with respect to `comm`:
+  /// Checks this schedule against all validity rules with respect to
+  /// `comm`:
   ///  - exactly one event per ordered pair of distinct processors,
   ///  - no overlapping events per sender or per receiver,
   ///  - non-negative start times,
   ///  - every duration equal to comm.time(src, dst) within tolerance.
   /// Zero-duration events (zero-size or free messages) are exempt from the
-  /// overlap rules — they occupy no port time.
+  /// overlap rules — they occupy no port time. Returns a diagnostic for
+  /// the first violation found, or nullopt when the schedule is valid.
+  /// This is the single implementation of the rules: validate() and
+  /// is_valid() are thin wrappers over it, so the throwing and
+  /// non-throwing paths can never disagree on tolerance handling.
+  [[nodiscard]] std::optional<std::string> first_violation(
+      const CommMatrix& comm, double tolerance = 1e-9) const;
+
+  /// Throws ScheduleError with first_violation()'s diagnostic, if any.
   void validate(const CommMatrix& comm, double tolerance = 1e-9) const;
 
   /// Like validate() but returns false instead of throwing.

@@ -46,6 +46,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // sweep: after warm-up a repetition's simulation allocates nothing.
   std::vector<SimWorkspace> worker_workspace(config.execute ? workers : 0);
   std::vector<SimResult> worker_sim_result(config.execute ? workers : 0);
+  // Per-worker metric registries, merged in worker order at the end.
+  std::vector<MetricsRegistry> worker_metrics(
+      config.metrics != nullptr ? workers : 0);
 
   for (const std::size_t processors : config.processor_counts) {
     // Per-worker accumulators; merged in worker order so results are
@@ -68,6 +71,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       const CommMatrix comm{instance.network, instance.messages};
       const double lower_bound = comm.lower_bound();
       worker_lower_bound[worker].add(lower_bound);
+      MetricsRegistry* const metrics =
+          config.metrics != nullptr ? &worker_metrics[worker] : nullptr;
+      if (metrics != nullptr) metrics->counter("experiment.instances").add();
 
       for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
         const auto scheduler = make_scheduler(config.schedulers[s], seed);
@@ -77,6 +83,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         worker_completion[worker][s].add(completion);
         worker_ratio[worker][s].add(
             lower_bound > 0.0 ? completion / lower_bound : 1.0);
+        if (metrics != nullptr) {
+          metrics->counter("experiment.schedules").add();
+          metrics->histogram("experiment.completion_s").observe(completion);
+          if (lower_bound > 0.0)
+            metrics->histogram("experiment.ratio_to_lb")
+                .observe(completion / lower_bound);
+        }
         if (config.execute) {
           const StaticDirectory directory{instance.network};
           const NetworkSimulator simulator{directory, instance.messages};
@@ -85,6 +98,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                              worker_sim_result[worker]);
           worker_executed[worker][s].add(
               worker_sim_result[worker].completion_time);
+          if (metrics != nullptr) {
+            const SimResult& sim = worker_sim_result[worker];
+            metrics->counter("sim.events").add(sim.events.size());
+            metrics->counter("sim.failed_attempts").add(sim.failed_attempts);
+            metrics->histogram("sim.completion_s").observe(sim.completion_time);
+            metrics->histogram("sim.sender_wait_s")
+                .observe(sim.total_sender_wait_s);
+          }
         }
       }
     };
@@ -128,6 +149,22 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       result.series[s].max_ratio_to_lb.push_back(ratio_stats[s].max());
       if (config.execute)
         result.series[s].mean_executed_s.push_back(executed_stats[s].mean());
+    }
+  }
+  if (config.metrics != nullptr) {
+    for (std::size_t worker = 0; worker < workers; ++worker) {
+      if (config.execute) {
+        // Workspace high-water marks (capacities, so reading them is free).
+        const SimWorkspace::Footprint f = worker_workspace[worker].footprint();
+        MetricsRegistry& metrics = worker_metrics[worker];
+        metrics.gauge("sim.workspace.event_heap_entries")
+            .set_max(static_cast<double>(f.event_heap_entries));
+        metrics.gauge("sim.workspace.port_heap_entries")
+            .set_max(static_cast<double>(f.port_heap_entries));
+        metrics.gauge("sim.workspace.port_array_entries")
+            .set_max(static_cast<double>(f.port_array_entries));
+      }
+      config.metrics->merge(worker_metrics[worker]);
     }
   }
   return result;

@@ -14,6 +14,7 @@
 
 #include "core/scheduler.hpp"
 #include "sim/simulator.hpp"
+#include "trace/metrics.hpp"
 #include "util/table.hpp"
 #include "workload/scenario.hpp"
 
@@ -45,6 +46,13 @@ struct ExperimentConfig {
   /// buffer capacity, ...). The initial availability vectors must stay
   /// empty — they are per-processor-count and owned by the sweep.
   SimOptions execution;
+  /// Optional observability sink (borrowed; may be null). When set, the
+  /// sweep accumulates counters (instances, schedules, simulated events,
+  /// failed attempts), completion/ratio/wait histograms, and workspace
+  /// high-water-mark gauges into it. Workers record into per-thread
+  /// registries merged in worker order, so the totals are deterministic
+  /// for a fixed parallelism setting and the hot loops stay uncontended.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-algorithm series over the processor-count axis.

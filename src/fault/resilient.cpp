@@ -97,7 +97,8 @@ MessageOutcome relay_message(std::size_t src, std::size_t dst,
                              std::vector<double>& send_avail,
                              std::vector<double>& recv_avail,
                              std::vector<ScheduledEvent>& events,
-                             std::size_t& failed_attempts) {
+                             std::size_t& failed_attempts,
+                             EventTrace* trace) {
   const std::size_t n = directory.processor_count();
   const std::uint64_t bytes = messages(src, dst);
 
@@ -133,6 +134,11 @@ MessageOutcome relay_message(std::size_t src, std::size_t dst,
       outcome.reason = FailureReason::kNoRoute;
       outcome.via = std::move(via);
       outcome.finish_s = depart_earliest;
+      if (trace != nullptr)
+        trace->record({outcome.finish_s, outcome.finish_s, bytes,
+                       static_cast<std::uint32_t>(src),
+                       static_cast<std::uint32_t>(dst), 1,
+                       TraceEventKind::kGiveUp});
       return outcome;
     }
     std::vector<std::size_t> path{holder};
@@ -153,8 +159,17 @@ MessageOutcome relay_message(std::size_t src, std::size_t dst,
         const double nominal = directory.query(i, j, depart).transfer_time(bytes);
         const SendVerdict verdict =
             fault_model.judge({i, j, depart, attempt, nominal});
+        const auto i32 = static_cast<std::uint32_t>(i);
+        const auto j32 = static_cast<std::uint32_t>(j);
+        const auto attempt32 = static_cast<std::uint32_t>(attempt);
+        if (trace != nullptr)
+          trace->record({depart, depart, bytes, i32, j32, attempt32,
+                         TraceEventKind::kSendStart});
         if (verdict.delivered) {
           const double finish = depart + nominal;
+          if (trace != nullptr)
+            trace->record({depart, finish, bytes, i32, j32, attempt32,
+                           TraceEventKind::kRelayHop});
           events.push_back({i, j, depart, finish});
           send_avail[i] = std::max(send_avail[i], finish);
           recv_avail[j] = std::max(recv_avail[j], finish);
@@ -165,11 +180,17 @@ MessageOutcome relay_message(std::size_t src, std::size_t dst,
         }
         ++failed_attempts;
         const double freed = depart + verdict.elapsed_s;
+        if (trace != nullptr)
+          trace->record({depart, freed, bytes, i32, j32, attempt32,
+                         TraceEventKind::kAttemptFailed});
         send_avail[i] = std::max(send_avail[i], freed);
         recv_avail[j] = std::max(recv_avail[j], freed);
         health.record_failure(i, j);
         if (verdict.permanent) break;
         ready = std::max(ready, freed + retry_delay);
+        if (trace != nullptr && attempt < options.max_attempts)
+          trace->record({freed + retry_delay, freed + retry_delay, bytes, i32,
+                         j32, attempt32, TraceEventKind::kRetryScheduled});
         retry_delay *= options.backoff_factor;
       }
       if (!hop_done) {
@@ -192,18 +213,23 @@ MessageOutcome relay_message(std::size_t src, std::size_t dst,
       outcome.reason = FailureReason::kRetriesExhausted;
       outcome.via = std::move(via);
       outcome.finish_s = std::max(ready, send_avail[holder]);
+      if (trace != nullptr)
+        trace->record({outcome.finish_s, outcome.finish_s, bytes,
+                       static_cast<std::uint32_t>(src),
+                       static_cast<std::uint32_t>(dst), 1,
+                       TraceEventKind::kGiveUp});
       return outcome;
     }
   }
 }
 
-}  // namespace
-
-ResilientResult run_resilient(const Scheduler& scheduler,
-                              const DirectoryService& directory,
-                              const MessageMatrix& messages,
-                              const FaultPlan& plan,
-                              const ResilientOptions& options) {
+/// Shared implementation; `trace` is null for the untraced entry point.
+ResilientResult run_resilient_impl(const Scheduler& scheduler,
+                                   const DirectoryService& directory,
+                                   const MessageMatrix& messages,
+                                   const FaultPlan& plan,
+                                   const ResilientOptions& options,
+                                   EventTrace* trace) {
   const std::size_t n = directory.processor_count();
   if (messages.rows() != n || !messages.square())
     throw InputError("run_resilient: directory and messages disagree on size");
@@ -243,9 +269,15 @@ ResilientResult run_resilient(const Scheduler& scheduler,
   // and these buffers are reused across every checkpoint round.
   SimOptions sim_options;
   SimResult executed;
+  std::size_t round = 0;
 
   const auto relay_now = [&](std::size_t src, std::size_t dst) {
     if (plan.node_dead(src, now) || plan.node_dead(dst, now)) {
+      if (trace != nullptr)
+        trace->record({now, now, messages(src, dst),
+                       static_cast<std::uint32_t>(src),
+                       static_cast<std::uint32_t>(dst), 1,
+                       TraceEventKind::kGiveUp});
       result.outcomes.push_back({src, dst, DeliveryStatus::kUndeliverable,
                                  FailureReason::kEndpointCrashed, {}, now});
       ++result.undelivered_count;
@@ -253,7 +285,7 @@ ResilientResult run_resilient(const Scheduler& scheduler,
     }
     MessageOutcome outcome = relay_message(
         src, dst, directory, messages, plan, fault_model, health, options, now,
-        send_avail, recv_avail, result.events, result.failed_attempts);
+        send_avail, recv_avail, result.events, result.failed_attempts, trace);
     if (outcome.status == DeliveryStatus::kRelayed)
       ++result.relayed_count;
     else
@@ -278,6 +310,7 @@ ResilientResult run_resilient(const Scheduler& scheduler,
     for (const auto& [src, dst] : relay_queue) relay_now(src, dst);
     relay_queue.clear();
     if (remaining_count == 0) break;
+    ++round;
 
     // Plan the remaining pairs from the fault- and health-aware view
     // (same round construction as run_adaptive). With nothing to overlay
@@ -402,6 +435,17 @@ ResilientResult run_resilient(const Scheduler& scheduler,
       send_avail[event.src] = std::max(send_avail[event.src], event.finish_s);
       recv_avail[event.dst] = std::max(recv_avail[event.dst], event.finish_s);
       if (all_delivered || merged[k].delivered) {
+        if (trace != nullptr) {
+          const auto src32 = static_cast<std::uint32_t>(event.src);
+          const auto dst32 = static_cast<std::uint32_t>(event.dst);
+          const auto round32 = static_cast<std::uint32_t>(round);
+          trace->record({event.start_s, event.start_s,
+                         messages(event.src, event.dst), src32, dst32, round32,
+                         TraceEventKind::kSendStart});
+          trace->record({event.start_s, event.finish_s,
+                         messages(event.src, event.dst), src32, dst32, round32,
+                         TraceEventKind::kSendEnd});
+        }
         result.events.push_back(event);
         result.completion_time =
             std::max(result.completion_time, event.finish_s);
@@ -415,6 +459,16 @@ ResilientResult run_resilient(const Scheduler& scheduler,
         for (std::size_t a = 0; a < candidate.attempts; ++a)
           health.record_failure(event.src, event.dst);
         if (candidate.permanent || !options.relay) {
+          // The give-up is an instant, not a port-occupying span: the
+          // failed attempts' engagements happened inside the (discarded)
+          // simulator round, interleaved with other traffic.
+          if (trace != nullptr)
+            trace->record({event.finish_s, event.finish_s,
+                           messages(event.src, event.dst),
+                           static_cast<std::uint32_t>(event.src),
+                           static_cast<std::uint32_t>(event.dst),
+                           static_cast<std::uint32_t>(candidate.attempts),
+                           TraceEventKind::kGiveUp});
           result.outcomes.push_back(
               {event.src, event.dst, DeliveryStatus::kUndeliverable,
                candidate.permanent ? FailureReason::kEndpointCrashed
@@ -432,13 +486,43 @@ ResilientResult run_resilient(const Scheduler& scheduler,
     check(committed > 0, "run_resilient: no progress");
     remaining_count -= committed;
     now = cut_time;
-    if (remaining_count > 0) ++result.reschedule_count;
+    if (remaining_count > 0) {
+      ++result.reschedule_count;
+      if (trace != nullptr) {
+        const auto round32 = static_cast<std::uint32_t>(round);
+        trace->record({cut_time, cut_time, 0, 0, 0, round32,
+                       TraceEventKind::kCheckpoint});
+        trace->record({cut_time, cut_time, 0, 0, 0, round32,
+                       TraceEventKind::kReschedule});
+      }
+    }
   }
 
   check(result.outcomes.size() == (n == 0 ? 0 : n * (n - 1)),
         "run_resilient: outcome accounting is off");
   result.health = std::move(health);
   return result;
+}
+
+}  // namespace
+
+ResilientResult run_resilient(const Scheduler& scheduler,
+                              const DirectoryService& directory,
+                              const MessageMatrix& messages,
+                              const FaultPlan& plan,
+                              const ResilientOptions& options) {
+  return run_resilient_impl(scheduler, directory, messages, plan, options,
+                            nullptr);
+}
+
+ResilientResult run_resilient_traced(const Scheduler& scheduler,
+                                     const DirectoryService& directory,
+                                     const MessageMatrix& messages,
+                                     const FaultPlan& plan,
+                                     const ResilientOptions& options,
+                                     EventTrace& trace) {
+  return run_resilient_impl(scheduler, directory, messages, plan, options,
+                            &trace);
 }
 
 }  // namespace hcs

@@ -141,4 +141,14 @@ struct ResilientResult {
                                             const FaultPlan& plan,
                                             const ResilientOptions& options = {});
 
+/// Traced variant: identical result, and appends the committed history to
+/// `trace` — send-start/send pairs for direct deliveries (attempt carries
+/// the 1-based round), send-start plus relay-hop/attempt-failed per relay
+/// hop attempt, retry-scheduled and give-up instants, and a
+/// checkpoint/reschedule pair at every cut.
+[[nodiscard]] ResilientResult run_resilient_traced(
+    const Scheduler& scheduler, const DirectoryService& directory,
+    const MessageMatrix& messages, const FaultPlan& plan,
+    const ResilientOptions& options, EventTrace& trace);
+
 }  // namespace hcs

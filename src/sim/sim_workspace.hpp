@@ -41,6 +41,10 @@ class FlatMinHeap {
  public:
   [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  /// Warmed backing-array capacity — the heap's high-water mark.
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return items_.capacity();
+  }
   [[nodiscard]] const T& top() const { return items_.front(); }
 
   void clear() noexcept { items_.clear(); }
@@ -118,6 +122,10 @@ class IndexedTimeHeap {
   }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  /// Warmed backing-array capacity — the heap's high-water mark.
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return heap_.capacity();
+  }
   [[nodiscard]] double top_time() const { return heap_.front().time; }
   [[nodiscard]] std::size_t top_id() const { return heap_.front().id; }
   [[nodiscard]] bool contains(std::size_t id) const {
@@ -205,6 +213,37 @@ class IndexedTimeHeap {
 class SimWorkspace {
  public:
   SimWorkspace() = default;
+
+  /// High-water marks of the warmed scratch storage, for observability
+  /// (MetricsRegistry gauges). Capacities, not sizes: they record the
+  /// largest run this workspace has served since construction. Reading
+  /// them costs nothing on the simulation hot path.
+  struct Footprint {
+    /// Global event queue capacity (entries).
+    std::size_t event_heap_entries = 0;
+    /// Summed capacity of all per-port heaps (parked, inbox, active,
+    /// ready, completions).
+    std::size_t port_heap_entries = 0;
+    /// Summed capacity of the per-port scalar arrays.
+    std::size_t port_array_entries = 0;
+  };
+
+  [[nodiscard]] Footprint footprint() const noexcept {
+    Footprint f;
+    f.event_heap_entries = events.capacity();
+    f.port_heap_entries = ready.capacity() + completions.capacity();
+    for (const auto& heap : parked) f.port_heap_entries += heap.capacity();
+    for (const auto& heap : inbox) f.port_heap_entries += heap.capacity();
+    for (const auto& heap : active) f.port_heap_entries += heap.capacity();
+    f.port_array_entries =
+        send_avail.capacity() + recv_avail.capacity() +
+        virtual_work.capacity() + last_update.capacity() +
+        first_attempt.capacity() + retry_delay.capacity() +
+        next_index.capacity() + next_recv.capacity() +
+        attempt_no.capacity() + slots_used.capacity() +
+        receiver_busy.capacity();
+    return f;
+  }
 
  private:
   friend class NetworkSimulator;

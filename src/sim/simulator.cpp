@@ -31,6 +31,18 @@
 // "is this sender in flight" rescan (membership itself encodes the
 // in-flight bit). Total: O((E + P) log P) per run instead of O(E * P^2).
 
+// Templating the run loops on the trace sink moves them into COMDAT
+// sections, where GCC's unit-growth budget (now paying for two
+// instantiations per loop) stops inlining the per-event helper lambdas it
+// inlined when the loops were plain members — an out-of-line call per
+// simulated event. The hint below pins those lambdas inline so the
+// NullTraceSink instantiation keeps the pre-tracing code shape.
+#if defined(__GNUC__) || defined(__clang__)
+#define HCS_HOT_LAMBDA __attribute__((always_inline))
+#else
+#define HCS_HOT_LAMBDA
+#endif
+
 namespace hcs {
 namespace {
 
@@ -50,6 +62,19 @@ void init_avail(std::vector<double>& avail, const std::vector<double>& provided,
     if (t < 0.0)
       throw InputError(std::string("SimOptions: negative avail in ") + which);
   avail.assign(provided.begin(), provided.end());
+}
+
+/// Builds a TraceEvent from the simulator's native index types.
+TraceEvent make_trace(TraceEventKind kind, double t_s, double t_end_s,
+                      std::uint64_t bytes, std::size_t src, std::size_t dst,
+                      std::size_t attempt = 1) {
+  return {t_s,
+          t_end_s,
+          bytes,
+          static_cast<std::uint32_t>(src),
+          static_cast<std::uint32_t>(dst),
+          static_cast<std::uint32_t>(attempt),
+          kind};
 }
 
 }  // namespace
@@ -104,6 +129,31 @@ void NetworkSimulator::run_into(const SendProgram& program,
                                 const SimOptions& options,
                                 SimWorkspace& workspace,
                                 SimResult& result) const {
+  NullTraceSink sink;
+  run_into_sink(program, options, workspace, result, sink);
+}
+
+SimResult NetworkSimulator::run_traced(const SendProgram& program,
+                                       const SimOptions& options,
+                                       EventTrace& trace) const {
+  SimResult result;
+  run_into_traced(program, options, workspace_, result, trace);
+  return result;
+}
+
+void NetworkSimulator::run_into_traced(const SendProgram& program,
+                                       const SimOptions& options,
+                                       SimWorkspace& workspace,
+                                       SimResult& result,
+                                       EventTrace& trace) const {
+  run_into_sink(program, options, workspace, result, trace);
+}
+
+template <TraceSink Sink>
+void NetworkSimulator::run_into_sink(const SendProgram& program,
+                                     const SimOptions& options,
+                                     SimWorkspace& workspace,
+                                     SimResult& result, Sink& sink) const {
   check(program.processor_count() == directory_.processor_count(),
         "NetworkSimulator: program size mismatch");
   if (options.fault_model != nullptr) {
@@ -126,11 +176,11 @@ void NetworkSimulator::run_into(const SendProgram& program,
   result.failed_attempts = 0;
   switch (options.model) {
     case ReceiveModel::kSerialized:
-      return run_serialized(program, options, workspace, result);
+      return run_serialized(program, options, workspace, result, sink);
     case ReceiveModel::kInterleaved:
-      return run_interleaved(program, options, workspace, result);
+      return run_interleaved(program, options, workspace, result, sink);
     case ReceiveModel::kBuffered:
-      return run_buffered(program, options, workspace, result);
+      return run_buffered(program, options, workspace, result, sink);
   }
   throw InputError("NetworkSimulator: unknown receive model");
 }
@@ -148,15 +198,16 @@ enum SerializedKind : std::uint32_t { kSenderReady = 0, kReceiverFree = 1 };
 
 }  // namespace
 
+template <TraceSink Sink>
 void NetworkSimulator::run_serialized(const SendProgram& program,
                                       const SimOptions& options,
-                                      SimWorkspace& ws,
-                                      SimResult& result) const {
+                                      SimWorkspace& ws, SimResult& result,
+                                      Sink& sink) const {
   if (program.has_receiver_orders() &&
       options.arbitration == ReceiverArbitration::kProgrammed)
-    return run_programmed(program, options, ws, result);
+    return run_programmed(program, options, ws, result, sink);
   if (options.fault_model != nullptr)
-    return run_serialized_faulty(program, options, ws, result);
+    return run_serialized_faulty(program, options, ws, result, sink);
   const std::size_t n = program.processor_count();
   init_avail(ws.recv_avail, options.initial_recv_avail, n, "initial_recv_avail");
   init_avail(ws.send_avail, options.initial_send_avail, n, "initial_send_avail");
@@ -211,10 +262,18 @@ void NetworkSimulator::run_serialized(const SendProgram& program,
   Event pending[2];
   std::size_t n_pending = 0;
   const auto start_transfer = [&](std::size_t src, std::size_t dst,
-                                  double request_time, double start) {
+                                  double request_time,
+                                  double start) HCS_HOT_LAMBDA {
     const double duration = times != nullptr ? times[src * n + dst]
                                              : transfer_time(src, dst, start);
     const double finish = start + duration;
+    if constexpr (Sink::kEnabled) {
+      const std::uint64_t bytes = messages_(src, dst);
+      sink.record(make_trace(TraceEventKind::kSendStart, start, start, bytes,
+                             src, dst));
+      sink.record(make_trace(TraceEventKind::kSendEnd, start, finish, bytes,
+                             src, dst));
+    }
     result.events.push_back({src, dst, start, finish});
     sender_wait += start - request_time;
     receiver_busy[dst] = 1;
@@ -259,6 +318,9 @@ void NetworkSimulator::run_serialized(const SendProgram& program,
         if (!parked[dst].empty()) {
           const auto [request_time, src] = parked[dst].top();
           parked[dst].pop();
+          if constexpr (Sink::kEnabled)
+            sink.record(make_trace(TraceEventKind::kReceiveGrant, now, now,
+                                   messages_(src, dst), src, dst));
           start_transfer(src, dst, request_time, now);
         }
       }
@@ -283,10 +345,12 @@ void NetworkSimulator::run_serialized(const SendProgram& program,
 // Serialized model with fault injection. Same event structure as the
 // no-fault loop above; kept separate so the retry machinery stays out of
 // the no-fault hot path. Golden tests pin both loops to the reference.
+template <TraceSink Sink>
 void NetworkSimulator::run_serialized_faulty(const SendProgram& program,
                                              const SimOptions& options,
                                              SimWorkspace& ws,
-                                             SimResult& result) const {
+                                             SimResult& result,
+                                             Sink& sink) const {
   const std::size_t n = program.processor_count();
   init_avail(ws.recv_avail, options.initial_recv_avail, n, "initial_recv_avail");
   init_avail(ws.send_avail, options.initial_send_avail, n, "initial_send_avail");
@@ -315,6 +379,10 @@ void NetworkSimulator::run_serialized_faulty(const SendProgram& program,
                                              : transfer_time(src, dst, start);
     const SendVerdict verdict = options.fault_model->judge(
         {src, dst, start, ws.attempt_no[src], duration});
+    if constexpr (Sink::kEnabled)
+      sink.record(make_trace(TraceEventKind::kSendStart, start, start,
+                             messages_(src, dst), src, dst,
+                             ws.attempt_no[src]));
     if (!verdict.delivered) {
       ++result.failed_attempts;
       if (ws.attempt_no[src] == 1) {
@@ -323,12 +391,20 @@ void NetworkSimulator::run_serialized_faulty(const SendProgram& program,
       }
       // Both ports were engaged for the failed attempt's duration.
       const double freed = start + verdict.elapsed_s;
+      if constexpr (Sink::kEnabled)
+        sink.record(make_trace(TraceEventKind::kAttemptFailed, start, freed,
+                               messages_(src, dst), src, dst,
+                               ws.attempt_no[src]));
       ws.receiver_busy[dst] = 1;
       ws.recv_avail[dst] = freed;
       ws.send_avail[src] = freed;
       if (!ws.parked[dst].empty())
         queue.push(Event::make(freed, kReceiverFree, dst));
       if (verdict.permanent || ws.attempt_no[src] >= options.max_attempts) {
+        if constexpr (Sink::kEnabled)
+          sink.record(make_trace(TraceEventKind::kGiveUp, freed, freed,
+                                 messages_(src, dst), src, dst,
+                                 ws.attempt_no[src]));
         result.undelivered.push_back({src, dst, ws.first_attempt[src], freed,
                                       ws.attempt_no[src], verdict.permanent});
         ws.attempt_no[src] = 1;
@@ -336,12 +412,22 @@ void NetworkSimulator::run_serialized_faulty(const SendProgram& program,
         if (ws.next_index[src] < program.order_of(src).size())
           queue.push(Event::make(freed, kSenderReady, src));
       } else {
+        if constexpr (Sink::kEnabled)
+          sink.record(make_trace(TraceEventKind::kRetryScheduled,
+                                 freed + ws.retry_delay[src],
+                                 freed + ws.retry_delay[src],
+                                 messages_(src, dst), src, dst,
+                                 ws.attempt_no[src]));
         queue.push(Event::make(freed + ws.retry_delay[src], kSenderReady, src));
         ws.retry_delay[src] *= options.backoff_factor;
         ++ws.attempt_no[src];
       }
       return;
     }
+    if constexpr (Sink::kEnabled)
+      sink.record(make_trace(TraceEventKind::kSendEnd, start, start + duration,
+                             messages_(src, dst), src, dst,
+                             ws.attempt_no[src]));
     ws.attempt_no[src] = 1;
     result.events.push_back({src, dst, start, start + duration});
     result.total_sender_wait_s += start - request_time;
@@ -387,6 +473,9 @@ void NetworkSimulator::run_serialized_faulty(const SendProgram& program,
       if (!ws.parked[dst].empty()) {
         const auto [request_time, src] = ws.parked[dst].top();
         ws.parked[dst].pop();
+        if constexpr (Sink::kEnabled)
+          sink.record(make_trace(TraceEventKind::kReceiveGrant, now, now,
+                                 messages_(src, dst), src, dst));
         start_transfer(src, dst, request_time, now);
       }
     }
@@ -407,10 +496,11 @@ void NetworkSimulator::run_serialized_faulty(const SendProgram& program,
 // O(E * P) regardless of processing order.
 // ---------------------------------------------------------------------------
 
+template <TraceSink Sink>
 void NetworkSimulator::run_programmed(const SendProgram& program,
                                       const SimOptions& options,
-                                      SimWorkspace& ws,
-                                      SimResult& result) const {
+                                      SimWorkspace& ws, SimResult& result,
+                                      Sink& sink) const {
   const std::size_t n = program.processor_count();
   init_avail(ws.send_avail, options.initial_send_avail, n, "initial_send_avail");
   init_avail(ws.recv_avail, options.initial_recv_avail, n, "initial_recv_avail");
@@ -434,6 +524,13 @@ void NetworkSimulator::run_programmed(const SendProgram& program,
           const double duration = times != nullptr
                                       ? times[src * n + dst]
                                       : transfer_time(src, dst, start);
+          if constexpr (Sink::kEnabled) {
+            const std::uint64_t bytes = messages_(src, dst);
+            sink.record(make_trace(TraceEventKind::kSendStart, start, start,
+                                   bytes, src, dst));
+            sink.record(make_trace(TraceEventKind::kSendEnd, start,
+                                   start + duration, bytes, src, dst));
+          }
           result.events.push_back({src, dst, start, start + duration});
           result.total_sender_wait_s += start - request;
           ws.send_avail[src] = start + duration;
@@ -448,7 +545,14 @@ void NetworkSimulator::run_programmed(const SendProgram& program,
             const double duration = transfer_time(src, dst, start);
             const SendVerdict verdict = options.fault_model->judge(
                 {src, dst, start, attempt, duration});
+            if constexpr (Sink::kEnabled)
+              sink.record(make_trace(TraceEventKind::kSendStart, start, start,
+                                     messages_(src, dst), src, dst, attempt));
             if (verdict.delivered) {
+              if constexpr (Sink::kEnabled)
+                sink.record(make_trace(TraceEventKind::kSendEnd, start,
+                                       start + duration, messages_(src, dst),
+                                       src, dst, attempt));
               result.events.push_back({src, dst, start, start + duration});
               result.total_sender_wait_s += start - request;
               ws.send_avail[src] = start + duration;
@@ -457,14 +561,26 @@ void NetworkSimulator::run_programmed(const SendProgram& program,
             }
             ++result.failed_attempts;
             const double freed = start + verdict.elapsed_s;
+            if constexpr (Sink::kEnabled)
+              sink.record(make_trace(TraceEventKind::kAttemptFailed, start,
+                                     freed, messages_(src, dst), src, dst,
+                                     attempt));
             ws.send_avail[src] = freed;
             ws.recv_avail[dst] = freed;
             if (verdict.permanent || attempt >= options.max_attempts) {
+              if constexpr (Sink::kEnabled)
+                sink.record(make_trace(TraceEventKind::kGiveUp, freed, freed,
+                                       messages_(src, dst), src, dst,
+                                       attempt));
               result.undelivered.push_back(
                   {src, dst, first_start, freed, attempt, verdict.permanent});
               break;
             }
             start = freed + retry_delay;
+            if constexpr (Sink::kEnabled)
+              sink.record(make_trace(TraceEventKind::kRetryScheduled, start,
+                                     start, messages_(src, dst), src, dst,
+                                     attempt));
             retry_delay *= options.backoff_factor;
           }
         }
@@ -493,10 +609,11 @@ void NetworkSimulator::run_programmed(const SendProgram& program,
 // at the top of this file.
 // ---------------------------------------------------------------------------
 
+template <TraceSink Sink>
 void NetworkSimulator::run_interleaved(const SendProgram& program,
                                        const SimOptions& options,
-                                       SimWorkspace& ws,
-                                       SimResult& result) const {
+                                       SimWorkspace& ws, SimResult& result,
+                                       Sink& sink) const {
   if (!(options.alpha >= 0.0) || !std::isfinite(options.alpha))
     throw InputError("run_interleaved: alpha must be finite and non-negative");
   const std::size_t n = program.processor_count();
@@ -511,7 +628,7 @@ void NetworkSimulator::run_interleaved(const SendProgram& program,
   // Re-projects receiver `dst`'s earliest completion after its active set
   // changed. Called with virtual_work/last_update already advanced to the
   // change point.
-  const auto refresh_completion = [&](std::size_t dst) {
+  const auto refresh_completion = [&](std::size_t dst) HCS_HOT_LAMBDA {
     auto& heap = ws.active[dst];
     if (heap.empty()) {
       ws.completions.remove(dst);
@@ -559,6 +676,9 @@ void NetworkSimulator::run_interleaved(const SendProgram& program,
       const SimWorkspace::ActiveRecv done = heap.top();
       heap.pop();
       --active_total;
+      if constexpr (Sink::kEnabled)
+        sink.record(make_trace(TraceEventKind::kSendEnd, done.start, now,
+                               messages_(done.src, dst), done.src, dst));
       result.events.push_back({done.src, dst, done.start, now});
       ws.send_avail[done.src] = now;
       if (ws.next_index[done.src] < orders[done.src].size())
@@ -578,6 +698,9 @@ void NetworkSimulator::run_interleaved(const SendProgram& program,
       ws.last_update[dst] = now;
       const double work = times != nullptr ? times[src * n + dst]
                                            : transfer_time(src, dst, now);
+      if constexpr (Sink::kEnabled)
+        sink.record(make_trace(TraceEventKind::kSendStart, now, now,
+                               messages_(src, dst), src, dst));
       heap.push({ws.virtual_work[dst] + work, seq++,
                  static_cast<std::uint32_t>(src), now});
       ++active_total;
@@ -599,10 +722,11 @@ void NetworkSimulator::run_interleaved(const SendProgram& program,
 // drain_factor * transfer time of receiver port time.
 // ---------------------------------------------------------------------------
 
+template <TraceSink Sink>
 void NetworkSimulator::run_buffered(const SendProgram& program,
                                     const SimOptions& options,
-                                    SimWorkspace& ws,
-                                    SimResult& result) const {
+                                    SimWorkspace& ws, SimResult& result,
+                                    Sink& sink) const {
   if (options.buffer_capacity < 1)
     throw InputError("run_buffered: buffer capacity must be >= 1");
   if (!(options.drain_factor >= 0.0) || !std::isfinite(options.drain_factor))
@@ -631,6 +755,13 @@ void NetworkSimulator::run_buffered(const SendProgram& program,
                                   double request_time, double start) {
     const double duration = times != nullptr ? times[src * n + dst]
                                              : transfer_time(src, dst, start);
+    if constexpr (Sink::kEnabled) {
+      const std::uint64_t bytes = messages_(src, dst);
+      sink.record(make_trace(TraceEventKind::kSendStart, start, start, bytes,
+                             src, dst));
+      sink.record(make_trace(TraceEventKind::kSendEnd, start, start + duration,
+                             bytes, src, dst));
+    }
     result.events.push_back({src, dst, start, start + duration});
     result.total_sender_wait_s += start - request_time;
     ++ws.slots_used[dst];
@@ -650,6 +781,10 @@ void NetworkSimulator::run_buffered(const SendProgram& program,
       ws.inbox[dst].pop();
       const double start = std::max(ws.recv_avail[dst], arrival.arrive_time);
       ws.recv_avail[dst] = start + arrival.process_cost;
+      if constexpr (Sink::kEnabled)
+        sink.record(make_trace(TraceEventKind::kBufferDrain, start,
+                               ws.recv_avail[dst],
+                               messages_(arrival.src, dst), arrival.src, dst));
       drain_finish = std::max(drain_finish, ws.recv_avail[dst]);
       --ws.slots_used[dst];
       // A slot freed: release the earliest blocked sender, if any.

@@ -27,6 +27,7 @@
 #include "sim/fault_hook.hpp"
 #include "sim/send_program.hpp"
 #include "sim/sim_workspace.hpp"
+#include "trace/trace.hpp"
 #include "workload/generators.hpp"
 
 namespace hcs {
@@ -178,18 +179,46 @@ class NetworkSimulator {
   void run_into(const SendProgram& program, const SimOptions& options,
                 SimWorkspace& workspace, SimResult& result) const;
 
+  /// Traced run: identical simulation, but every model event (send
+  /// start/end, receive grant, failed attempt, retry, give-up, buffer
+  /// drain) is appended to `trace` as it happens. The SimResult is
+  /// bit-identical to the untraced overloads' — tracing observes the
+  /// run, it never perturbs it. `trace` is NOT cleared first, so one
+  /// trace can span several runs (the adaptive executor relies on this).
+  [[nodiscard]] SimResult run_traced(const SendProgram& program,
+                                     const SimOptions& options,
+                                     EventTrace& trace) const;
+
+  /// Traced fully-reusing form with a caller-owned workspace.
+  void run_into_traced(const SendProgram& program, const SimOptions& options,
+                       SimWorkspace& workspace, SimResult& result,
+                       EventTrace& trace) const;
+
  private:
+  /// All run paths are templated on a TraceSink: the NullTraceSink
+  /// instantiation drops every record call via `if constexpr`, compiling
+  /// to exactly the untraced loop (no branch, no indirect call); the
+  /// EventTrace instantiation records. Both instantiations live in
+  /// simulator.cpp — no other sink types exist.
+  template <TraceSink Sink>
+  void run_into_sink(const SendProgram& program, const SimOptions& options,
+                     SimWorkspace& ws, SimResult& result, Sink& sink) const;
+  template <TraceSink Sink>
   void run_serialized(const SendProgram& program, const SimOptions& options,
-                      SimWorkspace& ws, SimResult& result) const;
+                      SimWorkspace& ws, SimResult& result, Sink& sink) const;
+  template <TraceSink Sink>
   void run_serialized_faulty(const SendProgram& program,
                              const SimOptions& options, SimWorkspace& ws,
-                             SimResult& result) const;
+                             SimResult& result, Sink& sink) const;
+  template <TraceSink Sink>
   void run_programmed(const SendProgram& program, const SimOptions& options,
-                      SimWorkspace& ws, SimResult& result) const;
+                      SimWorkspace& ws, SimResult& result, Sink& sink) const;
+  template <TraceSink Sink>
   void run_interleaved(const SendProgram& program, const SimOptions& options,
-                       SimWorkspace& ws, SimResult& result) const;
+                       SimWorkspace& ws, SimResult& result, Sink& sink) const;
+  template <TraceSink Sink>
   void run_buffered(const SendProgram& program, const SimOptions& options,
-                    SimWorkspace& ws, SimResult& result) const;
+                    SimWorkspace& ws, SimResult& result, Sink& sink) const;
 
   [[nodiscard]] double transfer_time(std::size_t src, std::size_t dst,
                                      double now_s) const;

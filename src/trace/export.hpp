@@ -1,0 +1,36 @@
+// Trace exporters: Chrome trace_event JSON and ASCII timing diagrams.
+//
+// Two renderings of one EventTrace:
+//  - write_chrome_trace emits the Chrome trace_event format (JSON object
+//    form), loadable in chrome://tracing and Perfetto: one complete "X"
+//    event per executed transfer on the sender's track, instants for
+//    retries, give-ups, checkpoints, and grants. Times are exported in
+//    microseconds, the format's unit.
+//  - render_trace_diagram reproduces the paper's timing-diagram layout
+//    (§3.3, Figures 5–8): one column per sender, time flowing downward,
+//    each transfer labelled with its destination. Relay hops are marked
+//    with '~' instead of '>'; a footer summarizes retries, give-ups, and
+//    checkpoints when any occurred.
+//
+// Both renderings are deterministic byte-for-byte in the trace contents —
+// the golden-file tests pin them.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace hcs {
+
+/// Writes `trace` as Chrome trace_event JSON (object form, with thread
+/// name metadata so tracks read "P0 send", "P1 send", ...).
+void write_chrome_trace(std::ostream& out, const EventTrace& trace);
+
+/// Renders `trace` as an ASCII timing diagram with `rows` vertical time
+/// slices. Columns cover processors 0 .. trace.processor_count() - 1.
+[[nodiscard]] std::string render_trace_diagram(const EventTrace& trace,
+                                               std::size_t rows = 24);
+
+}  // namespace hcs

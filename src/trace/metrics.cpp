@@ -1,0 +1,127 @@
+#include "trace/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace hcs {
+namespace {
+
+/// Deterministic JSON number for a double: %.9g round-trips every value
+/// the registry produces (sums of event times) and never emits locale- or
+/// platform-styled output on the toolchains we build with.
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.9g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void Histogram::observe(double value) noexcept {
+  if (!(value >= 0.0) || !std::isfinite(value)) return;  // reject NaN/inf/neg
+  std::size_t k = 0;
+  if (value > 0.0) {
+    const int exp = std::ilogb(value);
+    const int shifted = exp - kMinExp;
+    // ilogb(v) == e means 2^e <= v < 2^(e+1); bucket bounds are inclusive
+    // above, so exact powers of two land one bucket lower.
+    int idx = shifted + (std::exp2(exp) == value ? 0 : 1);
+    if (idx < 0) idx = 0;
+    if (idx >= static_cast<int>(kBuckets)) idx = kBuckets - 1;
+    k = static_cast<std::size_t>(idx);
+  }
+  ++buckets_[k];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+}
+
+double Histogram::bucket_bound(std::size_t k) {
+  return std::exp2(static_cast<double>(kMinExp + static_cast<int>(k)));
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  if (gauges_.count(name) != 0 || histograms_.count(name) != 0)
+    throw InputError("MetricsRegistry: '" + name + "' is not a counter");
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0)
+    throw InputError("MetricsRegistry: '" + name + "' is not a gauge");
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0)
+    throw InputError("MetricsRegistry: '" + name + "' is not a histogram");
+  return histograms_[name];
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).add(c.value());
+  for (const auto& [name, g] : other.gauges_) gauge(name).set_max(g.value());
+  for (const auto& [name, h] : other.histograms_) {
+    Histogram& mine = histogram(name);
+    for (std::size_t k = 0; k < Histogram::kBuckets; ++k)
+      mine.buckets_[k] += h.buckets_[k];
+    if (h.count_ > 0) {
+      if (mine.count_ == 0) {
+        mine.min_ = h.min_;
+        mine.max_ = h.max_;
+      } else {
+        if (h.min_ < mine.min_) mine.min_ = h.min_;
+        if (h.max_ > mine.max_) mine.max_ = h.max_;
+      }
+      mine.count_ += h.count_;
+      mine.sum_ += h.sum_;
+    }
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << c.value();
+    first = false;
+  }
+  out << (first ? "},\n" : "\n  },\n");
+  out << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": " << json_number(g.value());
+    first = false;
+  }
+  out << (first ? "},\n" : "\n  },\n");
+  out << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"count\": "
+        << h.count() << ", \"sum\": " << json_number(h.sum())
+        << ", \"min\": " << json_number(h.min())
+        << ", \"max\": " << json_number(h.max()) << ", \"buckets\": {";
+    bool first_bucket = true;
+    for (std::size_t k = 0; k < Histogram::kBuckets; ++k) {
+      if (h.bucket(k) == 0) continue;
+      out << (first_bucket ? "" : ", ") << "\"le_"
+          << json_number(Histogram::bucket_bound(k)) << "\": " << h.bucket(k);
+      first_bucket = false;
+    }
+    out << "}}";
+    first = false;
+  }
+  out << (first ? "}\n" : "\n  }\n") << "}\n";
+}
+
+}  // namespace hcs

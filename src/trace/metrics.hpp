@@ -1,0 +1,112 @@
+// Metrics registry: named counters, gauges, and histograms.
+//
+// Complements the event trace with aggregate observability: how many
+// events a run simulated, how often senders retried, how much port time
+// sat idle, how large the warm workspaces grew. Metrics are cheap to
+// update (a counter add is one integer increment on an already-resolved
+// pointer), deterministic to serialize (names are emitted sorted), and
+// carry no timestamps — the trace owns time, the registry owns totals.
+//
+// The registry hands out stable references: `registry.counter("x")`
+// resolves the name once, and the returned Counter& stays valid for the
+// registry's lifetime, so hot loops hoist the lookup out of the loop.
+// Not thread-safe; parallel producers keep per-thread registries and
+// merge() them afterwards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace hcs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written (or high-water, via set_max) scalar.
+class Gauge {
+ public:
+  void set(double value) noexcept { value_ = value; }
+  /// Keeps the maximum of the current and supplied values — the idiom for
+  /// high-water marks (workspace footprints, worst-case completion).
+  void set_max(double value) noexcept {
+    if (value > value_) value_ = value;
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket log-scale histogram of non-negative samples.
+///
+/// Bucket k counts samples in (2^(k-1+kMinExp), 2^(k+kMinExp)]; bucket 0
+/// additionally absorbs everything at or below its upper bound (including
+/// zeros), the last bucket everything above. The power-of-two geometry
+/// covers nanoseconds to hours in 64 buckets with no configuration and
+/// bit-exact reproducibility.
+class Histogram {
+ public:
+  static constexpr int kMinExp = -30;  ///< bucket 0 upper bound = 2^-30 s
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t k) const {
+    return buckets_[k];
+  }
+  /// Upper bound of bucket k (inclusive).
+  [[nodiscard]] static double bucket_bound(std::size_t k);
+
+ private:
+  friend class MetricsRegistry;
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Name -> metric map with deterministic JSON serialization.
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named metric. References stay valid for the
+  /// registry's lifetime. A name holds exactly one metric kind; reusing
+  /// it with a different kind throws InputError.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Folds `other` into this registry: counters add, gauges keep the
+  /// maximum (high-water semantics), histograms merge bucket-wise.
+  void merge(const MetricsRegistry& other);
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}, names sorted, non-empty histogram buckets
+  /// only. Deterministic byte-for-byte for equal contents.
+  void write_json(std::ostream& out) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace hcs

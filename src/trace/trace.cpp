@@ -1,0 +1,64 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+std::string_view trace_event_kind_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSendStart: return "send-start";
+    case TraceEventKind::kSendEnd: return "send";
+    case TraceEventKind::kReceiveGrant: return "receive-grant";
+    case TraceEventKind::kBufferDrain: return "buffer-drain";
+    case TraceEventKind::kAttemptFailed: return "attempt-failed";
+    case TraceEventKind::kRetryScheduled: return "retry-scheduled";
+    case TraceEventKind::kGiveUp: return "give-up";
+    case TraceEventKind::kRelayHop: return "relay-hop";
+    case TraceEventKind::kCheckpoint: return "checkpoint";
+    case TraceEventKind::kReschedule: return "reschedule";
+  }
+  throw InputError("trace_event_kind_name: unknown kind");
+}
+
+EventTrace::EventTrace(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) throw InputError("EventTrace: capacity must be >= 1");
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void EventTrace::record(const TraceEvent& event) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++recorded_;
+  max_proc_ = std::max({max_proc_, static_cast<std::size_t>(event.src) + 1,
+                        static_cast<std::size_t>(event.dst) + 1});
+}
+
+void EventTrace::clear() {
+  ring_.clear();
+  head_ = 0;
+  recorded_ = 0;
+  max_proc_ = 0;
+}
+
+std::size_t EventTrace::size() const noexcept { return ring_.size(); }
+
+std::uint64_t EventTrace::dropped() const noexcept {
+  return recorded_ - ring_.size();
+}
+
+std::vector<TraceEvent> EventTrace::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once wrapped, head_ points at the oldest entry.
+  for (std::size_t k = 0; k < ring_.size(); ++k)
+    out.push_back(ring_[(head_ + k) % ring_.size()]);
+  return out;
+}
+
+}  // namespace hcs

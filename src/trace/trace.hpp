@@ -1,0 +1,120 @@
+// Structured event tracing — the paper's timing diagram, machine-readable.
+//
+// The paper's central debugging artifact is the timing diagram (§3.3,
+// Figures 5–8): per-sender columns of communication events that make
+// contention and idle time visible. This module captures the raw material
+// for those diagrams at execution time: every simulator event (send
+// start/end, receive grant, failed attempt, retry, relay hop, checkpoint)
+// with ports, bytes, and model-assigned timestamps.
+//
+// Zero overhead when off. Hot-path producers (the simulator's run loops)
+// are templated on a sink type satisfying the TraceSink concept and every
+// record call sits behind `if constexpr (Sink::kEnabled)`, so the default
+// NullTraceSink instantiation compiles to the exact code that existed
+// before tracing — no branch, no indirect call, no std::function. The
+// recording instantiation writes into an EventTrace, a fixed-capacity
+// ring buffer that overwrites its oldest entries rather than allocating
+// unboundedly (long fault sweeps stay O(capacity) in memory; the dropped
+// count says when the window wrapped).
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace hcs {
+
+/// What one trace record describes. Span kinds carry [t_s, t_end_s];
+/// instant kinds have t_end_s == t_s.
+enum class TraceEventKind : std::uint8_t {
+  kSendStart,      ///< instant: a transmission attempt engages the sender
+  kSendEnd,        ///< span: a delivered transfer, start to finish
+  kReceiveGrant,   ///< instant: a parked sender is granted the receiver
+  kBufferDrain,    ///< span: receiver-side processing of a buffered message
+  kAttemptFailed,  ///< span: a failed attempt's port engagement
+  kRetryScheduled, ///< instant: the sender will retry at t_s
+  kGiveUp,         ///< instant: message abandoned as undeliverable
+  kRelayHop,       ///< span: one executed store-and-forward hop
+  kCheckpoint,     ///< instant: adaptive loop committed a prefix (attempt
+                   ///< carries the 1-based round number)
+  kReschedule,     ///< instant: a fresh schedule was computed for the
+                   ///< remaining pairs
+};
+
+/// Stable lower-case name of a kind ("send-start", "relay-hop", ...).
+[[nodiscard]] std::string_view trace_event_kind_name(TraceEventKind kind);
+
+/// One trace record. 40 bytes, trivially copyable; the ring buffer stores
+/// these by value.
+struct TraceEvent {
+  double t_s = 0.0;        ///< start (spans) or occurrence time (instants)
+  double t_end_s = 0.0;    ///< span end; equals t_s for instants
+  std::uint64_t bytes = 0; ///< message size, when the producer knows it
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t attempt = 1;  ///< 1-based attempt / round number
+  TraceEventKind kind = TraceEventKind::kSendStart;
+
+  [[nodiscard]] bool operator==(const TraceEvent&) const = default;
+};
+
+/// Compile-time sink contract the simulator's run loops are templated on.
+/// `kEnabled == false` lets producers drop record calls entirely via
+/// `if constexpr`, which is what keeps the untraced path bit-identical to
+/// the pre-tracing code.
+template <class S>
+concept TraceSink = requires(S sink, const TraceEvent& event) {
+  { S::kEnabled } -> std::convertible_to<bool>;
+  sink.record(event);
+};
+
+/// The default sink: records nothing, costs nothing.
+struct NullTraceSink {
+  static constexpr bool kEnabled = false;
+  void record(const TraceEvent&) const noexcept {}
+};
+
+/// Ring-buffered trace recorder. Keeps the most recent `capacity` events
+/// in record order; older events are overwritten and counted as dropped.
+/// Not thread-safe — one trace per executing thread, like SimWorkspace.
+class EventTrace {
+ public:
+  static constexpr bool kEnabled = true;
+
+  /// Default capacity holds a P=64 total exchange several times over.
+  explicit EventTrace(std::size_t capacity = 1 << 16);
+
+  void record(const TraceEvent& event);
+
+  /// Forgets all events (capacity is kept).
+  void clear();
+
+  /// Events currently retained (<= capacity()).
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Total events ever recorded, including overwritten ones.
+  [[nodiscard]] std::uint64_t recorded() const noexcept { return recorded_; }
+  /// Events lost to ring wrap-around (recorded() - size()).
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  /// Retained events, oldest first. Materializes a copy; exporters and
+  /// the auditor consume this.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Smallest processor count covering every recorded src/dst (0 for an
+  /// empty trace). Exporters use it to size diagrams.
+  [[nodiscard]] std::size_t processor_count() const noexcept {
+    return max_proc_;
+  }
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< next write position once the ring is full
+  std::uint64_t recorded_ = 0;
+  std::size_t max_proc_ = 0;
+};
+
+}  // namespace hcs

@@ -250,6 +250,53 @@ TEST(Cli, FaultSweepValidatesArguments) {
             1);
 }
 
+TEST(Cli, TraceDiagramAuditsCleanAndIsDeterministic) {
+  const std::vector<std::string> args = {"trace",  "--processors", "6",
+                                         "--seed", "11",           "--audit"};
+  const CliRun a = run(args);
+  EXPECT_EQ(a.exit_code, 0) << a.err;
+  EXPECT_NE(a.out.find("time"), std::string::npos);
+  EXPECT_NE(a.out.find(">"), std::string::npos);
+  EXPECT_NE(a.err.find("audit: clean"), std::string::npos);
+  EXPECT_EQ(a.out, run(args).out);
+}
+
+TEST(Cli, TraceChromeFormatEmitsTraceEvents) {
+  const CliRun result = run({"trace", "--processors", "5", "--format",
+                             "chrome"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(result.out.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(result.out.find("\"name\": \"P4\""), std::string::npos);
+}
+
+TEST(Cli, TraceMetricsFormatCountsTransfers) {
+  const CliRun result = run({"trace", "--processors", "4", "--format",
+                             "metrics"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  // A 4-processor total exchange delivers 12 messages.
+  EXPECT_NE(result.out.find("\"trace.events.send\": 12"), std::string::npos);
+  EXPECT_NE(result.out.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Cli, TraceFaultyRunAuditsClean) {
+  const CliRun result = run({"trace", "--processors", "8", "--seed", "3",
+                             "--crashes", "1", "--cuts", "2", "--loss", "0.2",
+                             "--audit"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.err.find("audit: clean"), std::string::npos);
+}
+
+TEST(Cli, TraceValidatesArguments) {
+  EXPECT_EQ(run({"trace"}).exit_code, 1);
+  EXPECT_EQ(run({"trace", "--processors", "1"}).exit_code, 1);
+  EXPECT_EQ(run({"trace", "--processors", "5", "--model", "nope"}).exit_code,
+            1);
+  EXPECT_EQ(run({"trace", "--processors", "5", "--format", "nope"}).exit_code,
+            1);
+  EXPECT_EQ(run({"trace", "--processors", "5", "--loss", "2.0"}).exit_code, 1);
+}
+
 TEST(CliOptions, ParsesPairsAndFlags) {
   const cli::Options options({"cmd", "--a", "1", "--flag", "--b", "x"}, 1,
                              {"a", "flag", "b"});

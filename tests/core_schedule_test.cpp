@@ -141,6 +141,49 @@ TEST(Schedule, NegativeStartFails) {
   EXPECT_THROW(schedule.validate(two_proc_comm()), ScheduleError);
 }
 
+TEST(Schedule, ValidatePathsAgreeOnToleranceHandling) {
+  // Regression for the validate / is_valid unification (ISSUE 4): both
+  // wrappers delegate to first_violation(), so a duration slip that is
+  // within tolerance for one must be within tolerance for the other — at
+  // every tolerance, including non-default ones.
+  // The slip of 1e-4 on the 2 s event straddles the tolerances below
+  // (the duration rule scales tolerance by the expected duration).
+  const Schedule slipped{2, {{0, 1, 0.0, 2.0 + 1e-4}, {1, 0, 0.0, 3.0}}};
+  const CommMatrix comm = two_proc_comm();
+  for (const double tolerance : {1e-9, 1e-7, 1e-5, 1e-3}) {
+    const bool throws = [&] {
+      try {
+        slipped.validate(comm, tolerance);
+        return false;
+      } catch (const ScheduleError&) {
+        return true;
+      }
+    }();
+    EXPECT_EQ(throws, !slipped.is_valid(comm, tolerance))
+        << "paths disagree at tolerance " << tolerance;
+    EXPECT_EQ(throws, slipped.first_violation(comm, tolerance).has_value())
+        << "first_violation disagrees at tolerance " << tolerance;
+  }
+  EXPECT_FALSE(slipped.is_valid(comm, 1e-5));  // slip > tolerance: invalid
+  EXPECT_TRUE(slipped.is_valid(comm, 1e-3));   // slip < tolerance: valid
+}
+
+TEST(Schedule, FirstViolationCarriesTheDiagnostic) {
+  const Schedule overlap{2, {{0, 1, 0.0, 2.0}, {1, 0, 0.0, 3.0}}};
+  EXPECT_EQ(overlap.first_violation(two_proc_comm()), std::nullopt);
+
+  const Schedule missing{2, {{0, 1, 0.0, 2.0}}};
+  const auto violation = missing.first_violation(two_proc_comm());
+  ASSERT_TRUE(violation.has_value());
+  // validate() throws exactly that diagnostic.
+  try {
+    missing.validate(two_proc_comm());
+    FAIL() << "validate accepted an incomplete schedule";
+  } catch (const ScheduleError& error) {
+    EXPECT_EQ(*violation, error.what());
+  }
+}
+
 TEST(Schedule, EventIndexOutOfRangeThrowsAtConstruction) {
   EXPECT_THROW(Schedule(2, {{0, 2, 0.0, 1.0}}), InputError);
 }

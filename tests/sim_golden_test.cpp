@@ -21,6 +21,7 @@
 #include "netmodel/generator.hpp"
 #include "sim/reference_simulator.hpp"
 #include "sim/simulator.hpp"
+#include "trace/auditor.hpp"
 #include "workload/generators.hpp"
 
 namespace hcs {
@@ -153,6 +154,21 @@ struct Fixture {
     const SimResult fast = simulator.run(program, options);
     const SimResult ref = run_reference(*directory, messages, program, options);
     expect_identical(fast, ref, label);
+
+    // The traced run must be bit-identical to the untraced one (the
+    // tracing hooks are compile-time sinks, not behaviour), and the
+    // recorded trace must satisfy the paper's model invariants.
+    EventTrace trace;
+    SimWorkspace workspace;
+    SimResult traced;
+    simulator.run_into_traced(program, options, workspace, traced, trace);
+    expect_identical(traced, fast, label + " (traced)");
+    AuditOptions audit_options;
+    audit_options.serialized_receives =
+        options.model == ReceiveModel::kSerialized;
+    const ScheduleAuditor auditor{audit_options};
+    const AuditReport report = auditor.audit(trace, fast.completion_time);
+    EXPECT_TRUE(report.ok()) << label << " audit:\n" << report.summary();
   }
 };
 

@@ -1,0 +1,90 @@
+// Golden-file tests for the trace exporters (ISSUE 4, satellite 3): the
+// ASCII timing diagram and the Chrome trace_event JSON rendered from the
+// paper's 5-processor running example must match the checked-in files
+// byte for byte. The exporters feed humans and external tools (Perfetto),
+// so their output format is an interface; any drift must be a conscious,
+// reviewed decision.
+//
+// To regenerate after an intentional format change:
+//   HCS_UPDATE_GOLDEN=1 ./tests/trace_golden_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/paper_example.hpp"
+#include "core/scheduler.hpp"
+#include "netmodel/directory.hpp"
+#include "sim/send_program.hpp"
+#include "sim/simulator.hpp"
+#include "trace/auditor.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
+
+namespace hcs {
+namespace {
+
+/// The paper example executed end to end: its communication times become
+/// a unit-bandwidth network (bytes == seconds), the max-matching
+/// scheduler plans the exchange, and the serialized simulator records the
+/// trace. Every step is deterministic, so the exports are too.
+EventTrace paper_example_trace() {
+  const CommMatrix comm = paper_example_comm();
+  const std::size_t n = comm.processor_count();
+
+  MessageMatrix messages{n, n, 0};
+  for (std::size_t src = 0; src < n; ++src)
+    for (std::size_t dst = 0; dst < n; ++dst)
+      if (src != dst)
+        messages(src, dst) = static_cast<std::uint64_t>(comm.time(src, dst));
+  const StaticDirectory directory{NetworkModel{n, LinkParams{0.0, 1.0}}};
+
+  const Schedule schedule =
+      make_scheduler(SchedulerKind::kMaxMatching)->schedule(comm);
+  const NetworkSimulator simulator{directory, messages};
+  EventTrace trace;
+  const SimResult result = simulator.run_traced(
+      SendProgram::from_schedule(schedule), SimOptions{}, trace);
+
+  // The trace this file pins must itself be model-clean.
+  const AuditReport report =
+      ScheduleAuditor{}.audit(trace, result.completion_time);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  return trace;
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(HCS_GOLDEN_DIR) + "/" + name;
+}
+
+void expect_matches_golden(const std::string& rendered,
+                           const std::string& name) {
+  if (std::getenv("HCS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(name), std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << golden_path(name);
+    out << rendered;
+    GTEST_SKIP() << "updated " << name;
+  }
+  std::ifstream in(golden_path(name), std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path(name)
+                  << " (run with HCS_UPDATE_GOLDEN=1 to create)";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(rendered, golden.str()) << name << " drifted from its golden file";
+}
+
+TEST(TraceGolden, AsciiDiagramIsByteExact) {
+  expect_matches_golden(render_trace_diagram(paper_example_trace()),
+                        "paper_example_diagram.txt");
+}
+
+TEST(TraceGolden, ChromeTraceIsByteExact) {
+  std::ostringstream out;
+  write_chrome_trace(out, paper_example_trace());
+  expect_matches_golden(out.str(), "paper_example_trace.json");
+}
+
+}  // namespace
+}  // namespace hcs

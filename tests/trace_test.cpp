@@ -1,0 +1,367 @@
+// Observability-layer unit and property tests (ISSUE 4): the EventTrace
+// ring buffer, the MetricsRegistry, the exporters, and — the heart of the
+// file — ScheduleAuditor property tests that feed hand-corrupted traces
+// through the auditor and assert each corruption is rejected with its own
+// distinct, stable diagnostic category.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/auditor.hpp"
+#include "trace/export.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+
+namespace hcs {
+namespace {
+
+TraceEvent make_event(TraceEventKind kind, std::uint32_t src,
+                      std::uint32_t dst, double t_s, double t_end_s,
+                      std::uint64_t bytes = 1024, std::uint32_t attempt = 1) {
+  return TraceEvent{t_s, t_end_s, bytes, src, dst, attempt, kind};
+}
+
+/// Records a well-formed delivered transfer: send-start + send span.
+void add_transfer(EventTrace& trace, std::uint32_t src, std::uint32_t dst,
+                  double t_s, double t_end_s) {
+  trace.record(make_event(TraceEventKind::kSendStart, src, dst, t_s, t_s));
+  trace.record(make_event(TraceEventKind::kSendEnd, src, dst, t_s, t_end_s));
+}
+
+/// Expects the report to contain at least one violation and that every
+/// violation starts with `category` — i.e. the corruption was detected
+/// and attributed to exactly the right rule.
+void expect_only_category(const AuditReport& report,
+                          const std::string& category) {
+  ASSERT_FALSE(report.ok()) << "expected a " << category << " violation";
+  for (const std::string& violation : report.violations)
+    EXPECT_EQ(violation.substr(0, category.size()), category)
+        << "unexpected violation: " << violation;
+}
+
+// ---------------------------------------------------------------------------
+// EventTrace ring buffer
+// ---------------------------------------------------------------------------
+
+TEST(EventTrace, RecordsInOrderAndClears) {
+  EventTrace trace{8};
+  add_transfer(trace, 0, 1, 0.0, 1.0);
+  add_transfer(trace, 1, 2, 1.0, 2.5);
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.recorded(), 4u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_EQ(trace.processor_count(), 3u);
+
+  const std::vector<TraceEvent> events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, TraceEventKind::kSendStart);
+  EXPECT_EQ(events[1].kind, TraceEventKind::kSendEnd);
+  EXPECT_EQ(events[3].t_end_s, 2.5);
+
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.recorded(), 0u);
+  EXPECT_EQ(trace.events().size(), 0u);
+  EXPECT_EQ(trace.capacity(), 8u);
+}
+
+TEST(EventTrace, RingOverwritesOldestAndCountsDropped) {
+  EventTrace trace{4};
+  for (std::uint32_t k = 0; k < 10; ++k)
+    trace.record(make_event(TraceEventKind::kSendStart, k, k + 1,
+                            static_cast<double>(k), static_cast<double>(k)));
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.recorded(), 10u);
+  EXPECT_EQ(trace.dropped(), 6u);
+
+  // The survivors are the newest four, oldest first.
+  const std::vector<TraceEvent> events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k)
+    EXPECT_EQ(events[k].src, 6u + k);
+}
+
+// ---------------------------------------------------------------------------
+// ScheduleAuditor: clean traces pass
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleAuditor, CleanSerializedTraceIsAccepted) {
+  EventTrace trace;
+  add_transfer(trace, 0, 1, 0.0, 1.0);
+  add_transfer(trace, 2, 1, 1.0, 2.0);  // back-to-back at receiver 1
+  add_transfer(trace, 0, 2, 1.0, 3.0);  // sender 0's next engagement
+  const AuditReport report = ScheduleAuditor{}.audit(trace, 3.0);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.transfers, 3u);
+  EXPECT_EQ(report.completion_s, 3.0);
+}
+
+TEST(ScheduleAuditor, InterleavedReceiverOverlapAllowedWhenRelaxed) {
+  EventTrace trace;
+  add_transfer(trace, 0, 2, 0.0, 2.0);
+  add_transfer(trace, 1, 2, 0.5, 2.5);  // concurrent receives at node 2
+  AuditOptions relaxed;
+  relaxed.serialized_receives = false;
+  EXPECT_TRUE(ScheduleAuditor{relaxed}.audit(trace).ok());
+  // The same trace violates the base model.
+  expect_only_category(ScheduleAuditor{}.audit(trace),
+                       "overlapping-receive");
+}
+
+// ---------------------------------------------------------------------------
+// ScheduleAuditor: each hand-made corruption gets its own diagnostic
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleAuditor, RejectsOverlappingSends) {
+  // One sender transmitting two messages at once (the §3.2 single
+  // send-port rule).
+  EventTrace trace;
+  add_transfer(trace, 0, 1, 0.0, 2.0);
+  add_transfer(trace, 0, 2, 1.0, 3.0);
+  expect_only_category(ScheduleAuditor{}.audit(trace), "overlapping-send");
+}
+
+TEST(ScheduleAuditor, RejectsReceiveBeforeSend) {
+  // A completion with no matching send-start — the "receive before send"
+  // corruption.
+  EventTrace trace;
+  trace.record(make_event(TraceEventKind::kSendEnd, 0, 1, 0.0, 1.0));
+  expect_only_category(ScheduleAuditor{}.audit(trace),
+                       "completion-before-start");
+}
+
+TEST(ScheduleAuditor, RejectsMismatchedCompletionPair) {
+  // The completion names a different destination than the outstanding
+  // start: still no *matching* start. (The dangling start is the same
+  // defect seen from the other side; both diagnostics may appear.)
+  EventTrace trace;
+  trace.record(make_event(TraceEventKind::kSendStart, 0, 1, 0.0, 0.0));
+  trace.record(make_event(TraceEventKind::kSendEnd, 0, 2, 0.0, 1.0));
+  const AuditReport report = ScheduleAuditor{}.audit(trace);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("completion-before-start"),
+            std::string::npos);
+}
+
+TEST(ScheduleAuditor, RejectsTimeTravel) {
+  // A span that ends before it starts.
+  EventTrace trace;
+  trace.record(make_event(TraceEventKind::kSendStart, 0, 1, 2.0, 2.0));
+  trace.record(make_event(TraceEventKind::kSendEnd, 0, 1, 2.0, 1.0));
+  expect_only_category(ScheduleAuditor{}.audit(trace), "time-travel");
+}
+
+TEST(ScheduleAuditor, RejectsNegativeTime) {
+  EventTrace trace;
+  add_transfer(trace, 0, 1, -1.0, 1.0);
+  expect_only_category(ScheduleAuditor{}.audit(trace), "negative-time");
+}
+
+TEST(ScheduleAuditor, RejectsConcurrentSendStarts) {
+  EventTrace trace;
+  trace.record(make_event(TraceEventKind::kSendStart, 0, 1, 0.0, 0.0));
+  trace.record(make_event(TraceEventKind::kSendStart, 0, 2, 0.5, 0.5));
+  const AuditReport report = ScheduleAuditor{}.audit(trace);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("concurrent-send-start"),
+            std::string::npos);
+}
+
+TEST(ScheduleAuditor, RejectsDanglingSendStart) {
+  EventTrace trace;
+  add_transfer(trace, 0, 1, 0.0, 1.0);
+  trace.record(make_event(TraceEventKind::kSendStart, 2, 1, 1.0, 1.0));
+  expect_only_category(ScheduleAuditor{}.audit(trace), "dangling-send-start");
+}
+
+TEST(ScheduleAuditor, RejectsUnhonouredGrant) {
+  // Receiver 2 grants its port to sender 0, but sender 1 transmits next.
+  EventTrace trace;
+  trace.record(make_event(TraceEventKind::kReceiveGrant, 0, 2, 1.0, 1.0));
+  add_transfer(trace, 1, 2, 1.0, 2.0);
+  expect_only_category(ScheduleAuditor{}.audit(trace), "unhonoured-grant");
+}
+
+TEST(ScheduleAuditor, RejectsGrantWithNoTransfer) {
+  EventTrace trace;
+  trace.record(make_event(TraceEventKind::kReceiveGrant, 0, 2, 1.0, 1.0));
+  expect_only_category(ScheduleAuditor{}.audit(trace), "unhonoured-grant");
+}
+
+TEST(ScheduleAuditor, RejectsOverlappingDrains) {
+  // Buffered drains are serial at every receiver in every model, so this
+  // is rejected even with serialized receives off.
+  EventTrace trace;
+  trace.record(make_event(TraceEventKind::kBufferDrain, 0, 2, 0.0, 2.0));
+  trace.record(make_event(TraceEventKind::kBufferDrain, 1, 2, 1.0, 3.0));
+  AuditOptions relaxed;
+  relaxed.serialized_receives = false;
+  expect_only_category(ScheduleAuditor{relaxed}.audit(trace),
+                       "overlapping-drain");
+}
+
+TEST(ScheduleAuditor, RejectsWrappedTraceAsIncomplete) {
+  EventTrace trace{2};
+  add_transfer(trace, 0, 1, 0.0, 1.0);
+  add_transfer(trace, 0, 2, 1.0, 2.0);  // overwrites the first transfer
+  const AuditReport report = ScheduleAuditor{}.audit(trace);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("incomplete-trace"), std::string::npos);
+}
+
+TEST(ScheduleAuditor, RejectsCompletionMismatch) {
+  EventTrace trace;
+  add_transfer(trace, 0, 1, 0.0, 1.0);
+  expect_only_category(ScheduleAuditor{}.audit(trace, 2.0),
+                       "completion-mismatch");
+  EXPECT_TRUE(ScheduleAuditor{}.audit(trace, 1.0).ok());
+}
+
+TEST(ScheduleAuditor, ToleranceForgivesSmallSlips) {
+  // A 1e-7 receiver overlap: rejected at exact tolerance, accepted with
+  // slack — the same knob validate()/is_valid() expose.
+  EventTrace trace;
+  add_transfer(trace, 0, 2, 0.0, 1.0);
+  add_transfer(trace, 1, 2, 1.0 - 1e-7, 2.0);
+  EXPECT_FALSE(ScheduleAuditor{}.audit(trace).ok());
+  AuditOptions slack;
+  slack.tolerance = 1e-6;
+  EXPECT_TRUE(ScheduleAuditor{slack}.audit(trace).ok());
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  MetricsRegistry registry;
+  Counter& events = registry.counter("events");
+  events.add();
+  events.add(41);
+  EXPECT_EQ(registry.counter("events").value(), 42u);
+
+  Gauge& high_water = registry.gauge("high-water");
+  high_water.set_max(3.0);
+  high_water.set_max(1.0);  // lower: ignored
+  EXPECT_EQ(registry.gauge("high-water").value(), 3.0);
+
+  Histogram& spans = registry.histogram("spans");
+  spans.observe(0.5);
+  spans.observe(2.0);
+  spans.observe(0.0);  // zeros land in bucket 0
+  EXPECT_EQ(spans.count(), 3u);
+  EXPECT_EQ(spans.sum(), 2.5);
+  EXPECT_EQ(spans.min(), 0.0);
+  EXPECT_EQ(spans.max(), 2.0);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(Metrics, NameHoldsExactlyOneKind) {
+  MetricsRegistry registry;
+  (void)registry.counter("x");
+  EXPECT_THROW((void)registry.gauge("x"), InputError);
+  EXPECT_THROW((void)registry.histogram("x"), InputError);
+}
+
+TEST(Metrics, HistogramBucketGeometry) {
+  // Bucket k's bound doubles each step; observations land in the first
+  // bucket whose (inclusive) bound covers them.
+  EXPECT_EQ(Histogram::bucket_bound(1), 2.0 * Histogram::bucket_bound(0));
+  Histogram histogram;
+  histogram.observe(Histogram::bucket_bound(5));        // exactly on a bound
+  histogram.observe(Histogram::bucket_bound(5) * 1.01);  // just above
+  EXPECT_EQ(histogram.bucket(5), 1u);
+  EXPECT_EQ(histogram.bucket(6), 1u);
+}
+
+TEST(Metrics, MergeFollowsPerKindSemantics) {
+  MetricsRegistry a, b;
+  a.counter("n").add(2);
+  b.counter("n").add(3);
+  a.gauge("peak").set(5.0);
+  b.gauge("peak").set(2.0);
+  b.gauge("only-b").set(7.0);
+  a.histogram("h").observe(1.0);
+  b.histogram("h").observe(4.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("n").value(), 5u);      // counters add
+  EXPECT_EQ(a.gauge("peak").value(), 5.0);    // gauges keep the max
+  EXPECT_EQ(a.gauge("only-b").value(), 7.0);  // absent names are adopted
+  EXPECT_EQ(a.histogram("h").count(), 2u);    // histograms pool samples
+  EXPECT_EQ(a.histogram("h").sum(), 5.0);
+}
+
+TEST(Metrics, JsonIsDeterministicAndSorted) {
+  MetricsRegistry a, b;
+  // Insert in different orders; serialization must not care.
+  a.counter("zeta").add(1);
+  a.counter("alpha").add(2);
+  b.counter("alpha").add(2);
+  b.counter("zeta").add(1);
+  std::ostringstream out_a, out_b;
+  a.write_json(out_a);
+  b.write_json(out_b);
+  EXPECT_EQ(out_a.str(), out_b.str());
+  EXPECT_LT(out_a.str().find("alpha"), out_a.str().find("zeta"));
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(Export, ChromeTraceShapesSpansAndInstants) {
+  EventTrace trace;
+  add_transfer(trace, 0, 1, 0.0, 1.5);
+  trace.record(make_event(TraceEventKind::kGiveUp, 1, 0, 2.0, 2.0));
+  std::ostringstream out;
+  write_chrome_trace(out, trace);
+  const std::string json = out.str();
+
+  // Track labels for both processors, a complete event for the span with
+  // microsecond timestamps, an instant for the give-up — and no event for
+  // the send-start (it duplicates the span's left edge).
+  EXPECT_NE(json.find("\"name\": \"P0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"P1\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\", \"ts\": 0.000, \"dur\": 1500000.000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"give-up 1->0\", \"cat\": \"give-up\", "
+                      "\"ph\": \"i\""),
+            std::string::npos);
+  EXPECT_EQ(json.find("send-start"), std::string::npos);
+}
+
+TEST(Export, DiagramMarksTransfersFailuresAndFooter) {
+  EventTrace trace;
+  add_transfer(trace, 0, 1, 0.0, 4.0);
+  trace.record(make_event(TraceEventKind::kSendStart, 1, 0, 0.0, 0.0));
+  trace.record(make_event(TraceEventKind::kAttemptFailed, 1, 0, 0.0, 2.0));
+  trace.record(
+      make_event(TraceEventKind::kRetryScheduled, 1, 0, 3.0, 3.0, 0, 2));
+  const std::string diagram = render_trace_diagram(trace, 8);
+
+  EXPECT_NE(diagram.find("time  P0  P1"), std::string::npos);
+  EXPECT_NE(diagram.find(">1"), std::string::npos);  // delivered, labelled dst
+  EXPECT_NE(diagram.find("!0"), std::string::npos);  // failed attempt
+  EXPECT_NE(diagram.find('|'), std::string::npos);   // span continuation
+  EXPECT_NE(diagram.find("retries: 1"), std::string::npos);
+  // 8 rows + header + footer.
+  EXPECT_EQ(std::count(diagram.begin(), diagram.end(), '\n'), 10);
+}
+
+TEST(Export, EmptyTraceProducesEmptyShells) {
+  EventTrace trace;
+  std::ostringstream out;
+  write_chrome_trace(out, trace);
+  EXPECT_NE(out.str().find("\"traceEvents\": [\n]"), std::string::npos);
+  const std::string diagram = render_trace_diagram(trace, 4);
+  EXPECT_NE(diagram.find("time"), std::string::npos);
+  EXPECT_EQ(diagram.find("retries"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcs

@@ -6,7 +6,13 @@
 // the scheduler and executor hot paths instead of pasting ad-hoc console
 // output.
 //
-// Usage: hcs_bench_json <output.json> <benchmark-binary>[:filter-regex]...
+// Usage: hcs_bench_json [--metrics <command>] <output.json>
+//            <benchmark-binary>[:filter-regex]...
+//
+// --metrics runs `command` (typically `hcs trace --format metrics ...`),
+// expects a JSON object on its stdout, and embeds it verbatim as the
+// envelope's "metrics" field — so a trajectory file can carry simulator
+// counters and histograms next to the wall-clock numbers.
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -53,15 +59,36 @@ std::string json_escape(const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  int arg_start = 1;
+  std::string metrics_command;
+  if (argc > 2 && std::string(argv[1]) == "--metrics") {
+    metrics_command = argv[2];
+    arg_start = 3;
+  }
+  if (argc < arg_start + 2) {
     std::cerr << "usage: " << argv[0]
-              << " <output.json> <benchmark-binary>[:filter-regex]...\n";
+              << " [--metrics <command>] <output.json>"
+                 " <benchmark-binary>[:filter-regex]...\n";
     return 2;
   }
-  const std::string output_path = argv[1];
+  const std::string output_path = argv[arg_start];
+
+  std::string metrics_json;
+  if (!metrics_command.empty()) {
+    const std::string output = capture_stdout(metrics_command + " 2>/dev/null");
+    // Trim to the outermost JSON object; a command that printed none failed.
+    const std::size_t start = output.find('{');
+    const std::size_t end = output.rfind('}');
+    if (start == std::string::npos || end == std::string::npos || end < start) {
+      std::cerr << "bench_json: metrics command produced no JSON object: "
+                << metrics_command << "\n";
+      return 1;
+    }
+    metrics_json = output.substr(start, end - start + 1);
+  }
 
   std::string reports;
-  for (int arg = 2; arg < argc; ++arg) {
+  for (int arg = arg_start + 1; arg < argc; ++arg) {
     std::string binary = argv[arg];
     std::string filter;
     // The filter rides after the last ':' (binary paths have none).
@@ -100,10 +127,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   out << "{\n"
-      << "  \"schema_version\": 2,\n"
-      << "  \"generated_by\": \"tools/bench_json\",\n"
-      << "  \"reports\": [\n"
-      << reports << "\n  ]\n}\n";
+      << "  \"schema_version\": 3,\n"
+      << "  \"generated_by\": \"tools/bench_json\",\n";
+  if (!metrics_json.empty())
+    out << "  \"metrics_command\": \"" << json_escape(metrics_command)
+        << "\",\n  \"metrics\": " << metrics_json << ",\n";
+  out << "  \"reports\": [\n" << reports << "\n  ]\n}\n";
   std::cout << "bench_json: wrote " << output_path << "\n";
   return 0;
 }

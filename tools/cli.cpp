@@ -13,6 +13,10 @@
 #include "netmodel/directory.hpp"
 #include "netmodel/generator.hpp"
 #include "sim/simulator.hpp"
+#include "trace/auditor.hpp"
+#include "trace/export.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -47,6 +51,17 @@ usage:
       each scenario with the fault-tolerant executor (retry with backoff,
       relay rerouting, health-driven quarantine). Reports the delivery mix
       and the completion overhead versus the fault-free run.
+
+  hcs trace --processors N [--seed S] [--scenario NAME] [--algorithm NAME]
+            [--model serialized|interleaved|buffered] [--drift SIGMA]
+            [--crashes K] [--cuts C] [--loss P]
+            [--format diagram|chrome|metrics] [--rows R] [--audit]
+      Generate an instance, schedule it, execute with event tracing on,
+      and export the trace: an ASCII timing diagram (default), Chrome
+      trace_event JSON for chrome://tracing / Perfetto, or a metrics JSON
+      summary. Fault options switch to the fault-tolerant executor
+      (serialized model only). --audit replays the trace through the
+      model-invariant auditor and fails on any violation.
 
   hcs lowerbound
       Read a communication-matrix CSV on stdin and print t_lb.
@@ -284,6 +299,136 @@ int cmd_fault_sweep(const Options& options, std::ostream& out) {
   return 0;
 }
 
+/// Aggregates a recorded trace into a MetricsRegistry: per-kind event
+/// counts, span-duration histograms, and completion/ring gauges.
+void trace_metrics(const EventTrace& trace, double completion_s,
+                   MetricsRegistry& metrics) {
+  metrics.counter("trace.recorded").add(trace.recorded());
+  metrics.counter("trace.dropped").add(trace.dropped());
+  metrics.gauge("trace.completion_s").set_max(completion_s);
+  metrics.gauge("trace.processors")
+      .set_max(static_cast<double>(trace.processor_count()));
+  for (const TraceEvent& event : trace.events()) {
+    const std::string kind(trace_event_kind_name(event.kind));
+    metrics.counter("trace.events." + kind).add();
+    if (event.t_end_s > event.t_s)
+      metrics.histogram("trace.span_s." + kind)
+          .observe(event.t_end_s - event.t_s);
+  }
+}
+
+int cmd_trace(const Options& options, std::ostream& out, std::ostream& err) {
+  const long processors = options.get_long("processors", 0);
+  if (processors < 2) throw InputError("--processors must be >= 2");
+  const auto n = static_cast<std::size_t>(processors);
+  const auto seed = static_cast<std::uint64_t>(options.get_long("seed", 1));
+  const Scenario scenario = parse_scenario(options.get("scenario", "mixed"));
+  const SchedulerKind kind =
+      parse_algorithm(options.get("algorithm", "openshop"));
+  const std::string format = options.get("format", "diagram");
+  const std::string model_name = options.get("model", "serialized");
+  const long rows = options.get_long("rows", 24);
+  if (rows < 1) throw InputError("--rows must be >= 1");
+  const double sigma = options.get_double("drift", 0.0);
+  if (sigma < 0.0) throw InputError("--drift must be non-negative");
+  const long crashes = options.get_long("crashes", 0);
+  const long cut_count = options.get_long("cuts", 0);
+  const double loss = options.get_double("loss", 0.0);
+  if (crashes < 0 || static_cast<std::size_t>(crashes) + 2 > n)
+    throw InputError("--crashes must be in [0, processors - 2]");
+  if (cut_count < 0) throw InputError("--cuts must be >= 0");
+  if (!(loss >= 0.0) || !(loss < 1.0))
+    throw InputError("--loss must be in [0, 1)");
+
+  SimOptions sim_options;
+  if (model_name == "serialized") {
+    sim_options.model = ReceiveModel::kSerialized;
+  } else if (model_name == "interleaved") {
+    sim_options.model = ReceiveModel::kInterleaved;
+  } else if (model_name == "buffered") {
+    sim_options.model = ReceiveModel::kBuffered;
+  } else {
+    throw InputError("unknown receive model '" + model_name + "'");
+  }
+
+  const ProblemInstance instance = make_instance(scenario, n, seed);
+  const CommMatrix comm{instance.network, instance.messages};
+  const auto scheduler = make_scheduler(kind, seed);
+  const Schedule planned = scheduler->schedule(comm);
+  planned.validate(comm);
+
+  EventTrace trace;
+  double completion = 0.0;
+  const bool faulty = crashes > 0 || cut_count > 0 || loss > 0.0;
+  if (faulty) {
+    if (sim_options.model != ReceiveModel::kSerialized)
+      throw InputError("fault options require --model serialized");
+    const StaticDirectory directory{instance.network};
+    FaultPlan plan;
+    plan.transient_loss_prob = loss;
+    plan.seed = seed;
+    Rng rng{seed ^ 0xFA17FA17ULL};
+    while (plan.cuts.size() < static_cast<std::size_t>(cut_count)) {
+      const auto a = static_cast<std::size_t>(rng.next_below(n));
+      const auto b = static_cast<std::size_t>(rng.next_below(n));
+      if (a == b) continue;
+      plan.cuts.push_back({a, b, 0.0, 1e12});
+    }
+    for (long k = 0; k < crashes; ++k)
+      plan.crashes.push_back(
+          {n - 1 - static_cast<std::size_t>(k),
+           0.25 * planned.completion_time() * static_cast<double>(k + 1)});
+    const ResilientResult result = run_resilient_traced(
+        *scheduler, directory, instance.messages, plan, {}, trace);
+    completion = result.completion_time;
+  } else if (sigma > 0.0) {
+    DriftingDirectory::Options drift;
+    drift.step_sigma = sigma;
+    const DriftingDirectory directory{instance.network, seed * 97, drift};
+    const NetworkSimulator simulator{directory, instance.messages};
+    const SimResult result = simulator.run_traced(
+        SendProgram::from_schedule(planned), sim_options, trace);
+    completion = result.completion_time;
+  } else {
+    const StaticDirectory directory{instance.network};
+    const NetworkSimulator simulator{directory, instance.messages};
+    const SimResult result = simulator.run_traced(
+        SendProgram::from_schedule(planned), sim_options, trace);
+    completion = result.completion_time;
+  }
+
+  if (format == "diagram") {
+    out << render_trace_diagram(trace, static_cast<std::size_t>(rows));
+  } else if (format == "chrome") {
+    write_chrome_trace(out, trace);
+  } else if (format == "metrics") {
+    MetricsRegistry metrics;
+    trace_metrics(trace, completion, metrics);
+    metrics.write_json(out);
+    out << '\n';
+  } else {
+    throw InputError("unknown trace format '" + format + "'");
+  }
+
+  if (options.has("audit")) {
+    AuditOptions audit_options;
+    audit_options.serialized_receives =
+        sim_options.model == ReceiveModel::kSerialized;
+    const ScheduleAuditor auditor(audit_options);
+    // A faulty run's completion time includes give-up instants, which are
+    // not port engagements; skip the completion cross-check there.
+    const AuditReport report =
+        faulty ? auditor.audit(trace) : auditor.audit(trace, completion);
+    if (!report.ok()) {
+      err << "hcs trace: audit failed\n" << report.summary() << '\n';
+      return 1;
+    }
+    err << "audit: clean (" << report.transfers << " transfers, completion "
+        << format_double(report.completion_s, 4) << " s)\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 Options::Options(const std::vector<std::string>& args, std::size_t from,
@@ -366,6 +511,13 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
                             {"processors", "seed", "scenario", "algorithm",
                              "max-crashes", "cuts", "loss"});
       return cmd_fault_sweep(options, out);
+    }
+    if (command == "trace") {
+      const Options options(
+          args, 1,
+          {"processors", "seed", "scenario", "algorithm", "model", "drift",
+           "crashes", "cuts", "loss", "format", "rows", "audit"});
+      return cmd_trace(options, out, err);
     }
     if (command == "lowerbound") {
       (void)Options(args, 1, {});
