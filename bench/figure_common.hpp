@@ -11,9 +11,7 @@
 // paper's reported baseline gap.
 #pragma once
 
-#include <algorithm>
 #include <iostream>
-#include <thread>
 
 #include "experiment/experiment.hpp"
 
@@ -27,7 +25,7 @@ inline int run_figure(const char* figure, Scenario scenario) {
   config.base_seed = 19980728;  // HPDC '98
   config.schedulers = paper_schedulers();
   config.schedulers.push_back(SchedulerKind::kBaselineBarrier);
-  config.parallelism = std::max(1u, std::thread::hardware_concurrency());
+  config.threads = 0;  // one worker per hardware thread
 
   std::cout << figure << ". All-to-all personalized communication, scenario '"
             << scenario_name(scenario) << "' (" << config.repetitions

@@ -1,0 +1,53 @@
+// Parallel experiment-sweep benchmarks (google-benchmark).
+//
+// run_experiment fans repetitions out over a ThreadPool with per-trial
+// seeding and per-repetition result slots, so the output is byte-identical
+// to a serial run at any thread count. This bench measures the sweep
+// throughput across worker counts — on a multi-core box the time should
+// fall roughly linearly until the core count, and the 1-thread row doubles
+// as a regression guard for the serial path the figures use.
+#include <benchmark/benchmark.h>
+
+#include "experiment/experiment.hpp"
+
+namespace {
+
+void BM_ParallelSweep(benchmark::State& state) {
+  hcs::ExperimentConfig config;
+  config.scenario = hcs::Scenario::kMixedMessages;
+  config.processor_counts = {32};
+  config.repetitions = 16;
+  config.base_seed = 42;
+  config.schedulers = {hcs::SchedulerKind::kGreedy,
+                       hcs::SchedulerKind::kOpenShop};
+  config.validate = false;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hcs::run_experiment(config));
+  }
+}
+
+// The execution pass adds the simulator to every repetition — the heavier
+// per-trial work the pool is meant to amortize.
+void BM_ParallelSweepExecute(benchmark::State& state) {
+  hcs::ExperimentConfig config;
+  config.scenario = hcs::Scenario::kMixedMessages;
+  config.processor_counts = {32};
+  config.repetitions = 16;
+  config.base_seed = 42;
+  config.schedulers = {hcs::SchedulerKind::kOpenShop};
+  config.validate = false;
+  config.execute = true;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hcs::run_experiment(config));
+  }
+}
+
+}  // namespace
+
+// Real time, not CPU time: the work happens on pool workers.
+BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+BENCHMARK(BM_ParallelSweepExecute)->Arg(1)->Arg(4)->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -84,12 +84,7 @@ AdaptiveResult run_adaptive_impl(const Scheduler& scheduler,
     // the remaining pairs only (finished pairs cost zero and are dropped
     // from the program afterwards).
     const NetworkModel snapshot = directory.snapshot(now);
-    Matrix<double> estimate(n, n, 0.0);
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = 0; j < n; ++j)
-        if (remaining(i, j) != 0)
-          estimate(i, j) = snapshot.cost(i, j, messages(i, j));
-    const CommMatrix comm{std::move(estimate)};
+    const CommMatrix comm{snapshot.cost_matrix(messages, remaining)};
     // Availability-aware schedulers plan against the current port skew
     // (ports that are still busy with committed transfers); others plan
     // for an idle system and contribute orders only.

@@ -74,17 +74,18 @@ BroadcastSchedule broadcast_linear(const NetworkModel& network,
                                    std::size_t root, std::uint64_t bytes) {
   const std::size_t n = network.processor_count();
   check(root < n, "broadcast_linear: root out of range");
+  const Matrix<double> cost = network.cost_matrix(bytes);
   std::vector<std::size_t> order;
   for (std::size_t p = 0; p < n; ++p)
     if (p != root) order.push_back(p);
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return network.cost(root, a, bytes) < network.cost(root, b, bytes);
+    return cost(root, a) < cost(root, b);
   });
 
   BroadcastSchedule result{root, bytes, {}};
   double port_free = 0.0;
   for (const std::size_t dst : order) {
-    const double finish = port_free + network.cost(root, dst, bytes);
+    const double finish = port_free + cost(root, dst);
     result.events.push_back({root, dst, port_free, finish});
     port_free = finish;
   }
@@ -100,6 +101,7 @@ BroadcastSchedule broadcast_binomial(const NetworkModel& network,
   const auto node_of = [&](std::size_t distance) {
     return (root + distance) % n;
   };
+  const Matrix<double> cost = network.cost_matrix(bytes);
   BroadcastSchedule result{root, bytes, {}};
   std::vector<double> informed(n, 0.0);
   std::vector<double> port_free(n, 0.0);
@@ -108,7 +110,7 @@ BroadcastSchedule broadcast_binomial(const NetworkModel& network,
       const std::size_t src = node_of(d);
       const std::size_t dst = node_of(d + stride);
       const double start = std::max(port_free[src], informed[src]);
-      const double finish = start + network.cost(src, dst, bytes);
+      const double finish = start + cost(src, dst);
       result.events.push_back({src, dst, start, finish});
       port_free[src] = finish;
       informed[dst] = finish;
@@ -124,6 +126,9 @@ BroadcastSchedule broadcast_fnf(const NetworkModel& network, std::size_t root,
   check(root < n, "broadcast_fnf: root out of range");
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
+  // The fastest-node-first scan prices every informed x uninformed pair
+  // each round; hoist the T + m/B table out of the O(P^3) loop.
+  const Matrix<double> cost = network.cost_matrix(bytes);
   std::vector<double> informed(n, kInf);
   std::vector<double> port_free(n, kInf);
   informed[root] = 0.0;
@@ -139,7 +144,7 @@ BroadcastSchedule broadcast_fnf(const NetworkModel& network, std::size_t root,
       for (std::size_t dst = 0; dst < n; ++dst) {
         if (informed[dst] != kInf || dst == src) continue;
         const double start = port_free[src];
-        const double finish = start + network.cost(src, dst, bytes);
+        const double finish = start + cost(src, dst);
         if (finish < best_finish) {
           best_finish = finish;
           best_src = src;
@@ -165,6 +170,7 @@ double broadcast_lower_bound(const NetworkModel& network, std::size_t root,
 
   // Dijkstra over T + m/B edge costs: the earliest any node could hear
   // the message if ports were never contended.
+  const Matrix<double> cost = network.cost_matrix(bytes);
   std::vector<double> distance(n, kInf);
   std::vector<bool> done(n, false);
   distance[root] = 0.0;
@@ -176,7 +182,7 @@ double broadcast_lower_bound(const NetworkModel& network, std::size_t root,
     done[u] = true;
     for (std::size_t v = 0; v < n; ++v) {
       if (v == u) continue;
-      const double candidate = distance[u] + network.cost(u, v, bytes);
+      const double candidate = distance[u] + cost(u, v);
       distance[v] = std::min(distance[v], candidate);
     }
   }

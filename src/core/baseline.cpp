@@ -16,11 +16,13 @@ StepSchedule baseline_steps(std::size_t processor_count) {
 }
 
 Schedule BaselineScheduler::schedule(const CommMatrix& comm) const {
-  return execute_async(baseline_steps(comm.processor_count()), comm);
+  return execute_async(baseline_steps(comm.processor_count()), comm,
+                       workspace_);
 }
 
 Schedule BarrierBaselineScheduler::schedule(const CommMatrix& comm) const {
-  return execute_barrier(baseline_steps(comm.processor_count()), comm);
+  return execute_barrier(baseline_steps(comm.processor_count()), comm,
+                         workspace_);
 }
 
 }  // namespace hcs

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "core/scheduler.hpp"
+#include "core/scheduler_workspace.hpp"
 #include "core/step_schedule.hpp"
 
 namespace hcs {
@@ -24,6 +25,9 @@ class BaselineScheduler final : public Scheduler {
  public:
   [[nodiscard]] std::string_view name() const override { return "baseline"; }
   [[nodiscard]] Schedule schedule(const CommMatrix& comm) const override;
+
+ private:
+  mutable SchedulerWorkspace workspace_;  // scratch, not logical state
 };
 
 /// Caterpillar steps under step-synchronized execution: step k+1 starts
@@ -37,6 +41,9 @@ class BarrierBaselineScheduler final : public Scheduler {
     return "baseline-barrier";
   }
   [[nodiscard]] Schedule schedule(const CommMatrix& comm) const override;
+
+ private:
+  mutable SchedulerWorkspace workspace_;  // scratch, not logical state
 };
 
 }  // namespace hcs

@@ -20,14 +20,10 @@ namespace {
 
 Matrix<double> build_times(const NetworkModel& network,
                            const MessageMatrix& messages) {
-  const std::size_t n = network.processor_count();
-  if (messages.rows() != n || messages.cols() != n)
+  if (messages.rows() != network.processor_count() ||
+      messages.cols() != network.processor_count())
     throw InputError("CommMatrix: message matrix does not match network size");
-  Matrix<double> times(n, n, 0.0);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < n; ++j)
-      if (i != j) times(i, j) = network.cost(i, j, messages(i, j));
-  return times;
+  return network.cost_matrix(messages);
 }
 
 }  // namespace

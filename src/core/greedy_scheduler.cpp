@@ -1,86 +1,243 @@
 #include "core/greedy_scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 
+#include "core/scheduler_workspace.hpp"
 #include "util/error.hpp"
+#include "util/simd_argmin.hpp"
 
 namespace hcs {
 
-StepSchedule greedy_steps(const CommMatrix& comm) {
+#if HCS_SIMD_ARGMIN_X86
+namespace {
+
+// Out-of-line so the non-AVX composition loop can call them without
+// carrying the target attribute itself; one call per pick is noise next
+// to the masked scan it replaces.
+__attribute__((target("avx512f,avx512dq")))
+std::size_t pick_best64(const double* row, std::uint64_t mask) {
+  return simd::argmax64(row, mask).index;
+}
+
+__attribute__((target("avx512f,avx512dq")))
+std::size_t pick_best_wide(const double* row, const std::uint64_t* mask_words,
+                           std::size_t words) {
+  return simd::argmax_wide(row, mask_words, words).index;
+}
+
+}  // namespace
+#endif  // HCS_SIMD_ARGMIN_X86
+
+// The hot loop is the step composition: every step retries every
+// unfinished sender for its best still-available destination. The
+// textbook form (reference_greedy_steps) sorts per-sender rank lists and
+// rescans each from the front, paying O(P) per sender per step for
+// destinations that were sent long ago.
+//
+// "Next destination in rank order" is just "longest event among my
+// pending, unclaimed destinations, ties to the lower index" — so on
+// AVX-512 hardware no rank list is materialized at all: each pick is one
+// branch-free masked argmax over the sender's row of C
+// (util/simd_argmin.hpp) with candidate mask pending & ~claimed, and the
+// per-call sort disappears entirely. Elsewhere the sorted-rank path
+// keeps a bitset over each sender's rank positions (bit set = not yet
+// sent), so a scan walks only still-pending destinations with a
+// count-trailing-zeros per word. Both paths emit identical steps. All
+// scratch lives in the workspace; a warmed call allocates only the
+// returned steps.
+StepSchedule greedy_steps(const CommMatrix& comm,
+                          SchedulerWorkspace& workspace) {
   const std::size_t n = comm.processor_count();
+  if (n <= 1) return StepSchedule{n, {}};
+  const std::size_t deg = n - 1;  // destinations per sender
 
-  // Per-sender destination lists, longest event first. Ties break toward
-  // the lower destination index for determinism.
-  std::vector<std::vector<std::size_t>> ranked(n);
-  for (std::size_t src = 0; src < n; ++src) {
-    auto& list = ranked[src];
-    for (std::size_t dst = 0; dst < n; ++dst)
-      if (dst != src) list.push_back(dst);
-    std::stable_sort(list.begin(), list.end(),
-                     [&](std::size_t a, std::size_t b) {
-                       return comm.time(src, a) > comm.time(src, b);
-                     });
-  }
+  workspace.remaining.assign(n, deg);
+  std::size_t total_remaining = n * deg;
 
-  // sent(src, dst) marks pairs already scheduled in earlier steps.
-  // (Matrix<bool> would hit vector<bool>'s proxy references.)
-  Matrix<unsigned char> sent(n, n, 0);
-  std::vector<std::size_t> remaining(n, n - 1);
-  std::size_t total_remaining = n * (n - 1);
-
-  // Traversal order for the next step, updated by the fairness rule.
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
+  // Traversal order for the next step, updated by the fairness rule:
+  // idle processors pick first next step; otherwise the last picker goes
+  // first. Relative order of the others is preserved. The claimed bitset
+  // is free scratch here — it is cleared at the top of the next step
+  // anyway — so it marks the idled set for the O(1) test.
+  workspace.order.resize(n);
+  std::iota(workspace.order.begin(), workspace.order.end(), 0);
+  workspace.next_order.clear();
+  workspace.idled.clear();
+  workspace.claimed.reset(n);
+  const auto advance_order = [&workspace](std::size_t last_picker) {
+    workspace.next_order.clear();
+    if (!workspace.idled.empty()) {
+      workspace.claimed.clear_all();
+      for (const std::size_t p : workspace.idled) workspace.claimed.set(p);
+      workspace.next_order = workspace.idled;
+      for (const std::size_t p : workspace.order)
+        if (!workspace.claimed.test(p)) workspace.next_order.push_back(p);
+    } else {
+      workspace.next_order.push_back(last_picker);
+      for (const std::size_t p : workspace.order)
+        if (p != last_picker) workspace.next_order.push_back(p);
+    }
+    std::swap(workspace.order, workspace.next_order);
+  };
 
   std::vector<std::vector<CommEvent>> steps;
-  while (total_remaining > 0) {
-    std::vector<CommEvent> step;
-    std::vector<bool> claimed(n, false);  // destinations taken this step
-    std::vector<std::size_t> idled;
-    std::size_t last_picker = order.front();
+  steps.reserve(n + 1);
 
-    for (const std::size_t src : order) {
-      if (remaining[src] == 0) continue;  // finished senders never idle
-      bool found = false;
-      for (const std::size_t dst : ranked[src]) {
-        if (sent(src, dst) != 0 || claimed[dst]) continue;
+#if HCS_SIMD_ARGMIN_X86
+  if (simd::has_avx512()) {
+    const std::size_t words = (n + 63) / 64;
+    const std::size_t padded = words * 64;
+
+    // Row pointers into C, padded so every argmax lane is readable. When
+    // n is already a lane multiple the matrix itself is the buffer;
+    // masked-off padding lanes never affect a pick either way.
+    const double* rows;
+    std::size_t stride;
+    if (n == padded) {
+      rows = comm.times().row(0).data();
+      stride = n;
+    } else {
+      workspace.time_rows.assign(n * padded, 0.0);
+      for (std::size_t src = 0; src < n; ++src)
+        std::copy_n(comm.times().row(src).data(), n,
+                    workspace.time_rows.data() + src * padded);
+      rows = workspace.time_rows.data();
+      stride = padded;
+    }
+
+    // Pending destinations per sender: every destination but self.
+    workspace.active_words.assign(words, ~std::uint64_t{0});
+    if (n % 64 != 0)
+      workspace.active_words[words - 1] = (std::uint64_t{1} << (n % 64)) - 1;
+    workspace.cand_bits.resize(n * words);
+    for (std::size_t src = 0; src < n; ++src) {
+      std::uint64_t* row = workspace.cand_bits.data() + src * words;
+      for (std::size_t w = 0; w < words; ++w) row[w] = workspace.active_words[w];
+      row[src >> 6] &= ~(std::uint64_t{1} << (src & 63));
+    }
+    workspace.mask_scratch.assign(2 * words, 0);
+    std::uint64_t* claimed = workspace.mask_scratch.data();
+    std::uint64_t* cand = claimed + words;
+
+    while (total_remaining > 0) {
+      std::vector<CommEvent> step;
+      step.reserve(n);
+      for (std::size_t w = 0; w < words; ++w) claimed[w] = 0;
+      workspace.idled.clear();
+      std::size_t last_picker = workspace.order.front();
+
+      for (const std::size_t src : workspace.order) {
+        if (workspace.remaining[src] == 0) continue;
+        const std::uint64_t* pending =
+            workspace.cand_bits.data() + src * words;
+        std::size_t dst;
+        if (words == 1) {
+          const std::uint64_t mask = pending[0] & ~claimed[0];
+          if (mask == 0) {
+            workspace.idled.push_back(src);
+            continue;
+          }
+          dst = pick_best64(rows + src * stride, mask);
+        } else {
+          std::uint64_t any = 0;
+          for (std::size_t w = 0; w < words; ++w)
+            any |= cand[w] = pending[w] & ~claimed[w];
+          if (any == 0) {
+            workspace.idled.push_back(src);
+            continue;
+          }
+          dst = pick_best_wide(rows + src * stride, cand, words);
+        }
         step.push_back({src, dst});
-        sent(src, dst) = 1;
-        claimed[dst] = true;
-        --remaining[src];
+        workspace.cand_bits[src * words + (dst >> 6)] &=
+            ~(std::uint64_t{1} << (dst & 63));
+        claimed[dst >> 6] |= std::uint64_t{1} << (dst & 63);
+        --workspace.remaining[src];
         --total_remaining;
         last_picker = src;
-        found = true;
-        break;
       }
-      if (!found) idled.push_back(src);
+      check(!step.empty(), "greedy_steps: no progress in a step");
+      steps.push_back(std::move(step));
+      advance_order(last_picker);
+    }
+    return StepSchedule{n, std::move(steps)};
+  }
+#endif  // HCS_SIMD_ARGMIN_X86
+
+  const std::size_t words = (deg + 63) / 64;  // bitset words per sender
+
+  // Per-sender destination lists, longest event first; ties break toward
+  // the lower destination index. Sorting by (time desc, dst asc) from the
+  // ascending fill reproduces the reference's stable_sort exactly, and
+  // std::sort runs in place — no per-call merge buffer.
+  workspace.ranked.resize(n * deg);
+  for (std::size_t src = 0; src < n; ++src) {
+    std::uint32_t* list = workspace.ranked.data() + src * deg;
+    std::size_t k = 0;
+    for (std::size_t dst = 0; dst < n; ++dst)
+      if (dst != src) list[k++] = static_cast<std::uint32_t>(dst);
+    std::sort(list, list + deg, [&](std::uint32_t a, std::uint32_t b) {
+      const double ta = comm.time(src, a), tb = comm.time(src, b);
+      return ta > tb || (ta == tb && a < b);
+    });
+  }
+
+  // avail bit (src, pos) set = ranked[src][pos] not sent yet.
+  const std::uint64_t full = ~std::uint64_t{0};
+  const std::uint64_t last_word =
+      (deg % 64 == 0) ? full : (std::uint64_t{1} << (deg % 64)) - 1;
+  workspace.avail_bits.assign(n * words, full);
+  for (std::size_t src = 0; src < n; ++src)
+    workspace.avail_bits[src * words + words - 1] = last_word;
+
+  while (total_remaining > 0) {
+    std::vector<CommEvent> step;
+    step.reserve(n);
+    workspace.claimed.clear_all();  // destinations taken this step
+    workspace.idled.clear();
+    std::size_t last_picker = workspace.order.front();
+
+    for (const std::size_t src : workspace.order) {
+      if (workspace.remaining[src] == 0) continue;  // finished senders never idle
+      std::uint64_t* avail = workspace.avail_bits.data() + src * words;
+      const std::uint32_t* list = workspace.ranked.data() + src * deg;
+      bool found = false;
+      for (std::size_t w = 0; w < words && !found; ++w) {
+        std::uint64_t bits = avail[w];
+        while (bits != 0) {
+          const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+          const std::size_t dst = list[w * 64 + b];
+          if (!workspace.claimed.test(dst)) {
+            step.push_back({src, dst});
+            avail[w] &= ~(std::uint64_t{1} << b);
+            workspace.claimed.set(dst);
+            --workspace.remaining[src];
+            --total_remaining;
+            last_picker = src;
+            found = true;
+            break;
+          }
+          bits &= bits - 1;  // claimed this step; try the next-ranked dst
+        }
+      }
+      if (!found) workspace.idled.push_back(src);
     }
     check(!step.empty(), "greedy_steps: no progress in a step");
     steps.push_back(std::move(step));
-
-    // Fairness: idle processors pick first next step; otherwise the last
-    // picker goes first. Relative order of the others is preserved.
-    std::vector<std::size_t> next_order;
-    next_order.reserve(n);
-    if (!idled.empty()) {
-      std::vector<bool> is_idle(n, false);
-      for (const std::size_t p : idled) is_idle[p] = true;
-      next_order = idled;
-      for (const std::size_t p : order)
-        if (!is_idle[p]) next_order.push_back(p);
-    } else {
-      next_order.push_back(last_picker);
-      for (const std::size_t p : order)
-        if (p != last_picker) next_order.push_back(p);
-    }
-    order = std::move(next_order);
+    advance_order(last_picker);
   }
   return StepSchedule{n, std::move(steps)};
 }
 
+StepSchedule greedy_steps(const CommMatrix& comm) {
+  SchedulerWorkspace workspace;
+  return greedy_steps(comm, workspace);
+}
+
 Schedule GreedyScheduler::schedule(const CommMatrix& comm) const {
-  return execute_async(greedy_steps(comm), comm);
+  return execute_async(greedy_steps(comm, workspace_), comm, workspace_);
 }
 
 }  // namespace hcs

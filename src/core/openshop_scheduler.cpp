@@ -1,12 +1,199 @@
 #include "core/openshop_scheduler.hpp"
 
 #include <algorithm>
-#include <queue>
-#include <vector>
+#include <bit>
+#include <limits>
 
 #include "util/error.hpp"
+#include "util/simd_argmin.hpp"
 
 namespace hcs {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// All three loop bodies below play the same textbook game
+// (reference_openshop_schedule): repeatedly take the earliest-available
+// sender (ties to the lowest index), match it with the earliest-available
+// receiver it has not served (ties to the lowest index), emit the event,
+// and advance both ports to the finish time. They differ only in how the
+// two argmins are computed, and all produce bit-identical schedules.
+//
+// State layout shared by every path: send_time / recv_avail are flat
+// per-port availability arrays (padded with +inf beyond n for the SIMD
+// paths), cand is a sender-major bitset of not-yet-served receivers, and
+// remaining counts each sender's outstanding sends.
+
+/// Scalar fallback: per event, one strict-< word-walk argmin per side.
+/// O(P) per event like the reference, but flat and branch-light — and
+/// the executable specification the SIMD paths are tested against.
+void openshop_loop_scalar(const CommMatrix& comm, std::size_t n,
+                          double* send_time, double* recv_avail,
+                          std::uint64_t* cand, std::uint64_t* active,
+                          std::uint32_t* remaining, ScheduledEvent* out) {
+  const std::size_t words = (n + 63) / 64;
+  const std::size_t total = n * (n - 1);
+  for (std::size_t ne = 0; ne < total; ++ne) {
+    std::size_t s = 0;
+    double best = kInf;
+    for (std::size_t w = 0; w < words; ++w) {
+      for (std::uint64_t bits = active[w]; bits != 0; bits &= bits - 1) {
+        const std::size_t i =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        if (send_time[i] < best) best = send_time[i], s = i;
+      }
+    }
+    const std::uint64_t* row = cand + s * words;
+    std::size_t r = 0;
+    double rv = kInf;
+    for (std::size_t w = 0; w < words; ++w) {
+      for (std::uint64_t bits = row[w]; bits != 0; bits &= bits - 1) {
+        const std::size_t i =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        if (recv_avail[i] < rv) rv = recv_avail[i], r = i;
+      }
+    }
+    const double start = std::max(send_time[s], rv);
+    const double finish = start + comm.time(s, r);
+    out[ne] = {s, r, start, finish};
+    cand[s * words + (r >> 6)] &= ~(std::uint64_t{1} << (r & 63));
+    recv_avail[r] = finish;
+    if (--remaining[s] > 0)
+      send_time[s] = finish;
+    else
+      active[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+  }
+}
+
+#if HCS_SIMD_ARGMIN_X86
+
+// The SIMD loops hide both argmins behind speculation so neither sits on
+// the per-event critical path:
+//
+//  * Sender side: the argmin over "every active sender but the current
+//    one" does not depend on the current event, so it issues immediately
+//    and the true next sender falls out of one scalar compare against
+//    the current sender's finish time (ties to the lower index).
+//  * Receiver side: the next event's receiver argmin is issued at the
+//    end of the current iteration with the just-updated receiver's lane
+//    masked out; the one excluded lane is resolved by a single scalar
+//    compare at the top of the next iteration, under the same tie rule.
+
+/// Fixed-width loop for n <= 64: one mask word per side, fully unrolled
+/// argmins. ~80 cycles per event on AVX-512 hardware.
+__attribute__((target("avx512f,avx512dq")))
+void openshop_loop64(const CommMatrix& comm, std::size_t n,
+                     double* send_time, double* recv_avail,
+                     std::uint64_t* cand, std::uint32_t* remaining,
+                     ScheduledEvent* out) {
+  std::uint64_t sendmask = n >= 64 ? ~std::uint64_t{0}
+                                   : (std::uint64_t{1} << n) - 1;
+  const std::size_t total = n * (n - 1);
+  std::size_t ne = 0;
+  std::size_t s = simd::argmin64(send_time, sendmask).index;
+  simd::MinLoc rs = simd::argmin64(recv_avail, cand[s]);
+  std::size_t r_prev = ~std::size_t{0};  // lane excluded from rs, if any
+  double finish_prev = 0.0;
+  while (ne < total) {
+    std::size_t r = rs.index;
+    double rv = rs.value;
+    if (r_prev < 64 && ((cand[s] >> r_prev) & 1) &&
+        (finish_prev < rv || (finish_prev == rv && r_prev < r))) {
+      r = r_prev;
+      rv = finish_prev;
+    }
+    const double avail = send_time[s];
+    const std::uint64_t others = sendmask & ~(std::uint64_t{1} << s);
+    const std::size_t s2 =
+        others != 0 ? simd::argmin64(send_time, others).index : s;
+    const double start = avail > rv ? avail : rv;
+    const double finish = start + comm.time(s, r);
+    out[ne++] = {s, r, start, finish};
+    cand[s] &= ~(std::uint64_t{1} << r);
+    recv_avail[r] = finish;
+    std::size_t snext;
+    if (--remaining[s] > 0) {
+      send_time[s] = finish;
+      const double t2 = send_time[s2];
+      snext = (s2 != s && (t2 < finish || (t2 == finish && s2 < s))) ? s2 : s;
+    } else {
+      send_time[s] = kInf;
+      sendmask &= ~(std::uint64_t{1} << s);
+      snext = s2;
+    }
+    if (ne >= total) break;
+    rs = simd::argmin64(recv_avail, cand[snext] & ~(std::uint64_t{1} << r));
+    r_prev = r;
+    finish_prev = finish;
+    s = snext;
+  }
+}
+
+/// Word-array variant of openshop_loop64 for n > 64. Identical structure;
+/// masks span `words` words and the speculative argmin inputs are built
+/// in the two scratch rows.
+__attribute__((target("avx512f,avx512dq")))
+void openshop_loop_wide(const CommMatrix& comm, std::size_t n,
+                        double* send_time, double* recv_avail,
+                        std::uint64_t* cand, std::uint64_t* active,
+                        std::uint64_t* scratch_send,
+                        std::uint64_t* scratch_recv,
+                        std::uint32_t* remaining, ScheduledEvent* out) {
+  const std::size_t words = (n + 63) / 64;
+  const std::size_t total = n * (n - 1);
+  std::size_t active_senders = n;
+  std::size_t ne = 0;
+  std::size_t s = simd::argmin_wide(send_time, active, words).index;
+  simd::MinLoc rs = simd::argmin_wide(recv_avail, cand + s * words, words);
+  std::size_t r_prev = ~std::size_t{0};
+  double finish_prev = 0.0;
+  while (ne < total) {
+    std::uint64_t* row = cand + s * words;
+    std::size_t r = rs.index;
+    double rv = rs.value;
+    if (r_prev != ~std::size_t{0} &&
+        ((row[r_prev >> 6] >> (r_prev & 63)) & 1) &&
+        (finish_prev < rv || (finish_prev == rv && r_prev < r))) {
+      r = r_prev;
+      rv = finish_prev;
+    }
+    const double avail = send_time[s];
+    std::size_t s2 = s;
+    if (active_senders > 1) {
+      for (std::size_t w = 0; w < words; ++w) scratch_send[w] = active[w];
+      scratch_send[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+      s2 = simd::argmin_wide(send_time, scratch_send, words).index;
+    }
+    const double start = avail > rv ? avail : rv;
+    const double finish = start + comm.time(s, r);
+    out[ne++] = {s, r, start, finish};
+    row[r >> 6] &= ~(std::uint64_t{1} << (r & 63));
+    recv_avail[r] = finish;
+    std::size_t snext;
+    if (--remaining[s] > 0) {
+      send_time[s] = finish;
+      const double t2 = send_time[s2];
+      snext = (s2 != s && (t2 < finish || (t2 == finish && s2 < s))) ? s2 : s;
+    } else {
+      send_time[s] = kInf;
+      active[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+      --active_senders;
+      snext = s2;
+    }
+    if (ne >= total) break;
+    const std::uint64_t* next_row = cand + snext * words;
+    for (std::size_t w = 0; w < words; ++w) scratch_recv[w] = next_row[w];
+    scratch_recv[r >> 6] &= ~(std::uint64_t{1} << (r & 63));
+    rs = simd::argmin_wide(recv_avail, scratch_recv, words);
+    r_prev = r;
+    finish_prev = finish;
+    s = snext;
+  }
+}
+
+#endif  // HCS_SIMD_ARGMIN_X86
+
+}  // namespace
 
 Schedule OpenShopScheduler::schedule(const CommMatrix& comm) const {
   const std::size_t n = comm.processor_count();
@@ -17,47 +204,57 @@ Schedule OpenShopScheduler::schedule(const CommMatrix& comm) const {
 Schedule OpenShopScheduler::schedule_with_availability(
     const CommMatrix& comm, const std::vector<double>& initial_send,
     const std::vector<double>& initial_recv) const {
+  SchedulerWorkspace& ws = workspace_;
   const std::size_t n = comm.processor_count();
   check(initial_send.size() == n && initial_recv.size() == n,
         "OpenShopScheduler: availability vector size mismatch");
+  if (n <= 1) return Schedule{n, {}};
 
-  // Receiver sets R_i: receivers sender i still has to serve.
-  std::vector<std::vector<std::size_t>> receiver_set(n);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < n; ++j)
-      if (i != j) receiver_set[i].push_back(j);
+  const std::size_t words = (n + 63) / 64;
+  const std::size_t padded = words * 64;
 
-  std::vector<double> recv_avail = initial_recv;
+  // Availability arrays, padded with +inf so masked-off SIMD lanes hold
+  // values that can never win an argmin.
+  ws.send_avail.assign(padded, kInf);
+  ws.recv_avail.assign(padded, kInf);
+  std::copy(initial_send.begin(), initial_send.end(), ws.send_avail.begin());
+  std::copy(initial_recv.begin(), initial_recv.end(), ws.recv_avail.begin());
 
-  // Senders ordered by availability time; ties resolve toward the lower
-  // index ("processed in an arbitrary order" — fixed for determinism).
-  using Entry = std::pair<double, std::size_t>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> senders;
-  for (std::size_t i = 0; i < n; ++i)
-    if (!receiver_set[i].empty()) senders.push({initial_send[i], i});
+  // Active senders: one bit per processor; padding bits stay zero.
+  ws.active_words.assign(words, ~std::uint64_t{0});
+  if (n % 64 != 0)
+    ws.active_words[words - 1] = (std::uint64_t{1} << (n % 64)) - 1;
 
-  std::vector<ScheduledEvent> events;
-  events.reserve(n * (n - 1));
-
-  while (!senders.empty()) {
-    const auto [avail, sender] = senders.top();
-    senders.pop();
-
-    // Earliest available receiver in R_sender; ties toward lower index.
-    auto& candidates = receiver_set[sender];
-    std::size_t best_pos = 0;
-    for (std::size_t pos = 1; pos < candidates.size(); ++pos)
-      if (recv_avail[candidates[pos]] < recv_avail[candidates[best_pos]])
-        best_pos = pos;
-    const std::size_t receiver = candidates[best_pos];
-    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(best_pos));
-
-    const double start = std::max(avail, recv_avail[receiver]);
-    const double finish = start + comm.time(sender, receiver);
-    events.push_back({sender, receiver, start, finish});
-    recv_avail[receiver] = finish;
-    if (!candidates.empty()) senders.push({finish, sender});
+  // Candidate receivers: every receiver but self — the active template
+  // with the sender's own bit cleared.
+  ws.cand_bits.resize(n * words);
+  for (std::size_t s = 0; s < n; ++s) {
+    std::uint64_t* row = ws.cand_bits.data() + s * words;
+    for (std::size_t w = 0; w < words; ++w) row[w] = ws.active_words[w];
+    row[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
   }
+  ws.mask_scratch.assign(2 * words, 0);
+  ws.remaining32.assign(n, static_cast<std::uint32_t>(n - 1));
+
+  std::vector<ScheduledEvent> events(n * (n - 1));
+#if HCS_SIMD_ARGMIN_X86
+  if (simd::has_avx512()) {
+    if (n <= 64)
+      openshop_loop64(comm, n, ws.send_avail.data(), ws.recv_avail.data(),
+                      ws.cand_bits.data(), ws.remaining32.data(),
+                      events.data());
+    else
+      openshop_loop_wide(comm, n, ws.send_avail.data(), ws.recv_avail.data(),
+                         ws.cand_bits.data(), ws.active_words.data(),
+                         ws.mask_scratch.data(),
+                         ws.mask_scratch.data() + words,
+                         ws.remaining32.data(), events.data());
+    return Schedule{n, std::move(events)};
+  }
+#endif
+  openshop_loop_scalar(comm, n, ws.send_avail.data(), ws.recv_avail.data(),
+                       ws.cand_bits.data(), ws.active_words.data(),
+                       ws.remaining32.data(), events.data());
   return Schedule{n, std::move(events)};
 }
 

@@ -30,7 +30,8 @@ StepSchedule random_steps(std::size_t processor_count, std::uint64_t seed) {
 }
 
 Schedule RandomScheduler::schedule(const CommMatrix& comm) const {
-  return execute_async(random_steps(comm.processor_count(), seed_), comm);
+  return execute_async(random_steps(comm.processor_count(), seed_), comm,
+                       workspace_);
 }
 
 }  // namespace hcs

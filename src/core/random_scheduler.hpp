@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "core/scheduler.hpp"
+#include "core/scheduler_workspace.hpp"
 #include "core/step_schedule.hpp"
 
 namespace hcs {
@@ -29,6 +30,7 @@ class RandomScheduler final : public Scheduler {
 
  private:
   std::uint64_t seed_;
+  mutable SchedulerWorkspace workspace_;  // scratch, not logical state
 };
 
 }  // namespace hcs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/scheduler_workspace.hpp"
 #include "util/error.hpp"
 
 namespace hcs {
@@ -50,12 +51,13 @@ bool StepSchedule::covers_total_exchange() const {
 namespace {
 
 Schedule execute(const StepSchedule& steps, const CommMatrix& comm,
-                 bool barrier) {
+                 bool barrier, std::vector<double>& send_avail,
+                 std::vector<double>& recv_avail) {
   check(steps.processor_count() == comm.processor_count(),
         "execute: step schedule and communication matrix sizes differ");
   const std::size_t n = steps.processor_count();
-  std::vector<double> send_avail(n, 0.0);
-  std::vector<double> recv_avail(n, 0.0);
+  send_avail.assign(n, 0.0);
+  recv_avail.assign(n, 0.0);
   std::vector<ScheduledEvent> events;
   events.reserve(steps.event_count());
 
@@ -79,11 +81,25 @@ Schedule execute(const StepSchedule& steps, const CommMatrix& comm,
 }  // namespace
 
 Schedule execute_async(const StepSchedule& steps, const CommMatrix& comm) {
-  return execute(steps, comm, /*barrier=*/false);
+  std::vector<double> send_avail, recv_avail;
+  return execute(steps, comm, /*barrier=*/false, send_avail, recv_avail);
 }
 
 Schedule execute_barrier(const StepSchedule& steps, const CommMatrix& comm) {
-  return execute(steps, comm, /*barrier=*/true);
+  std::vector<double> send_avail, recv_avail;
+  return execute(steps, comm, /*barrier=*/true, send_avail, recv_avail);
+}
+
+Schedule execute_async(const StepSchedule& steps, const CommMatrix& comm,
+                       SchedulerWorkspace& workspace) {
+  return execute(steps, comm, /*barrier=*/false, workspace.send_avail,
+                 workspace.recv_avail);
+}
+
+Schedule execute_barrier(const StepSchedule& steps, const CommMatrix& comm,
+                         SchedulerWorkspace& workspace) {
+  return execute(steps, comm, /*barrier=*/true, workspace.send_avail,
+                 workspace.recv_avail);
 }
 
 }  // namespace hcs

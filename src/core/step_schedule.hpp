@@ -17,6 +17,8 @@
 
 namespace hcs {
 
+class SchedulerWorkspace;
+
 /// An unscheduled communication event: source and destination processor.
 struct CommEvent {
   std::size_t src = 0;
@@ -62,5 +64,15 @@ class StepSchedule {
 /// ablation bench to quantify what the no-barrier semantics buy.
 [[nodiscard]] Schedule execute_barrier(const StepSchedule& steps,
                                        const CommMatrix& comm);
+
+/// Workspace-backed executors: the per-port availability scratch lives in
+/// the caller's SchedulerWorkspace, so a warmed executor allocates only
+/// the returned schedule. Output is identical to the two-argument forms.
+[[nodiscard]] Schedule execute_async(const StepSchedule& steps,
+                                     const CommMatrix& comm,
+                                     SchedulerWorkspace& workspace);
+[[nodiscard]] Schedule execute_barrier(const StepSchedule& steps,
+                                       const CommMatrix& comm,
+                                       SchedulerWorkspace& workspace);
 
 }  // namespace hcs

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <string>
-#include <thread>
 
 #include "netmodel/directory.hpp"
 #include "sim/send_program.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hcs {
 namespace {
@@ -40,7 +40,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.series.push_back({kind, {}, {}, {}});
 
   const std::size_t workers =
-      std::max<std::size_t>(1, std::min(config.parallelism, config.repetitions));
+      ThreadPool::resolve_size(config.threads, config.repetitions);
+  ThreadPool pool{workers};
 
   // Execution-pass scratch, one per worker and reused across the whole
   // sweep: after warm-up a repetition's simulation allocates nothing.
@@ -50,19 +51,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   std::vector<MetricsRegistry> worker_metrics(
       config.metrics != nullptr ? workers : 0);
 
-  for (const std::size_t processors : config.processor_counts) {
-    // Per-worker accumulators; merged in worker order so results are
-    // reproducible for a fixed parallelism setting (and equal up to
-    // floating-point summation order across settings).
-    std::vector<RunningStats> worker_lower_bound(workers);
-    std::vector<std::vector<RunningStats>> worker_completion(
-        workers, std::vector<RunningStats>(config.schedulers.size()));
-    std::vector<std::vector<RunningStats>> worker_ratio(
-        workers, std::vector<RunningStats>(config.schedulers.size()));
-    std::vector<std::vector<RunningStats>> worker_executed(
-        config.execute ? workers : 0,
-        std::vector<RunningStats>(config.schedulers.size()));
+  const std::size_t sched_count = config.schedulers.size();
+  // Per-repetition result slots. Every repetition writes only its own
+  // slots, and the slots are folded into the statistics serially in
+  // repetition order below — so the result is byte-identical to a serial
+  // run at any thread count.
+  std::vector<double> rep_lower_bound(config.repetitions);
+  std::vector<double> rep_completion(config.repetitions * sched_count);
+  std::vector<double> rep_executed(
+      config.execute ? config.repetitions * sched_count : 0);
 
+  for (const std::size_t processors : config.processor_counts) {
     const auto run_repetition = [&](std::size_t worker, std::size_t rep) {
       const std::uint64_t seed =
           instance_seed(config.base_seed, processors, rep);
@@ -70,19 +69,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           make_instance(config.scenario, processors, seed);
       const CommMatrix comm{instance.network, instance.messages};
       const double lower_bound = comm.lower_bound();
-      worker_lower_bound[worker].add(lower_bound);
+      rep_lower_bound[rep] = lower_bound;
       MetricsRegistry* const metrics =
           config.metrics != nullptr ? &worker_metrics[worker] : nullptr;
       if (metrics != nullptr) metrics->counter("experiment.instances").add();
 
-      for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
+      for (std::size_t s = 0; s < sched_count; ++s) {
         const auto scheduler = make_scheduler(config.schedulers[s], seed);
         const Schedule schedule = scheduler->schedule(comm);
         if (config.validate) schedule.validate(comm);
         const double completion = schedule.completion_time();
-        worker_completion[worker][s].add(completion);
-        worker_ratio[worker][s].add(
-            lower_bound > 0.0 ? completion / lower_bound : 1.0);
+        rep_completion[rep * sched_count + s] = completion;
         if (metrics != nullptr) {
           metrics->counter("experiment.schedules").add();
           metrics->histogram("experiment.completion_s").observe(completion);
@@ -96,8 +93,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           simulator.run_into(SendProgram::from_schedule(schedule),
                              config.execution, worker_workspace[worker],
                              worker_sim_result[worker]);
-          worker_executed[worker][s].add(
-              worker_sim_result[worker].completion_time);
+          rep_executed[rep * sched_count + s] =
+              worker_sim_result[worker].completion_time;
           if (metrics != nullptr) {
             const SimResult& sim = worker_sim_result[worker];
             metrics->counter("sim.events").add(sim.events.size());
@@ -110,35 +107,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       }
     };
 
-    if (workers == 1) {
-      for (std::size_t rep = 0; rep < config.repetitions; ++rep)
-        run_repetition(0, rep);
-    } else {
-      // Strided split: worker w handles repetitions w, w+workers, ...,
-      // so each worker's insertion order is a fixed subsequence of the
-      // serial order.
-      std::vector<std::thread> threads;
-      threads.reserve(workers);
-      for (std::size_t worker = 0; worker < workers; ++worker) {
-        threads.emplace_back([&, worker] {
-          for (std::size_t rep = worker; rep < config.repetitions;
-               rep += workers)
-            run_repetition(worker, rep);
-        });
-      }
-      for (std::thread& thread : threads) thread.join();
-    }
+    pool.run(config.repetitions, run_repetition);
 
     RunningStats lower_bound_stats;
-    std::vector<RunningStats> completion_stats(config.schedulers.size());
-    std::vector<RunningStats> ratio_stats(config.schedulers.size());
-    std::vector<RunningStats> executed_stats(config.schedulers.size());
-    for (std::size_t worker = 0; worker < workers; ++worker) {
-      lower_bound_stats.merge(worker_lower_bound[worker]);
-      for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
-        completion_stats[s].merge(worker_completion[worker][s]);
-        ratio_stats[s].merge(worker_ratio[worker][s]);
-        if (config.execute) executed_stats[s].merge(worker_executed[worker][s]);
+    std::vector<RunningStats> completion_stats(sched_count);
+    std::vector<RunningStats> ratio_stats(sched_count);
+    std::vector<RunningStats> executed_stats(sched_count);
+    for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+      const double lower_bound = rep_lower_bound[rep];
+      lower_bound_stats.add(lower_bound);
+      for (std::size_t s = 0; s < sched_count; ++s) {
+        const double completion = rep_completion[rep * sched_count + s];
+        completion_stats[s].add(completion);
+        ratio_stats[s].add(lower_bound > 0.0 ? completion / lower_bound : 1.0);
+        if (config.execute)
+          executed_stats[s].add(rep_executed[rep * sched_count + s]);
       }
     }
 

@@ -31,11 +31,12 @@ struct ExperimentConfig {
   /// Validate every schedule against the model invariants (cheap; on by
   /// default so a scheduling bug can never produce a figure silently).
   bool validate = true;
-  /// Worker threads for the repetition loop. Results are independent of
-  /// this setting up to floating-point summation order: each repetition's
-  /// instance seed depends only on (P, repetition), and per-thread
-  /// accumulators merge deterministically.
-  std::size_t parallelism = 1;
+  /// Worker threads for the repetition loop; 0 means one per hardware
+  /// thread. The result is byte-identical at every setting: repetition
+  /// seeds depend only on (P, repetition), every repetition writes its
+  /// own result slot, and slots are folded into the statistics serially
+  /// in repetition order afterwards.
+  std::size_t threads = 0;
   /// Also *execute* every schedule through the network simulator (on a
   /// static directory of the instance's network) and report the mean
   /// simulated completion time per series. Each worker thread keeps its
@@ -50,8 +51,9 @@ struct ExperimentConfig {
   /// sweep accumulates counters (instances, schedules, simulated events,
   /// failed attempts), completion/ratio/wait histograms, and workspace
   /// high-water-mark gauges into it. Workers record into per-thread
-  /// registries merged in worker order, so the totals are deterministic
-  /// for a fixed parallelism setting and the hot loops stay uncontended.
+  /// registries merged in worker order; with the pool's strided
+  /// scheduling the totals are deterministic for a fixed thread count
+  /// and the hot loops stay uncontended.
   MetricsRegistry* metrics = nullptr;
 };
 

@@ -320,12 +320,7 @@ ResilientResult run_resilient_impl(const Scheduler& scheduler,
         !plan.empty() || health.quarantined_pair_count() > 0;
     const NetworkModel snapshot =
         overlay_active ? planning.snapshot(now) : directory.snapshot(now);
-    Matrix<double> estimate(n, n, 0.0);
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = 0; j < n; ++j)
-        if (remaining(i, j) != 0)
-          estimate(i, j) = snapshot.cost(i, j, messages(i, j));
-    const CommMatrix comm{std::move(estimate)};
+    const CommMatrix comm{snapshot.cost_matrix(messages, remaining)};
     Schedule planned = [&] {
       const auto* avail_aware =
           dynamic_cast<const AvailabilityAwareScheduler*>(&scheduler);

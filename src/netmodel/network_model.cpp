@@ -42,6 +42,41 @@ double NetworkModel::cost(std::size_t src, std::size_t dst,
   return link(src, dst).transfer_time(bytes);
 }
 
+Matrix<double> NetworkModel::cost_matrix(
+    const Matrix<std::uint64_t>& bytes) const {
+  const std::size_t n = processor_count();
+  if (bytes.rows() != n || bytes.cols() != n)
+    throw InputError("NetworkModel: byte matrix does not match network size");
+  Matrix<double> times(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) times(i, j) = link(i, j).transfer_time(bytes(i, j));
+  return times;
+}
+
+Matrix<double> NetworkModel::cost_matrix(const Matrix<std::uint64_t>& bytes,
+                                         const Matrix<unsigned char>& mask) const {
+  const std::size_t n = processor_count();
+  if (bytes.rows() != n || bytes.cols() != n || mask.rows() != n ||
+      mask.cols() != n)
+    throw InputError("NetworkModel: byte/mask matrices do not match network size");
+  Matrix<double> times(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j && mask(i, j) != 0)
+        times(i, j) = link(i, j).transfer_time(bytes(i, j));
+  return times;
+}
+
+Matrix<double> NetworkModel::cost_matrix(std::uint64_t bytes) const {
+  const std::size_t n = processor_count();
+  Matrix<double> times(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) times(i, j) = link(i, j).transfer_time(bytes);
+  return times;
+}
+
 bool NetworkModel::symmetric() const {
   const std::size_t n = processor_count();
   for (std::size_t i = 0; i < n; ++i)

@@ -44,6 +44,21 @@ class NetworkModel {
   [[nodiscard]] double cost(std::size_t src, std::size_t dst,
                             std::uint64_t bytes) const;
 
+  /// Full P×P table of cost(i, j, bytes(i, j)) — the T_ij + m_ij/B_ij
+  /// matrix every scheduler consumes. The diagonal is zero.
+  [[nodiscard]] Matrix<double> cost_matrix(
+      const Matrix<std::uint64_t>& bytes) const;
+
+  /// Masked variant: entries where mask(i, j) == 0 cost zero. Used by the
+  /// adaptive executors to price only the still-outstanding pairs.
+  [[nodiscard]] Matrix<double> cost_matrix(
+      const Matrix<std::uint64_t>& bytes,
+      const Matrix<unsigned char>& mask) const;
+
+  /// Uniform-payload table of cost(i, j, bytes) for every ordered pair —
+  /// what the rooted collectives scan repeatedly.
+  [[nodiscard]] Matrix<double> cost_matrix(std::uint64_t bytes) const;
+
   /// True when both parameter matrices are symmetric (the GUSTO tables
   /// are; generated networks may choose not to be).
   [[nodiscard]] bool symmetric() const;

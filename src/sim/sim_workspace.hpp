@@ -22,188 +22,18 @@
 #include <utility>
 #include <vector>
 
+#include "util/flat_heap.hpp"
+
 namespace hcs {
 
 class NetworkSimulator;
 
+// The heap primitives moved to util/flat_heap.hpp when the scheduler
+// workspace (src/core/scheduler_workspace.hpp) became their second
+// client; the sim_detail names remain for the simulator internals.
 namespace sim_detail {
-
-/// Flat array-backed binary min-heap. Semantically equivalent to
-/// std::priority_queue with std::greater, but the backing vector is
-/// reusable: clear() keeps capacity, so a warmed heap pushes without
-/// allocating. push/pop sift a hole through the array — one move per
-/// level, like std::push_heap / std::pop_heap — rather than swapping
-/// elements. Any correct min-heap pops values in nondecreasing order, and
-/// every equal-key collision in the simulator involves identical values,
-/// so heap layout never influences simulation results.
-template <class T>
-class FlatMinHeap {
- public:
-  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
-  /// Warmed backing-array capacity — the heap's high-water mark.
-  [[nodiscard]] std::size_t capacity() const noexcept {
-    return items_.capacity();
-  }
-  [[nodiscard]] const T& top() const { return items_.front(); }
-
-  void clear() noexcept { items_.clear(); }
-
-  void push(const T& value) {
-    const T v = value;  // by value: `value` may alias into items_
-    items_.push_back(v);
-    std::size_t i = items_.size() - 1;
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / 2;
-      if (!(v < items_[parent])) break;
-      items_[i] = items_[parent];
-      i = parent;
-    }
-    items_[i] = v;
-  }
-
-  /// Replaces the minimum with `value` in one sift — equivalent to pop()
-  /// followed by push(value), but the hole the pop opens at the root is
-  /// filled directly. Event loops that pop an event and immediately
-  /// schedule its continuation cut their heap traffic nearly in half.
-  void replace_top(const T& value) {
-    const T v = value;  // by value: `value` may alias into items_
-    sift_from_root(v);
-  }
-
-  void pop() {
-    const T last = items_.back();
-    items_.pop_back();
-    if (items_.empty()) return;
-    sift_from_root(last);
-  }
-
- private:
-  /// Fills the root hole with `v`: sink the hole to a leaf along
-  /// min-children (one compare per level, no compare against `v`), then
-  /// bubble `v` up from there. For a `v` that belongs near the bottom —
-  /// pop() reinserts a leaf, replace_top() usually inserts a later
-  /// timestamp — the bubble-up stops almost immediately, about half the
-  /// compares of the textbook down-sift.
-  void sift_from_root(const T& v) {
-    const std::size_t n = items_.size();
-    std::size_t i = 0;
-    for (;;) {
-      std::size_t child = 2 * i + 1;
-      if (child >= n) break;
-      if (child + 1 < n && items_[child + 1] < items_[child]) ++child;
-      items_[i] = items_[child];
-      i = child;
-    }
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / 2;
-      if (!(v < items_[parent])) break;
-      items_[i] = items_[parent];
-      i = parent;
-    }
-    items_[i] = v;
-  }
-
-  std::vector<T> items_;
-};
-
-/// Indexed binary min-heap over at most n ids keyed by (time, id): an id's
-/// key can be inserted, updated, or removed in O(log n) via a position
-/// index. The interleaved model keeps one entry per receiver with active
-/// messages, keyed by that receiver's projected earliest completion time;
-/// equal times resolve to the lowest receiver id, matching a naive
-/// ascending scan with strict <.
-class IndexedTimeHeap {
- public:
-  /// Empties the heap and (re)sizes the position index for ids < n.
-  void reset(std::size_t n) {
-    pos_.assign(n, kAbsent);
-    heap_.clear();
-  }
-
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  /// Warmed backing-array capacity — the heap's high-water mark.
-  [[nodiscard]] std::size_t capacity() const noexcept {
-    return heap_.capacity();
-  }
-  [[nodiscard]] double top_time() const { return heap_.front().time; }
-  [[nodiscard]] std::size_t top_id() const { return heap_.front().id; }
-  [[nodiscard]] bool contains(std::size_t id) const {
-    return pos_[id] != kAbsent;
-  }
-
-  /// Inserts `id` with key `time`, or changes its key if present.
-  void update(std::size_t id, double time) {
-    if (pos_[id] == kAbsent) {
-      pos_[id] = heap_.size();
-      heap_.push_back({time, id});
-      sift_up(heap_.size() - 1);
-    } else {
-      const std::size_t i = pos_[id];
-      heap_[i].time = time;
-      sift_up(i);
-      sift_down(pos_[id]);
-    }
-  }
-
-  /// Removes `id`; no-op if absent.
-  void remove(std::size_t id) {
-    if (pos_[id] == kAbsent) return;
-    const std::size_t i = pos_[id];
-    pos_[id] = kAbsent;
-    const Entry last = heap_.back();
-    heap_.pop_back();
-    if (i == heap_.size()) return;
-    heap_[i] = last;
-    pos_[last.id] = i;
-    sift_up(i);
-    sift_down(pos_[last.id]);
-  }
-
- private:
-  struct Entry {
-    double time;
-    std::size_t id;
-    [[nodiscard]] bool less_than(const Entry& other) const {
-      return time < other.time || (time == other.time && id < other.id);
-    }
-  };
-
-  static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
-
-  void sift_up(std::size_t i) {
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / 2;
-      if (!heap_[i].less_than(heap_[parent])) break;
-      swap_entries(i, parent);
-      i = parent;
-    }
-  }
-
-  void sift_down(std::size_t i) {
-    const std::size_t n = heap_.size();
-    for (;;) {
-      std::size_t smallest = i;
-      const std::size_t left = 2 * i + 1;
-      const std::size_t right = 2 * i + 2;
-      if (left < n && heap_[left].less_than(heap_[smallest])) smallest = left;
-      if (right < n && heap_[right].less_than(heap_[smallest])) smallest = right;
-      if (smallest == i) break;
-      swap_entries(i, smallest);
-      i = smallest;
-    }
-  }
-
-  void swap_entries(std::size_t a, std::size_t b) {
-    std::swap(heap_[a], heap_[b]);
-    pos_[heap_[a].id] = a;
-    pos_[heap_[b].id] = b;
-  }
-
-  std::vector<Entry> heap_;
-  std::vector<std::size_t> pos_;
-};
-
+using ::hcs::detail::FlatMinHeap;
+using ::hcs::detail::IndexedTimeHeap;
 }  // namespace sim_detail
 
 /// All scratch storage one simulation run needs, reusable across runs and

@@ -1,0 +1,221 @@
+// Masked argmin / argmax kernels over flat double arrays (AVX-512).
+//
+// The scheduler hot loops (open-shop event selection, greedy step
+// composition) reduce to one primitive: over the lanes named by a bitmask,
+// find the extreme value and the lowest index attaining it. The scalar
+// form — walk set bits, compare, remember — costs a data-dependent branch
+// per candidate; these kernels evaluate all 64 lanes branch-free in a
+// handful of vector ops and recover the index with the exact same tie
+// rule, so callers swap them in without changing one scheduled event.
+//
+// Exactness contract: comparisons are IEEE double compares on the stored
+// values (no reassociation, no fast-math), and ties resolve to the lowest
+// index, matching an ascending-index scalar scan with a strict compare.
+// Results are bit-identical to the scalar path for any finite inputs.
+//
+// Layout contract: arrays are padded so every lane a kernel loads exists —
+// argmin64/argmax64 read 64 doubles regardless of the mask; the wide
+// variants read word_count * 64. Masked-off lanes never influence the
+// result, so padding values are arbitrary (infinities by convention).
+//
+// The kernels carry `__attribute__((target(...)))` so this header compiles
+// without global -mavx512f flags; call sites must gate on has_avx512(),
+// which also honours the HCS_FORCE_SCALAR_SCHEDULERS environment variable
+// (any non-empty value) so differential tests can exercise both paths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HCS_SIMD_ARGMIN_X86 1
+#include <immintrin.h>
+#else
+#define HCS_SIMD_ARGMIN_X86 0
+#endif
+
+namespace hcs::simd {
+
+/// Extreme value and the lowest index attaining it.
+struct MinLoc {
+  double value;
+  std::size_t index;
+};
+
+/// True when the AVX-512 kernels may be used: the CPU supports the
+/// required subsets and HCS_FORCE_SCALAR_SCHEDULERS is not set.
+[[nodiscard]] inline bool has_avx512() noexcept {
+#if HCS_SIMD_ARGMIN_X86
+  static const bool available = [] {
+    const char* force = std::getenv("HCS_FORCE_SCALAR_SCHEDULERS");
+    if (force != nullptr && force[0] != '\0') return false;
+    return bool(__builtin_cpu_supports("avx512f")) &&
+           bool(__builtin_cpu_supports("avx512dq"));
+  }();
+  return available;
+#else
+  return false;
+#endif
+}
+
+#if HCS_SIMD_ARGMIN_X86
+
+// The unmasked shuffle intrinsics expand to their masked forms seeded
+// with _mm512_undefined_*(), which trips -Wuninitialized at every
+// inlining site despite being intentional.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+namespace detail {
+
+/// One masked accumulate: lanes of `x` under `k` that beat `acc` replace
+/// the accumulator pair. Strict compare keeps the earlier block on ties.
+template <int Cmp>
+__attribute__((target("avx512f,avx512dq"), always_inline)) inline void
+accumulate(__m512d& acc, __m512i& idx, __m512d x, __mmask8 k, __m512i lanes) {
+  const __mmask8 better = _mm512_mask_cmp_pd_mask(k, x, acc, Cmp);
+  acc = _mm512_mask_mov_pd(acc, better, x);
+  idx = _mm512_mask_mov_epi64(idx, better, lanes);
+}
+
+/// Merge accumulator b into a where b covers strictly higher indices:
+/// value ties keep a, so a strict compare alone preserves the tie rule.
+template <int Cmp>
+__attribute__((target("avx512f,avx512dq"), always_inline)) inline void
+merge_ordered(__m512d& ba, __m512i& ia, __m512d bb, __m512i ib) {
+  const __mmask8 take = _mm512_cmp_pd_mask(bb, ba, Cmp);
+  ba = _mm512_mask_mov_pd(ba, take, bb);
+  ia = _mm512_mask_mov_epi64(ia, take, ib);
+}
+
+/// Merge where index order is unknown: ties take the lower index.
+template <int Cmp>
+__attribute__((target("avx512f,avx512dq"), always_inline)) inline void
+merge_tied(__m512d& ba, __m512i& ia, __m512d bb, __m512i ib) {
+  const __mmask8 better = _mm512_cmp_pd_mask(bb, ba, Cmp);
+  const __mmask8 eq = _mm512_cmp_pd_mask(bb, ba, _CMP_EQ_OQ);
+  const __mmask8 lower = _mm512_cmp_epi64_mask(ib, ia, _MM_CMPINT_LT);
+  const __mmask8 take = better | (eq & lower);
+  ba = _mm512_mask_mov_pd(ba, take, bb);
+  ia = _mm512_mask_mov_epi64(ia, take, ib);
+}
+
+/// Cross-lane (value, index) reduction of one accumulator pair: three
+/// shuffle levels where value and index reduce together — cheaper in
+/// latency than two dependent reduce builtins.
+template <int Cmp>
+__attribute__((target("avx512f,avx512dq"), always_inline)) inline MinLoc
+reduce(__m512d b, __m512i i) {
+  __m512d bs = _mm512_shuffle_f64x2(b, b, 0x4E);
+  __m512i is = _mm512_shuffle_i64x2(i, i, 0x4E);
+  merge_tied<Cmp>(b, i, bs, is);
+  bs = _mm512_shuffle_f64x2(b, b, 0xB1);
+  is = _mm512_shuffle_i64x2(i, i, 0xB1);
+  merge_tied<Cmp>(b, i, bs, is);
+  bs = _mm512_shuffle_pd(b, b, 0x55);
+  is = _mm512_shuffle_epi32(i, static_cast<_MM_PERM_ENUM>(0x4E));
+  merge_tied<Cmp>(b, i, bs, is);
+  return {_mm512_cvtsd_f64(b),
+          static_cast<std::size_t>(
+              _mm_cvtsi128_si64(_mm512_castsi512_si128(i)))};
+}
+
+/// Fixed 64-lane masked arg-extreme. Four accumulator chains each own a
+/// contiguous 16-lane range, so the inter-chain merges need no index
+/// compare; only the final cross-lane reduction resolves ties by index.
+template <int Cmp>
+__attribute__((target("avx512f,avx512dq"), always_inline)) inline MinLoc
+argext64(const double* v, std::uint64_t mask, double identity) {
+  const __m512d init = _mm512_set1_pd(identity);
+  __m512d b0 = init, b1 = init, b2 = init, b3 = init;
+  const __m512i zero = _mm512_setzero_si512();
+  __m512i i0 = zero, i1 = zero, i2 = zero, i3 = zero;
+  const __m512i lane8 = _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0);
+#define HCS_ARGMIN_STEP(acc, idx, w)                                       \
+  accumulate<Cmp>(acc, idx, _mm512_loadu_pd(v + 8 * (w)),                  \
+                  static_cast<__mmask8>(mask >> (8 * (w))),                \
+                  _mm512_add_epi64(_mm512_set1_epi64(8 * (w)), lane8));
+  HCS_ARGMIN_STEP(b0, i0, 0) HCS_ARGMIN_STEP(b0, i0, 1)
+  HCS_ARGMIN_STEP(b1, i1, 2) HCS_ARGMIN_STEP(b1, i1, 3)
+  HCS_ARGMIN_STEP(b2, i2, 4) HCS_ARGMIN_STEP(b2, i2, 5)
+  HCS_ARGMIN_STEP(b3, i3, 6) HCS_ARGMIN_STEP(b3, i3, 7)
+#undef HCS_ARGMIN_STEP
+  merge_ordered<Cmp>(b0, i0, b1, i1);
+  merge_ordered<Cmp>(b2, i2, b3, i3);
+  merge_ordered<Cmp>(b0, i0, b2, i2);
+  return reduce<Cmp>(b0, i0);
+}
+
+/// Wide masked arg-extreme over word_count * 64 lanes. Same structure as
+/// argext64 with each chain looping over a contiguous quarter of the
+/// 8-lane blocks (word_count * 8 blocks total, always divisible by 4).
+template <int Cmp>
+__attribute__((target("avx512f,avx512dq")))
+inline MinLoc argext_wide(const double* v, const std::uint64_t* mask_words,
+                          std::size_t word_count, double identity) {
+  const __m512d init = _mm512_set1_pd(identity);
+  __m512d b0 = init, b1 = init, b2 = init, b3 = init;
+  const __m512i zero = _mm512_setzero_si512();
+  __m512i i0 = zero, i1 = zero, i2 = zero, i3 = zero;
+  const __m512i lane8 = _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0);
+  const std::size_t blocks = word_count * 8;
+  const std::size_t q = blocks / 4;
+#define HCS_ARGMIN_CHAIN(acc, idx, lo, hi)                                 \
+  for (std::size_t b = (lo); b < (hi); ++b) {                              \
+    accumulate<Cmp>(                                                       \
+        acc, idx, _mm512_loadu_pd(v + 8 * b),                              \
+        static_cast<__mmask8>(mask_words[b >> 3] >> (8 * (b & 7))),        \
+        _mm512_add_epi64(_mm512_set1_epi64(static_cast<long long>(8 * b)), \
+                         lane8));                                          \
+  }
+  HCS_ARGMIN_CHAIN(b0, i0, 0, q)
+  HCS_ARGMIN_CHAIN(b1, i1, q, 2 * q)
+  HCS_ARGMIN_CHAIN(b2, i2, 2 * q, 3 * q)
+  HCS_ARGMIN_CHAIN(b3, i3, 3 * q, blocks)
+#undef HCS_ARGMIN_CHAIN
+  merge_ordered<Cmp>(b0, i0, b1, i1);
+  merge_ordered<Cmp>(b2, i2, b3, i3);
+  merge_ordered<Cmp>(b0, i0, b2, i2);
+  return reduce<Cmp>(b0, i0);
+}
+
+}  // namespace detail
+
+/// Minimum value and lowest attaining index over the lanes set in `mask`.
+/// Requires 64 readable doubles at `v`. Empty mask: {+inf, 0}.
+__attribute__((target("avx512f,avx512dq"), always_inline)) inline MinLoc
+argmin64(const double* v, std::uint64_t mask) {
+  return detail::argext64<_CMP_LT_OQ>(
+      v, mask, __builtin_huge_val());
+}
+
+/// Maximum value and lowest attaining index. Empty mask: {-inf, 0}.
+__attribute__((target("avx512f,avx512dq"), always_inline)) inline MinLoc
+argmax64(const double* v, std::uint64_t mask) {
+  return detail::argext64<_CMP_GT_OQ>(
+      v, mask, -__builtin_huge_val());
+}
+
+/// argmin64 over word_count * 64 lanes (masks low-to-high word order).
+__attribute__((target("avx512f,avx512dq")))
+inline MinLoc argmin_wide(const double* v, const std::uint64_t* mask_words,
+                          std::size_t word_count) {
+  return detail::argext_wide<_CMP_LT_OQ>(v, mask_words, word_count,
+                                         __builtin_huge_val());
+}
+
+/// argmax64 over word_count * 64 lanes (masks low-to-high word order).
+__attribute__((target("avx512f,avx512dq")))
+inline MinLoc argmax_wide(const double* v, const std::uint64_t* mask_words,
+                          std::size_t word_count) {
+  return detail::argext_wide<_CMP_GT_OQ>(v, mask_words, word_count,
+                                         -__builtin_huge_val());
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // HCS_SIMD_ARGMIN_X86
+
+}  // namespace hcs::simd

@@ -1,0 +1,89 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hcs {
+
+ThreadPool::ThreadPool(std::size_t size) {
+  const std::size_t background = size == 0 ? 0 : size - 1;
+  workers_.reserve(background);
+  for (std::size_t w = 0; w < background; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w + 1); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::resolve_size(std::size_t requested,
+                                     std::size_t count) {
+  std::size_t size = requested;
+  if (size == 0)
+    size = std::max<unsigned>(1, std::thread::hardware_concurrency());
+  return std::max<std::size_t>(1, std::min(size, count));
+}
+
+void ThreadPool::run_stride(
+    std::size_t worker, std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  try {
+    for (std::size_t index = worker; index < count; index += size())
+      fn(worker, index);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::run(
+    std::size_t count,
+    const std::function<void(std::size_t worker, std::size_t index)>& fn) {
+  if (count == 0) return;
+  if (!workers_.empty()) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_count_ = count;
+    active_ = workers_.size();
+    ++generation_;
+  }
+  start_.notify_all();
+  run_stride(0, count, fn);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return active_ == 0; });
+    job_ = nullptr;
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* job;
+    std::size_t count;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_.wait(lock,
+                  [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      job = job_;
+      count = job_count_;
+    }
+    run_stride(worker, count, *job);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_.notify_all();
+    }
+  }
+}
+
+}  // namespace hcs

@@ -1,0 +1,76 @@
+// Fixed-size worker pool with deterministic strided scheduling.
+//
+// The experiment sweeps parallelize over repetitions. Two properties
+// matter more than raw scheduling cleverness there:
+//
+//  * Determinism: pool.run(count, fn) always hands worker w the indexes
+//    w, w + size, w + 2*size, ... Which thread runs an index — and the
+//    order of indexes within one worker — is a pure function of (count,
+//    size), never of timing. Combined with per-index result slots a
+//    caller gets output that is byte-identical at any thread count.
+//  * Reuse: workers are spawned once and parked between run() calls, so
+//    a sweep over many processor counts pays thread start-up once.
+//
+// The calling thread participates as worker 0, so a pool of size 1 runs
+// everything inline with no synchronization beyond a branch, and a pool
+// of size T uses T-1 background threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hcs {
+
+/// Worker pool; see the file comment for the scheduling contract.
+/// run() is not reentrant and the pool must not be shared by concurrent
+/// callers — one sweep, one pool.
+class ThreadPool {
+ public:
+  /// A pool of `size` workers (clamped to at least 1): the calling
+  /// thread plus size - 1 background threads.
+  explicit ThreadPool(std::size_t size);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Runs fn(worker, index) for every index in [0, count), worker w
+  /// taking indexes w, w + size, ... Blocks until all indexes finished.
+  /// If any invocation throws, the first exception (in an unspecified
+  /// interleaving) is rethrown after the run completes; remaining
+  /// indexes still run.
+  void run(std::size_t count,
+           const std::function<void(std::size_t worker, std::size_t index)>& fn);
+
+  /// Threads worth using for `count` independent tasks when the caller
+  /// asked for `requested` (0 = one per hardware thread).
+  [[nodiscard]] static std::size_t resolve_size(std::size_t requested,
+                                                std::size_t count);
+
+ private:
+  void worker_loop(std::size_t worker);
+  void run_stride(std::size_t worker, std::size_t count,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::uint64_t generation_ = 0;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace hcs

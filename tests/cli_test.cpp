@@ -239,6 +239,70 @@ TEST(Cli, FaultSweepIsDeterministic) {
   EXPECT_EQ(run(args).out, run(args).out);
 }
 
+TEST(Cli, SweepPrintsCompletionTablePerAlgorithm) {
+  const CliRun result =
+      run({"sweep", "--processors", "4,6", "--repetitions", "2", "--seed", "5"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("mean completion time"), std::string::npos);
+  EXPECT_NE(result.out.find("lower-bound"), std::string::npos);
+  for (const char* name : {"baseline", "greedy", "openshop"})
+    EXPECT_NE(result.out.find(name), std::string::npos) << name;
+}
+
+TEST(Cli, SweepOutputIsIdenticalAcrossThreadCounts) {
+  const std::vector<std::string> base{"sweep",  "--processors", "5",
+                                      "--repetitions", "6",    "--seed", "3",
+                                      "--algorithm",   "openshop"};
+  std::vector<std::string> serial = base;
+  serial.insert(serial.end(), {"--threads", "1"});
+  std::vector<std::string> parallel = base;
+  parallel.insert(parallel.end(), {"--threads", "4"});
+  // The header line reports the worker count, so compare the tables only.
+  const auto tables = [](const std::string& text) {
+    return text.substr(text.find('\n'));
+  };
+  EXPECT_EQ(tables(run(serial).out), tables(run(parallel).out));
+}
+
+TEST(Cli, SweepRatiosOmitsLowerBoundColumn) {
+  const CliRun result = run({"sweep", "--processors", "4", "--repetitions", "2",
+                             "--ratios"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("/ lower bound"), std::string::npos);
+  EXPECT_EQ(result.out.find("lower-bound"), std::string::npos);
+}
+
+TEST(Cli, SweepExecuteAddsSimulatedTable) {
+  const CliRun result = run({"sweep", "--processors", "4", "--repetitions", "2",
+                             "--algorithm", "openshop", "--execute"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("simulated completion"), std::string::npos);
+}
+
+TEST(Cli, SweepValidatesArguments) {
+  EXPECT_EQ(run({"sweep"}).exit_code, 1);
+  EXPECT_EQ(run({"sweep", "--processors", "4,x"}).exit_code, 1);
+  EXPECT_EQ(run({"sweep", "--processors", "1"}).exit_code, 1);
+  EXPECT_EQ(run({"sweep", "--processors", "4", "--repetitions", "0"}).exit_code,
+            1);
+  EXPECT_EQ(run({"sweep", "--processors", "4", "--threads", "-1"}).exit_code, 1);
+  EXPECT_EQ(
+      run({"sweep", "--processors", "4", "--algorithm", "nope"}).exit_code, 1);
+}
+
+TEST(Cli, FaultSweepOutputIsIdenticalAcrossThreadCounts) {
+  const std::vector<std::string> base{"fault-sweep", "--processors", "6",
+                                      "--seed", "2", "--max-crashes", "3",
+                                      "--cuts", "1", "--loss", "0.1"};
+  std::vector<std::string> serial = base;
+  serial.insert(serial.end(), {"--threads", "1"});
+  std::vector<std::string> parallel = base;
+  parallel.insert(parallel.end(), {"--threads", "4"});
+  const CliRun a = run(serial);
+  EXPECT_EQ(a.exit_code, 0) << a.err;
+  EXPECT_EQ(a.out, run(parallel).out);
+}
+
 TEST(Cli, FaultSweepValidatesArguments) {
   EXPECT_EQ(run({"fault-sweep"}).exit_code, 1);
   EXPECT_EQ(run({"fault-sweep", "--processors", "5", "--loss", "1.5"}).exit_code,

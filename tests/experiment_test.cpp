@@ -87,22 +87,25 @@ TEST(Experiment, EmptyConfigThrows) {
   EXPECT_THROW((void)run_experiment(config), InputError);
 }
 
-TEST(Experiment, ParallelRunMatchesSerialRun) {
+TEST(Experiment, ParallelRunIsByteIdenticalToSerialRun) {
   ExperimentConfig serial = small_config();
   serial.repetitions = 8;
-  ExperimentConfig parallel = serial;
-  parallel.parallelism = 4;
+  serial.threads = 1;
   const ExperimentResult a = run_experiment(serial);
-  const ExperimentResult b = run_experiment(parallel);
-  for (std::size_t s = 0; s < a.series.size(); ++s)
-    for (std::size_t p = 0; p < a.series[s].mean_completion_s.size(); ++p) {
-      // Equal up to floating-point summation order.
-      EXPECT_NEAR(a.series[s].mean_completion_s[p],
-                  b.series[s].mean_completion_s[p],
-                  1e-9 * a.series[s].mean_completion_s[p]);
-      EXPECT_NEAR(a.series[s].max_ratio_to_lb[p],
-                  b.series[s].max_ratio_to_lb[p], 1e-12);
+  for (const std::size_t threads : {2, 3, 8}) {
+    ExperimentConfig parallel = serial;
+    parallel.threads = threads;
+    const ExperimentResult b = run_experiment(parallel);
+    EXPECT_EQ(a.mean_lower_bound_s, b.mean_lower_bound_s);
+    for (std::size_t s = 0; s < a.series.size(); ++s) {
+      // Exactly equal: repetitions land in per-rep slots folded in
+      // repetition order, so thread count cannot perturb even the
+      // floating-point summation order.
+      EXPECT_EQ(a.series[s].mean_completion_s, b.series[s].mean_completion_s);
+      EXPECT_EQ(a.series[s].mean_ratio_to_lb, b.series[s].mean_ratio_to_lb);
+      EXPECT_EQ(a.series[s].max_ratio_to_lb, b.series[s].max_ratio_to_lb);
     }
+  }
 }
 
 TEST(Experiment, ExecuteModeFillsSimulatedSeries) {
@@ -120,20 +123,18 @@ TEST(Experiment, ExecuteModeFillsSimulatedSeries) {
   }
 }
 
-TEST(Experiment, ExecuteModeIsDeterministicAcrossParallelism) {
+TEST(Experiment, ExecuteModeIsByteIdenticalAcrossThreadCounts) {
   ExperimentConfig serial = small_config();
   serial.execute = true;
   serial.repetitions = 8;
+  serial.threads = 1;
   serial.execution.model = ReceiveModel::kInterleaved;
   ExperimentConfig parallel = serial;
-  parallel.parallelism = 4;
+  parallel.threads = 4;
   const ExperimentResult a = run_experiment(serial);
   const ExperimentResult b = run_experiment(parallel);
   for (std::size_t s = 0; s < a.series.size(); ++s)
-    for (std::size_t p = 0; p < a.series[s].mean_executed_s.size(); ++p)
-      EXPECT_NEAR(a.series[s].mean_executed_s[p],
-                  b.series[s].mean_executed_s[p],
-                  1e-9 * a.series[s].mean_executed_s[p]);
+    EXPECT_EQ(a.series[s].mean_executed_s, b.series[s].mean_executed_s);
 }
 
 TEST(Experiment, ExecuteModeRejectsAvailabilityVectors) {
@@ -149,10 +150,10 @@ TEST(Experiment, SkipsExecutedSeriesWhenExecuteIsOff) {
     EXPECT_TRUE(series.mean_executed_s.empty());
 }
 
-TEST(Experiment, OversizedParallelismIsClamped) {
+TEST(Experiment, OversizedThreadCountIsClamped) {
   ExperimentConfig config = small_config();
   config.repetitions = 2;
-  config.parallelism = 64;  // more threads than repetitions
+  config.threads = 64;  // more threads than repetitions
   EXPECT_NO_THROW((void)run_experiment(config));
 }
 

@@ -1,0 +1,91 @@
+// Tests for util/thread_pool: the strided worker pool behind the
+// parallel experiment sweeps. The pool's contract is deterministic work
+// assignment (worker w takes indexes w, w+size, ...), inline execution
+// for size 1, full completion before run() returns, exception
+// propagation, and reuse across many run() calls.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace hcs {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const std::size_t size : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool{size};
+    EXPECT_EQ(pool.size(), size);
+    std::vector<std::atomic<int>> hits(37);
+    pool.run(hits.size(), [&](std::size_t, std::size_t index) {
+      hits[index].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t k = 0; k < hits.size(); ++k)
+      EXPECT_EQ(hits[k].load(), 1) << "size=" << size << " index=" << k;
+  }
+}
+
+TEST(ThreadPool, AssignmentIsStridedAndDeterministic) {
+  ThreadPool pool{4};
+  std::vector<std::size_t> worker_of(23, 99);
+  pool.run(worker_of.size(), [&](std::size_t worker, std::size_t index) {
+    worker_of[index] = worker;  // each index written by exactly one worker
+  });
+  for (std::size_t index = 0; index < worker_of.size(); ++index)
+    EXPECT_EQ(worker_of[index], index % 4) << index;
+}
+
+TEST(ThreadPool, SizeOneRunsInline) {
+  ThreadPool pool{1};
+  const auto caller = std::this_thread::get_id();
+  pool.run(5, [&](std::size_t worker, std::size_t) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, ZeroCountIsANoop) {
+  ThreadPool pool{4};
+  pool.run(0, [&](std::size_t, std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, IsReusableAcrossManyRuns) {
+  ThreadPool pool{3};
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.run(7, [&](std::size_t, std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  EXPECT_EQ(total.load(), 350);
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  ThreadPool pool{4};
+  EXPECT_THROW(
+      pool.run(16,
+               [&](std::size_t, std::size_t index) {
+                 if (index % 5 == 0) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+  // The pool must still be usable after a throwing run.
+  std::atomic<int> total{0};
+  pool.run(8, [&](std::size_t, std::size_t) {
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ThreadPool, ResolveSizeClampsAndDefaults) {
+  // 0 = one per hardware thread (>= 1 whatever the box reports).
+  EXPECT_GE(ThreadPool::resolve_size(0, 100), 1u);
+  // Never more workers than work items, never fewer than one.
+  EXPECT_EQ(ThreadPool::resolve_size(8, 3), 3u);
+  EXPECT_EQ(ThreadPool::resolve_size(2, 100), 2u);
+  EXPECT_EQ(ThreadPool::resolve_size(5, 0), 1u);
+}
+
+}  // namespace
+}  // namespace hcs

@@ -19,10 +19,37 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define HCS_BENCH_HAVE_LOADAVG 1
+#endif
+
 namespace {
+
+/// Machine context captured at run time: worker-thread budget and load.
+/// A load average above the CPU count means the benches shared the
+/// machine with other work and the timings are suspect — the envelope
+/// records that so a trajectory reader can discount the sample.
+struct BenchContext {
+  unsigned threads = std::thread::hardware_concurrency();
+  long num_cpus = -1;
+  double load_avg = -1.0;
+};
+
+BenchContext capture_context() {
+  BenchContext context;
+#ifdef HCS_BENCH_HAVE_LOADAVG
+  context.num_cpus = sysconf(_SC_NPROCESSORS_ONLN);
+  double load[1] = {0.0};
+  if (getloadavg(load, 1) == 1) context.load_avg = load[0];
+#endif
+  return context;
+}
 
 /// Runs `command`, returning its stdout; exits on failure.
 std::string capture_stdout(const std::string& command) {
@@ -72,6 +99,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string output_path = argv[arg_start];
+
+  const BenchContext context = capture_context();
+  const bool overloaded = context.load_avg >= 0.0 && context.num_cpus > 0 &&
+                          context.load_avg > static_cast<double>(context.num_cpus);
+  if (overloaded)
+    std::cerr << "bench_json: WARNING: load average " << context.load_avg
+              << " exceeds " << context.num_cpus
+              << " CPU(s); wall-clock numbers will be noisy — rerun on an"
+                 " idle machine\n";
 
   std::string metrics_json;
   if (!metrics_command.empty()) {
@@ -126,9 +162,17 @@ int main(int argc, char** argv) {
     std::cerr << "bench_json: cannot write " << output_path << "\n";
     return 1;
   }
+  std::ostringstream context_json;
+  context_json << "{\"threads\": " << context.threads
+               << ", \"num_cpus\": " << context.num_cpus
+               << ", \"load_avg\": " << context.load_avg
+               << ", \"load_exceeds_cpus\": " << (overloaded ? "true" : "false")
+               << "}";
+
   out << "{\n"
-      << "  \"schema_version\": 3,\n"
-      << "  \"generated_by\": \"tools/bench_json\",\n";
+      << "  \"schema_version\": 4,\n"
+      << "  \"generated_by\": \"tools/bench_json\",\n"
+      << "  \"context\": " << context_json.str() << ",\n";
   if (!metrics_json.empty())
     out << "  \"metrics_command\": \"" << json_escape(metrics_command)
         << "\",\n  \"metrics\": " << metrics_json << ",\n";

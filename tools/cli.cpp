@@ -7,6 +7,7 @@
 
 #include "collectives/broadcast.hpp"
 #include "core/comm_matrix.hpp"
+#include "experiment/experiment.hpp"
 #include "fault/resilient.hpp"
 #include "core/schedule_stats.hpp"
 #include "core/scheduler.hpp"
@@ -21,6 +22,7 @@
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/scenario.hpp"
 
 namespace hcs::cli {
@@ -44,13 +46,26 @@ usage:
       directory whose bandwidths drift (geometric random walk with the
       given per-second log-sigma; 0 = static). Reports planned vs actual.
 
+  hcs sweep --processors N[,N...] [--repetitions R] [--seed S]
+            [--scenario NAME] [--algorithm NAME|all] [--threads T]
+            [--execute] [--ratios]
+      Run the figure-style experiment sweep: R random instances per
+      processor count, scheduled by each algorithm (all of them by
+      default) and averaged. Repetitions run on T worker threads (0 =
+      one per hardware thread, the default); output is byte-identical
+      at every thread count. --execute also runs every schedule through
+      the network simulator; --ratios prints ratio-to-lower-bound
+      instead of absolute seconds.
+
   hcs fault-sweep --processors N [--seed S] [--scenario NAME]
                   [--algorithm NAME] [--max-crashes K] [--cuts C] [--loss P]
+                  [--threads T]
       Sweep crash-stop severity 0..K on a random instance with C
       permanently cut pairs and per-attempt transmission loss P, executing
       each scenario with the fault-tolerant executor (retry with backoff,
       relay rerouting, health-driven quarantine). Reports the delivery mix
-      and the completion overhead versus the fault-free run.
+      and the completion overhead versus the fault-free run. Severity
+      rows run on T worker threads (0 = one per hardware thread).
 
   hcs trace --processors N [--seed S] [--scenario NAME] [--algorithm NAME]
             [--model serialized|interleaved|buffered] [--drift SIGMA]
@@ -230,6 +245,75 @@ int cmd_simulate(const Options& options, std::ostream& out) {
   return 0;
 }
 
+/// Parses a comma-separated list of processor counts ("5,10,20").
+std::vector<std::size_t> parse_processor_list(const std::string& text) {
+  std::vector<std::size_t> counts;
+  std::stringstream stream{text};
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    char* end = nullptr;
+    const long parsed = std::strtol(item.c_str(), &end, 10);
+    if (end == item.c_str() || *end != '\0' || parsed < 2)
+      throw InputError("--processors expects integers >= 2, got '" + item +
+                       "'");
+    counts.push_back(static_cast<std::size_t>(parsed));
+  }
+  if (counts.empty()) throw InputError("--processors must list at least one count");
+  return counts;
+}
+
+int cmd_sweep(const Options& options, std::ostream& out) {
+  ExperimentConfig config;
+  config.processor_counts = parse_processor_list(options.get("processors", ""));
+  const long repetitions = options.get_long("repetitions", 10);
+  if (repetitions < 1) throw InputError("--repetitions must be >= 1");
+  config.repetitions = static_cast<std::size_t>(repetitions);
+  config.base_seed = static_cast<std::uint64_t>(options.get_long("seed", 1));
+  config.scenario = parse_scenario(options.get("scenario", "mixed"));
+  const std::string algorithm = options.get("algorithm", "all");
+  if (algorithm == "all") {
+    config.schedulers = paper_schedulers();
+    config.schedulers.push_back(SchedulerKind::kBaselineBarrier);
+  } else {
+    config.schedulers = {parse_algorithm(algorithm)};
+  }
+  const long threads = options.get_long("threads", 0);
+  if (threads < 0) throw InputError("--threads must be >= 0");
+  config.threads = static_cast<std::size_t>(threads);
+  config.execute = options.has("execute");
+
+  const ExperimentResult result = run_experiment(config);
+
+  out << "scenario " << scenario_name(config.scenario) << ", "
+      << config.repetitions << " repetition(s) per point, seed "
+      << config.base_seed << ", "
+      << ThreadPool::resolve_size(config.threads, config.repetitions)
+      << " worker thread(s)\n";
+  if (options.has("ratios")) {
+    out << "mean completion time / lower bound:\n";
+    ratio_table(result).print(out);
+  } else {
+    out << "mean completion time (seconds):\n";
+    completion_table(result).print(out);
+  }
+  if (config.execute) {
+    std::vector<std::string> headers = {"P"};
+    for (const SchedulerSeries& series : result.series)
+      headers.emplace_back(scheduler_name(series.kind));
+    Table executed{std::move(headers)};
+    for (std::size_t p = 0; p < config.processor_counts.size(); ++p) {
+      std::vector<std::string> row = {
+          std::to_string(config.processor_counts[p])};
+      for (const SchedulerSeries& series : result.series)
+        row.push_back(format_double(series.mean_executed_s[p], 3));
+      executed.add_row(std::move(row));
+    }
+    out << "mean simulated completion time (seconds):\n";
+    executed.print(out);
+  }
+  return 0;
+}
+
 int cmd_fault_sweep(const Options& options, std::ostream& out) {
   const long processors = options.get_long("processors", 0);
   if (processors < 3)
@@ -247,6 +331,8 @@ int cmd_fault_sweep(const Options& options, std::ostream& out) {
   const double loss = options.get_double("loss", 0.0);
   if (!(loss >= 0.0) || !(loss < 1.0))
     throw InputError("--loss must be in [0, 1)");
+  const long threads = options.get_long("threads", 0);
+  if (threads < 0) throw InputError("--threads must be >= 0");
 
   const ProblemInstance instance = make_instance(scenario, n, seed);
   const StaticDirectory directory{instance.network};
@@ -273,22 +359,35 @@ int cmd_fault_sweep(const Options& options, std::ostream& out) {
       << "; fault-free completion " << format_double(baseline, 4) << " s\n";
   Table table{{"crashes", "direct", "relayed", "undeliverable",
                "completion (s)", "x fault-free"}};
-  for (long crashes = 0; crashes <= max_crashes; ++crashes) {
+  // Severity rows are independent, so they run on the pool. Each row
+  // builds its own scheduler: schedulers carry mutable per-instance
+  // workspaces and are not safe to share across threads. Rows land in
+  // per-row slots and the table is assembled serially in row order, so
+  // the output is identical at every thread count.
+  const std::size_t row_count = static_cast<std::size_t>(max_crashes) + 1;
+  std::vector<ResilientResult> row_results(row_count);
+  ThreadPool pool{ThreadPool::resolve_size(static_cast<std::size_t>(threads),
+                                           row_count)};
+  pool.run(row_count, [&](std::size_t /*worker*/, std::size_t row) {
     FaultPlan plan;
     plan.cuts = cuts;
     plan.transient_loss_prob = loss;
     plan.seed = seed;
     // Crash the highest-numbered nodes at staggered times, so each row
     // adds one more mid-exchange failure.
-    for (long k = 0; k < crashes; ++k)
-      plan.crashes.push_back({n - 1 - static_cast<std::size_t>(k),
-                              0.25 * baseline * static_cast<double>(k + 1)});
-    const ResilientResult result =
-        run_resilient(*scheduler, directory, instance.messages, plan, {});
+    for (std::size_t k = 0; k < row; ++k)
+      plan.crashes.push_back(
+          {n - 1 - k, 0.25 * baseline * static_cast<double>(k + 1)});
+    const auto row_scheduler = make_scheduler(kind, seed);
+    row_results[row] =
+        run_resilient(*row_scheduler, directory, instance.messages, plan, {});
+  });
+  for (std::size_t row = 0; row < row_count; ++row) {
+    const ResilientResult& result = row_results[row];
     const std::size_t direct =
         result.outcomes.size() - result.relayed_count - result.undelivered_count;
     table.add_row(
-        {std::to_string(crashes), std::to_string(direct),
+        {std::to_string(row), std::to_string(direct),
          std::to_string(result.relayed_count),
          std::to_string(result.undelivered_count),
          format_double(result.completion_time, 4),
@@ -506,10 +605,16 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
           args, 1, {"processors", "seed", "scenario", "algorithm", "drift"});
       return cmd_simulate(options, out);
     }
+    if (command == "sweep") {
+      const Options options(args, 1,
+                            {"processors", "repetitions", "seed", "scenario",
+                             "algorithm", "threads", "execute", "ratios"});
+      return cmd_sweep(options, out);
+    }
     if (command == "fault-sweep") {
       const Options options(args, 1,
                             {"processors", "seed", "scenario", "algorithm",
-                             "max-crashes", "cuts", "loss"});
+                             "max-crashes", "cuts", "loss", "threads"});
       return cmd_fault_sweep(options, out);
     }
     if (command == "trace") {
