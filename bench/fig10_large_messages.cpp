@@ -1,6 +1,7 @@
 // Reproduces Figure 10: total exchange with large (1 MB) messages.
 #include "figure_common.hpp"
 
-int main() {
-  return hcs::bench::run_figure("Figure 10", hcs::Scenario::kLargeMessages);
+int main(int argc, char** argv) {
+  return hcs::bench::run_figure("Figure 10", hcs::Scenario::kLargeMessages,
+                                argc, argv);
 }

@@ -2,6 +2,7 @@
 // 1 MB messages.
 #include "figure_common.hpp"
 
-int main() {
-  return hcs::bench::run_figure("Figure 11", hcs::Scenario::kMixedMessages);
+int main(int argc, char** argv) {
+  return hcs::bench::run_figure("Figure 11", hcs::Scenario::kMixedMessages,
+                                argc, argv);
 }

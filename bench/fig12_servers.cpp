@@ -3,6 +3,7 @@
 // are small.
 #include "figure_common.hpp"
 
-int main() {
-  return hcs::bench::run_figure("Figure 12", hcs::Scenario::kServers);
+int main(int argc, char** argv) {
+  return hcs::bench::run_figure("Figure 12", hcs::Scenario::kServers, argc,
+                                argv);
 }

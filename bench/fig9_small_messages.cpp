@@ -1,6 +1,7 @@
 // Reproduces Figure 9: total exchange with small (1 kB) messages.
 #include "figure_common.hpp"
 
-int main() {
-  return hcs::bench::run_figure("Figure 9", hcs::Scenario::kSmallMessages);
+int main(int argc, char** argv) {
+  return hcs::bench::run_figure("Figure 9", hcs::Scenario::kSmallMessages, argc,
+                                argv);
 }

@@ -11,13 +11,30 @@
 // paper's reported baseline gap.
 #pragma once
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "experiment/experiment.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hcs::bench {
 
-inline int run_figure(const char* figure, Scenario scenario) {
+/// Parses the figure benches' only flag: `--threads T` shards the
+/// 20-network repetition loop over T pool workers (0, the default, means
+/// one per allowed hardware thread). The sweep's output is byte-identical
+/// at every setting, so the flag trades wall clock only.
+inline std::size_t parse_figure_threads(int argc, char** argv) {
+  for (int k = 1; k + 1 < argc; ++k)
+    if (std::strcmp(argv[k], "--threads") == 0) {
+      const long parsed = std::strtol(argv[k + 1], nullptr, 10);
+      if (parsed >= 0) return static_cast<std::size_t>(parsed);
+    }
+  return 0;
+}
+
+inline int run_figure(const char* figure, Scenario scenario, int argc = 0,
+                      char** argv = nullptr) {
   ExperimentConfig config;
   config.scenario = scenario;
   config.processor_counts = {5, 10, 15, 20, 25, 30, 35, 40, 45, 50};
@@ -25,12 +42,14 @@ inline int run_figure(const char* figure, Scenario scenario) {
   config.base_seed = 19980728;  // HPDC '98
   config.schedulers = paper_schedulers();
   config.schedulers.push_back(SchedulerKind::kBaselineBarrier);
-  config.threads = 0;  // one worker per hardware thread
+  config.threads = parse_figure_threads(argc, argv);
 
   std::cout << figure << ". All-to-all personalized communication, scenario '"
             << scenario_name(scenario) << "' (" << config.repetitions
             << " random GUSTO-guided networks per point, seed "
-            << config.base_seed << ").\n";
+            << config.base_seed << ", "
+            << ThreadPool::resolve_size(config.threads, config.repetitions)
+            << " worker thread(s)).\n";
 
   const ExperimentResult result = run_experiment(config);
 

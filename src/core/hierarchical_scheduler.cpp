@@ -1,0 +1,137 @@
+#include "core/hierarchical_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+
+namespace hcs {
+namespace {
+
+/// Events of `schedule` as (src, dst) pairs in start order (ties by src,
+/// then dst, for determinism). Only the order survives splicing — the
+/// final times come from the list pass.
+std::vector<std::pair<std::size_t, std::size_t>> event_order(
+    const Schedule& schedule) {
+  std::vector<ScheduledEvent> events = schedule.events();
+  std::sort(events.begin(), events.end(),
+            [](const ScheduledEvent& a, const ScheduledEvent& b) {
+              if (a.start_s != b.start_s) return a.start_s < b.start_s;
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  std::vector<std::pair<std::size_t, std::size_t>> order;
+  order.reserve(events.size());
+  for (const ScheduledEvent& e : events) order.emplace_back(e.src, e.dst);
+  return order;
+}
+
+}  // namespace
+
+HierarchicalScheduler::HierarchicalScheduler(Clustering clustering,
+                                             Options options)
+    : clustering_(std::move(clustering)), options_(options) {
+  name_ = "hierarchical(" +
+          std::string(scheduler_name(options_.inner)) + ")";
+}
+
+Schedule HierarchicalScheduler::schedule(const CommMatrix& comm) const {
+  const std::size_t n = comm.processor_count();
+  if (clustering_.node_count() != n)
+    throw InputError(
+        "HierarchicalScheduler: clustering does not cover this matrix");
+  const std::unique_ptr<Scheduler> inner =
+      make_scheduler(options_.inner, options_.seed);
+  if (clustering_.flat()) return inner->schedule(comm);
+
+  const std::size_t k = clustering_.cluster_count();
+  std::vector<std::pair<std::size_t, std::size_t>> order;
+  order.reserve(n * (n - 1));
+
+  // Phase 1: intra-cluster exchanges. Clusters have disjoint ports, so
+  // their event streams interleave freely in the list pass; one inner
+  // scheduler instance is reused so its warm workspace carries across
+  // clusters.
+  for (const std::vector<std::size_t>& members : clustering_.members) {
+    const std::size_t m = members.size();
+    if (m < 2) continue;
+    Matrix<double> sub(m, m, 0.0);
+    for (std::size_t a = 0; a < m; ++a)
+      for (std::size_t b = 0; b < m; ++b)
+        if (a != b) sub(a, b) = comm.time(members[a], members[b]);
+    for (const auto& [src, dst] : event_order(inner->schedule(CommMatrix{
+             std::move(sub)})))
+      order.emplace_back(members[src], members[dst]);
+  }
+
+  // Phase 2: elect the comm-medoid of each cluster — the member with the
+  // least total exchange time with its fellows, ties to the lowest id —
+  // and schedule the K-cluster quotient exchange over the medoids' link
+  // structure. Each quotient entry is scaled by its block's larger side:
+  // an estimate of the serialized time the bottleneck port spends on the
+  // block, so the inner algorithm prioritizes heavy cluster pairs.
+  std::vector<std::size_t> reps;
+  reps.reserve(k);
+  for (const std::vector<std::size_t>& members : clustering_.members) {
+    std::size_t best = members.front();
+    double best_total = std::numeric_limits<double>::infinity();
+    for (const std::size_t i : members) {
+      double total = 0.0;
+      for (const std::size_t j : members)
+        if (i != j) total += comm.time(i, j) + comm.time(j, i);
+      if (total < best_total) {
+        best_total = total;
+        best = i;
+      }
+    }
+    reps.push_back(best);
+  }
+  Matrix<double> quotient(k, k, 0.0);
+  for (std::size_t a = 0; a < k; ++a)
+    for (std::size_t b = 0; b < k; ++b)
+      if (a != b)
+        quotient(a, b) =
+            comm.time(reps[a], reps[b]) *
+            static_cast<double>(std::max(clustering_.members[a].size(),
+                                         clustering_.members[b].size()));
+
+  // Phase 3: expand each quotient event A -> B into its point-to-point
+  // block, round-ordered by the proper edge coloring of K_{m,p} with
+  // color(ia, jb) = (ia + jb) mod max(m, p) — within a round every sender
+  // and receiver appears at most once, so rounds pack side by side
+  // instead of piling onto one port.
+  for (const auto& [a, b] :
+       event_order(inner->schedule(CommMatrix{std::move(quotient)}))) {
+    const std::vector<std::size_t>& from = clustering_.members[a];
+    const std::vector<std::size_t>& to = clustering_.members[b];
+    const std::size_t rounds = std::max(from.size(), to.size());
+    for (std::size_t color = 0; color < rounds; ++color) {
+      for (std::size_t ia = 0; ia < from.size(); ++ia) {
+        const std::size_t jb = (color + rounds - ia) % rounds;
+        if (jb < to.size()) order.emplace_back(from[ia], to[jb]);
+      }
+    }
+  }
+
+  // Splice: greedy per-port list pass over the priority order. Each event
+  // starts the instant both its ports are free, which serializes every
+  // port by construction — the validity guarantee is independent of how
+  // the order was produced.
+  std::vector<double> send_avail(n, 0.0);
+  std::vector<double> recv_avail(n, 0.0);
+  std::vector<ScheduledEvent> events;
+  events.reserve(order.size());
+  for (const auto& [src, dst] : order) {
+    const double start = std::max(send_avail[src], recv_avail[dst]);
+    const double finish = start + comm.time(src, dst);
+    events.push_back({src, dst, start, finish});
+    send_avail[src] = finish;
+    recv_avail[dst] = finish;
+  }
+  return Schedule{n, std::move(events)};
+}
+
+}  // namespace hcs

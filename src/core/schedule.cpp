@@ -44,6 +44,28 @@ std::vector<ScheduledEvent> filtered_sorted(
   return result;
 }
 
+using EventRefs = std::vector<const ScheduledEvent*>;
+
+// All events grouped by one port side, each group in (start, finish)
+// order — the same order filtered_sorted produces, but built in a single
+// pass over the event list. The whole-schedule consumers (idle_profile,
+// first_violation) use this instead of one filtered scan per processor,
+// which would be O(P·E) = O(P³) at wide P.
+std::vector<EventRefs> group_by_port(const std::vector<ScheduledEvent>& events,
+                                     std::size_t processor_count,
+                                     bool by_sender) {
+  std::vector<EventRefs> groups(processor_count);
+  for (const ScheduledEvent& event : events)
+    groups[by_sender ? event.src : event.dst].push_back(&event);
+  for (EventRefs& group : groups)
+    std::sort(group.begin(), group.end(),
+              [](const ScheduledEvent* a, const ScheduledEvent* b) {
+                return a->start_s < b->start_s ||
+                       (a->start_s == b->start_s && a->finish_s < b->finish_s);
+              });
+  return groups;
+}
+
 }  // namespace
 
 std::vector<ScheduledEvent> Schedule::sender_events(std::size_t src) const {
@@ -58,40 +80,42 @@ std::vector<ScheduledEvent> Schedule::receiver_events(std::size_t dst) const {
 
 std::vector<ProcessorIdle> Schedule::idle_profile() const {
   std::vector<ProcessorIdle> profile(processor_count_);
+  const auto accumulate = [](const EventRefs& events, double& busy,
+                             double& idle) {
+    double cursor = 0.0;
+    for (const ScheduledEvent* event : events) {
+      busy += event->duration();
+      if (event->start_s > cursor) idle += event->start_s - cursor;
+      cursor = std::max(cursor, event->finish_s);
+    }
+  };
+  const auto by_sender = group_by_port(events_, processor_count_, true);
+  const auto by_receiver = group_by_port(events_, processor_count_, false);
   for (std::size_t p = 0; p < processor_count_; ++p) {
-    const auto accumulate = [](const std::vector<ScheduledEvent>& events,
-                               double& busy, double& idle) {
-      double cursor = 0.0;
-      for (const ScheduledEvent& event : events) {
-        busy += event.duration();
-        if (event.start_s > cursor) idle += event.start_s - cursor;
-        cursor = std::max(cursor, event.finish_s);
-      }
-    };
-    accumulate(sender_events(p), profile[p].send_busy_s, profile[p].send_idle_s);
-    accumulate(receiver_events(p), profile[p].recv_busy_s, profile[p].recv_idle_s);
+    accumulate(by_sender[p], profile[p].send_busy_s, profile[p].send_idle_s);
+    accumulate(by_receiver[p], profile[p].recv_busy_s, profile[p].recv_idle_s);
   }
   return profile;
 }
 
 namespace {
 
-std::optional<std::string> find_overlap(
-    const std::vector<ScheduledEvent>& sorted, double tolerance,
-    const char* port, std::size_t processor) {
+std::optional<std::string> find_overlap(const EventRefs& sorted,
+                                        double tolerance, const char* port,
+                                        std::size_t processor) {
   // Zero-duration events occupy no port time; skip them.
   const ScheduledEvent* previous = nullptr;
-  for (const ScheduledEvent& event : sorted) {
-    if (event.duration() <= tolerance) continue;
+  for (const ScheduledEvent* event : sorted) {
+    if (event->duration() <= tolerance) continue;
     if (previous != nullptr &&
-        event.start_s < previous->finish_s - tolerance) {
+        event->start_s < previous->finish_s - tolerance) {
       std::ostringstream message;
       message << "overlapping " << port << " events at processor " << processor
               << ": [" << previous->start_s << ", " << previous->finish_s
-              << ") and [" << event.start_s << ", " << event.finish_s << ")";
+              << ") and [" << event->start_s << ", " << event->finish_s << ")";
       return message.str();
     }
-    previous = &event;
+    previous = event;
   }
   return std::nullopt;
 }
@@ -121,10 +145,12 @@ std::optional<std::string> Schedule::first_violation(const CommMatrix& comm,
   if (events_.size() != expected_events)
     return "schedule does not cover every processor pair exactly once";
 
+  const auto by_sender = group_by_port(events_, n, true);
+  const auto by_receiver = group_by_port(events_, n, false);
   for (std::size_t p = 0; p < n; ++p) {
-    if (auto overlap = find_overlap(sender_events(p), tolerance, "send", p))
+    if (auto overlap = find_overlap(by_sender[p], tolerance, "send", p))
       return overlap;
-    if (auto overlap = find_overlap(receiver_events(p), tolerance, "receive", p))
+    if (auto overlap = find_overlap(by_receiver[p], tolerance, "receive", p))
       return overlap;
   }
   return std::nullopt;

@@ -1,8 +1,10 @@
 #include "experiment/experiment.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 
+#include "core/hierarchical_scheduler.hpp"
 #include "netmodel/directory.hpp"
 #include "sim/send_program.hpp"
 #include "util/error.hpp"
@@ -66,16 +68,30 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       const std::uint64_t seed =
           instance_seed(config.base_seed, processors, rep);
       const ProblemInstance instance =
-          make_instance(config.scenario, processors, seed);
+          make_instance(config.scenario, processors, seed,
+                        config.cluster_count);
       const CommMatrix comm{instance.network, instance.messages};
       const double lower_bound = comm.lower_bound();
       rep_lower_bound[rep] = lower_bound;
       MetricsRegistry* const metrics =
           config.metrics != nullptr ? &worker_metrics[worker] : nullptr;
       if (metrics != nullptr) metrics->counter("experiment.instances").add();
+      // One detection per instance, shared by every scheduler.
+      Clustering clustering;
+      if (config.hierarchical)
+        clustering = detect_clusters(instance.network, config.cluster_options);
 
       for (std::size_t s = 0; s < sched_count; ++s) {
-        const auto scheduler = make_scheduler(config.schedulers[s], seed);
+        std::unique_ptr<Scheduler> scheduler;
+        if (config.hierarchical) {
+          HierarchicalScheduler::Options options;
+          options.inner = config.schedulers[s];
+          options.seed = seed;
+          scheduler = std::make_unique<HierarchicalScheduler>(clustering,
+                                                              options);
+        } else {
+          scheduler = make_scheduler(config.schedulers[s], seed);
+        }
         const Schedule schedule = scheduler->schedule(comm);
         if (config.validate) schedule.validate(comm);
         const double completion = schedule.completion_time();

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/scheduler.hpp"
+#include "netmodel/cluster_detect.hpp"
 #include "sim/simulator.hpp"
 #include "trace/metrics.hpp"
 #include "util/table.hpp"
@@ -47,6 +48,17 @@ struct ExperimentConfig {
   /// buffer capacity, ...). The initial availability vectors must stay
   /// empty — they are per-processor-count and owned by the sweep.
   SimOptions execution;
+  /// Instances come from the clustered site/WAN network family with this
+  /// many sites when > 0, from the flat GUSTO family when 0.
+  std::size_t cluster_count = 0;
+  /// Schedule hierarchically: detect logical clusters on every instance's
+  /// network and run each configured scheduler as the inner algorithm of
+  /// a HierarchicalScheduler (intra-cluster + representative quotient +
+  /// splice). On a flat detection the hierarchical path degenerates to
+  /// the inner scheduler, so this is safe on any family.
+  bool hierarchical = false;
+  /// Detection tuning used when `hierarchical` is set.
+  ClusterOptions cluster_options;
   /// Optional observability sink (borrowed; may be null). When set, the
   /// sweep accumulates counters (instances, schedules, simulated events,
   /// failed attempts), completion/ratio/wait histograms, and workspace

@@ -4,11 +4,53 @@
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/simd_argmin.hpp"
 
 namespace hcs {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Below this size the vector pass's fixed 64-lane blocks waste more work
+// than the scalar loop does in total (measured crossover between n=16 and
+// n=32 on the bench preset); both paths select identical columns, so the
+// threshold is purely a performance choice.
+constexpr std::size_t kSimdMinSize = 32;
+
+#if HCS_SIMD_ARGMIN_X86
+
+// One vectorized Dijkstra step: relax every unvisited column against row
+// `off` (alt = (off + cost) - v, the scalar expression's association),
+// then pick the unvisited column with the smallest distance. Bit-identical
+// to the scalar pass: the relaxations are elementwise IEEE ops, the
+// compares are strict, and ties go to the lowest index — and because each
+// dist_[j] reaches its pass-final value independently, splitting relax
+// and argmin into two phases selects the same column as the scalar
+// fused scan.
+__attribute__((target("avx512f,avx512dq"))) simd::MinLoc relax_and_pick(
+    const double* cost_row, const double* v, double* dist, std::size_t* pred,
+    const std::uint64_t* unvisited, std::size_t words, double off,
+    std::size_t i_col) {
+  const __m512d off_v = _mm512_set1_pd(off);
+  const __m512i pred_v = _mm512_set1_epi64(static_cast<long long>(i_col));
+  const std::size_t blocks = words * 8;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const auto k =
+        static_cast<__mmask8>(unvisited[b >> 3] >> (8 * (b & 7)));
+    if (k == 0) continue;
+    const __m512d alt = _mm512_sub_pd(
+        _mm512_add_pd(off_v, _mm512_loadu_pd(cost_row + 8 * b)),
+        _mm512_loadu_pd(v + 8 * b));
+    const __mmask8 better =
+        _mm512_mask_cmp_pd_mask(k, alt, _mm512_loadu_pd(dist + 8 * b),
+                                _CMP_LT_OQ);
+    _mm512_mask_storeu_pd(dist + 8 * b, better, alt);
+    _mm512_mask_storeu_epi64(pred + 8 * b, better, pred_v);
+  }
+  return simd::argmin_wide(dist, unvisited, words);
+}
+
+#endif  // HCS_SIMD_ARGMIN_X86
 
 }  // namespace
 
@@ -16,21 +58,25 @@ void LapSolver::load(const Matrix<double>& weights, LapObjective objective) {
   if (!weights.square() || weights.empty())
     throw InputError("LapSolver: cost matrix must be square and non-empty");
   n_ = weights.rows();
+  stride_ = (n_ + 63) / 64 * 64;
   sign_ = objective == LapObjective::kMaximize ? -1.0 : 1.0;
 
-  cost_.resize(n_ * n_);
+  // Padding columns carry +inf costs and are never unmasked, so they can
+  // not win a relaxation or an argmin.
+  cost_.assign(n_ * stride_, kInf);
   for (std::size_t r = 0; r < n_; ++r)
     for (std::size_t c = 0; c < n_; ++c)
-      cost_[r * n_ + c] = sign_ * weights.unchecked(r, c);
+      cost_[r * stride_ + c] = sign_ * weights.unchecked(r, c);
   deleted_.assign(n_ * n_, 0);
 
   u_.assign(n_, 0.0);
-  v_.assign(n_, 0.0);
+  v_.assign(stride_, 0.0);
   col_to_row_.assign(n_, 0);
-  predecessor_.assign(n_, 0);
+  predecessor_.assign(stride_, 0);
   scanned_cols_.resize(n_);
-  dist_.resize(n_);
+  dist_.resize(stride_);
   visited_.resize(n_);
+  unvisited_words_.resize(stride_ / 64);
 }
 
 void LapSolver::mark_deleted(std::size_t r, std::size_t c) {
@@ -39,7 +85,7 @@ void LapSolver::mark_deleted(std::size_t r, std::size_t c) {
   // In effective (minimizing) space the sentinel is always +kDeletedCost,
   // which only raises the edge's cost — the persistent duals stay
   // feasible, keeping warm-started solves exact.
-  cost_[r * n_ + c] = kDeletedCost;
+  cost_[r * stride_ + c] = kDeletedCost;
 }
 
 bool LapSolver::deleted(std::size_t r, std::size_t c) const {
@@ -64,9 +110,24 @@ Assignment LapSolver::solve() {
   // augmenting paths short.
   std::fill(col_to_row_.begin(), col_to_row_.end(), kNone);
 
+#if HCS_SIMD_ARGMIN_X86
+  const bool use_simd = n >= kSimdMinSize && simd::has_avx512();
+#else
+  const bool use_simd = false;
+#endif
+  [[maybe_unused]] const std::size_t words = stride_ / 64;
+
   for (std::size_t cur = 0; cur < n; ++cur) {
     std::fill(dist_.begin(), dist_.end(), kInf);
-    std::fill(visited_.begin(), visited_.end(), std::uint8_t{0});
+    if (use_simd) {
+      // All real columns unvisited; padding lanes stay masked off.
+      std::fill(unvisited_words_.begin(), unvisited_words_.end(),
+                ~std::uint64_t{0});
+      if (n % 64 != 0)
+        unvisited_words_[words - 1] = (std::uint64_t{1} << (n % 64)) - 1;
+    } else {
+      std::fill(visited_.begin(), visited_.end(), std::uint8_t{0});
+    }
     std::size_t scanned = 0;     // assigned columns pulled into the tree
     std::size_t i = cur;         // row whose edges are being relaxed
     std::size_t i_col = kNone;   // column through which `i` was reached
@@ -74,23 +135,37 @@ Assignment LapSolver::solve() {
     std::size_t sink = kNone;
     do {
       const double off = dist_i - u_[i];
-      const double* cost_row = cost_.data() + i * n;
+      const double* cost_row = cost_.data() + i * stride_;
       double lowest = kInf;
       std::size_t j1 = kNone;
-      for (std::size_t j = 0; j < n; ++j) {
-        if (visited_[j]) continue;
-        const double alt = off + cost_row[j] - v_[j];
-        if (alt < dist_[j]) {
-          dist_[j] = alt;
-          predecessor_[j] = i_col;
-        }
-        if (dist_[j] < lowest) {
-          lowest = dist_[j];
-          j1 = j;
+#if HCS_SIMD_ARGMIN_X86
+      if (use_simd) {
+        const simd::MinLoc loc = relax_and_pick(
+            cost_row, v_.data(), dist_.data(), predecessor_.data(),
+            unvisited_words_.data(), words, off, i_col);
+        lowest = loc.value;
+        j1 = loc.index;
+      } else
+#endif
+      {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (visited_[j]) continue;
+          const double alt = off + cost_row[j] - v_[j];
+          if (alt < dist_[j]) {
+            dist_[j] = alt;
+            predecessor_[j] = i_col;
+          }
+          if (dist_[j] < lowest) {
+            lowest = dist_[j];
+            j1 = j;
+          }
         }
       }
       check(lowest < kInf, "LapSolver: no augmenting path (non-finite costs?)");
-      visited_[j1] = 1;
+      if (use_simd)
+        unvisited_words_[j1 / 64] &= ~(std::uint64_t{1} << (j1 % 64));
+      else
+        visited_[j1] = 1;
       dist_i = lowest;
       if (col_to_row_[j1] == kNone) {
         sink = j1;
@@ -133,7 +208,7 @@ Assignment LapSolver::solve() {
   // bit-identical to summing the original weights directly.
   double total = 0.0;
   for (std::size_t r = 0; r < n; ++r)
-    total += cost_[r * n + result.row_to_col[r]];
+    total += cost_[r * stride_ + result.row_to_col[r]];
   result.cost = sign_ * total;
   return result;
 }

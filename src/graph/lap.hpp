@@ -88,19 +88,27 @@ class LapSolver {
 
  private:
   std::size_t n_ = 0;
+  // Row stride of cost_: n rounded up to a 64-lane multiple, so the
+  // vectorized Dijkstra pass can run whole masked blocks with every lane
+  // it loads in bounds (the util/simd_argmin.hpp layout contract).
+  // Column-indexed scratch (v_, dist_, predecessor_) is padded to match.
+  std::size_t stride_ = 0;
   double sign_ = 1.0;                  // +1 minimize, -1 maximize
-  std::vector<double> cost_;           // effective costs, row-major n x n
+  std::vector<double> cost_;           // effective costs, n rows of stride_
   std::vector<std::uint8_t> deleted_;  // deletion mask, row-major n x n
   // Dual potentials (u on rows, v on columns) persist across solves —
   // this is the warm start.
   std::vector<double> u_;
   std::vector<double> v_;
-  // Per-solve scratch, allocated once in `load`.
+  // Per-solve scratch, allocated once in `load`. visited_ (bytes) drives
+  // the scalar pass; unvisited_words_ is the same set as a bitmask for
+  // the vector pass — only the active representation is maintained.
   std::vector<std::size_t> col_to_row_;
   std::vector<std::size_t> predecessor_;
   std::vector<std::size_t> scanned_cols_;
   std::vector<double> dist_;
   std::vector<std::uint8_t> visited_;
+  std::vector<std::uint64_t> unvisited_words_;
 };
 
 /// Minimum-cost complete assignment of an n x n cost matrix in O(n^3)

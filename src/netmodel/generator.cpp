@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
+#include <vector>
 
+#include "netmodel/topology.hpp"
 #include "util/error.hpp"
 
 namespace hcs {
@@ -46,6 +49,79 @@ NetworkModel generate_network(std::size_t processor_count, std::uint64_t seed,
     }
   }
   return NetworkModel{std::move(startup), std::move(bandwidth)};
+}
+
+NetworkModel generate_clustered_network(std::size_t processor_count,
+                                        std::uint64_t seed,
+                                        const ClusteredNetworkOptions& options) {
+  if (processor_count == 0)
+    throw InputError("generate_clustered_network: zero processors");
+  const std::size_t k = options.cluster_count;
+  if (k == 0 || k > processor_count)
+    throw InputError(
+        "generate_clustered_network: cluster_count must be in 1..P");
+  if (options.lan_min_latency_ms < 0.0 ||
+      options.lan_max_latency_ms < options.lan_min_latency_ms ||
+      options.wan_min_latency_ms < 0.0 ||
+      options.wan_max_latency_ms < options.wan_min_latency_ms)
+    throw InputError("generate_clustered_network: bad latency range");
+  if (options.lan_min_bandwidth_kbits <= 0.0 ||
+      options.lan_max_bandwidth_kbits < options.lan_min_bandwidth_kbits ||
+      options.wan_min_bandwidth_kbits <= 0.0 ||
+      options.wan_max_bandwidth_kbits < options.wan_min_bandwidth_kbits)
+    throw InputError("generate_clustered_network: bad bandwidth range");
+  if (options.jitter < 1.0)
+    throw InputError("generate_clustered_network: jitter must be >= 1");
+
+  Rng rng{seed};
+  const auto sample_link = [&rng](double lat_lo, double lat_hi, double bw_lo,
+                                  double bw_hi) {
+    const double latency_ms = rng.uniform(lat_lo, lat_hi);
+    const double bandwidth_kbits =
+        std::exp(rng.uniform(std::log(bw_lo), std::log(bw_hi)));
+    return LinkParams::from_ms_kbits(latency_ms, bandwidth_kbits);
+  };
+
+  // Sites in the paper's Figure 1 shape: P / K nodes each, the first
+  // P % K sites holding one extra.
+  std::vector<SiteSpec> sites(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    sites[s].node_count = processor_count / k + (s < processor_count % k);
+    sites[s].lan = sample_link(
+        options.lan_min_latency_ms, options.lan_max_latency_ms,
+        options.lan_min_bandwidth_kbits, options.lan_max_bandwidth_kbits);
+  }
+  Matrix<LinkParams> wan(k, k, LinkParams{0.0, 1.0});
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = a + 1; b < k; ++b) {
+      const LinkParams link = sample_link(
+          options.wan_min_latency_ms, options.wan_max_latency_ms,
+          options.wan_min_bandwidth_kbits, options.wan_max_bandwidth_kbits);
+      wan(a, b) = link;
+      wan(b, a) = link;
+    }
+  }
+  NetworkModel network =
+      HierarchicalTopology{std::move(sites), std::move(wan)}.to_network();
+
+  // Per-pair measurement jitter on the composed end-to-end parameters,
+  // symmetric like the topology itself.
+  if (options.jitter > 1.0) {
+    const double half = std::log(options.jitter);
+    const std::size_t n = processor_count;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double t_factor = std::exp(rng.uniform(-half, half));
+        const double b_factor = std::exp(rng.uniform(-half, half));
+        const LinkParams base = network.link(i, j);
+        const LinkParams jittered{base.startup_s * t_factor,
+                                  base.bandwidth_Bps * b_factor};
+        network.set_link(i, j, jittered);
+        network.set_link(j, i, jittered);
+      }
+    }
+  }
+  return network;
 }
 
 }  // namespace hcs

@@ -47,4 +47,41 @@ struct NetworkGenOptions {
                                             std::uint64_t seed,
                                             const NetworkGenOptions& options = {});
 
+/// Parameters for the GUSTO-guided clustered network family: `cluster_count`
+/// sites whose internal links are LAN-class, joined pairwise by WAN links
+/// drawn from the GUSTO Table 1–2 ranges — the paper's Figure 1 structure
+/// at generated scale. Every end-to-end pair is then perturbed by an
+/// independent multiplicative jitter, so intra-site links are similar but
+/// not identical (what a real directory service would report, and what
+/// cluster detection has to be robust to).
+struct ClusteredNetworkOptions {
+  /// Number of sites. Nodes are assigned contiguously in site order; site
+  /// s holds P / K nodes, plus one extra when s < P % K — tests and
+  /// benchmarks can reconstruct the planted partition from (P, K) alone.
+  std::size_t cluster_count = 4;
+  /// Per-site LAN hop: latency sampled uniformly, bandwidth log-uniformly,
+  /// once per site. Defaults are switched-Ethernet-class, two-plus orders
+  /// of magnitude faster than the WAN ranges, so the planted structure is
+  /// real but not degenerate.
+  double lan_min_latency_ms = 0.1;
+  double lan_max_latency_ms = 1.0;
+  double lan_min_bandwidth_kbits = 50'000;
+  double lan_max_bandwidth_kbits = 200'000;
+  /// Inter-site WAN links: the GUSTO ranges (NetworkGenOptions defaults).
+  double wan_min_latency_ms = 4.5;
+  double wan_max_latency_ms = 89.5;
+  double wan_min_bandwidth_kbits = 246;
+  double wan_max_bandwidth_kbits = 4976;
+  /// Per-pair multiplicative perturbation: each unordered pair's start-up
+  /// and bandwidth are independently scaled by a factor in
+  /// [1/jitter, jitter] (log-uniform). 1.0 disables jitter.
+  double jitter = 1.15;
+};
+
+/// Generates a clustered P-processor network. Deterministic in (seed,
+/// options, processor_count); symmetric.
+[[nodiscard]] NetworkModel generate_clustered_network(
+    std::size_t processor_count, std::uint64_t seed,
+    const ClusteredNetworkOptions& options = {});
+
 }  // namespace hcs

@@ -1,15 +1,65 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
-namespace hcs {
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
 
-ThreadPool::ThreadPool(std::size_t size) {
+namespace hcs {
+namespace {
+
+bool affinity_disabled() {
+  const char* env = std::getenv("HCS_NO_AFFINITY");
+  return env != nullptr && env[0] != '\0';
+}
+
+// CPU ids in the process affinity mask, ascending; empty when the
+// platform exposes no mask (or the query fails).
+std::vector<int> allowed_cpus() {
+#ifdef __linux__
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof mask, &mask) != 0) return {};
+  std::vector<int> cpus;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu)
+    if (CPU_ISSET(cpu, &mask)) cpus.push_back(cpu);
+  return cpus;
+#else
+  return {};
+#endif
+}
+
+void pin_to_cpu([[maybe_unused]] std::thread& thread,
+                [[maybe_unused]] int cpu) {
+#ifdef __linux__
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(cpu, &mask);
+  // Best effort: a failure (mask shrank, cgroup change) just leaves the
+  // worker floating, which is the unpinned behaviour.
+  (void)pthread_setaffinity_np(thread.native_handle(), sizeof mask, &mask);
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t size, bool pin_workers) {
   const std::size_t background = size == 0 ? 0 : size - 1;
   workers_.reserve(background);
   for (std::size_t w = 0; w < background; ++w)
     workers_.emplace_back([this, w] { worker_loop(w + 1); });
+  if (!pin_workers || affinity_disabled()) return;
+  const std::vector<int> cpus = allowed_cpus();
+  if (cpus.size() < 2) return;
+  // Worker w (1-based; the caller is worker 0 and keeps its own
+  // affinity) gets CPU w mod |mask| — spread across the mask, stable
+  // across run() calls.
+  for (std::size_t w = 0; w < workers_.size(); ++w)
+    pin_to_cpu(workers_[w], cpus[(w + 1) % cpus.size()]);
 }
 
 ThreadPool::~ThreadPool() {
@@ -21,11 +71,18 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+std::size_t ThreadPool::allowed_cpu_count() {
+  if (!affinity_disabled()) {
+    const std::vector<int> cpus = allowed_cpus();
+    if (!cpus.empty()) return cpus.size();
+  }
+  return std::max<unsigned>(1, std::thread::hardware_concurrency());
+}
+
 std::size_t ThreadPool::resolve_size(std::size_t requested,
                                      std::size_t count) {
   std::size_t size = requested;
-  if (size == 0)
-    size = std::max<unsigned>(1, std::thread::hardware_concurrency());
+  if (size == 0) size = allowed_cpu_count();
   return std::max<std::size_t>(1, std::min(size, count));
 }
 

@@ -33,7 +33,16 @@ class ThreadPool {
  public:
   /// A pool of `size` workers (clamped to at least 1): the calling
   /// thread plus size - 1 background threads.
-  explicit ThreadPool(std::size_t size);
+  ///
+  /// With `pin_workers` (the default) each background thread is pinned
+  /// round-robin over the CPUs in the process affinity mask, so a worker
+  /// keeps its cache- and NUMA-locality instead of migrating between
+  /// runs; the calling thread is never re-pinned. Pinning is skipped on
+  /// platforms without affinity support, when the mask has a single CPU,
+  /// or when HCS_NO_AFFINITY is set (non-empty). Placement never affects
+  /// results — the strided index assignment stays a pure function of
+  /// (count, size).
+  explicit ThreadPool(std::size_t size, bool pin_workers = true);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -52,9 +61,20 @@ class ThreadPool {
            const std::function<void(std::size_t worker, std::size_t index)>& fn);
 
   /// Threads worth using for `count` independent tasks when the caller
-  /// asked for `requested` (0 = one per hardware thread).
+  /// asked for `requested` (0 = one per *allowed* hardware thread: the
+  /// process's CPU affinity mask where the platform exposes one, falling
+  /// back to hardware_concurrency). Containers and batch schedulers
+  /// routinely confine a process to a slice of a big machine;
+  /// hardware_concurrency over-sizes the pool there, oversubscribing the
+  /// slice. Setting HCS_NO_AFFINITY (any non-empty value) restores the
+  /// hardware_concurrency behaviour.
   [[nodiscard]] static std::size_t resolve_size(std::size_t requested,
                                                 std::size_t count);
+
+  /// Number of CPUs this process may run on: the affinity mask's
+  /// population where available (Linux), else hardware_concurrency; at
+  /// least 1. Honours HCS_NO_AFFINITY like resolve_size.
+  [[nodiscard]] static std::size_t allowed_cpu_count();
 
  private:
   void worker_loop(std::size_t worker);

@@ -16,14 +16,20 @@ std::string_view scenario_name(Scenario scenario) {
 }
 
 ProblemInstance make_instance(Scenario scenario, std::size_t processor_count,
-                              std::uint64_t seed) {
+                              std::uint64_t seed, std::size_t cluster_count) {
   // Decorrelate the network draw from the workload draw so that, e.g.,
   // changing the mixed-size pattern does not perturb the network.
   Rng seeder{seed};
   const std::uint64_t network_seed = seeder.next_u64();
   const std::uint64_t workload_seed = seeder.next_u64();
 
-  ProblemInstance instance{generate_network(processor_count, network_seed), {}};
+  ClusteredNetworkOptions clustered;
+  clustered.cluster_count = cluster_count;
+  ProblemInstance instance{
+      cluster_count > 0
+          ? generate_clustered_network(processor_count, network_seed, clustered)
+          : generate_network(processor_count, network_seed),
+      {}};
   switch (scenario) {
     case Scenario::kSmallMessages:
       instance.messages = uniform_messages(processor_count, kKiB);

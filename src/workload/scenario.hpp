@@ -31,11 +31,15 @@ struct ProblemInstance {
 };
 
 /// Generates a problem instance for `scenario` with P processors.
-/// Networks are GUSTO-guided random draws (netmodel/generator.hpp);
-/// message sizes follow the scenario. Deterministic in (scenario, P,
-/// seed); the network and workload use decorrelated sub-seeds.
+/// Networks are GUSTO-guided random draws (netmodel/generator.hpp):
+/// the flat family when `cluster_count` is 0, the clustered site/WAN
+/// family (generate_clustered_network) with that many sites otherwise.
+/// Message sizes follow the scenario. Deterministic in (scenario, P,
+/// seed, cluster_count); the network and workload use decorrelated
+/// sub-seeds.
 [[nodiscard]] ProblemInstance make_instance(Scenario scenario,
                                             std::size_t processor_count,
-                                            std::uint64_t seed);
+                                            std::uint64_t seed,
+                                            std::size_t cluster_count = 0);
 
 }  // namespace hcs

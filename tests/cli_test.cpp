@@ -361,6 +361,55 @@ TEST(Cli, TraceValidatesArguments) {
   EXPECT_EQ(run({"trace", "--processors", "5", "--loss", "2.0"}).exit_code, 1);
 }
 
+TEST(Cli, SweepCsvFormatEmitsOneRowPerProcessorCount) {
+  const CliRun result =
+      run({"sweep", "--processors", "4,6", "--repetitions", "2", "--seed",
+           "5", "--algorithm", "greedy", "--format", "csv"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("P,lower_bound_s,greedy"), std::string::npos)
+      << result.out;
+  EXPECT_NE(result.out.find("\n4,"), std::string::npos);
+  EXPECT_NE(result.out.find("\n6,"), std::string::npos);
+}
+
+TEST(Cli, SweepJsonFormatCarriesTheSeries) {
+  const CliRun result =
+      run({"sweep", "--processors", "5", "--repetitions", "2", "--algorithm",
+           "openshop", "--format", "json"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("\"series\":"), std::string::npos);
+  EXPECT_NE(result.out.find("\"algorithm\":\"openshop\""), std::string::npos);
+  EXPECT_NE(result.out.find("\"mean_ratio_to_lb\":"), std::string::npos);
+}
+
+TEST(Cli, SweepHierarchicalClusteredFamilyRuns) {
+  // Hierarchical + clustered family through the sweep harness, schedules
+  // validated (the sweep validates by default) and simulator-executed.
+  const CliRun result =
+      run({"sweep", "--processors", "12", "--repetitions", "2", "--clusters",
+           "3", "--hierarchical", "--algorithm", "greedy", "--execute"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("clustered family: 3 site(s)"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("hierarchical scheduling: on"),
+            std::string::npos);
+}
+
+TEST(Cli, TraceHierarchicalAuditsClean) {
+  const CliRun result =
+      run({"trace", "--processors", "24", "--clusters", "4", "--hierarchical",
+           "--algorithm", "greedy", "--format", "metrics", "--audit"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.err.find("audit: clean"), std::string::npos) << result.err;
+}
+
+TEST(Cli, SweepRejectsUnknownFormat) {
+  EXPECT_EQ(run({"sweep", "--processors", "4", "--format", "yaml"}).exit_code,
+            1);
+  EXPECT_EQ(run({"sweep", "--processors", "4", "--clusters", "-1"}).exit_code,
+            1);
+}
+
 TEST(CliOptions, ParsesPairsAndFlags) {
   const cli::Options options({"cmd", "--a", "1", "--flag", "--b", "x"}, 1,
                              {"a", "flag", "b"});

@@ -1,0 +1,166 @@
+// Cluster-detection properties (ISSUE 6, satellite 4): the agglomerative
+// detector must recover the planted site partition of the clustered
+// network family — including under per-pair measurement jitter and at
+// wide P — be equivariant under node relabeling, collapse homogeneous
+// networks to the flat single-cluster outcome, and feed representatives
+// and quotient networks that respect the partition.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "netmodel/cluster_detect.hpp"
+#include "netmodel/directory.hpp"
+#include "netmodel/generator.hpp"
+#include "netmodel/network_model.hpp"
+#include "util/rng.hpp"
+
+namespace hcs {
+namespace {
+
+/// The planted partition of generate_clustered_network: site s holds
+/// P / K nodes, plus one extra when s < P % K, assigned contiguously.
+Clustering planted_partition(std::size_t n, std::size_t k) {
+  Clustering planted;
+  planted.cluster_of.resize(n);
+  std::size_t node = 0;
+  for (std::size_t s = 0; s < k; ++s) {
+    const std::size_t size = n / k + (s < n % k ? 1 : 0);
+    std::vector<std::size_t> members(size);
+    std::iota(members.begin(), members.end(), node);
+    for (const std::size_t m : members) planted.cluster_of[m] = s;
+    node += size;
+    planted.members.push_back(std::move(members));
+  }
+  return planted;
+}
+
+TEST(ClusterDetect, RecoversPlantedSites) {
+  for (const std::size_t n : {12, 30, 64, 128}) {
+    for (const std::size_t k : {2, 4, 5}) {
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        ClusteredNetworkOptions family;
+        family.cluster_count = k;
+        const NetworkModel network =
+            generate_clustered_network(n, seed, family);
+        const Clustering detected = detect_clusters(network);
+        EXPECT_EQ(detected, planted_partition(n, k))
+            << "P=" << n << " K=" << k << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(ClusterDetect, RecoversPlantedSitesAtWideP) {
+  ClusteredNetworkOptions family;
+  family.cluster_count = 8;
+  const NetworkModel network = generate_clustered_network(512, 7, family);
+  EXPECT_EQ(detect_clusters(network), planted_partition(512, 8));
+}
+
+// Detection is meant to tolerate measurement noise well past the default
+// family jitter: push the per-pair perturbation to ±40% and the planted
+// sites must still come back exactly.
+TEST(ClusterDetect, RecoversUnderStrongPerturbation) {
+  ClusteredNetworkOptions family;
+  family.cluster_count = 4;
+  family.jitter = 1.4;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const NetworkModel network = generate_clustered_network(48, seed, family);
+    EXPECT_EQ(detect_clusters(network), planted_partition(48, 4))
+        << "seed=" << seed;
+  }
+}
+
+TEST(ClusterDetect, EquivariantUnderRelabeling) {
+  ClusteredNetworkOptions family;
+  family.cluster_count = 3;
+  const std::size_t n = 24;
+  const NetworkModel network = generate_clustered_network(n, 3, family);
+  const Clustering original = detect_clusters(network);
+
+  // Deterministic Fisher–Yates permutation of the node ids.
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  Rng rng{99};
+  for (std::size_t i = n - 1; i > 0; --i)
+    std::swap(perm[i], perm[rng.next_below(i + 1)]);
+
+  NetworkModel relabeled{n, LinkParams{}};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) relabeled.set_link(perm[i], perm[j], network.link(i, j));
+
+  const Clustering permuted = detect_clusters(relabeled);
+  EXPECT_EQ(permuted.cluster_count(), original.cluster_count());
+  // Same partition up to the relabeling: nodes share a cluster before the
+  // permutation exactly when their images share one after it.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_EQ(original.cluster_of[i] == original.cluster_of[j],
+                permuted.cluster_of[perm[i]] == permuted.cluster_of[perm[j]])
+          << "nodes " << i << "," << j;
+}
+
+TEST(ClusterDetect, HomogeneousNetworkIsFlat) {
+  const NetworkModel network{16, LinkParams{0.001, 1e7}};
+  const Clustering clustering = detect_clusters(network);
+  EXPECT_TRUE(clustering.flat());
+  EXPECT_EQ(clustering.cluster_count(), 1u);
+  EXPECT_EQ(clustering.members[0].size(), 16u);
+}
+
+TEST(ClusterDetect, DetectionIsIdempotentAndDeterministic) {
+  ClusteredNetworkOptions family;
+  family.cluster_count = 5;
+  const NetworkModel network = generate_clustered_network(40, 11, family);
+  const Clustering first = detect_clusters(network);
+  EXPECT_EQ(first, detect_clusters(network));
+  // The directory overload detects on the same snapshot.
+  const StaticDirectory directory{network};
+  EXPECT_EQ(first, detect_clusters(directory, 0.0));
+}
+
+TEST(ClusterDetect, TightToleranceSplitsLooseOnesMerge) {
+  ClusteredNetworkOptions family;
+  family.cluster_count = 4;
+  const NetworkModel network = generate_clustered_network(32, 5, family);
+  // A band too narrow for the family's jitter fragments the sites...
+  ClusterOptions tight;
+  tight.tolerance = 1.0;
+  EXPECT_GE(detect_clusters(network, tight).cluster_count(), 4u);
+  // ...and a band wide enough to span the LAN/WAN gap flattens everything.
+  ClusterOptions loose;
+  loose.tolerance = 1e6;
+  EXPECT_TRUE(detect_clusters(network, loose).flat());
+}
+
+TEST(ClusterDetect, RepresentativesAndQuotientRespectThePartition) {
+  ClusteredNetworkOptions family;
+  family.cluster_count = 4;
+  const NetworkModel network = generate_clustered_network(37, 13, family);
+  const Clustering clustering = detect_clusters(network);
+  ASSERT_EQ(clustering.cluster_count(), 4u);
+
+  const std::vector<std::size_t> reps = elect_representatives(network,
+                                                              clustering);
+  ASSERT_EQ(reps.size(), 4u);
+  for (std::size_t c = 0; c < reps.size(); ++c)
+    EXPECT_EQ(clustering.cluster_of[reps[c]], c) << "rep of cluster " << c;
+
+  const NetworkModel quotient = quotient_network(network, clustering, reps);
+  ASSERT_EQ(quotient.processor_count(), 4u);
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      const LinkParams expected = network.link(reps[a], reps[b]);
+      const LinkParams actual = quotient.link(a, b);
+      EXPECT_EQ(actual.startup_s, expected.startup_s);
+      EXPECT_EQ(actual.bandwidth_Bps, expected.bandwidth_Bps);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hcs

@@ -11,11 +11,14 @@
 // lower the count (CI's sanitizer lane runs a fixed block).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <string>
 
+#include "core/hierarchical_scheduler.hpp"
 #include "core/scheduler.hpp"
+#include "netmodel/cluster_detect.hpp"
 #include "netmodel/directory.hpp"
 #include "netmodel/generator.hpp"
 #include "sim/reference_simulator.hpp"
@@ -94,6 +97,56 @@ TEST(DifferentialFuzz, SimulatorsAgreeAndTracesAuditClean) {
         ASSERT_EQ(report.transfers, fast.events.size()) << label;
       }
     }
+  }
+}
+
+// Hierarchical schedules on clustered instances (ISSUE 6, satellite 4):
+// the spliced schedule must drive both simulators to bit-identical
+// results and replay cleanly through the auditor, exactly like the flat
+// schedulers above. Detection runs per instance, so the fuzz also covers
+// whatever cluster shapes the family + detector actually produce.
+TEST(DifferentialFuzz, HierarchicalSchedulesAgreeAndAuditClean) {
+  const std::uint64_t seeds = std::min<std::uint64_t>(seed_count(), 100);
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const std::size_t n = kProcCounts[seed % std::size(kProcCounts)];
+    ClusteredNetworkOptions family;
+    family.cluster_count = 2 + seed % 4;
+    if (family.cluster_count > n) family.cluster_count = n;
+    const NetworkModel network = generate_clustered_network(n, seed, family);
+    const MessageMatrix messages =
+        mixed_messages(n, seed, {1024, 1024 * 1024});
+    const StaticDirectory directory{network};
+    const NetworkSimulator simulator{directory, messages};
+    const CommMatrix comm{network, messages};
+
+    HierarchicalScheduler::Options options;
+    options.inner = paper_schedulers()[seed % paper_schedulers().size()];
+    options.seed = seed;
+    const HierarchicalScheduler scheduler{detect_clusters(network), options};
+    const Schedule schedule = scheduler.schedule(comm);
+    schedule.validate(comm);
+    const SendProgram program = SendProgram::from_schedule(schedule);
+
+    const std::string label = "seed=" + std::to_string(seed) +
+                              " P=" + std::to_string(n) + " " +
+                              std::string(scheduler.name());
+    const SimOptions sim_options = options_for(ReceiveModel::kSerialized,
+                                               seed);
+    EventTrace trace;
+    SimWorkspace workspace;
+    SimResult fast;
+    simulator.run_into_traced(program, sim_options, workspace, fast, trace);
+    const SimResult ref = run_reference(directory, messages, program,
+                                        sim_options);
+    ASSERT_EQ(fast.completion_time, ref.completion_time) << label;
+    ASSERT_EQ(fast.events.size(), ref.events.size()) << label;
+
+    AuditOptions audit_options;
+    audit_options.serialized_receives = true;
+    const AuditReport report =
+        ScheduleAuditor{audit_options}.audit(trace, fast.completion_time);
+    ASSERT_TRUE(report.ok()) << label << " audit:\n" << report.summary();
+    ASSERT_EQ(report.transfers, fast.events.size()) << label;
   }
 }
 

@@ -1,0 +1,139 @@
+// Hierarchical scheduler properties (ISSUE 6): whatever the inner
+// algorithm and however lopsided the detected clustering, the spliced
+// result must be a valid Schedule — every ordered pair exactly once,
+// durations from the comm matrix, no port overlap — and with a flat
+// (single-cluster) detection the scheduler must BE the inner scheduler.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+#include "core/hierarchical_scheduler.hpp"
+#include "core/scheduler.hpp"
+#include "netmodel/cluster_detect.hpp"
+#include "netmodel/generator.hpp"
+#include "util/error.hpp"
+#include "workload/generators.hpp"
+
+namespace hcs {
+namespace {
+
+CommMatrix clustered_instance(std::size_t n, std::size_t k,
+                              std::uint64_t seed, NetworkModel* network_out) {
+  ClusteredNetworkOptions family;
+  family.cluster_count = k;
+  NetworkModel network = generate_clustered_network(n, seed, family);
+  const MessageMatrix messages = mixed_messages(n, seed, {1024, 1024 * 1024});
+  CommMatrix comm{network, messages};
+  if (network_out != nullptr) *network_out = std::move(network);
+  return comm;
+}
+
+TEST(HierarchicalScheduler, ValidForEveryInnerAlgorithm) {
+  for (const std::size_t n : {10, 24, 48}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      NetworkModel network;
+      const CommMatrix comm =
+          clustered_instance(n, 2 + seed % 3, seed, &network);
+      const Clustering clustering = detect_clusters(network);
+      for (const SchedulerKind inner : paper_schedulers()) {
+        HierarchicalScheduler::Options options;
+        options.inner = inner;
+        options.seed = seed;
+        const HierarchicalScheduler scheduler{clustering, options};
+        const Schedule schedule = scheduler.schedule(comm);
+        SCOPED_TRACE("P=" + std::to_string(n) + " seed=" +
+                     std::to_string(seed) + " inner=" +
+                     std::string(scheduler_name(inner)));
+        // validate() checks the full contract: one event per ordered
+        // pair, durations equal to the comm entries, ports serialized.
+        EXPECT_NO_THROW(schedule.validate(comm));
+        EXPECT_EQ(schedule.events().size(), n * (n - 1));
+        EXPECT_GE(schedule.completion_time(), comm.lower_bound());
+      }
+    }
+  }
+}
+
+TEST(HierarchicalScheduler, FlatClusteringIsExactlyTheInnerScheduler) {
+  // A homogeneous network detects as one cluster; the hierarchical path
+  // must then reproduce the inner scheduler's events verbatim.
+  const NetworkModel network{12, LinkParams{0.001, 1e7}};
+  const MessageMatrix messages = mixed_messages(12, 5, {1024, 1024 * 1024});
+  const CommMatrix comm{network, messages};
+  const Clustering clustering = detect_clusters(network);
+  ASSERT_TRUE(clustering.flat());
+
+  HierarchicalScheduler::Options options;
+  options.inner = SchedulerKind::kOpenShop;
+  options.seed = 5;
+  const HierarchicalScheduler hierarchical{clustering, options};
+  const Schedule expected =
+      make_scheduler(SchedulerKind::kOpenShop, 5)->schedule(comm);
+  const Schedule actual = hierarchical.schedule(comm);
+
+  ASSERT_EQ(actual.events().size(), expected.events().size());
+  for (std::size_t e = 0; e < expected.events().size(); ++e) {
+    EXPECT_EQ(actual.events()[e].src, expected.events()[e].src);
+    EXPECT_EQ(actual.events()[e].dst, expected.events()[e].dst);
+    EXPECT_EQ(actual.events()[e].start_s, expected.events()[e].start_s);
+    EXPECT_EQ(actual.events()[e].finish_s, expected.events()[e].finish_s);
+  }
+}
+
+TEST(HierarchicalScheduler, DeterministicAcrossCalls) {
+  NetworkModel network;
+  const CommMatrix comm = clustered_instance(20, 4, 9, &network);
+  const HierarchicalScheduler scheduler{detect_clusters(network)};
+  const Schedule first = scheduler.schedule(comm);
+  const Schedule second = scheduler.schedule(comm);
+  ASSERT_EQ(first.events().size(), second.events().size());
+  for (std::size_t e = 0; e < first.events().size(); ++e) {
+    EXPECT_EQ(first.events()[e].src, second.events()[e].src);
+    EXPECT_EQ(first.events()[e].dst, second.events()[e].dst);
+    EXPECT_EQ(first.events()[e].start_s, second.events()[e].start_s);
+    EXPECT_EQ(first.events()[e].finish_s, second.events()[e].finish_s);
+  }
+}
+
+TEST(HierarchicalScheduler, NameReflectsTheInnerAlgorithm) {
+  Clustering clustering;
+  clustering.cluster_of = {0, 0, 1, 1};
+  clustering.members = {{0, 1}, {2, 3}};
+  HierarchicalScheduler::Options options;
+  options.inner = SchedulerKind::kGreedy;
+  const HierarchicalScheduler scheduler{clustering, options};
+  EXPECT_EQ(scheduler.name(), "hierarchical(greedy)");
+}
+
+TEST(HierarchicalScheduler, RejectsMismatchedClustering) {
+  NetworkModel network;
+  const CommMatrix comm = clustered_instance(10, 2, 1, &network);
+  Clustering wrong;
+  wrong.cluster_of = {0, 0, 1, 1};  // 4 nodes, matrix has 10
+  wrong.members = {{0, 1}, {2, 3}};
+  const HierarchicalScheduler scheduler{wrong};
+  EXPECT_THROW((void)scheduler.schedule(comm), InputError);
+}
+
+TEST(HierarchicalScheduler, HandlesSingletonAndLopsidedClusters) {
+  // Hand-built partitions exercise the splice's edge shapes: singleton
+  // clusters (no intra phase) and a 1-vs-many quotient block.
+  NetworkModel network;
+  const CommMatrix comm = clustered_instance(9, 3, 21, &network);
+  for (const Clustering& clustering :
+       {Clustering{{0, 1, 2, 3, 4, 5, 6, 7, 8},
+                   {{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}},
+        Clustering{{0, 0, 0, 0, 0, 0, 0, 0, 1},
+                   {{0, 1, 2, 3, 4, 5, 6, 7}, {8}}}}) {
+    const HierarchicalScheduler scheduler{clustering};
+    const Schedule schedule = scheduler.schedule(comm);
+    EXPECT_NO_THROW(schedule.validate(comm));
+    EXPECT_EQ(schedule.events().size(), 9u * 8u);
+  }
+}
+
+}  // namespace
+}  // namespace hcs

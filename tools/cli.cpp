@@ -1,13 +1,17 @@
 #include "tools/cli.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
 #include "collectives/broadcast.hpp"
 #include "core/comm_matrix.hpp"
+#include "core/hierarchical_scheduler.hpp"
 #include "experiment/experiment.hpp"
+#include "netmodel/cluster_detect.hpp"
 #include "fault/resilient.hpp"
 #include "core/schedule_stats.hpp"
 #include "core/scheduler.hpp"
@@ -48,14 +52,19 @@ usage:
 
   hcs sweep --processors N[,N...] [--repetitions R] [--seed S]
             [--scenario NAME] [--algorithm NAME|all] [--threads T]
-            [--execute] [--ratios]
+            [--execute] [--ratios] [--hierarchical] [--clusters K]
+            [--format table|csv|json]
       Run the figure-style experiment sweep: R random instances per
       processor count, scheduled by each algorithm (all of them by
       default) and averaged. Repetitions run on T worker threads (0 =
-      one per hardware thread, the default); output is byte-identical
-      at every thread count. --execute also runs every schedule through
-      the network simulator; --ratios prints ratio-to-lower-bound
-      instead of absolute seconds.
+      one per allowed hardware thread, the default); output is
+      byte-identical at every thread count. --execute also runs every
+      schedule through the network simulator; --ratios prints
+      ratio-to-lower-bound instead of absolute seconds. --clusters K
+      draws instances from the clustered site/WAN family with K sites;
+      --hierarchical detects clusters on every instance and runs each
+      algorithm inside the hierarchical scheduler. --format csv/json
+      emit machine-readable sweeps instead of the table.
 
   hcs fault-sweep --processors N [--seed S] [--scenario NAME]
                   [--algorithm NAME] [--max-crashes K] [--cuts C] [--loss P]
@@ -69,14 +78,17 @@ usage:
 
   hcs trace --processors N [--seed S] [--scenario NAME] [--algorithm NAME]
             [--model serialized|interleaved|buffered] [--drift SIGMA]
-            [--crashes K] [--cuts C] [--loss P]
-            [--format diagram|chrome|metrics] [--rows R] [--audit]
+            [--crashes K] [--cuts C] [--loss P] [--hierarchical]
+            [--clusters K] [--format diagram|chrome|metrics] [--rows R]
+            [--audit]
       Generate an instance, schedule it, execute with event tracing on,
       and export the trace: an ASCII timing diagram (default), Chrome
       trace_event JSON for chrome://tracing / Perfetto, or a metrics JSON
       summary. Fault options switch to the fault-tolerant executor
-      (serialized model only). --audit replays the trace through the
-      model-invariant auditor and fails on any violation.
+      (serialized model only). --clusters/--hierarchical pick the
+      clustered network family and the hierarchical scheduler, as in
+      sweep. --audit replays the trace through the model-invariant
+      auditor and fails on any violation.
 
   hcs lowerbound
       Read a communication-matrix CSV on stdin and print t_lb.
@@ -245,6 +257,86 @@ int cmd_simulate(const Options& options, std::ostream& out) {
   return 0;
 }
 
+/// Builds the scheduler for single-instance commands: the plain
+/// algorithm, or — with --hierarchical — that algorithm running inside
+/// the hierarchical scheduler over the network's detected clustering.
+std::unique_ptr<Scheduler> make_instance_scheduler(SchedulerKind kind,
+                                                   std::uint64_t seed,
+                                                   bool hierarchical,
+                                                   const NetworkModel& network) {
+  if (!hierarchical) return make_scheduler(kind, seed);
+  HierarchicalScheduler::Options options;
+  options.inner = kind;
+  options.seed = seed;
+  return std::make_unique<HierarchicalScheduler>(detect_clusters(network),
+                                                 options);
+}
+
+/// Emits the sweep as CSV: one row per processor count, one column per
+/// algorithm series (mean completion seconds or ratio-to-lower-bound),
+/// plus simulated completions when the sweep executed.
+void write_sweep_csv(std::ostream& out, const ExperimentResult& result,
+                     bool ratios) {
+  out << "P,lower_bound_s";
+  for (const SchedulerSeries& series : result.series)
+    out << ',' << scheduler_name(series.kind);
+  if (result.config.execute)
+    for (const SchedulerSeries& series : result.series)
+      out << ',' << scheduler_name(series.kind) << "_executed";
+  out << '\n';
+  for (std::size_t p = 0; p < result.config.processor_counts.size(); ++p) {
+    out << result.config.processor_counts[p] << ','
+        << format_double(result.mean_lower_bound_s[p], 6);
+    for (const SchedulerSeries& series : result.series)
+      out << ','
+          << format_double(ratios ? series.mean_ratio_to_lb[p]
+                                  : series.mean_completion_s[p],
+                           6);
+    if (result.config.execute)
+      for (const SchedulerSeries& series : result.series)
+        out << ',' << format_double(series.mean_executed_s[p], 6);
+    out << '\n';
+  }
+}
+
+/// Emits the sweep as a JSON object: the generating configuration plus
+/// one series object per algorithm with the full per-P statistics.
+void write_sweep_json(std::ostream& out, const ExperimentResult& result) {
+  const auto write_doubles = [&out](const std::vector<double>& values) {
+    out << '[';
+    for (std::size_t k = 0; k < values.size(); ++k)
+      out << (k > 0 ? "," : "") << format_double(values[k], 6);
+    out << ']';
+  };
+  const ExperimentConfig& config = result.config;
+  out << "{\"scenario\":\"" << scenario_name(config.scenario) << "\""
+      << ",\"repetitions\":" << config.repetitions
+      << ",\"seed\":" << config.base_seed
+      << ",\"clusters\":" << config.cluster_count << ",\"hierarchical\":"
+      << (config.hierarchical ? "true" : "false") << ",\"processors\":[";
+  for (std::size_t p = 0; p < config.processor_counts.size(); ++p)
+    out << (p > 0 ? "," : "") << config.processor_counts[p];
+  out << "],\"lower_bound_s\":";
+  write_doubles(result.mean_lower_bound_s);
+  out << ",\"series\":[";
+  for (std::size_t s = 0; s < result.series.size(); ++s) {
+    const SchedulerSeries& series = result.series[s];
+    out << (s > 0 ? "," : "") << "{\"algorithm\":\""
+        << scheduler_name(series.kind) << "\",\"mean_completion_s\":";
+    write_doubles(series.mean_completion_s);
+    out << ",\"mean_ratio_to_lb\":";
+    write_doubles(series.mean_ratio_to_lb);
+    out << ",\"max_ratio_to_lb\":";
+    write_doubles(series.max_ratio_to_lb);
+    if (config.execute) {
+      out << ",\"mean_executed_s\":";
+      write_doubles(series.mean_executed_s);
+    }
+    out << '}';
+  }
+  out << "]}\n";
+}
+
 /// Parses a comma-separated list of processor counts ("5,10,20").
 std::vector<std::size_t> parse_processor_list(const std::string& text) {
   std::vector<std::size_t> counts;
@@ -281,14 +373,32 @@ int cmd_sweep(const Options& options, std::ostream& out) {
   if (threads < 0) throw InputError("--threads must be >= 0");
   config.threads = static_cast<std::size_t>(threads);
   config.execute = options.has("execute");
+  const long clusters = options.get_long("clusters", 0);
+  if (clusters < 0) throw InputError("--clusters must be >= 0");
+  config.cluster_count = static_cast<std::size_t>(clusters);
+  config.hierarchical = options.has("hierarchical");
+  const std::string format = options.get("format", "table");
+  if (format != "table" && format != "csv" && format != "json")
+    throw InputError("unknown sweep format '" + format + "'");
 
   const ExperimentResult result = run_experiment(config);
 
+  if (format == "csv") {
+    write_sweep_csv(out, result, options.has("ratios"));
+    return 0;
+  }
+  if (format == "json") {
+    write_sweep_json(out, result);
+    return 0;
+  }
   out << "scenario " << scenario_name(config.scenario) << ", "
       << config.repetitions << " repetition(s) per point, seed "
       << config.base_seed << ", "
       << ThreadPool::resolve_size(config.threads, config.repetitions)
       << " worker thread(s)\n";
+  if (config.cluster_count > 0)
+    out << "clustered family: " << config.cluster_count << " site(s)\n";
+  if (config.hierarchical) out << "hierarchical scheduling: on\n";
   if (options.has("ratios")) {
     out << "mean completion time / lower bound:\n";
     ratio_table(result).print(out);
@@ -438,6 +548,8 @@ int cmd_trace(const Options& options, std::ostream& out, std::ostream& err) {
   if (cut_count < 0) throw InputError("--cuts must be >= 0");
   if (!(loss >= 0.0) || !(loss < 1.0))
     throw InputError("--loss must be in [0, 1)");
+  const long clusters = options.get_long("clusters", 0);
+  if (clusters < 0) throw InputError("--clusters must be >= 0");
 
   SimOptions sim_options;
   if (model_name == "serialized") {
@@ -450,13 +562,18 @@ int cmd_trace(const Options& options, std::ostream& out, std::ostream& err) {
     throw InputError("unknown receive model '" + model_name + "'");
   }
 
-  const ProblemInstance instance = make_instance(scenario, n, seed);
+  const ProblemInstance instance =
+      make_instance(scenario, n, seed, static_cast<std::size_t>(clusters));
   const CommMatrix comm{instance.network, instance.messages};
-  const auto scheduler = make_scheduler(kind, seed);
+  const auto scheduler = make_instance_scheduler(
+      kind, seed, options.has("hierarchical"), instance.network);
   const Schedule planned = scheduler->schedule(comm);
   planned.validate(comm);
 
-  EventTrace trace;
+  // A total exchange records ~4 trace events per ordered pair (issue,
+  // start, finish, delivery); size the ring so wide-P audits see every
+  // event instead of the default ring's most recent 64k.
+  EventTrace trace{std::max<std::size_t>(std::size_t{1} << 16, 4 * n * n)};
   double completion = 0.0;
   const bool faulty = crashes > 0 || cut_count > 0 || loss > 0.0;
   if (faulty) {
@@ -608,7 +725,8 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     if (command == "sweep") {
       const Options options(args, 1,
                             {"processors", "repetitions", "seed", "scenario",
-                             "algorithm", "threads", "execute", "ratios"});
+                             "algorithm", "threads", "execute", "ratios",
+                             "hierarchical", "clusters", "format"});
       return cmd_sweep(options, out);
     }
     if (command == "fault-sweep") {
@@ -621,7 +739,8 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
       const Options options(
           args, 1,
           {"processors", "seed", "scenario", "algorithm", "model", "drift",
-           "crashes", "cuts", "loss", "format", "rows", "audit"});
+           "crashes", "cuts", "loss", "hierarchical", "clusters", "format",
+           "rows", "audit"});
       return cmd_trace(options, out, err);
     }
     if (command == "lowerbound") {
