@@ -1,0 +1,123 @@
+// Self-healing recovery benchmarks (google-benchmark).
+//
+// Online re-planning (ResilientOptions::replan) promises pay-as-you-go
+// pricing like the rest of the fault path: with nothing failing, a
+// replan-enabled run must stay within noise of a replan-disabled one
+// (BM_ResilientHealthyReplanOff vs BM_ResilientHealthyReplanOn — the
+// acceptance bar is < 5% on the healthy path), while actual recovery
+// pays for the degraded-view rescheduling rounds it buys
+// (BM_ResilientRelayOnlyUnderRestarts vs BM_ResilientReplanRescue).
+// Tracked in BENCH_scheduler.json via the bench_json target.
+#include <benchmark/benchmark.h>
+
+#include "adaptive/checkpoint.hpp"
+#include "core/openshop_scheduler.hpp"
+#include "fault/resilient.hpp"
+#include "netmodel/generator.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+hcs::ResilientOptions base_options() {
+  hcs::ResilientOptions options;
+  options.adaptive.policy = hcs::CheckpointPolicy::kHalveRemaining;
+  return options;
+}
+
+/// Crash-restart windows plus a brownout, scaled to the healthy run's
+/// makespan so the faults actually bite mid-exchange.
+hcs::FaultPlan recovery_plan(std::size_t n, double horizon_s) {
+  hcs::FaultPlan plan;
+  plan.seed = kSeed;
+  plan.restarts.push_back({0, 0.1 * horizon_s, 0.6 * horizon_s});
+  plan.restarts.push_back({1, 0.15 * horizon_s, 0.55 * horizon_s});
+  plan.brownouts.push_back({n - 1, n - 2, 0.0, 0.5 * horizon_s, 0.25, true});
+  return plan;
+}
+
+void BM_ResilientHealthyReplanOff(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const hcs::StaticDirectory directory{hcs::generate_network(n, kSeed)};
+  const hcs::MessageMatrix messages = hcs::uniform_messages(n, hcs::kMiB);
+  const hcs::OpenShopScheduler scheduler;
+  const hcs::ResilientOptions options = base_options();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hcs::run_resilient(scheduler, directory, messages, {}, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_ResilientHealthyReplanOn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const hcs::StaticDirectory directory{hcs::generate_network(n, kSeed)};
+  const hcs::MessageMatrix messages = hcs::uniform_messages(n, hcs::kMiB);
+  const hcs::OpenShopScheduler scheduler;
+  hcs::ResilientOptions options = base_options();
+  options.replan.enabled = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hcs::run_resilient(scheduler, directory, messages, {}, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_ResilientRelayOnlyUnderRestarts(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const hcs::StaticDirectory directory{hcs::generate_network(n, kSeed)};
+  const hcs::MessageMatrix messages = hcs::uniform_messages(n, hcs::kMiB);
+  const hcs::OpenShopScheduler scheduler;
+  const hcs::ResilientOptions options = base_options();
+  const double horizon =
+      hcs::run_resilient(scheduler, directory, messages, {}, options)
+          .completion_time;
+  const hcs::FaultPlan plan = recovery_plan(n, horizon);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hcs::run_resilient(scheduler, directory, messages, plan, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_ResilientReplanRescue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const hcs::StaticDirectory directory{hcs::generate_network(n, kSeed)};
+  const hcs::MessageMatrix messages = hcs::uniform_messages(n, hcs::kMiB);
+  const hcs::OpenShopScheduler scheduler;
+  hcs::ResilientOptions options = base_options();
+  const double horizon =
+      hcs::run_resilient(scheduler, directory, messages, {}, options)
+          .completion_time;
+  options.replan.enabled = true;
+  options.replan.max_replans = 4;
+  options.replan.backoff_base_s = 0.15 * horizon;
+  const hcs::FaultPlan plan = recovery_plan(n, horizon);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hcs::run_resilient(scheduler, directory, messages, plan, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ResilientHealthyReplanOff)
+    ->RangeMultiplier(2)
+    ->Range(8, 32)
+    ->Complexity();
+BENCHMARK(BM_ResilientHealthyReplanOn)
+    ->RangeMultiplier(2)
+    ->Range(8, 32)
+    ->Complexity();
+BENCHMARK(BM_ResilientRelayOnlyUnderRestarts)
+    ->RangeMultiplier(2)
+    ->Range(8, 32)
+    ->Complexity();
+BENCHMARK(BM_ResilientReplanRescue)
+    ->RangeMultiplier(2)
+    ->Range(8, 32)
+    ->Complexity();
+
+BENCHMARK_MAIN();

@@ -37,7 +37,8 @@
 
 namespace hcs {
 
-class HierarchicalScheduler final : public Scheduler {
+class HierarchicalScheduler final : public Scheduler,
+                                    public FaultAwareScheduler {
  public:
   struct Options {
     /// Algorithm used both intra-cluster and for the quotient exchange.
@@ -54,6 +55,20 @@ class HierarchicalScheduler final : public Scheduler {
 
   [[nodiscard]] std::string_view name() const override { return name_; }
   [[nodiscard]] Schedule schedule(const CommMatrix& comm) const override;
+
+  /// Degraded-mode planning (FaultAwareScheduler). Down nodes are dropped
+  /// from their clusters; clusters whose intra-cluster connectivity is cut
+  /// split into connected components over the usable undirected pairs;
+  /// crashed representatives trigger comm-medoid re-election among each
+  /// surviving component. With fewer than two usable clusters left the
+  /// scheduler plans flat. Traffic touching down nodes is appended last,
+  /// so the executor fails it fast and relays without stalling the live
+  /// part of the exchange. The splice pass is unchanged, so the result is
+  /// valid by construction.
+  [[nodiscard]] Schedule schedule_degraded(
+      const CommMatrix& comm, const std::vector<char>& node_down,
+      const std::vector<char>& pair_blocked,
+      DegradeInfo* info) const override;
 
   [[nodiscard]] const Clustering& clustering() const noexcept {
     return clustering_;

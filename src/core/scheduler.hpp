@@ -6,9 +6,11 @@
 // figures plot them.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/comm_matrix.hpp"
@@ -46,6 +48,46 @@ class AvailabilityAwareScheduler {
   [[nodiscard]] virtual Schedule schedule_with_availability(
       const CommMatrix& comm, const std::vector<double>& send_avail,
       const std::vector<double>& recv_avail) const = 0;
+};
+
+/// What a degraded-mode schedule changed relative to the healthy plan.
+/// Populated by FaultAwareScheduler::schedule_degraded so the executor can
+/// surface re-elections and topology changes in traces and metrics.
+struct DegradeInfo {
+  /// Cluster representatives replaced because the original was down:
+  /// (old_representative, new_representative) pairs.
+  std::vector<std::pair<std::size_t, std::size_t>> reelected;
+  /// Clusters split into connected components because intra-cluster
+  /// connectivity was cut (count of extra clusters created).
+  std::size_t clusters_split = 0;
+  /// The scheduler abandoned its hierarchy and planned flat (fewer than
+  /// two usable clusters remained).
+  bool flat_fallback = false;
+};
+
+/// Mixin for schedulers that can plan around known-bad nodes and pairs.
+///
+/// Online re-planning (fault/resilient.hpp) re-schedules the undelivered
+/// remainder of an exchange once faults strike. A fault-oblivious
+/// scheduler sees the degraded directory and routes around slow pairs by
+/// price alone; schedulers implementing this interface are additionally
+/// told which nodes are down and which pairs are unusable, so they can
+/// restructure (re-elect cluster representatives, split clusters, fall
+/// back to flat) instead of merely re-pricing. Detected via dynamic_cast,
+/// like AvailabilityAwareScheduler.
+class FaultAwareScheduler {
+ public:
+  virtual ~FaultAwareScheduler() = default;
+
+  /// Like Scheduler::schedule, but `node_down[p]` marks processors that
+  /// are currently unreachable and `pair_blocked[src * P + dst]` marks
+  /// directed pairs whose link is cut. Traffic touching down nodes or
+  /// blocked pairs must still appear in the schedule (the executor gives
+  /// it a chance to fail fast and relay); it is placed last. `info`, when
+  /// non-null, receives what the degradation changed.
+  [[nodiscard]] virtual Schedule schedule_degraded(
+      const CommMatrix& comm, const std::vector<char>& node_down,
+      const std::vector<char>& pair_blocked, DegradeInfo* info) const = 0;
 };
 
 /// The scheduling algorithms implemented by this library.

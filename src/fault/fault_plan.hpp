@@ -4,11 +4,16 @@
 // OutageDirectory (src/netmodel) adds soft failures where bandwidth
 // collapses but transfers still complete. Real metacomputing networks
 // also fail *hard*: a node crashes and stays down (crash-stop), a link is
-// cut outright for a window, and individual transmissions are lost. A
-// FaultPlan describes one such scenario declaratively; FaultyDirectory
-// exposes it to planning, and FaultPlanModel (both in faulty_directory.hpp)
-// exposes it to execution through the simulator's send-failure hook, so
-// schedulers and the resilient executor see a consistent world.
+// cut outright for a window, and individual transmissions are lost — and
+// they fail *dynamically*: a node reboots and rejoins (crash-restart), a
+// link flaps up and down, a path browns out to a fraction of its
+// bandwidth and recovers. A FaultPlan describes one such scenario
+// declaratively; FaultyDirectory exposes it to planning, and
+// FaultPlanModel (both in faulty_directory.hpp) exposes it to execution
+// through the simulator's send-failure hook, so schedulers and the
+// resilient executor see a consistent world. The dynamic faults are what
+// make online re-planning (fault/resilient.hpp) worthwhile: a schedule
+// that failed now can succeed after the recovery window passes.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +27,16 @@ namespace hcs {
 struct CrashStop {
   std::size_t node = 0;
   double at_s = 0.0;
+};
+
+/// A node that crashes at `at_s` and rejoins at `recover_s` (crash-
+/// restart): down over [at_s, recover_s), fully functional outside the
+/// window. Unlike crash-stop, waiting out the window — which is what the
+/// resilient executor's replan path does — recovers the traffic.
+struct CrashRestart {
+  std::size_t node = 0;
+  double at_s = 0.0;
+  double recover_s = 0.0;
 };
 
 /// A pair unreachable over [begin_s, end_s): every transmission attempt
@@ -45,12 +60,42 @@ struct FlakyLink {
   bool symmetric = true;
 };
 
+/// A pair that flaps: within [begin_s, end_s) the link is down during the
+/// first `down_fraction` of every `period_s`-long cycle (measured from
+/// begin_s) and up for the rest. Attempts overlapping a down phase time
+/// out like a cut; attempts threading an up phase succeed.
+struct FlappingLink {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  double period_s = 1.0;
+  double down_fraction = 0.5;
+  bool symmetric = true;
+};
+
+/// A bandwidth brownout: over [begin_s, end_s) the pair's bandwidth is
+/// multiplied by `factor` in (0, 1]. Transfers still complete — slower —
+/// so planning sees a degraded advertisement and execution pays
+/// 1/factor times the nominal transfer time.
+struct Brownout {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  double factor = 0.1;
+  bool symmetric = true;
+};
+
 /// One fault scenario. An empty plan (the default) injects nothing —
 /// planning and execution are bit-identical to runs without it.
 struct FaultPlan {
   std::vector<CrashStop> crashes;
+  std::vector<CrashRestart> restarts;
   std::vector<LinkCut> cuts;
   std::vector<FlakyLink> flaky;
+  std::vector<FlappingLink> flapping;
+  std::vector<Brownout> brownouts;
   /// Plan-wide per-attempt transmission loss probability in [0, 1).
   double transient_loss_prob = 0.0;
   /// Seed for the deterministic transient-loss draws.
@@ -58,25 +103,42 @@ struct FaultPlan {
 
   [[nodiscard]] bool empty() const;
 
-  /// Throws InputError unless every fault is well-formed and references
-  /// processors below `processor_count`.
+  /// Throws InputError unless every fault is well-formed, references
+  /// processors below `processor_count`, and no two windows of the same
+  /// node's crash faults overlap. Messages name the offending entry.
   void validate(std::size_t processor_count) const;
 
-  /// True when `node` is dead at `now_s`.
+  /// True when `node` is down at `now_s` — crash-stopped, or inside a
+  /// crash-restart window.
   [[nodiscard]] bool node_dead(std::size_t node, double now_s) const;
 
-  /// True when some cut of (src, dst) covers `now_s`.
+  /// True when `node` is down at `now_s` and will never recover
+  /// (crash-stop). A crash-restart window is down but not dead forever.
+  [[nodiscard]] bool node_dead_forever(std::size_t node, double now_s) const;
+
+  /// True when some cut — or a flapping link's down phase — of
+  /// (src, dst) covers `now_s`.
   [[nodiscard]] bool link_cut(std::size_t src, std::size_t dst,
                               double now_s) const;
 
-  /// True when some cut of (src, dst) overlaps [begin_s, end_s) — the
-  /// question a transmission attempt over that interval asks.
+  /// True when some cut or flap-down phase of (src, dst) overlaps
+  /// [begin_s, end_s) — the question a transmission attempt over that
+  /// interval asks.
   [[nodiscard]] bool cut_overlaps(std::size_t src, std::size_t dst,
                                   double begin_s, double end_s) const;
 
   /// Combined per-attempt loss probability for (src, dst): the plan-wide
   /// rate and any matching flaky links, composed as independent causes.
   [[nodiscard]] double loss_probability(std::size_t src, std::size_t dst) const;
+
+  /// Product of the factors of every brownout of (src, dst) active at
+  /// `now_s`; 1.0 when none is.
+  [[nodiscard]] double brownout_factor(std::size_t src, std::size_t dst,
+                                       double now_s) const;
+
+  /// True when the plan contains any fault a later retry could outlive:
+  /// crash-restart windows, finite cuts, flapping links, transient loss.
+  [[nodiscard]] bool has_recoverable_faults() const;
 };
 
 }  // namespace hcs

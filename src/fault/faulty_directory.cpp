@@ -31,8 +31,15 @@ bool FaultyDirectory::reachable(std::size_t src, std::size_t dst,
 LinkParams FaultyDirectory::query(std::size_t src, std::size_t dst,
                                   double now_s) const {
   LinkParams params = base_.query(src, dst, now_s);
-  if (src != dst && !reachable(src, dst, now_s))
+  if (src == dst) return params;
+  if (!reachable(src, dst, now_s)) {
     params.bandwidth_Bps *= unreachable_factor_;
+    return params;
+  }
+  // Brownouts advertise honestly: the degraded rate is what a transfer
+  // started now would actually see.
+  const double brownout = plan_.brownout_factor(src, dst, now_s);
+  if (brownout < 1.0) params.bandwidth_Bps *= brownout;
   return params;
 }
 
@@ -56,10 +63,14 @@ SendVerdict FaultPlanModel::judge(const SendAttempt& attempt) const {
 
   // A sender already dead at the start never transmits at all; one dying
   // mid-transfer, or a dead/dying receiver, costs the watchdog timeout.
+  // Only a crash-stop endpoint makes the failure permanent — a node inside
+  // a crash-restart window comes back, so retrying can still succeed.
+  const bool hopeless = plan_.node_dead_forever(attempt.src, finish) ||
+                        plan_.node_dead_forever(attempt.dst, finish);
   if (plan_.node_dead(attempt.src, attempt.start_s))
-    return {false, 0.0, true};
+    return {false, 0.0, hopeless};
   if (plan_.node_dead(attempt.src, finish) || plan_.node_dead(attempt.dst, finish))
-    return {false, timeout, true};
+    return {false, timeout, hopeless};
 
   // A cut anywhere in the attempt's nominal interval stalls the transfer
   // until the watchdog fires; the cut may clear later, so retrying (or
@@ -81,7 +92,13 @@ SendVerdict FaultPlanModel::judge(const SendAttempt& attempt) const {
     if (draw < loss)
       return {false, transient_detect_factor_ * attempt.nominal_s, false};
   }
-  return {true, 0.0, false};
+
+  // Delivered — but brownouts active at the start stretch the transfer.
+  SendVerdict verdict{true, 0.0, false};
+  const double brownout =
+      plan_.brownout_factor(attempt.src, attempt.dst, attempt.start_s);
+  if (brownout < 1.0) verdict.slowdown = 1.0 / brownout;
+  return verdict;
 }
 
 }  // namespace hcs

@@ -7,6 +7,7 @@
 
 #include "fault/faulty_directory.hpp"
 #include "staging/link_graph.hpp"
+#include "trace/metrics.hpp"
 #include "util/error.hpp"
 
 namespace hcs {
@@ -32,6 +33,16 @@ void ResilientOptions::validate() const {
       !std::isfinite(unreachable_bandwidth_factor))
     throw InputError(
         "ResilientOptions: unreachable_bandwidth_factor must be in (0, 1]");
+  replan.validate();
+}
+
+void ResilientOptions::ReplanOptions::validate() const {
+  if (trigger_failures < 1)
+    throw InputError("ReplanOptions: trigger_failures must be >= 1");
+  if (!(backoff_base_s >= 0.0) || !std::isfinite(backoff_base_s))
+    throw InputError("ReplanOptions: backoff_base_s must be finite and >= 0");
+  if (!(backoff_factor >= 1.0) || !std::isfinite(backoff_factor))
+    throw InputError("ReplanOptions: backoff_factor must be finite and >= 1");
 }
 
 std::string_view delivery_status_name(DeliveryStatus status) {
@@ -271,6 +282,24 @@ ResilientResult run_resilient_impl(const Scheduler& scheduler,
   SimResult executed;
   std::size_t round = 0;
 
+  // Online re-planning state. `deferred` marks pairs that failed, were
+  // requeued, and are awaiting their shot on a degraded schedule — the
+  // quarantine sweep must not steal them for the relay path in the
+  // meantime. `failure_events` accumulates give-ups and quarantine
+  // strikes toward the replan trigger.
+  const auto* fault_aware = dynamic_cast<const FaultAwareScheduler*>(&scheduler);
+  Matrix<unsigned char> deferred(options.replan.enabled ? n : 0,
+                                 options.replan.enabled ? n : 0, 0);
+  std::size_t failure_events = 0;
+  std::size_t replans_used = 0;
+  bool replan_round_pending = false;
+  double replan_delay = options.replan.backoff_base_s;
+  const auto replan_engaged = [&] {
+    return options.replan.enabled &&
+           replans_used < options.replan.max_replans &&
+           failure_events >= options.replan.trigger_failures;
+  };
+
   const auto relay_now = [&](std::size_t src, std::size_t dst) {
     if (plan.node_dead(src, now) || plan.node_dead(dst, now)) {
       if (trace != nullptr)
@@ -302,6 +331,16 @@ ResilientResult run_resilient_impl(const Scheduler& scheduler,
       for (std::size_t i = 0; i < n; ++i)
         for (std::size_t j = 0; j < n; ++j)
           if (remaining(i, j) != 0 && health.quarantined(i, j)) {
+            // Replan-deferred pairs stay in the direct plan: they are
+            // awaiting a degraded schedule, and the strike that
+            // quarantined them already counted toward the trigger.
+            if (options.replan.enabled && deferred(i, j) != 0) continue;
+            ++failure_events;
+            if (replan_engaged()) {
+              deferred(i, j) = 1;
+              replan_round_pending = true;
+              continue;
+            }
             remaining(i, j) = 0;
             --remaining_count;
             relay_queue.emplace_back(i, j);
@@ -311,6 +350,23 @@ ResilientResult run_resilient_impl(const Scheduler& scheduler,
     relay_queue.clear();
     if (remaining_count == 0) break;
     ++round;
+
+    // A round that re-plans freshly requeued traffic consumes replan
+    // budget and concedes the configured backoff first, so recovery
+    // windows (crash restarts, flap up-phases) have a chance to pass
+    // before the retry. Deferred traffic whose events simply landed past
+    // a checkpoint cut re-rides later rounds for free.
+    if (replan_round_pending) {
+      replan_round_pending = false;
+      ++replans_used;
+      ++result.replan_count;
+      now += replan_delay;
+      replan_delay *= options.replan.backoff_factor;
+      if (trace != nullptr)
+        trace->record({now, now, 0, 0, 0,
+                       static_cast<std::uint32_t>(replans_used),
+                       TraceEventKind::kReplan});
+    }
 
     // Plan the remaining pairs from the fault- and health-aware view
     // (same round construction as run_adaptive). With nothing to overlay
@@ -322,6 +378,40 @@ ResilientResult run_resilient_impl(const Scheduler& scheduler,
         overlay_active ? planning.snapshot(now) : directory.snapshot(now);
     const CommMatrix comm{snapshot.cost_matrix(messages, remaining)};
     Schedule planned = [&] {
+      // Degraded-mode dispatch: a fault-aware scheduler is told which
+      // nodes are down and which pairs are unusable so it can restructure
+      // (re-elect representatives, split clusters, go flat) instead of
+      // merely re-pricing the degraded directory.
+      if (options.replan.enabled && fault_aware != nullptr) {
+        std::vector<char> node_down(n, 0);
+        std::vector<char> pair_blocked(n * n, 0);
+        bool any_fault = false;
+        for (std::size_t p = 0; p < n; ++p)
+          if (plan.node_dead(p, now)) {
+            node_down[p] = 1;
+            any_fault = true;
+          }
+        for (std::size_t i = 0; i < n; ++i)
+          for (std::size_t j = 0; j < n; ++j)
+            if (i != j &&
+                (health.quarantined(i, j) || plan.link_cut(i, j, now))) {
+              pair_blocked[i * n + j] = 1;
+              any_fault = true;
+            }
+        if (any_fault) {
+          DegradeInfo degrade;
+          Schedule degraded = fault_aware->schedule_degraded(
+              comm, node_down, pair_blocked, &degrade);
+          result.reelected_count += degrade.reelected.size();
+          if (trace != nullptr)
+            for (const auto& [old_rep, new_rep] : degrade.reelected)
+              trace->record({now, now, 0,
+                             static_cast<std::uint32_t>(old_rep),
+                             static_cast<std::uint32_t>(new_rep), 1,
+                             TraceEventKind::kReelect});
+          return degraded;
+        }
+      }
       const auto* avail_aware =
           dynamic_cast<const AvailabilityAwareScheduler*>(&scheduler);
       if (avail_aware == nullptr) return scheduler.schedule(comm);
@@ -421,6 +511,7 @@ ResilientResult run_resilient_impl(const Scheduler& scheduler,
     if (commit_target < candidate_count)
       cut_time = candidate_event(commit_target - 1).finish_s;
     std::size_t committed = 0;
+    std::size_t requeued = 0;
     for (std::size_t k = 0; k < candidate_count; ++k) {
       const ScheduledEvent& event = candidate_event(k);
       const bool before_cut = event.finish_s <= cut_time;
@@ -444,15 +535,33 @@ ResilientResult run_resilient_impl(const Scheduler& scheduler,
         result.events.push_back(event);
         result.completion_time =
             std::max(result.completion_time, event.finish_s);
-        result.outcomes.push_back({event.src, event.dst,
-                                   DeliveryStatus::kDirect, FailureReason::kNone,
-                                   {}, event.finish_s});
+        MessageOutcome outcome{event.src, event.dst, DeliveryStatus::kDirect,
+                               FailureReason::kNone, {}, event.finish_s};
+        if (options.replan.enabled && deferred(event.src, event.dst) != 0) {
+          deferred(event.src, event.dst) = 0;
+          outcome.rescued = true;
+          ++result.rescued_count;
+        }
+        result.outcomes.push_back(std::move(outcome));
         health.record_transfer(event.src, event.dst, event.duration(),
                                comm.time(event.src, event.dst));
       } else {
         const Candidate& candidate = merged[k];
         for (std::size_t a = 0; a < candidate.attempts; ++a)
           health.record_failure(event.src, event.dst);
+        ++failure_events;
+        if (!candidate.permanent && replan_engaged()) {
+          // Requeue instead of relaying: the pair goes back into the
+          // direct plan and the next round re-schedules it on the
+          // degraded view. Its ports stay engaged until the give-up time
+          // (already applied above).
+          remaining(event.src, event.dst) = 1;
+          deferred(event.src, event.dst) = 1;
+          replan_round_pending = true;
+          ++requeued;
+          continue;
+        }
+        if (options.replan.enabled) deferred(event.src, event.dst) = 0;
         if (candidate.permanent || !options.relay) {
           // The give-up is an instant, not a port-occupying span: the
           // failed attempts' engagements happened inside the (discarded)
@@ -478,7 +587,7 @@ ResilientResult run_resilient_impl(const Scheduler& scheduler,
       }
       ++committed;
     }
-    check(committed > 0, "run_resilient: no progress");
+    check(committed > 0 || requeued > 0, "run_resilient: no progress");
     remaining_count -= committed;
     now = cut_time;
     if (remaining_count > 0) {
@@ -518,6 +627,20 @@ ResilientResult run_resilient_traced(const Scheduler& scheduler,
                                      EventTrace& trace) {
   return run_resilient_impl(scheduler, directory, messages, plan, options,
                             &trace);
+}
+
+void record_metrics(const ResilientResult& result,
+                    double fault_free_completion_s,
+                    MetricsRegistry& registry) {
+  registry.counter("resilient.replan_count").add(result.replan_count);
+  registry.counter("resilient.messages_rescued").add(result.rescued_count);
+  registry.counter("resilient.reelected_count").add(result.reelected_count);
+  registry.counter("resilient.relayed_count").add(result.relayed_count);
+  registry.counter("resilient.undelivered_count").add(result.undelivered_count);
+  registry.counter("resilient.failed_attempts").add(result.failed_attempts);
+  if (fault_free_completion_s > 0.0)
+    registry.gauge("resilient.degraded_makespan_ratio")
+        .set_max(result.completion_time / fault_free_completion_s);
 }
 
 }  // namespace hcs

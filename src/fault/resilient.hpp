@@ -65,6 +65,31 @@ struct ResilientOptions {
   /// (the data re-plans from the intermediate currently holding it).
   std::size_t max_reroutes = 3;
 
+  /// Online re-planning: instead of shunting failed-but-recoverable
+  /// traffic straight to the relay path, requeue it and compute a fresh
+  /// schedule on the degraded view (quarantine over fault view). A
+  /// FaultAwareScheduler additionally restructures — re-elects crashed
+  /// cluster representatives, splits disconnected clusters, falls back to
+  /// flat. Off by default: the executed events of a replan-disabled run
+  /// are bit-identical to the previous behavior.
+  struct ReplanOptions {
+    bool enabled = false;
+    /// Cumulative failure events (give-ups committed plus quarantine
+    /// strikes) before the first replan round fires. Must be >= 1.
+    std::size_t trigger_failures = 1;
+    /// Budget of replan rounds; once spent, failures take the relay path.
+    std::size_t max_replans = 4;
+    /// Wall-clock the executor concedes before re-attempting requeued
+    /// traffic (lets recovery windows pass): replan round r waits
+    /// backoff_base_s * backoff_factor^(r-1).
+    double backoff_base_s = 0.0;
+    double backoff_factor = 2.0;
+
+    /// Throws InputError on malformed values.
+    void validate() const;
+  };
+  ReplanOptions replan;
+
   /// Quarantine policy for the embedded HealthMonitor.
   HealthOptions health;
   /// Bandwidth multiplier FaultyDirectory advertises for cut or
@@ -104,6 +129,9 @@ struct MessageOutcome {
   std::vector<std::size_t> via;
   /// Delivery time, or the time the executor gave up.
   double finish_s = 0.0;
+  /// The message failed at least once, was requeued by online re-planning
+  /// and then resolved on a degraded schedule (any status).
+  bool rescued = false;
 };
 
 /// Outcome of a resilient run.
@@ -123,6 +151,13 @@ struct ResilientResult {
   std::size_t relayed_count = 0;
   /// Messages given up on.
   std::size_t undelivered_count = 0;
+  /// Replan rounds executed (requeued traffic re-planned on the degraded
+  /// view).
+  std::size_t replan_count = 0;
+  /// Messages that failed, were requeued by a replan and then delivered.
+  std::size_t rescued_count = 0;
+  /// Cluster representatives replaced by degraded-mode scheduling.
+  std::size_t reelected_count = 0;
   /// Final health ledger (quarantined pairs survive the run for
   /// inspection).
   HealthMonitor health;
@@ -150,5 +185,16 @@ struct ResilientResult {
     const Scheduler& scheduler, const DirectoryService& directory,
     const MessageMatrix& messages, const FaultPlan& plan,
     const ResilientOptions& options, EventTrace& trace);
+
+class MetricsRegistry;
+
+/// Folds a run's self-healing totals into `registry`: counters
+/// resilient.replan_count, resilient.messages_rescued,
+/// resilient.reelected_count, resilient.relayed_count,
+/// resilient.undelivered_count, resilient.failed_attempts, and gauge
+/// resilient.degraded_makespan_ratio (completion over
+/// `fault_free_completion_s`; skipped when the reference is not positive).
+void record_metrics(const ResilientResult& result,
+                    double fault_free_completion_s, MetricsRegistry& registry);
 
 }  // namespace hcs

@@ -34,11 +34,16 @@ struct SendVerdict {
   bool delivered = true;
   /// Port time the attempt consumed when it failed (e.g. the watchdog
   /// timeout for a transfer that never completed). Ignored when
-  /// delivered — a delivered attempt takes its nominal transfer time.
+  /// delivered — a delivered attempt takes its nominal transfer time
+  /// times `slowdown`.
   double elapsed_s = 0.0;
   /// No retry can ever succeed (crash-stop endpoint); the simulator
   /// reports the message undelivered immediately.
   bool permanent = false;
+  /// Multiplier on the nominal transfer time of a delivered attempt
+  /// (bandwidth brownouts run at a fraction of the advertised rate).
+  /// 1 = full speed; ignored when the attempt failed.
+  double slowdown = 1.0;
 };
 
 /// Decides the fate of transmission attempts. Implementations must be

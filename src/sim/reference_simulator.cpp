@@ -85,10 +85,11 @@ SimResult reference_programmed(const Net& net, const SendProgram& program,
             const SendVerdict verdict = options.fault_model->judge(
                 {src, dst, start, attempt, duration});
             if (verdict.delivered) {
-              result.events.push_back({src, dst, start, start + duration});
+              const double actual = duration * verdict.slowdown;
+              result.events.push_back({src, dst, start, start + actual});
               result.total_sender_wait_s += start - request;
-              send_avail[src] = start + duration;
-              recv_avail[dst] = start + duration;
+              send_avail[src] = start + actual;
+              recv_avail[dst] = start + actual;
               break;
             }
             ++result.failed_attempts;
@@ -150,7 +151,7 @@ SimResult reference_serialized(const Net& net, const SendProgram& program,
 
   const auto start_transfer = [&](std::size_t src, std::size_t dst,
                                   double request_time, double start) {
-    const double duration = net.transfer_time(src, dst, start);
+    double duration = net.transfer_time(src, dst, start);
     if (options.fault_model != nullptr) {
       const SendVerdict verdict = options.fault_model->judge(
           {src, dst, start, attempt_no[src], duration});
@@ -176,6 +177,7 @@ SimResult reference_serialized(const Net& net, const SendProgram& program,
         return;
       }
       attempt_no[src] = 1;
+      duration *= verdict.slowdown;
     }
     result.events.push_back({src, dst, start, start + duration});
     result.total_sender_wait_s += start - request_time;

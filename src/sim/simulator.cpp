@@ -424,21 +424,23 @@ void NetworkSimulator::run_serialized_faulty(const SendProgram& program,
       }
       return;
     }
+    // A brownout verdict delivers at a fraction of the advertised rate.
+    const double actual = duration * verdict.slowdown;
     if constexpr (Sink::kEnabled)
-      sink.record(make_trace(TraceEventKind::kSendEnd, start, start + duration,
+      sink.record(make_trace(TraceEventKind::kSendEnd, start, start + actual,
                              messages_(src, dst), src, dst,
                              ws.attempt_no[src]));
     ws.attempt_no[src] = 1;
-    result.events.push_back({src, dst, start, start + duration});
+    result.events.push_back({src, dst, start, start + actual});
     result.total_sender_wait_s += start - request_time;
     ws.receiver_busy[dst] = 1;
-    ws.recv_avail[dst] = start + duration;
-    ws.send_avail[src] = start + duration;
+    ws.recv_avail[dst] = start + actual;
+    ws.send_avail[src] = start + actual;
     ++ws.next_index[src];
     if (!ws.parked[dst].empty())
-      queue.push(Event::make(start + duration, kReceiverFree, dst));
+      queue.push(Event::make(start + actual, kReceiverFree, dst));
     if (ws.next_index[src] < program.order_of(src).size())
-      queue.push(Event::make(start + duration, kSenderReady, src));
+      queue.push(Event::make(start + actual, kSenderReady, src));
   };
 
   for (std::size_t src = 0; src < n; ++src)
@@ -549,14 +551,15 @@ void NetworkSimulator::run_programmed(const SendProgram& program,
               sink.record(make_trace(TraceEventKind::kSendStart, start, start,
                                      messages_(src, dst), src, dst, attempt));
             if (verdict.delivered) {
+              const double actual = duration * verdict.slowdown;
               if constexpr (Sink::kEnabled)
                 sink.record(make_trace(TraceEventKind::kSendEnd, start,
-                                       start + duration, messages_(src, dst),
+                                       start + actual, messages_(src, dst),
                                        src, dst, attempt));
-              result.events.push_back({src, dst, start, start + duration});
+              result.events.push_back({src, dst, start, start + actual});
               result.total_sender_wait_s += start - request;
-              ws.send_avail[src] = start + duration;
-              ws.recv_avail[dst] = start + duration;
+              ws.send_avail[src] = start + actual;
+              ws.recv_avail[dst] = start + actual;
               break;
             }
             ++result.failed_attempts;

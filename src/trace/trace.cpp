@@ -18,6 +18,8 @@ std::string_view trace_event_kind_name(TraceEventKind kind) {
     case TraceEventKind::kRelayHop: return "relay-hop";
     case TraceEventKind::kCheckpoint: return "checkpoint";
     case TraceEventKind::kReschedule: return "reschedule";
+    case TraceEventKind::kReplan: return "replan";
+    case TraceEventKind::kReelect: return "reelect";
   }
   throw InputError("trace_event_kind_name: unknown kind");
 }

@@ -41,6 +41,11 @@ enum class TraceEventKind : std::uint8_t {
                    ///< carries the 1-based round number)
   kReschedule,     ///< instant: a fresh schedule was computed for the
                    ///< remaining pairs
+  kReplan,         ///< instant: failed traffic was requeued and re-planned
+                   ///< on the degraded view (attempt carries the 1-based
+                   ///< replan round)
+  kReelect,        ///< instant: a cluster representative was replaced
+                   ///< (src = old representative, dst = new)
 };
 
 /// Stable lower-case name of a kind ("send-start", "relay-hop", ...).

@@ -312,6 +312,60 @@ TEST(Cli, FaultSweepValidatesArguments) {
       1);
   EXPECT_EQ(run({"fault-sweep", "--processors", "5", "--cuts", "-1"}).exit_code,
             1);
+  EXPECT_EQ(
+      run({"fault-sweep", "--processors", "5", "--restarts", "-1"}).exit_code,
+      1);
+  // 2 restarts + default 2 crashes would leave no healthy relay node.
+  EXPECT_EQ(
+      run({"fault-sweep", "--processors", "5", "--restarts", "2"}).exit_code,
+      1);
+  EXPECT_EQ(run({"fault-sweep", "--processors", "5", "--brownout-factor", "0"})
+                .exit_code,
+            1);
+  EXPECT_EQ(run({"fault-sweep", "--processors", "5", "--brownout-factor",
+                 "1.5"})
+                .exit_code,
+            1);
+  EXPECT_EQ(
+      run({"fault-sweep", "--processors", "5", "--format", "yaml"}).exit_code,
+      1);
+}
+
+TEST(Cli, FaultSweepDynamicFaultsReportRescuesUnderReplan) {
+  const CliRun result =
+      run({"fault-sweep", "--processors", "8", "--seed", "4", "--max-crashes",
+           "1", "--cuts", "0", "--restarts", "2", "--brownouts", "1",
+           "--replan", "--threads", "1"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("rescued"), std::string::npos) << result.out;
+  EXPECT_NE(result.out.find("replans"), std::string::npos) << result.out;
+  EXPECT_NE(result.out.find("2 restart(s)"), std::string::npos) << result.out;
+  EXPECT_NE(result.out.find("replan on"), std::string::npos) << result.out;
+}
+
+TEST(Cli, FaultSweepCsvAndJsonFormats) {
+  const std::vector<std::string> base{"fault-sweep", "--processors", "6",
+                                      "--seed", "2", "--max-crashes", "1",
+                                      "--restarts", "1", "--replan"};
+  std::vector<std::string> csv = base;
+  csv.insert(csv.end(), {"--format", "csv"});
+  const CliRun a = run(csv);
+  EXPECT_EQ(a.exit_code, 0) << a.err;
+  EXPECT_NE(a.out.find("crashes,direct,rescued,relayed,undeliverable,replans,"
+                       "completion_s,x_fault_free"),
+            std::string::npos)
+      << a.out;
+  EXPECT_NE(a.out.find("\n0,"), std::string::npos);
+  EXPECT_NE(a.out.find("\n1,"), std::string::npos);
+
+  std::vector<std::string> json = base;
+  json.insert(json.end(), {"--format", "json"});
+  const CliRun b = run(json);
+  EXPECT_EQ(b.exit_code, 0) << b.err;
+  EXPECT_NE(b.out.find("\"replan\":true"), std::string::npos) << b.out;
+  EXPECT_NE(b.out.find("\"rows\":["), std::string::npos);
+  EXPECT_NE(b.out.find("\"rescued\":"), std::string::npos);
+  EXPECT_NE(b.out.find("\"x_fault_free\":"), std::string::npos);
 }
 
 TEST(Cli, TraceDiagramAuditsCleanAndIsDeterministic) {
@@ -359,6 +413,29 @@ TEST(Cli, TraceValidatesArguments) {
   EXPECT_EQ(run({"trace", "--processors", "5", "--format", "nope"}).exit_code,
             1);
   EXPECT_EQ(run({"trace", "--processors", "5", "--loss", "2.0"}).exit_code, 1);
+  EXPECT_EQ(run({"trace", "--processors", "5", "--restarts", "-1"}).exit_code,
+            1);
+  EXPECT_EQ(
+      run({"trace", "--processors", "5", "--brownout-factor", "0"}).exit_code,
+      1);
+}
+
+TEST(Cli, TraceSelfHealingRunAuditsClean) {
+  // Dynamic faults plus online re-planning through the trace pipeline:
+  // the committed history (replan rounds included) must replay cleanly
+  // through the auditor, and the metrics summary must carry the
+  // self-healing counters.
+  const CliRun result =
+      run({"trace", "--processors", "12", "--seed", "3", "--restarts", "2",
+           "--brownouts", "1", "--replan", "--hierarchical", "--clusters",
+           "3", "--algorithm", "greedy", "--format", "metrics", "--audit"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.err.find("audit: clean"), std::string::npos) << result.err;
+  EXPECT_NE(result.out.find("\"resilient.replan_count\""), std::string::npos)
+      << result.out;
+  EXPECT_NE(result.out.find("\"resilient.degraded_makespan_ratio\""),
+            std::string::npos)
+      << result.out;
 }
 
 TEST(Cli, SweepCsvFormatEmitsOneRowPerProcessorCount) {

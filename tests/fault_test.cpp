@@ -6,14 +6,20 @@
 #include <set>
 
 #include "adaptive/checkpoint.hpp"
+#include "core/hierarchical_scheduler.hpp"
 #include "core/matching_scheduler.hpp"
 #include "core/openshop_scheduler.hpp"
 #include "fault/faulty_directory.hpp"
 #include "fault/health.hpp"
 #include "fault/resilient.hpp"
+#include "netmodel/cluster_detect.hpp"
 #include "netmodel/generator.hpp"
 #include "netmodel/outage.hpp"
+#include "trace/auditor.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/error.hpp"
+#include "workload/scenario.hpp"
 
 namespace hcs {
 namespace {
@@ -110,6 +116,153 @@ TEST(FaultPlan, QueriesMatchDeclaredScenario) {
   EXPECT_TRUE(FaultPlan{}.empty());
 }
 
+TEST(FaultPlan, ValidateRejectsMalformedDynamicFaults) {
+  {
+    FaultPlan plan;
+    plan.restarts.push_back({9, 0.0, 1.0});  // node out of range
+    EXPECT_THROW(plan.validate(4), InputError);
+  }
+  {
+    FaultPlan plan;
+    plan.restarts.push_back({1, 2.0, 1.0});  // recovers before it crashes
+    EXPECT_THROW(plan.validate(4), InputError);
+  }
+  {
+    // Overlapping down windows of one node: which recovery applies would
+    // be ambiguous. The message must name the offending entry.
+    FaultPlan plan;
+    plan.restarts.push_back({1, 0.0, 5.0});
+    plan.restarts.push_back({1, 3.0, 8.0});
+    try {
+      plan.validate(4);
+      FAIL() << "overlapping restart windows must be rejected";
+    } catch (const InputError& error) {
+      EXPECT_NE(std::string(error.what()).find("restarts[1]"),
+                std::string::npos)
+          << error.what();
+    }
+  }
+  {
+    // A node cannot rejoin after it crash-stopped for good.
+    FaultPlan plan;
+    plan.crashes.push_back({1, 2.0});
+    plan.restarts.push_back({1, 3.0, 4.0});
+    EXPECT_THROW(plan.validate(4), InputError);
+  }
+  {
+    FaultPlan plan;
+    plan.flapping.push_back({0, 1, 0.0, 4.0, 0.0, 0.5, true});  // period 0
+    EXPECT_THROW(plan.validate(4), InputError);
+  }
+  {
+    FaultPlan plan;
+    plan.flapping.push_back({0, 1, 0.0, 4.0, 1.0, 1.5, true});  // fraction > 1
+    EXPECT_THROW(plan.validate(4), InputError);
+  }
+  {
+    FaultPlan plan;
+    plan.flapping.push_back({2, 2, 0.0, 4.0, 1.0, 0.5, true});  // self-pair
+    EXPECT_THROW(plan.validate(4), InputError);
+  }
+  {
+    FaultPlan plan;
+    plan.brownouts.push_back({0, 1, 0.0, 4.0, 0.0, true});  // factor 0
+    EXPECT_THROW(plan.validate(4), InputError);
+  }
+  {
+    FaultPlan plan;
+    plan.brownouts.push_back({0, 1, 0.0, 4.0, 1.5, true});  // factor > 1
+    EXPECT_THROW(plan.validate(4), InputError);
+  }
+  {
+    FaultPlan plan;
+    plan.brownouts.push_back({0, 9, 0.0, 4.0, 0.5, true});  // node range
+    EXPECT_THROW(plan.validate(4), InputError);
+  }
+}
+
+TEST(FaultPlan, DynamicQueriesMatchDeclaredScenario) {
+  FaultPlan plan;
+  plan.crashes.push_back({1, 30.0});
+  plan.restarts.push_back({2, 5.0, 10.0});
+  plan.flapping.push_back({0, 1, 0.0, 10.0, 2.0, 0.5, true});
+  plan.brownouts.push_back({0, 1, 0.0, 10.0, 0.5, true});
+  plan.brownouts.push_back({0, 1, 5.0, 15.0, 0.5, true});
+  plan.validate(4);
+  EXPECT_TRUE(plan.has_recoverable_faults());
+
+  // Crash-restart: down over [at, recover), never dead forever.
+  EXPECT_FALSE(plan.node_dead(2, 4.9));
+  EXPECT_TRUE(plan.node_dead(2, 5.0));
+  EXPECT_TRUE(plan.node_dead(2, 9.9));
+  EXPECT_FALSE(plan.node_dead(2, 10.0)) << "recovery is half-open";
+  EXPECT_FALSE(plan.node_dead_forever(2, 7.0));
+  EXPECT_TRUE(plan.node_dead_forever(1, 30.0)) << "crash-stop is forever";
+
+  // Flapping: down during the first half of every 2 s cycle from t=0.
+  EXPECT_TRUE(plan.link_cut(0, 1, 0.5));
+  EXPECT_FALSE(plan.link_cut(0, 1, 1.5));
+  EXPECT_TRUE(plan.link_cut(1, 0, 2.3)) << "flaps default to symmetric";
+  EXPECT_FALSE(plan.link_cut(0, 1, 10.5)) << "past the flap window";
+  EXPECT_FALSE(plan.cut_overlaps(0, 1, 1.2, 1.8)) << "threads an up phase";
+  EXPECT_TRUE(plan.cut_overlaps(0, 1, 1.2, 2.2)) << "crosses a down phase";
+
+  // Brownouts compose multiplicatively while both windows are active.
+  EXPECT_NEAR(plan.brownout_factor(0, 1, 2.0), 0.5, 1e-12);
+  EXPECT_NEAR(plan.brownout_factor(0, 1, 7.0), 0.25, 1e-12);
+  EXPECT_NEAR(plan.brownout_factor(1, 0, 7.0), 0.25, 1e-12) << "symmetric";
+  EXPECT_NEAR(plan.brownout_factor(0, 1, 12.0), 0.5, 1e-12);
+  EXPECT_NEAR(plan.brownout_factor(0, 1, 20.0), 1.0, 1e-12);
+  EXPECT_NEAR(plan.brownout_factor(2, 3, 7.0), 1.0, 1e-12);
+
+  EXPECT_FALSE(FaultPlan{}.has_recoverable_faults());
+  FaultPlan stop_only;
+  stop_only.crashes.push_back({0, 1.0});
+  EXPECT_FALSE(stop_only.has_recoverable_faults())
+      << "crash-stop is not recoverable";
+}
+
+// Property: randomized well-formed plans always validate; corrupting any
+// one entry flips them to rejected. 100 seeds cover every fault list and
+// every corruption class.
+TEST(FaultProperty, RandomizedPlansValidateUntilCorrupted) {
+  const std::size_t n = 8;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    const auto node = [&](std::uint64_t salt) {
+      return static_cast<std::size_t>((seed * 31 + salt * 17) % n);
+    };
+    const double base = 1.0 + static_cast<double>(seed % 7);
+    plan.crashes.push_back({node(1), base});
+    // Distinct node for the restarts so they cannot collide with the
+    // crash-stop; two non-overlapping windows on it.
+    const std::size_t restart_node = (node(1) + 1) % n;
+    plan.restarts.push_back({restart_node, base, base + 2.0});
+    plan.restarts.push_back({restart_node, base + 3.0, base + 4.0});
+    std::size_t a = node(2), b = node(3);
+    if (a == b) b = (b + 1) % n;
+    plan.cuts.push_back({a, b, 0.0, base});
+    plan.flapping.push_back({a, b, 0.0, 4.0 * base, base, 0.25, seed % 2 == 0});
+    plan.brownouts.push_back(
+        {b, a, base, 3.0 * base, 0.1 + 0.1 * static_cast<double>(seed % 9),
+         true});
+    plan.transient_loss_prob = 0.01 * static_cast<double>(seed % 50);
+    ASSERT_NO_THROW(plan.validate(n)) << "seed=" << seed;
+
+    FaultPlan corrupt = plan;
+    switch (seed % 5) {
+      case 0: corrupt.restarts[0].node = n + seed; break;
+      case 1: corrupt.restarts[1] = {restart_node, base + 1.0, base + 5.0};
+              break;  // overlaps restarts[0]
+      case 2: corrupt.flapping[0].down_fraction = 1.0 + base; break;
+      case 3: corrupt.brownouts[0].factor = 0.0; break;
+      case 4: corrupt.cuts[0].end_s = -base; break;
+    }
+    EXPECT_THROW(corrupt.validate(n), InputError) << "seed=" << seed;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // FaultyDirectory / FaultPlanModel
 // ---------------------------------------------------------------------------
@@ -183,6 +336,66 @@ TEST(FaultPlanModel, TransientLossIsDeterministic) {
   // ~50% loss: wildly off means the hash is broken.
   EXPECT_GT(lost, 16);
   EXPECT_LT(lost, 48);
+}
+
+TEST(FaultyDirectory, AdvertisesBrownoutsAndRestartWindows) {
+  const StaticDirectory base{generate_network(4, 21)};
+  FaultPlan plan;
+  plan.restarts.push_back({3, 1.0, 2.0});
+  plan.brownouts.push_back({0, 1, 0.0, 5.0, 0.25, true});
+  const FaultyDirectory faulty{base, plan};
+
+  // Brownout window: bandwidth scaled by the factor, both directions.
+  EXPECT_NEAR(faulty.query(0, 1, 2.0).bandwidth_Bps,
+              base.query(0, 1, 2.0).bandwidth_Bps * 0.25, 1e-9);
+  EXPECT_NEAR(faulty.query(1, 0, 2.0).bandwidth_Bps,
+              base.query(1, 0, 2.0).bandwidth_Bps * 0.25, 1e-9);
+  EXPECT_EQ(faulty.query(0, 1, 6.0), base.query(0, 1, 6.0))
+      << "outside the window the advertisement is untouched";
+
+  // Crash-restart: unreachable only inside the down window.
+  EXPECT_TRUE(faulty.reachable(3, 2, 0.5));
+  EXPECT_FALSE(faulty.reachable(3, 2, 1.5));
+  EXPECT_NEAR(faulty.query(3, 2, 1.5).bandwidth_Bps,
+              base.query(3, 2, 1.5).bandwidth_Bps * 1e-6, 1e-9);
+  EXPECT_TRUE(faulty.reachable(3, 2, 2.0)) << "recovered";
+  EXPECT_EQ(faulty.query(3, 2, 2.5), base.query(3, 2, 2.5));
+}
+
+TEST(FaultPlanModel, CrashRestartIsRetryableAndBrownoutsSlowDelivery) {
+  FaultPlan plan;
+  plan.restarts.push_back({1, 10.0, 20.0});
+  plan.brownouts.push_back({2, 3, 0.0, 100.0, 0.25, true});
+  const FaultPlanModel model{plan, 3.0, 0.5};
+
+  // Receiver inside its down window: watchdog timeout, but NOT permanent —
+  // the node comes back, so the executor may retry or replan.
+  const SendVerdict down_dst = model.judge({0, 1, 15.0, 1, 1.0});
+  EXPECT_FALSE(down_dst.delivered);
+  EXPECT_FALSE(down_dst.permanent);
+  EXPECT_NEAR(down_dst.elapsed_s, 3.0, 1e-12);
+
+  // Sender down at start: fails immediately, still retryable.
+  const SendVerdict down_src = model.judge({1, 0, 15.0, 1, 1.0});
+  EXPECT_FALSE(down_src.delivered);
+  EXPECT_FALSE(down_src.permanent);
+  EXPECT_EQ(down_src.elapsed_s, 0.0);
+
+  // Receiver down by the nominal finish: timeout, retryable.
+  const SendVerdict crossing = model.judge({0, 1, 9.5, 1, 1.0});
+  EXPECT_FALSE(crossing.delivered);
+  EXPECT_FALSE(crossing.permanent);
+
+  // After recovery the pair works again.
+  EXPECT_TRUE(model.judge({0, 1, 20.0, 1, 1.0}).delivered);
+
+  // Brownout: delivered, but the transfer runs 1/factor slower.
+  const SendVerdict slow = model.judge({2, 3, 50.0, 1, 4.0});
+  EXPECT_TRUE(slow.delivered);
+  EXPECT_NEAR(slow.slowdown, 4.0, 1e-12);
+  const SendVerdict healthy = model.judge({2, 3, 200.0, 1, 4.0});
+  EXPECT_TRUE(healthy.delivered);
+  EXPECT_EQ(healthy.slowdown, 1.0) << "no active brownout, no slowdown";
 }
 
 // ---------------------------------------------------------------------------
@@ -497,6 +710,133 @@ TEST(Resilient, NamesAreStable) {
   EXPECT_EQ(failure_reason_name(FailureReason::kNoRoute), "no-route");
   EXPECT_EQ(failure_reason_name(FailureReason::kRetriesExhausted),
             "retries-exhausted");
+}
+
+// ---------------------------------------------------------------------------
+// Online re-planning
+// ---------------------------------------------------------------------------
+
+TEST(Resilient, ReplanOptionValidation) {
+  const StaticDirectory directory{generate_network(3, 38)};
+  const MessageMatrix messages = uniform_messages(3, kKiB);
+  const OpenShopScheduler scheduler;
+
+  {
+    ResilientOptions options;
+    options.replan.enabled = true;
+    options.replan.trigger_failures = 0;
+    EXPECT_THROW(
+        (void)run_resilient(scheduler, directory, messages, {}, options),
+        InputError);
+  }
+  {
+    ResilientOptions options;
+    options.replan.backoff_base_s = -1.0;
+    EXPECT_THROW(
+        (void)run_resilient(scheduler, directory, messages, {}, options),
+        InputError);
+  }
+  {
+    ResilientOptions options;
+    options.replan.backoff_factor = 0.5;
+    EXPECT_THROW(
+        (void)run_resilient(scheduler, directory, messages, {}, options),
+        InputError);
+  }
+}
+
+TEST(Resilient, ReplanIdleOnHealthyRuns) {
+  // With nothing failing, enabling replan must not perturb a single
+  // double: the trigger never fires, so the executed events are
+  // bit-identical to the replan-disabled run.
+  const std::size_t n = 6;
+  const StaticDirectory directory{generate_network(n, 31)};
+  const MessageMatrix messages = uniform_messages(n, kMiB);
+  const OpenShopScheduler scheduler;
+
+  ResilientOptions off;
+  ResilientOptions on;
+  on.replan.enabled = true;
+  const ResilientResult a = run_resilient(scheduler, directory, messages, {}, off);
+  const ResilientResult b = run_resilient(scheduler, directory, messages, {}, on);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t k = 0; k < a.events.size(); ++k)
+    EXPECT_EQ(a.events[k], b.events[k]);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(b.replan_count, 0u);
+  EXPECT_EQ(b.rescued_count, 0u);
+}
+
+TEST(Resilient, ReplanRescuesCrashRestartTraffic) {
+  // The self-healing headline (ISSUE 7 acceptance): P = 64, two nodes in
+  // crash-restart windows plus a bandwidth brownout, hierarchical(greedy)
+  // plan. Relay-only gives up on traffic whose endpoint is down right
+  // now; the replan path defers it, concedes backoff wall-clock until the
+  // recovery windows pass, and delivers it directly — strictly more
+  // messages than relay-only, with the rescue visible in the trace, the
+  // outcomes, and the metrics.
+  const std::size_t n = 64;
+  const ProblemInstance instance =
+      make_instance(Scenario::kMixedMessages, n, 7, 4);
+  const StaticDirectory directory{instance.network};
+  const HierarchicalScheduler scheduler{detect_clusters(instance.network),
+                                        {SchedulerKind::kGreedy, 0}};
+
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.restarts.push_back({3, 10.0, 500.0});
+  plan.restarts.push_back({11, 10.0, 500.0});
+  plan.brownouts.push_back({5, 20, 0.0, 300.0, 0.25, true});
+
+  ResilientOptions relay_only;
+  ResilientOptions with_replan;
+  with_replan.replan.enabled = true;
+  with_replan.replan.max_replans = 6;
+  with_replan.replan.backoff_base_s = 60.0;
+
+  const ResilientResult a =
+      run_resilient(scheduler, directory, instance.messages, plan, relay_only);
+  EventTrace trace{1 << 20};
+  const ResilientResult b = run_resilient_traced(
+      scheduler, directory, instance.messages, plan, with_replan, trace);
+
+  EXPECT_EQ(a.outcomes.size(), n * (n - 1));
+  EXPECT_EQ(b.outcomes.size(), n * (n - 1));
+  check_no_port_overlap(b.events, n);
+
+  // Strictly more delivered than relay-only, and the saves are counted.
+  EXPECT_LT(b.undelivered_count, a.undelivered_count);
+  EXPECT_GT(b.rescued_count, 0u);
+  EXPECT_GT(b.replan_count, 0u);
+  EXPECT_LE(b.replan_count, with_replan.replan.max_replans)
+      << "replan budget must be respected";
+
+  // Outcome flags agree with the aggregate counter.
+  std::size_t rescued_flags = 0;
+  for (const MessageOutcome& outcome : b.outcomes)
+    if (outcome.rescued) {
+      ++rescued_flags;
+      EXPECT_NE(outcome.status, DeliveryStatus::kUndeliverable);
+    }
+  EXPECT_EQ(rescued_flags, b.rescued_count);
+
+  // Replan rounds are visible in the trace, and the committed history
+  // still replays cleanly through the auditor.
+  std::size_t replan_events = 0;
+  for (const TraceEvent& event : trace.events())
+    if (event.kind == TraceEventKind::kReplan) ++replan_events;
+  EXPECT_EQ(replan_events, b.replan_count);
+  EXPECT_EQ(trace.dropped(), 0u);
+  const AuditReport report = ScheduleAuditor{}.audit(trace);
+  EXPECT_TRUE(report.ok()) << report.summary();
+
+  // Metrics: the self-healing totals land in the registry.
+  MetricsRegistry metrics;
+  record_metrics(b, a.completion_time, metrics);
+  EXPECT_EQ(metrics.counter("resilient.replan_count").value(), b.replan_count);
+  EXPECT_EQ(metrics.counter("resilient.messages_rescued").value(),
+            b.rescued_count);
+  EXPECT_GT(metrics.gauge("resilient.degraded_makespan_ratio").value(), 0.0);
 }
 
 // ---------------------------------------------------------------------------

@@ -118,6 +118,160 @@ TEST(HierarchicalScheduler, RejectsMismatchedClustering) {
   EXPECT_THROW((void)scheduler.schedule(comm), InputError);
 }
 
+// ---------------------------------------------------------------------------
+// Degraded-mode scheduling (ISSUE 7): schedule_degraded must stay valid by
+// construction while re-electing crashed representatives, splitting
+// disconnected clusters, and falling back to flat.
+// ---------------------------------------------------------------------------
+
+/// Uniform network and messages: every comm entry is equal, so the
+/// comm-medoid of a member list is its lowest id — representatives are
+/// predictable.
+CommMatrix uniform_instance(std::size_t n) {
+  const NetworkModel network{n, LinkParams{0.001, 1e7}};
+  return CommMatrix{network, uniform_messages(n, 1 << 20)};
+}
+
+TEST(HierarchicalScheduler, DegradedReelectsCrashedRepresentative) {
+  const std::size_t n = 12;
+  const CommMatrix comm = uniform_instance(n);
+  Clustering clustering;
+  clustering.cluster_of = {0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1};
+  clustering.members = {{0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11}};
+  const HierarchicalScheduler scheduler{clustering};
+
+  // Node 0 is cluster 0's comm-medoid (uniform comm, lowest id wins the
+  // tie). Taking it down must trigger a re-election, not a crash.
+  std::vector<char> node_down(n, 0);
+  node_down[0] = 1;
+  const std::vector<char> pair_blocked(n * n, 0);
+  DegradeInfo info;
+  const Schedule schedule =
+      scheduler.schedule_degraded(comm, node_down, pair_blocked, &info);
+
+  EXPECT_NO_THROW(schedule.validate(comm));
+  EXPECT_EQ(schedule.events().size(), n * (n - 1));
+  ASSERT_EQ(info.reelected.size(), 1u);
+  EXPECT_EQ(info.reelected[0].first, 0u);
+  EXPECT_EQ(info.reelected[0].second, 1u)
+      << "next-lowest surviving member takes the seat";
+  EXPECT_EQ(info.clusters_split, 0u);
+  EXPECT_FALSE(info.flat_fallback);
+}
+
+TEST(HierarchicalScheduler, DegradedSplitsDisconnectedClusters) {
+  const std::size_t n = 6;
+  const CommMatrix comm = uniform_instance(n);
+  Clustering clustering;
+  clustering.cluster_of = {0, 0, 0, 1, 1, 1};
+  clustering.members = {{0, 1, 2}, {3, 4, 5}};
+  const HierarchicalScheduler scheduler{clustering};
+
+  // Cut node 2 off from the rest of its cluster: {0, 1, 2} must split
+  // into components {0, 1} and {2}, and the singleton elects its own
+  // representative (the old rep 0 stays seated in its component).
+  const std::vector<char> node_down(n, 0);
+  std::vector<char> pair_blocked(n * n, 0);
+  for (const std::size_t other : {0, 1}) {
+    pair_blocked[2 * n + other] = 1;
+    pair_blocked[other * n + 2] = 1;
+  }
+  DegradeInfo info;
+  const Schedule schedule =
+      scheduler.schedule_degraded(comm, node_down, pair_blocked, &info);
+
+  EXPECT_NO_THROW(schedule.validate(comm));
+  EXPECT_EQ(info.clusters_split, 1u);
+  ASSERT_EQ(info.reelected.size(), 1u);
+  EXPECT_EQ(info.reelected[0].first, 0u);
+  EXPECT_EQ(info.reelected[0].second, 2u);
+  EXPECT_FALSE(info.flat_fallback);
+}
+
+TEST(HierarchicalScheduler, DegradedFallsBackToFlatWithOneClusterLeft) {
+  const std::size_t n = 6;
+  const CommMatrix comm = uniform_instance(n);
+  Clustering clustering;
+  clustering.cluster_of = {0, 0, 0, 1, 1, 1};
+  clustering.members = {{0, 1, 2}, {3, 4, 5}};
+  const HierarchicalScheduler scheduler{clustering};
+
+  // Whole second cluster down: fewer than two usable clusters remain, so
+  // the degraded plan runs the inner scheduler flat — and still covers
+  // every pair, the dead cluster's traffic appended last.
+  std::vector<char> node_down(n, 0);
+  node_down[3] = node_down[4] = node_down[5] = 1;
+  const std::vector<char> pair_blocked(n * n, 0);
+  DegradeInfo info;
+  const Schedule schedule =
+      scheduler.schedule_degraded(comm, node_down, pair_blocked, &info);
+
+  EXPECT_NO_THROW(schedule.validate(comm));
+  EXPECT_EQ(schedule.events().size(), n * (n - 1));
+  EXPECT_TRUE(info.flat_fallback);
+
+  // Down-endpoint traffic must not stall the live part: on any shared
+  // port, every event touching a down node starts after every healthy
+  // event finishes.
+  const auto down = [&](const ScheduledEvent& event) {
+    return node_down[event.src] != 0 || node_down[event.dst] != 0;
+  };
+  for (const ScheduledEvent& dead : schedule.events()) {
+    if (!down(dead)) continue;
+    for (const ScheduledEvent& live : schedule.events()) {
+      if (down(live)) continue;
+      if (live.src == dead.src || live.dst == dead.dst) {
+        EXPECT_GE(dead.start_s, live.finish_s - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(HierarchicalScheduler, DegradedRejectsMismatchedViews) {
+  const std::size_t n = 6;
+  const CommMatrix comm = uniform_instance(n);
+  Clustering clustering;
+  clustering.cluster_of = {0, 0, 0, 1, 1, 1};
+  clustering.members = {{0, 1, 2}, {3, 4, 5}};
+  const HierarchicalScheduler scheduler{clustering};
+  EXPECT_THROW((void)scheduler.schedule_degraded(
+                   comm, std::vector<char>(n - 1, 0),
+                   std::vector<char>(n * n, 0), nullptr),
+               InputError);
+  EXPECT_THROW((void)scheduler.schedule_degraded(
+                   comm, std::vector<char>(n, 0),
+                   std::vector<char>(n, 0), nullptr),
+               InputError);
+}
+
+TEST(HierarchicalScheduler, DegradedValidForEveryInnerAlgorithm) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const std::size_t n = 24;
+    NetworkModel network;
+    const CommMatrix comm = clustered_instance(n, 3, seed, &network);
+    const Clustering clustering = detect_clusters(network);
+    std::vector<char> node_down(n, 0);
+    node_down[seed % n] = 1;
+    std::vector<char> pair_blocked(n * n, 0);
+    const std::size_t a = (seed * 5) % n;
+    const std::size_t b = (seed * 5 + 1) % n;
+    pair_blocked[a * n + b] = pair_blocked[b * n + a] = 1;
+    for (const SchedulerKind inner : paper_schedulers()) {
+      HierarchicalScheduler::Options options;
+      options.inner = inner;
+      options.seed = seed;
+      const HierarchicalScheduler scheduler{clustering, options};
+      DegradeInfo info;
+      const Schedule schedule =
+          scheduler.schedule_degraded(comm, node_down, pair_blocked, &info);
+      SCOPED_TRACE("seed=" + std::to_string(seed) + " inner=" +
+                   std::string(scheduler_name(inner)));
+      EXPECT_NO_THROW(schedule.validate(comm));
+      EXPECT_EQ(schedule.events().size(), n * (n - 1));
+    }
+  }
+}
+
 TEST(HierarchicalScheduler, HandlesSingletonAndLopsidedClusters) {
   // Hand-built partitions exercise the splice's edge shapes: singleton
   // clusters (no intra phase) and a 1-vs-many quotient block.

@@ -68,19 +68,28 @@ usage:
 
   hcs fault-sweep --processors N [--seed S] [--scenario NAME]
                   [--algorithm NAME] [--max-crashes K] [--cuts C] [--loss P]
-                  [--threads T]
+                  [--restarts R] [--flaps F] [--brownouts B]
+                  [--brownout-factor X] [--replan] [--hierarchical]
+                  [--clusters K] [--format table|csv|json] [--threads T]
       Sweep crash-stop severity 0..K on a random instance with C
       permanently cut pairs and per-attempt transmission loss P, executing
       each scenario with the fault-tolerant executor (retry with backoff,
-      relay rerouting, health-driven quarantine). Reports the delivery mix
-      and the completion overhead versus the fault-free run. Severity
-      rows run on T worker threads (0 = one per hardware thread).
+      relay rerouting, health-driven quarantine). Dynamic faults ride
+      along: R crash-restart nodes, F flapping links, B bandwidth
+      brownouts running at fraction X of the advertised rate. --replan
+      turns on online re-planning: failed traffic is requeued and
+      re-scheduled on the degraded view (the rescued column counts its
+      saves). Reports the delivery mix and the completion overhead versus
+      the fault-free run; --format csv/json emit machine-readable rows.
+      Severity rows run on T worker threads (0 = one per hardware
+      thread).
 
   hcs trace --processors N [--seed S] [--scenario NAME] [--algorithm NAME]
             [--model serialized|interleaved|buffered] [--drift SIGMA]
-            [--crashes K] [--cuts C] [--loss P] [--hierarchical]
-            [--clusters K] [--format diagram|chrome|metrics] [--rows R]
-            [--audit]
+            [--crashes K] [--cuts C] [--loss P] [--restarts R] [--flaps F]
+            [--brownouts B] [--brownout-factor X] [--replan]
+            [--hierarchical] [--clusters K]
+            [--format diagram|chrome|metrics] [--rows R] [--audit]
       Generate an instance, schedule it, execute with event tracing on,
       and export the trace: an ASCII timing diagram (default), Chrome
       trace_event JSON for chrome://tracing / Perfetto, or a metrics JSON
@@ -424,6 +433,53 @@ int cmd_sweep(const Options& options, std::ostream& out) {
   return 0;
 }
 
+/// Dynamic (recoverable) faults shared by fault-sweep and trace, scaled
+/// to the run's expected makespan: crash-restart windows on the
+/// lowest-numbered nodes, periodically flapping links, and bandwidth
+/// brownouts on random pairs. Deterministic in (seed, horizon).
+void add_dynamic_faults(FaultPlan& plan, std::size_t n, std::uint64_t seed,
+                        double horizon_s, long restart_count, long flap_count,
+                        long brownout_count, double brownout_factor) {
+  for (long k = 0; k < restart_count; ++k) {
+    const double at = (0.05 + 0.1 * static_cast<double>(k)) * horizon_s;
+    plan.restarts.push_back(
+        {static_cast<std::size_t>(k), at, at + 0.35 * horizon_s});
+  }
+  Rng rng{seed ^ 0xD15EA5EDULL};
+  for (long k = 0; k < flap_count; ++k) {
+    const auto a = static_cast<std::size_t>(rng.next_below(n));
+    const auto b = static_cast<std::size_t>(rng.next_below(n));
+    if (a == b) {
+      --k;
+      continue;
+    }
+    plan.flapping.push_back(
+        {a, b, 0.0, horizon_s, std::max(horizon_s / 8.0, 1e-9), 0.3, true});
+  }
+  for (long k = 0; k < brownout_count; ++k) {
+    const auto a = static_cast<std::size_t>(rng.next_below(n));
+    const auto b = static_cast<std::size_t>(rng.next_below(n));
+    if (a == b) {
+      --k;
+      continue;
+    }
+    plan.brownouts.push_back(
+        {a, b, 0.0, 0.6 * horizon_s, brownout_factor, true});
+  }
+}
+
+/// Replan policy the CLI turns on with --replan: budgeted degraded-mode
+/// rescheduling whose backoff concedes enough wall-clock for mid-horizon
+/// recovery windows to pass.
+ResilientOptions::ReplanOptions cli_replan_policy(double horizon_s) {
+  ResilientOptions::ReplanOptions replan;
+  replan.enabled = true;
+  replan.max_replans = 4;
+  replan.backoff_base_s = 0.1 * horizon_s;
+  replan.backoff_factor = 2.0;
+  return replan;
+}
+
 int cmd_fault_sweep(const Options& options, std::ostream& out) {
   const long processors = options.get_long("processors", 0);
   if (processors < 3)
@@ -441,12 +497,32 @@ int cmd_fault_sweep(const Options& options, std::ostream& out) {
   const double loss = options.get_double("loss", 0.0);
   if (!(loss >= 0.0) || !(loss < 1.0))
     throw InputError("--loss must be in [0, 1)");
+  const long restart_count = options.get_long("restarts", 0);
+  if (restart_count < 0 ||
+      restart_count + max_crashes > processors - 2)
+    throw InputError("--restarts must be >= 0 and leave two healthy nodes");
+  const long flap_count = options.get_long("flaps", 0);
+  if (flap_count < 0) throw InputError("--flaps must be >= 0");
+  const long brownout_count = options.get_long("brownouts", 0);
+  if (brownout_count < 0) throw InputError("--brownouts must be >= 0");
+  const double brownout_factor = options.get_double("brownout-factor", 0.25);
+  if (!(brownout_factor > 0.0) || !(brownout_factor <= 1.0))
+    throw InputError("--brownout-factor must be in (0, 1]");
   const long threads = options.get_long("threads", 0);
   if (threads < 0) throw InputError("--threads must be >= 0");
+  const long clusters = options.get_long("clusters", 0);
+  if (clusters < 0) throw InputError("--clusters must be >= 0");
+  const bool hierarchical = options.has("hierarchical");
+  const bool replan = options.has("replan");
+  const std::string format = options.get("format", "table");
+  if (format != "table" && format != "csv" && format != "json")
+    throw InputError("unknown fault-sweep format '" + format + "'");
 
-  const ProblemInstance instance = make_instance(scenario, n, seed);
+  const ProblemInstance instance =
+      make_instance(scenario, n, seed, static_cast<std::size_t>(clusters));
   const StaticDirectory directory{instance.network};
-  const auto scheduler = make_scheduler(kind, seed);
+  const auto scheduler =
+      make_instance_scheduler(kind, seed, hierarchical, instance.network);
 
   const ResilientResult fault_free =
       run_resilient(*scheduler, directory, instance.messages, {}, {});
@@ -463,17 +539,11 @@ int cmd_fault_sweep(const Options& options, std::ostream& out) {
     cuts.push_back({a, b, 0.0, 1e12});  // outlasts any run: a permanent cut
   }
 
-  out << "scenario " << scenario_name(scenario) << ", P = " << n << ", "
-      << scheduler->name() << " schedule, " << cut_count
-      << " cut pair(s), loss " << format_double(loss, 2)
-      << "; fault-free completion " << format_double(baseline, 4) << " s\n";
-  Table table{{"crashes", "direct", "relayed", "undeliverable",
-               "completion (s)", "x fault-free"}};
   // Severity rows are independent, so they run on the pool. Each row
   // builds its own scheduler: schedulers carry mutable per-instance
   // workspaces and are not safe to share across threads. Rows land in
-  // per-row slots and the table is assembled serially in row order, so
-  // the output is identical at every thread count.
+  // per-row slots and the output is assembled serially in row order, so
+  // it is identical at every thread count.
   const std::size_t row_count = static_cast<std::size_t>(max_crashes) + 1;
   std::vector<ResilientResult> row_results(row_count);
   ThreadPool pool{ThreadPool::resolve_size(static_cast<std::size_t>(threads),
@@ -483,27 +553,86 @@ int cmd_fault_sweep(const Options& options, std::ostream& out) {
     plan.cuts = cuts;
     plan.transient_loss_prob = loss;
     plan.seed = seed;
+    add_dynamic_faults(plan, n, seed, baseline, restart_count, flap_count,
+                       brownout_count, brownout_factor);
     // Crash the highest-numbered nodes at staggered times, so each row
     // adds one more mid-exchange failure.
     for (std::size_t k = 0; k < row; ++k)
       plan.crashes.push_back(
           {n - 1 - k, 0.25 * baseline * static_cast<double>(k + 1)});
-    const auto row_scheduler = make_scheduler(kind, seed);
-    row_results[row] =
-        run_resilient(*row_scheduler, directory, instance.messages, plan, {});
+    const auto row_scheduler =
+        make_instance_scheduler(kind, seed, hierarchical, instance.network);
+    ResilientOptions row_options;
+    if (replan) row_options.replan = cli_replan_policy(baseline);
+    row_results[row] = run_resilient(*row_scheduler, directory,
+                                     instance.messages, plan, row_options);
   });
+
+  struct Row {
+    std::size_t crashes, direct, rescued, relayed, undeliverable, replans;
+    double completion_s, x_fault_free;
+  };
+  std::vector<Row> rows;
+  rows.reserve(row_count);
   for (std::size_t row = 0; row < row_count; ++row) {
     const ResilientResult& result = row_results[row];
-    const std::size_t direct =
+    const std::size_t delivered_direct =
         result.outcomes.size() - result.relayed_count - result.undelivered_count;
-    table.add_row(
-        {std::to_string(row), std::to_string(direct),
-         std::to_string(result.relayed_count),
-         std::to_string(result.undelivered_count),
-         format_double(result.completion_time, 4),
-         format_double(baseline > 0 ? result.completion_time / baseline : 1.0,
-                       3)});
+    rows.push_back({row, delivered_direct - result.rescued_count,
+                    result.rescued_count, result.relayed_count,
+                    result.undelivered_count, result.replan_count,
+                    result.completion_time,
+                    baseline > 0 ? result.completion_time / baseline : 1.0});
   }
+
+  if (format == "csv") {
+    out << "crashes,direct,rescued,relayed,undeliverable,replans,"
+           "completion_s,x_fault_free\n";
+    for (const Row& row : rows)
+      out << row.crashes << ',' << row.direct << ',' << row.rescued << ','
+          << row.relayed << ',' << row.undeliverable << ',' << row.replans
+          << ',' << format_double(row.completion_s, 6) << ','
+          << format_double(row.x_fault_free, 6) << '\n';
+    return 0;
+  }
+  if (format == "json") {
+    out << "{\"scenario\":\"" << scenario_name(scenario) << "\",\"processors\":"
+        << n << ",\"seed\":" << seed << ",\"algorithm\":\""
+        << scheduler->name() << "\",\"replan\":" << (replan ? "true" : "false")
+        << ",\"fault_free_completion_s\":" << format_double(baseline, 6)
+        << ",\"rows\":[";
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      const Row& row = rows[k];
+      out << (k > 0 ? "," : "") << "{\"crashes\":" << row.crashes
+          << ",\"direct\":" << row.direct << ",\"rescued\":" << row.rescued
+          << ",\"relayed\":" << row.relayed << ",\"undeliverable\":"
+          << row.undeliverable << ",\"replans\":" << row.replans
+          << ",\"completion_s\":" << format_double(row.completion_s, 6)
+          << ",\"x_fault_free\":" << format_double(row.x_fault_free, 6) << '}';
+    }
+    out << "]}\n";
+    return 0;
+  }
+
+  out << "scenario " << scenario_name(scenario) << ", P = " << n << ", "
+      << scheduler->name() << " schedule, " << cut_count
+      << " cut pair(s), loss " << format_double(loss, 2);
+  if (restart_count > 0) out << ", " << restart_count << " restart(s)";
+  if (flap_count > 0) out << ", " << flap_count << " flapping link(s)";
+  if (brownout_count > 0)
+    out << ", " << brownout_count << " brownout(s) x"
+        << format_double(brownout_factor, 2);
+  if (replan) out << ", replan on";
+  out << "; fault-free completion " << format_double(baseline, 4) << " s\n";
+  Table table{{"crashes", "direct", "rescued", "relayed", "undeliverable",
+               "replans", "completion (s)", "x fault-free"}};
+  for (const Row& row : rows)
+    table.add_row({std::to_string(row.crashes), std::to_string(row.direct),
+                   std::to_string(row.rescued), std::to_string(row.relayed),
+                   std::to_string(row.undeliverable),
+                   std::to_string(row.replans),
+                   format_double(row.completion_s, 4),
+                   format_double(row.x_fault_free, 3)});
   table.print(out);
   return 0;
 }
@@ -548,6 +677,16 @@ int cmd_trace(const Options& options, std::ostream& out, std::ostream& err) {
   if (cut_count < 0) throw InputError("--cuts must be >= 0");
   if (!(loss >= 0.0) || !(loss < 1.0))
     throw InputError("--loss must be in [0, 1)");
+  const long restart_count = options.get_long("restarts", 0);
+  if (restart_count < 0 || restart_count + crashes > processors - 2)
+    throw InputError("--restarts must be >= 0 and leave two healthy nodes");
+  const long flap_count = options.get_long("flaps", 0);
+  if (flap_count < 0) throw InputError("--flaps must be >= 0");
+  const long brownout_count = options.get_long("brownouts", 0);
+  if (brownout_count < 0) throw InputError("--brownouts must be >= 0");
+  const double brownout_factor = options.get_double("brownout-factor", 0.25);
+  if (!(brownout_factor > 0.0) || !(brownout_factor <= 1.0))
+    throw InputError("--brownout-factor must be in (0, 1]");
   const long clusters = options.get_long("clusters", 0);
   if (clusters < 0) throw InputError("--clusters must be >= 0");
 
@@ -575,7 +714,10 @@ int cmd_trace(const Options& options, std::ostream& out, std::ostream& err) {
   // event instead of the default ring's most recent 64k.
   EventTrace trace{std::max<std::size_t>(std::size_t{1} << 16, 4 * n * n)};
   double completion = 0.0;
-  const bool faulty = crashes > 0 || cut_count > 0 || loss > 0.0;
+  const bool faulty = crashes > 0 || cut_count > 0 || loss > 0.0 ||
+                      restart_count > 0 || flap_count > 0 ||
+                      brownout_count > 0;
+  ResilientResult resilient_result;
   if (faulty) {
     if (sim_options.model != ReceiveModel::kSerialized)
       throw InputError("fault options require --model serialized");
@@ -594,9 +736,15 @@ int cmd_trace(const Options& options, std::ostream& out, std::ostream& err) {
       plan.crashes.push_back(
           {n - 1 - static_cast<std::size_t>(k),
            0.25 * planned.completion_time() * static_cast<double>(k + 1)});
-    const ResilientResult result = run_resilient_traced(
-        *scheduler, directory, instance.messages, plan, {}, trace);
-    completion = result.completion_time;
+    add_dynamic_faults(plan, n, seed, planned.completion_time(), restart_count,
+                       flap_count, brownout_count, brownout_factor);
+    ResilientOptions resilient_options;
+    if (options.has("replan"))
+      resilient_options.replan = cli_replan_policy(planned.completion_time());
+    resilient_result = run_resilient_traced(
+        *scheduler, directory, instance.messages, plan, resilient_options,
+        trace);
+    completion = resilient_result.completion_time;
   } else if (sigma > 0.0) {
     DriftingDirectory::Options drift;
     drift.step_sigma = sigma;
@@ -620,6 +768,8 @@ int cmd_trace(const Options& options, std::ostream& out, std::ostream& err) {
   } else if (format == "metrics") {
     MetricsRegistry metrics;
     trace_metrics(trace, completion, metrics);
+    if (faulty)
+      record_metrics(resilient_result, planned.completion_time(), metrics);
     metrics.write_json(out);
     out << '\n';
   } else {
@@ -730,16 +880,19 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
       return cmd_sweep(options, out);
     }
     if (command == "fault-sweep") {
-      const Options options(args, 1,
-                            {"processors", "seed", "scenario", "algorithm",
-                             "max-crashes", "cuts", "loss", "threads"});
+      const Options options(
+          args, 1,
+          {"processors", "seed", "scenario", "algorithm", "max-crashes",
+           "cuts", "loss", "restarts", "flaps", "brownouts", "brownout-factor",
+           "replan", "hierarchical", "clusters", "format", "threads"});
       return cmd_fault_sweep(options, out);
     }
     if (command == "trace") {
       const Options options(
           args, 1,
           {"processors", "seed", "scenario", "algorithm", "model", "drift",
-           "crashes", "cuts", "loss", "hierarchical", "clusters", "format",
+           "crashes", "cuts", "loss", "restarts", "flaps", "brownouts",
+           "brownout-factor", "replan", "hierarchical", "clusters", "format",
            "rows", "audit"});
       return cmd_trace(options, out, err);
     }
