@@ -13,12 +13,10 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
-// Quantized log-level of a positive quantity. The clamp guards against a
-// degenerate zero start-up (log would be -inf); anything below a
-// picosecond is indistinguishable for clustering purposes.
+// Shorthand for the public quantizer; see quantize_log_level in the
+// header for the contract.
 std::int32_t level_of(double x, double quantum) {
-  return static_cast<std::int32_t>(
-      std::llround(std::log(std::max(x, 1e-12)) / quantum));
+  return quantize_log_level(x, quantum);
 }
 
 // Band statistics over a set of node pairs: quantized level extrema for
@@ -50,6 +48,11 @@ struct PairBand {
 };
 
 }  // namespace
+
+std::int32_t quantize_log_level(double x, double quantum) {
+  return static_cast<std::int32_t>(
+      std::llround(std::log(std::max(x, 1e-12)) / quantum));
+}
 
 Clustering detect_clusters(const NetworkModel& network,
                            const ClusterOptions& options) {

@@ -38,6 +38,14 @@
 
 namespace hcs {
 
+/// Quantized log-scale level of a positive quantity: round(ln(x) /
+/// quantum). Two values land in the same level when they differ by less
+/// than a factor of roughly exp(quantum / 2) — the robustness-to-jitter
+/// primitive both cluster detection and the schedule cache's cost-matrix
+/// signatures (src/service) are built on. Values below a picosecond are
+/// clamped (a zero start-up would otherwise map to -inf).
+[[nodiscard]] std::int32_t quantize_log_level(double x, double quantum);
+
 /// Tuning knobs for cluster detection.
 struct ClusterOptions {
   /// Log-space quantization bucket width for both parameters. Links whose

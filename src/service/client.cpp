@@ -1,0 +1,122 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace hcs::service {
+
+ServiceClient::ServiceClient(const std::string& socket_path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(address.sun_path))
+    throw InputError("ServiceClient: bad socket path: " + socket_path);
+  std::memcpy(address.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw InputError("ServiceClient: socket() failed: " +
+                     std::string(std::strerror(errno)));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw InputError("ServiceClient: connect(" + socket_path +
+                     ") failed: " + std::string(std::strerror(saved)));
+  }
+}
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    reader_ = std::move(other.reader_);
+  }
+  return *this;
+}
+
+void ServiceClient::send_frame(FrameType type,
+                               std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kFrameHeaderBytes + payload.size());
+  append_frame(bytes, type, payload);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw InputError("ServiceClient: send failed: " +
+                       std::string(std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Frame ServiceClient::read_frame() {
+  std::array<std::uint8_t, 64 * 1024> chunk;
+  while (true) {
+    if (auto frame = reader_.next()) return std::move(*frame);
+    const ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), 0);
+    if (n == 0)
+      throw InputError("ServiceClient: server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw InputError("ServiceClient: recv failed: " +
+                       std::string(std::strerror(errno)));
+    }
+    reader_.feed({chunk.data(), static_cast<std::size_t>(n)});
+  }
+}
+
+Frame ServiceClient::round_trip(FrameType type,
+                                std::span<const std::uint8_t> payload) {
+  send_frame(type, payload);
+  Frame frame = read_frame();
+  if (frame.type == FrameType::kError) {
+    const ErrorFrame error = decode_error(frame.payload);
+    throw ServiceError(error.code, error.message);
+  }
+  return frame;
+}
+
+ScheduleResponse ServiceClient::schedule(const ScheduleRequest& request) {
+  const auto payload = encode_schedule_request(request);
+  Frame frame = round_trip(FrameType::kScheduleRequest, payload);
+  if (frame.type != FrameType::kScheduleResponse)
+    throw WireError("ServiceClient: expected kScheduleResponse, got type " +
+                    std::to_string(static_cast<int>(frame.type)));
+  return decode_schedule_response(frame.payload);
+}
+
+std::string ServiceClient::scrape_metrics(bool text) {
+  const std::uint8_t format = text ? 1 : 0;
+  Frame frame = round_trip(FrameType::kMetricsRequest, {&format, 1});
+  if (frame.type != FrameType::kMetricsResponse)
+    throw WireError("ServiceClient: expected kMetricsResponse, got type " +
+                    std::to_string(static_cast<int>(frame.type)));
+  return std::string(reinterpret_cast<const char*>(frame.payload.data()),
+                     frame.payload.size());
+}
+
+void ServiceClient::shutdown_server() {
+  Frame frame = round_trip(FrameType::kShutdown, {});
+  if (frame.type != FrameType::kShutdown)
+    throw WireError("ServiceClient: expected kShutdown ack, got type " +
+                    std::to_string(static_cast<int>(frame.type)));
+}
+
+}  // namespace hcs::service

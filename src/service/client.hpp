@@ -1,0 +1,63 @@
+// Blocking client for the hcsd wire protocol.
+//
+// One ServiceClient wraps one connected UNIX-domain stream socket. Calls
+// are synchronous request/response pairs; the client is NOT thread-safe —
+// concurrent load generators (service/replay.hpp) open one client per
+// connection instead of sharing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/wire.hpp"
+
+namespace hcs::service {
+
+/// Thrown when the server answers a request with a kError frame. The
+/// code distinguishes backpressure (kBusy — retry later) from caller
+/// bugs (kBadRequest) and server-side failures (kInternal).
+class ServiceError : public InputError {
+ public:
+  ServiceError(ErrorCode code, const std::string& message)
+      : InputError(message), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+class ServiceClient {
+ public:
+  /// Connects to the daemon's UNIX socket. Throws InputError on failure.
+  explicit ServiceClient(const std::string& socket_path);
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+
+  /// One round trip: sends the request, blocks for the response. Throws
+  /// ServiceError on a kError reply (code kBusy = shed by backpressure),
+  /// WireError on protocol violations, InputError on socket failure.
+  [[nodiscard]] ScheduleResponse schedule(const ScheduleRequest& request);
+
+  /// Fetches the admin metrics scrape (JSON when `text` is false).
+  [[nodiscard]] std::string scrape_metrics(bool text = false);
+
+  /// Asks the daemon to shut down; returns once it acknowledges.
+  void shutdown_server();
+
+ private:
+  [[nodiscard]] Frame round_trip(FrameType type,
+                                 std::span<const std::uint8_t> payload);
+  void send_frame(FrameType type, std::span<const std::uint8_t> payload);
+  [[nodiscard]] Frame read_frame();
+
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace hcs::service

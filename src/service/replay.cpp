@@ -1,0 +1,124 @@
+#include "service/replay.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace hcs::service {
+namespace {
+
+struct ConnectionTally {
+  std::vector<double> latencies_us;
+  std::size_t completed = 0;
+  std::size_t cache_hits = 0;
+  std::size_t coalesced = 0;
+  std::size_t busy = 0;
+  std::size_t errors = 0;
+};
+
+}  // namespace
+
+ReplayStats run_replay(const ReplayConfig& config) {
+  if (config.requests == 0)
+    throw InputError("run_replay: requests must be positive");
+  if (config.connections == 0)
+    throw InputError("run_replay: connections must be positive");
+  if (config.processors < 2)
+    throw InputError("run_replay: processors must be at least 2");
+
+  const std::size_t distinct =
+      std::clamp<std::size_t>(config.distinct_workloads, 1, config.requests);
+
+  // Pre-generate the workload pool: replay measures the daemon, so
+  // matrix generation must not sit inside the timed window. The
+  // instances' networks are discarded — the daemon owns the directory;
+  // clients only ship message sizes.
+  std::vector<MessageMatrix> workloads;
+  workloads.reserve(distinct);
+  for (std::size_t w = 0; w < distinct; ++w)
+    workloads.push_back(
+        make_instance(config.scenario, config.processors, config.seed + w)
+            .messages);
+
+  // Connect everything before starting the clock, so wall_s measures
+  // request service, not connection setup.
+  std::vector<ServiceClient> clients;
+  clients.reserve(config.connections);
+  for (std::size_t c = 0; c < config.connections; ++c)
+    clients.emplace_back(config.socket_path);
+
+  std::vector<ConnectionTally> tallies(config.connections);
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(config.connections);
+    for (std::size_t c = 0; c < config.connections; ++c) {
+      threads.emplace_back([&, c] {
+        ServiceClient& client = clients[c];
+        ConnectionTally& tally = tallies[c];
+        for (std::size_t i = c; i < config.requests;
+             i += config.connections) {
+          ScheduleRequest request;
+          request.kind = config.kind;
+          request.hierarchical = config.hierarchical;
+          request.now_s = static_cast<double>(i) * config.time_step_s;
+          request.messages = workloads[i % distinct];
+          const auto start = std::chrono::steady_clock::now();
+          try {
+            const ScheduleResponse response = client.schedule(request);
+            const double us =
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            tally.latencies_us.push_back(us);
+            ++tally.completed;
+            if (response.cache_hit) ++tally.cache_hits;
+            if (response.coalesced) ++tally.coalesced;
+          } catch (const ServiceError& error) {
+            if (error.code() == ErrorCode::kBusy)
+              ++tally.busy;
+            else
+              ++tally.errors;
+          } catch (const std::exception&) {
+            ++tally.errors;
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  ReplayStats stats;
+  stats.wall_s = wall_s;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(config.requests);
+  for (const ConnectionTally& tally : tallies) {
+    stats.completed += tally.completed;
+    stats.cache_hits += tally.cache_hits;
+    stats.coalesced += tally.coalesced;
+    stats.busy += tally.busy;
+    stats.errors += tally.errors;
+    latencies_us.insert(latencies_us.end(), tally.latencies_us.begin(),
+                        tally.latencies_us.end());
+  }
+  if (wall_s > 0.0) stats.qps = static_cast<double>(stats.completed) / wall_s;
+  if (!latencies_us.empty()) {
+    stats.p50_us = quantile(latencies_us, 0.5);
+    stats.p99_us = quantile(latencies_us, 0.99);
+    stats.max_us = *std::max_element(latencies_us.begin(), latencies_us.end());
+    double sum = 0.0;
+    for (const double us : latencies_us) sum += us;
+    stats.mean_us = sum / static_cast<double>(latencies_us.size());
+  }
+  return stats;
+}
+
+}  // namespace hcs::service

@@ -1,0 +1,68 @@
+// Replay load generator for hcsd: drives a running daemon with a
+// deterministic request trace over N concurrent connections and reports
+// throughput and client-observed latency percentiles (exact, from the
+// full sample — not the histogram-resolution quantiles of the admin
+// scrape).
+//
+// The trace's knobs pick the caching regime under test:
+//  - distinct_workloads = 1, time_step_s = 0   -> pure warm-cache regime
+//  - distinct_workloads = requests             -> pure cold-solve regime
+//  - time_step_s > 0 against a drifting daemon -> drift regime: keys age
+//    out as the directory walks past the quantization tolerance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/scheduler.hpp"
+#include "workload/scenario.hpp"
+
+namespace hcs::service {
+
+struct ReplayConfig {
+  std::string socket_path;
+  /// Total schedule requests across all connections.
+  std::size_t requests = 1000;
+  /// Concurrent client connections (one thread each).
+  std::size_t connections = 4;
+  /// Processors per request; must match the daemon's directory.
+  std::size_t processors = 64;
+  /// Message-size workload family for the generated matrices.
+  Scenario scenario = Scenario::kMixedMessages;
+  SchedulerKind kind = SchedulerKind::kMaxMatching;
+  bool hierarchical = false;
+  std::uint64_t seed = 1;
+  /// Number of distinct message matrices the trace cycles through.
+  /// Request i uses matrix i % distinct_workloads, so this bounds the
+  /// reachable key set (clamped to [1, requests]).
+  std::size_t distinct_workloads = 8;
+  /// Directory time advance per request: request i queries now_s =
+  /// i * time_step_s. Zero freezes time (no drift).
+  double time_step_s = 0.0;
+};
+
+/// Aggregate outcome of one replay. Latencies are client-observed round
+/// trips in microseconds, exact percentiles over every completed request.
+struct ReplayStats {
+  std::size_t completed = 0;  ///< requests answered with a schedule
+  std::size_t cache_hits = 0;
+  std::size_t coalesced = 0;
+  std::size_t busy = 0;    ///< shed by queue backpressure (kBusy)
+  std::size_t errors = 0;  ///< any other failure
+  double wall_s = 0.0;
+  double qps = 0.0;  ///< completed / wall_s
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Runs the trace against a live daemon. Requests are assigned to
+/// connections round-robin (connection c sends requests c, c+C, ...), so
+/// the interleaving — and thus the coalescing opportunity — is the same
+/// for every run of a given config. Throws InputError when the daemon is
+/// unreachable; per-request failures are counted, not thrown.
+[[nodiscard]] ReplayStats run_replay(const ReplayConfig& config);
+
+}  // namespace hcs::service

@@ -1,0 +1,334 @@
+#include "service/wire.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace hcs::service {
+namespace {
+
+// The protocol is little-endian on the wire. On little-endian hosts
+// (everything this library targets in practice) scalars and whole arrays
+// move with memcpy — the codec hot path is bulk copies, not per-byte
+// shifting, which is what lets a warm cache hit spend its time in the
+// kernel instead of the serializer. The shift-based fallback keeps the
+// wire format identical on big-endian hosts.
+constexpr bool kHostIsLittleEndian =
+    std::endian::native == std::endian::little;
+
+/// Sequential writer over a pre-sized region of `out`: the caller
+/// declares the payload size once, then fields land via memcpy instead of
+/// repeated push_back growth checks.
+class Writer {
+ public:
+  Writer(std::vector<std::uint8_t>& out, std::size_t bytes)
+      : out_(out), pos_(out.size()) {
+    out_.resize(out_.size() + bytes);
+  }
+
+  void u8(std::uint8_t v) { out_[pos_++] = v; }
+  void u16(std::uint16_t v) { put_scalar(v); }
+  void u32(std::uint32_t v) { put_scalar(v); }
+  void u64(std::uint64_t v) { put_scalar(v); }
+  void f64(double v) { put_scalar(std::bit_cast<std::uint64_t>(v)); }
+
+  /// Bulk little-endian u64 block — one memcpy on LE hosts.
+  void u64_block(std::span<const std::uint64_t> values) {
+    if constexpr (kHostIsLittleEndian) {
+      std::memcpy(out_.data() + pos_, values.data(), 8 * values.size());
+      pos_ += 8 * values.size();
+    } else {
+      for (const std::uint64_t v : values) u64(v);
+    }
+  }
+
+  /// All declared bytes must be written — catches size-formula drift.
+  void finish() const {
+    if (pos_ != out_.size())
+      throw WireError("wire: encoder size mismatch (internal)");
+  }
+
+ private:
+  template <typename T>
+  void put_scalar(T v) {
+    if constexpr (kHostIsLittleEndian) {
+      std::memcpy(out_.data() + pos_, &v, sizeof v);
+      pos_ += sizeof v;
+    } else {
+      for (std::size_t k = 0; k < sizeof v; ++k)
+        out_[pos_++] = static_cast<std::uint8_t>(v >> (8 * k));
+    }
+  }
+
+  std::vector<std::uint8_t>& out_;
+  std::size_t pos_;
+};
+
+/// Bounds-checked sequential reader over a payload.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+  [[nodiscard]] std::uint16_t u16() { return scalar<std::uint16_t>(); }
+  [[nodiscard]] std::uint32_t u32() { return scalar<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return scalar<std::uint64_t>(); }
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+
+  /// Bulk little-endian u64 block — one memcpy on LE hosts.
+  void u64_block(std::span<std::uint64_t> dst) {
+    need(8 * dst.size());
+    if constexpr (kHostIsLittleEndian) {
+      std::memcpy(dst.data(), bytes_.data() + pos_, 8 * dst.size());
+      pos_ += 8 * dst.size();
+    } else {
+      for (std::uint64_t& v : dst) v = u64();
+    }
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+  /// Remaining bytes as a string (used by error messages and scrapes).
+  [[nodiscard]] std::string rest_as_string() {
+    std::string text(reinterpret_cast<const char*>(bytes_.data()) + pos_,
+                     remaining());
+    pos_ = bytes_.size();
+    return text;
+  }
+  void expect_exhausted(const char* what) const {
+    if (pos_ != bytes_.size())
+      throw WireError(std::string(what) + ": trailing bytes in payload");
+  }
+
+ private:
+  template <typename T>
+  [[nodiscard]] T scalar() {
+    need(sizeof(T));
+    T v{};
+    if constexpr (kHostIsLittleEndian) {
+      std::memcpy(&v, bytes_.data() + pos_, sizeof v);
+      pos_ += sizeof v;
+    } else {
+      for (std::size_t k = 0; k < sizeof v; ++k)
+        v = static_cast<T>(v | (static_cast<T>(bytes_[pos_++]) << (8 * k)));
+    }
+    return v;
+  }
+
+  void need(std::size_t n) const {
+    if (bytes_.size() - pos_ < n)
+      throw WireError("wire: truncated payload");
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+SchedulerKind checked_kind(std::uint8_t raw) {
+  switch (static_cast<SchedulerKind>(raw)) {
+    case SchedulerKind::kBaseline:
+    case SchedulerKind::kBaselineBarrier:
+    case SchedulerKind::kMaxMatching:
+    case SchedulerKind::kMinMatching:
+    case SchedulerKind::kGreedy:
+    case SchedulerKind::kOpenShop:
+    case SchedulerKind::kRandom:
+      return static_cast<SchedulerKind>(raw);
+  }
+  throw WireError("wire: unknown scheduler kind " + std::to_string(raw));
+}
+
+std::uint32_t checked_processors(std::uint32_t p, const char* what) {
+  if (p < 2 || p > kMaxProcessors)
+    throw WireError(std::string(what) + ": processors out of range [2, " +
+                    std::to_string(kMaxProcessors) + "]");
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_schedule_request(
+    const ScheduleRequest& request) {
+  if (!request.messages.square())
+    throw WireError("encode_schedule_request: message matrix must be square");
+  const std::size_t p =
+      checked_processors(static_cast<std::uint32_t>(request.messages.rows()),
+                         "encode_schedule_request");
+  std::vector<std::uint8_t> out;
+  Writer writer(out, 16 + 8 * p * p);
+  writer.u8(kWireVersion);
+  writer.u8(static_cast<std::uint8_t>(request.kind));
+  writer.u8(request.hierarchical ? 1 : 0);
+  writer.u8(0);  // reserved
+  writer.u32(static_cast<std::uint32_t>(p));
+  writer.f64(request.now_s);
+  writer.u64_block(request.messages.data());
+  writer.finish();
+  return out;
+}
+
+ScheduleRequest decode_schedule_request(std::span<const std::uint8_t> payload) {
+  Cursor cursor(payload);
+  const std::uint8_t version = cursor.u8();
+  if (version != kWireVersion)
+    throw WireError("decode_schedule_request: unsupported version " +
+                    std::to_string(version));
+  ScheduleRequest request;
+  request.kind = checked_kind(cursor.u8());
+  const std::uint8_t flags = cursor.u8();
+  if ((flags & ~std::uint8_t{1}) != 0)
+    throw WireError("decode_schedule_request: unknown flag bits");
+  request.hierarchical = (flags & 1) != 0;
+  (void)cursor.u8();  // reserved
+  const std::uint32_t p =
+      checked_processors(cursor.u32(), "decode_schedule_request");
+  request.now_s = cursor.f64();
+  if (!(request.now_s >= 0.0) || !std::isfinite(request.now_s))
+    throw WireError("decode_schedule_request: now_s must be finite and >= 0");
+  if (cursor.remaining() != 8 * static_cast<std::size_t>(p) * p)
+    throw WireError("decode_schedule_request: message matrix size mismatch");
+  request.messages = MessageMatrix(p, p);
+  cursor.u64_block(request.messages.mutable_data());
+  cursor.expect_exhausted("decode_schedule_request");
+  return request;
+}
+
+std::vector<std::uint8_t> encode_schedule_response(
+    const ScheduleResponse& response) {
+  const std::size_t p = checked_processors(
+      static_cast<std::uint32_t>(response.processors), "encode_schedule_response");
+  std::vector<std::uint8_t> out;
+  Writer writer(out, 24 + 24 * response.events.size());
+  writer.u8(kWireVersion);
+  writer.u8(static_cast<std::uint8_t>((response.cache_hit ? 1 : 0) |
+                                      (response.coalesced ? 2 : 0)));
+  writer.u16(0);  // reserved
+  writer.u32(static_cast<std::uint32_t>(p));
+  writer.f64(response.completion_s);
+  writer.u32(static_cast<std::uint32_t>(response.events.size()));
+  writer.u32(0);  // reserved
+  for (const ScheduledEvent& event : response.events) {
+    writer.u32(static_cast<std::uint32_t>(event.src));
+    writer.u32(static_cast<std::uint32_t>(event.dst));
+    writer.f64(event.start_s);
+    writer.f64(event.finish_s);
+  }
+  writer.finish();
+  return out;
+}
+
+ScheduleResponse decode_schedule_response(
+    std::span<const std::uint8_t> payload) {
+  Cursor cursor(payload);
+  const std::uint8_t version = cursor.u8();
+  if (version != kWireVersion)
+    throw WireError("decode_schedule_response: unsupported version " +
+                    std::to_string(version));
+  ScheduleResponse response;
+  const std::uint8_t flags = cursor.u8();
+  if ((flags & ~std::uint8_t{3}) != 0)
+    throw WireError("decode_schedule_response: unknown flag bits");
+  response.cache_hit = (flags & 1) != 0;
+  response.coalesced = (flags & 2) != 0;
+  (void)cursor.u16();  // reserved
+  const std::uint32_t p =
+      checked_processors(cursor.u32(), "decode_schedule_response");
+  response.processors = p;
+  response.completion_s = cursor.f64();
+  const std::uint32_t event_count = cursor.u32();
+  (void)cursor.u32();  // reserved
+  if (cursor.remaining() != 24 * static_cast<std::size_t>(event_count))
+    throw WireError("decode_schedule_response: event block size mismatch");
+  response.events.reserve(event_count);
+  for (std::uint32_t k = 0; k < event_count; ++k) {
+    ScheduledEvent event;
+    event.src = cursor.u32();
+    event.dst = cursor.u32();
+    if (event.src >= p || event.dst >= p)
+      throw WireError("decode_schedule_response: event endpoint out of range");
+    event.start_s = cursor.f64();
+    event.finish_s = cursor.f64();
+    response.events.push_back(event);
+  }
+  cursor.expect_exhausted("decode_schedule_response");
+  return response;
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorFrame& error) {
+  std::vector<std::uint8_t> out;
+  out.reserve(2 + error.message.size());
+  Writer writer(out, 2);
+  writer.u16(static_cast<std::uint16_t>(error.code));
+  writer.finish();
+  out.insert(out.end(), error.message.begin(), error.message.end());
+  return out;
+}
+
+ErrorFrame decode_error(std::span<const std::uint8_t> payload) {
+  Cursor cursor(payload);
+  ErrorFrame error;
+  const std::uint16_t code = cursor.u16();
+  switch (static_cast<ErrorCode>(code)) {
+    case ErrorCode::kBusy:
+    case ErrorCode::kBadRequest:
+    case ErrorCode::kInternal:
+      error.code = static_cast<ErrorCode>(code);
+      break;
+    default:
+      throw WireError("decode_error: unknown error code " +
+                      std::to_string(code));
+  }
+  error.message = cursor.rest_as_string();
+  return error;
+}
+
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxPayloadBytes)
+    throw WireError("append_frame: payload exceeds kMaxPayloadBytes");
+  Writer writer(out, kFrameHeaderBytes);
+  writer.u32(static_cast<std::uint32_t>(payload.size()));
+  writer.u8(static_cast<std::uint8_t>(type));
+  writer.finish();
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void FrameReader::feed(std::span<const std::uint8_t> bytes) {
+  // Compact once the consumed prefix dominates, so long-lived connections
+  // do not grow the buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Frame> FrameReader::next() {
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return std::nullopt;
+  const std::uint8_t* head = buffer_.data() + consumed_;
+  std::uint32_t length = 0;
+  for (int k = 0; k < 4; ++k)
+    length |= static_cast<std::uint32_t>(head[k]) << (8 * k);
+  if (length > kMaxPayloadBytes)
+    throw WireError("FrameReader: frame length " + std::to_string(length) +
+                    " exceeds limit");
+  const std::uint8_t raw_type = head[4];
+  if (raw_type < static_cast<std::uint8_t>(FrameType::kScheduleRequest) ||
+      raw_type > static_cast<std::uint8_t>(FrameType::kShutdown))
+    throw WireError("FrameReader: unknown frame type " +
+                    std::to_string(raw_type));
+  if (available < kFrameHeaderBytes + length) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(raw_type);
+  frame.payload.assign(head + kFrameHeaderBytes,
+                       head + kFrameHeaderBytes + length);
+  consumed_ += kFrameHeaderBytes + length;
+  return frame;
+}
+
+}  // namespace hcs::service

@@ -1,0 +1,161 @@
+// hcsd wire protocol: length-prefixed binary frames.
+//
+// The scheduling daemon and its clients exchange frames over a stream
+// socket. Every frame is
+//
+//   [u32 payload_length][u8 frame_type][payload bytes ...]
+//
+// with all integers little-endian and doubles IEEE-754 bit patterns
+// carried as u64. The length counts only the payload (not the 5-byte
+// header) and is bounded by kMaxPayloadBytes, so a corrupt or hostile
+// peer can neither make the receiver allocate unboundedly nor desync the
+// stream silently — any malformed header or payload throws WireError and
+// the connection is dropped.
+//
+// Frame payloads:
+//   kScheduleRequest   u8 version, u8 scheduler_kind, u8 flags
+//                      (bit 0: hierarchical), u8 reserved, u32 P,
+//                      f64 now_s, P*P u64 message bytes (row-major,
+//                      sender-major like CommMatrix)
+//   kScheduleResponse  u8 version, u8 flags (bit 0: cache hit, bit 1:
+//                      coalesced onto another request's in-flight solve),
+//                      u16 reserved, u32 P, f64 completion_s,
+//                      u32 event_count, u32 reserved, then per event
+//                      u32 src, u32 dst, f64 start_s, f64 finish_s
+//   kMetricsRequest    u8 format (0 = JSON, 1 = text)
+//   kMetricsResponse   UTF-8 scrape body
+//   kError             u16 error code (ErrorCode), UTF-8 message
+//   kShutdown          empty; the server acknowledges with an empty
+//                      kShutdown frame, finishes in-flight work, and exits
+//
+// Encoding and decoding are pure functions of the bytes — no I/O here —
+// so the whole protocol is unit- and fuzz-testable without a socket.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/scheduler.hpp"
+#include "util/error.hpp"
+#include "workload/generators.hpp"
+
+namespace hcs::service {
+
+/// Thrown on any malformed frame: bad header, truncated or oversized
+/// payload, unknown type or enum value, inconsistent counts.
+class WireError : public InputError {
+ public:
+  explicit WireError(const std::string& what) : InputError(what) {}
+};
+
+enum class FrameType : std::uint8_t {
+  kScheduleRequest = 1,
+  kScheduleResponse = 2,
+  kMetricsRequest = 3,
+  kMetricsResponse = 4,
+  kError = 5,
+  kShutdown = 6,
+};
+
+enum class ErrorCode : std::uint16_t {
+  kBusy = 1,        ///< request queue full — backpressure, retry later
+  kBadRequest = 2,  ///< malformed or out-of-contract request
+  kInternal = 3,    ///< scheduling failed server-side
+};
+
+/// Protocol version carried in request/response payloads.
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Hard payload bound: a P = kMaxProcessors request is ~8 MiB.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 26;
+/// Largest exchange the service accepts (bounds request/response size).
+inline constexpr std::uint32_t kMaxProcessors = 1024;
+/// Bytes preceding the payload: u32 length + u8 type.
+inline constexpr std::size_t kFrameHeaderBytes = 5;
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// A client's ask: schedule this total exchange against the directory
+/// view at now_s.
+struct ScheduleRequest {
+  SchedulerKind kind = SchedulerKind::kOpenShop;
+  bool hierarchical = false;
+  double now_s = 0.0;       ///< directory snapshot instant
+  MessageMatrix messages;   ///< P x P bytes, sender-major
+};
+
+/// The server's answer: the timed schedule plus cache provenance.
+struct ScheduleResponse {
+  bool cache_hit = false;  ///< served from the schedule cache
+  bool coalesced = false;  ///< waited on an identical in-flight solve
+  double completion_s = 0.0;
+  std::size_t processors = 0;
+  std::vector<ScheduledEvent> events;
+
+  /// Materializes the events as a Schedule (validates nothing beyond the
+  /// Schedule constructor's own checks).
+  [[nodiscard]] Schedule to_schedule() const {
+    return Schedule{processors, events};
+  }
+};
+
+/// Decoded kError payload.
+struct ErrorFrame {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+// --- payload codecs (pure; throw WireError on malformed input) ---------
+
+[[nodiscard]] std::vector<std::uint8_t> encode_schedule_request(
+    const ScheduleRequest& request);
+[[nodiscard]] ScheduleRequest decode_schedule_request(
+    std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_schedule_response(
+    const ScheduleResponse& response);
+[[nodiscard]] ScheduleResponse decode_schedule_response(
+    std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_error(const ErrorFrame& error);
+[[nodiscard]] ErrorFrame decode_error(std::span<const std::uint8_t> payload);
+
+// --- framing ------------------------------------------------------------
+
+/// Appends one complete frame (header + payload) to `out`. Throws
+/// WireError when the payload exceeds kMaxPayloadBytes.
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::span<const std::uint8_t> payload);
+
+/// Incremental frame decoder for a byte stream: feed() raw bytes as they
+/// arrive, next() yields complete frames in order. Malformed headers
+/// (oversized length, unknown type) throw WireError — the stream cannot
+/// be resynchronized after that, so callers drop the connection.
+class FrameReader {
+ public:
+  /// Appends raw stream bytes.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Extracts the next complete frame, or nullopt when more bytes are
+  /// needed. Throws WireError on a malformed header.
+  [[nodiscard]] std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed by next().
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace hcs::service

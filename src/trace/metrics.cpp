@@ -49,6 +49,24 @@ double Histogram::bucket_bound(std::size_t k) {
   return std::exp2(static_cast<double>(kMinExp + static_cast<int>(k)));
 }
 
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double scaled = q * static_cast<double>(count_);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(scaled));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    seen += buckets_[k];
+    if (seen >= rank) {
+      const double bound = bucket_bound(k);
+      return std::min(std::max(bound, min_), max_);
+    }
+  }
+  return max_;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   if (gauges_.count(name) != 0 || histograms_.count(name) != 0)
     throw InputError("MetricsRegistry: '" + name + "' is not a counter");
@@ -122,6 +140,28 @@ void MetricsRegistry::write_json(std::ostream& out) const {
     first = false;
   }
   out << (first ? "}\n" : "\n  }\n") << "}\n";
+}
+
+void MetricsRegistry::write_text(std::ostream& out) const {
+  const auto text_name = [](const std::string& name) {
+    std::string flat = name;
+    for (char& c : flat)
+      if (c == '.' || c == '-') c = '_';
+    return flat;
+  };
+  for (const auto& [name, c] : counters_)
+    out << text_name(name) << ' ' << c.value() << '\n';
+  for (const auto& [name, g] : gauges_)
+    out << text_name(name) << ' ' << json_number(g.value()) << '\n';
+  for (const auto& [name, h] : histograms_) {
+    const std::string flat = text_name(name);
+    out << flat << "_count " << h.count() << '\n'
+        << flat << "_sum " << json_number(h.sum()) << '\n'
+        << flat << "_min " << json_number(h.min()) << '\n'
+        << flat << "_max " << json_number(h.max()) << '\n'
+        << flat << "_p50 " << json_number(h.quantile(0.5)) << '\n'
+        << flat << "_p99 " << json_number(h.quantile(0.99)) << '\n';
+  }
 }
 
 }  // namespace hcs

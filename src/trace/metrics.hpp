@@ -71,6 +71,15 @@ class Histogram {
   /// Upper bound of bucket k (inclusive).
   [[nodiscard]] static double bucket_bound(std::size_t k);
 
+  /// Bucket-resolution quantile estimate: the upper bound of the bucket
+  /// containing the ceil(q * count)-th smallest sample, clamped to the
+  /// exact observed [min, max]. Accurate to the power-of-two bucket
+  /// geometry (within 2x) — what an admin scrape needs for p50/p99;
+  /// clients wanting exact percentiles keep their own samples
+  /// (util/stats.hpp quantile). q outside [0, 1] is clamped; an empty
+  /// histogram reports 0.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
  private:
   friend class MetricsRegistry;
   std::uint64_t buckets_[kBuckets] = {};
@@ -102,6 +111,14 @@ class MetricsRegistry {
   /// "histograms": {...}}, names sorted, non-empty histogram buckets
   /// only. Deterministic byte-for-byte for equal contents.
   void write_json(std::ostream& out) const;
+
+  /// Prometheus-style line format, one metric per line: `name value` for
+  /// counters and gauges, and `name_count/_sum/_min/_max/_p50/_p99` lines
+  /// per histogram (quantiles at bucket resolution). Dots in names become
+  /// underscores; names are emitted sorted, so output is deterministic
+  /// byte-for-byte for equal contents. This is the admin endpoint's text
+  /// scrape format.
+  void write_text(std::ostream& out) const;
 
  private:
   std::map<std::string, Counter> counters_;

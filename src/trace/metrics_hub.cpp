@@ -1,0 +1,24 @@
+#include "trace/metrics_hub.hpp"
+
+namespace hcs {
+
+MetricsHub::MetricsHub(std::size_t workers) {
+  slots_.reserve(workers == 0 ? 1 : workers);
+  for (std::size_t w = 0; w < (workers == 0 ? 1 : workers); ++w)
+    slots_.push_back(std::make_unique<Slot>());
+}
+
+MetricsRegistry MetricsHub::scrape() const {
+  MetricsRegistry merged;
+  for (const auto& slot : slots_) {
+    MetricsRegistry copy;
+    {
+      const std::lock_guard<std::mutex> lock(slot->mutex);
+      copy = slot->registry;
+    }
+    merged.merge(copy);
+  }
+  return merged;
+}
+
+}  // namespace hcs

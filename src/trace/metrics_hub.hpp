@@ -1,0 +1,71 @@
+// Concurrency wrapper over MetricsRegistry: per-worker registries,
+// merged on scrape.
+//
+// MetricsRegistry is deliberately not thread-safe — a counter add is one
+// integer increment, and the hot paths that record into it are
+// single-threaded. A long-running server changes the picture: worker
+// threads record continuously while an admin endpoint scrapes at any
+// moment. The hub keeps the registry's cheap single-threaded recording
+// model by giving every worker its own registry behind its own mutex:
+// a worker takes only its own (uncontended) lock to record, and a scrape
+// locks each slot in turn, copying and merge()-ing into one aggregate —
+// the same per-kind merge semantics the parallel experiment sweeps use
+// (counters add, gauges keep the max, histograms merge bucket-wise).
+//
+// Lock granularity is per record() call, not per metric: a worker batches
+// all the metrics of one request under a single lock acquisition, so the
+// per-request overhead is one uncontended lock/unlock pair. Contention
+// only ever comes from a concurrent scrape of the same slot, which is
+// rare (scrapes are seconds apart, requests are microseconds).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "trace/metrics.hpp"
+
+namespace hcs {
+
+/// Fixed set of per-worker MetricsRegistry slots with a merging scrape.
+/// Safe for concurrent use: any number of threads may record into
+/// distinct slots while others scrape. Two threads sharing one slot
+/// serialize on that slot's mutex (correct, but defeats the point —
+/// give each recording thread its own slot).
+class MetricsHub {
+ public:
+  /// `workers` slots, ids 0 .. workers - 1. At least one slot is created.
+  explicit MetricsHub(std::size_t workers);
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return slots_.size();
+  }
+
+  /// Runs `fn(MetricsRegistry&)` under worker `w`'s lock. The registry
+  /// reference is valid only inside the callback. Keep callbacks short —
+  /// record, don't compute.
+  template <typename Fn>
+  void record(std::size_t w, Fn&& fn) {
+    Slot& slot = *slots_.at(w);
+    const std::lock_guard<std::mutex> lock(slot.mutex);
+    fn(slot.registry);
+  }
+
+  /// Merged snapshot of every slot: locks each slot in ascending worker
+  /// order, copying its registry, and folds the copies together with
+  /// MetricsRegistry::merge. Slots are not locked simultaneously, so a
+  /// scrape never stalls more than one worker at a time.
+  [[nodiscard]] MetricsRegistry scrape() const;
+
+ private:
+  struct Slot {
+    mutable std::mutex mutex;
+    MetricsRegistry registry;
+  };
+  // unique_ptr slots: mutexes are neither movable nor copyable, and the
+  // vector must not reallocate them out from under a recording thread.
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace hcs

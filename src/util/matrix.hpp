@@ -117,6 +117,10 @@ class Matrix {
   /// Underlying storage; row-major, rows()*cols() elements.
   [[nodiscard]] std::span<const T> data() const noexcept { return data_; }
 
+  /// Writable view of the underlying storage, for bulk fills (wire
+  /// decode, kernel scatter) where per-element operator() would dominate.
+  [[nodiscard]] std::span<T> mutable_data() noexcept { return data_; }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

@@ -1,0 +1,558 @@
+// Tests for the hcsd service layer: wire protocol codecs (round-trip +
+// malformed-input rejection), the schedule cache (bit-identical hits,
+// quantization-tolerance invalidation, single-flight), the bounded
+// request queue, the MetricsHub (concurrent record/scrape — run under
+// tsan in CI), and the daemon end to end over a real UNIX socket.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <span>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+#include "core/scheduler.hpp"
+#include "netmodel/directory.hpp"
+#include "netmodel/generator.hpp"
+#include "service/client.hpp"
+#include "service/replay.hpp"
+#include "service/schedule_cache.hpp"
+#include "service/server.hpp"
+#include "service/wire.hpp"
+#include "trace/metrics_hub.hpp"
+#include "workload/scenario.hpp"
+
+namespace hcs::service {
+namespace {
+
+ScheduleRequest sample_request(std::uint64_t seed, std::size_t p) {
+  ScheduleRequest request;
+  request.kind = SchedulerKind::kGreedy;
+  request.hierarchical = (seed % 2) == 1;
+  request.now_s = static_cast<double>(seed % 17) * 0.5;
+  request.messages = MessageMatrix(p, p);
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < p; ++i)
+    for (std::size_t j = 0; j < p; ++j)
+      request.messages(i, j) = i == j ? 0 : rng() % (1u << 20);
+  return request;
+}
+
+// --- wire codec: round-trip property ------------------------------------
+
+TEST(Wire, RequestRoundTripsExactly) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::size_t p = 2 + seed % 31;
+    const ScheduleRequest request = sample_request(seed, p);
+    const ScheduleRequest decoded =
+        decode_schedule_request(encode_schedule_request(request));
+    EXPECT_EQ(decoded.kind, request.kind);
+    EXPECT_EQ(decoded.hierarchical, request.hierarchical);
+    EXPECT_EQ(decoded.now_s, request.now_s);
+    ASSERT_EQ(decoded.messages.rows(), p);
+    EXPECT_EQ(decoded.messages, request.messages);
+  }
+}
+
+TEST(Wire, ResponseRoundTripsExactly) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    ScheduleResponse response;
+    response.cache_hit = (round % 2) == 0;
+    response.coalesced = (round % 3) == 0;
+    response.processors = 2 + rng() % 62;
+    response.completion_s = static_cast<double>(rng() % 1000) / 7.0;
+    const std::size_t events = rng() % 40;
+    for (std::size_t k = 0; k < events; ++k) {
+      ScheduledEvent event;
+      event.src = rng() % response.processors;
+      event.dst = rng() % response.processors;
+      event.start_s = static_cast<double>(rng() % 100) / 3.0;
+      event.finish_s = event.start_s + static_cast<double>(rng() % 10);
+      response.events.push_back(event);
+    }
+    const ScheduleResponse decoded =
+        decode_schedule_response(encode_schedule_response(response));
+    EXPECT_EQ(decoded.cache_hit, response.cache_hit);
+    EXPECT_EQ(decoded.coalesced, response.coalesced);
+    EXPECT_EQ(decoded.processors, response.processors);
+    EXPECT_EQ(decoded.completion_s, response.completion_s);
+    EXPECT_EQ(decoded.events, response.events);
+  }
+}
+
+TEST(Wire, ErrorRoundTrips) {
+  const ErrorFrame error{ErrorCode::kBusy, "queue full"};
+  const ErrorFrame decoded = decode_error(encode_error(error));
+  EXPECT_EQ(decoded.code, ErrorCode::kBusy);
+  EXPECT_EQ(decoded.message, "queue full");
+}
+
+// --- wire codec: malformed-input rejection ------------------------------
+
+TEST(Wire, EveryTruncatedRequestPayloadThrows) {
+  const auto payload = encode_schedule_request(sample_request(3, 5));
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(payload.data(), cut);
+    EXPECT_THROW((void)decode_schedule_request(prefix), WireError)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(Wire, EveryTruncatedResponsePayloadThrows) {
+  ScheduleResponse response;
+  response.processors = 4;
+  response.completion_s = 1.5;
+  for (std::size_t k = 0; k < 12; ++k)
+    response.events.push_back({k % 4, (k + 1) % 4, 0.1 * k, 0.1 * k + 1});
+  const auto payload = encode_schedule_response(response);
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(payload.data(), cut);
+    EXPECT_THROW((void)decode_schedule_response(prefix), WireError)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(Wire, TrailingBytesRejected) {
+  auto payload = encode_schedule_request(sample_request(4, 3));
+  payload.push_back(0);
+  EXPECT_THROW((void)decode_schedule_request(payload), WireError);
+}
+
+TEST(Wire, GarbagePayloadsNeverCrash) {
+  // Random bytes must either decode (vanishingly unlikely) or throw
+  // WireError — never crash, hang, or over-allocate.
+  std::mt19937_64 rng(99);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> garbage(rng() % 512);
+    for (auto& byte : garbage) byte = static_cast<std::uint8_t>(rng());
+    try {
+      (void)decode_schedule_request(garbage);
+    } catch (const WireError&) {
+    }
+    try {
+      (void)decode_schedule_response(garbage);
+    } catch (const WireError&) {
+    }
+    try {
+      (void)decode_error(garbage);
+    } catch (const WireError&) {
+    }
+  }
+}
+
+TEST(Wire, RejectsBadEnumsAndRanges) {
+  // Unknown scheduler kind.
+  auto payload = encode_schedule_request(sample_request(1, 4));
+  payload[1] = 200;
+  EXPECT_THROW((void)decode_schedule_request(payload), WireError);
+  // Unknown flag bits.
+  payload = encode_schedule_request(sample_request(1, 4));
+  payload[2] = 0x80;
+  EXPECT_THROW((void)decode_schedule_request(payload), WireError);
+  // Unsupported version.
+  payload = encode_schedule_request(sample_request(1, 4));
+  payload[0] = 9;
+  EXPECT_THROW((void)decode_schedule_request(payload), WireError);
+  // Processor count out of range (P = 1).
+  payload = encode_schedule_request(sample_request(1, 4));
+  payload[4] = 1;
+  payload[5] = payload[6] = payload[7] = 0;
+  EXPECT_THROW((void)decode_schedule_request(payload), WireError);
+  // Event endpoint out of range.
+  ScheduleResponse response;
+  response.processors = 4;
+  response.events.push_back({9, 0, 0.0, 1.0});
+  EXPECT_THROW((void)decode_schedule_response(encode_schedule_response(response)),
+               WireError);
+}
+
+TEST(Wire, NonFiniteNowRejected) {
+  ScheduleRequest request = sample_request(1, 4);
+  request.now_s = std::numeric_limits<double>::infinity();
+  const auto payload = encode_schedule_request(request);
+  EXPECT_THROW((void)decode_schedule_request(payload), WireError);
+}
+
+// --- framing ------------------------------------------------------------
+
+TEST(FrameReader, ReassemblesByteByByte) {
+  const auto request_payload = encode_schedule_request(sample_request(5, 4));
+  std::vector<std::uint8_t> stream;
+  append_frame(stream, FrameType::kScheduleRequest, request_payload);
+  const std::uint8_t format = 1;
+  append_frame(stream, FrameType::kMetricsRequest, {&format, 1});
+  append_frame(stream, FrameType::kShutdown, {});
+
+  FrameReader reader;
+  std::vector<Frame> frames;
+  for (const std::uint8_t byte : stream) {
+    reader.feed({&byte, 1});
+    while (auto frame = reader.next()) frames.push_back(std::move(*frame));
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].type, FrameType::kScheduleRequest);
+  EXPECT_EQ(frames[0].payload, request_payload);
+  EXPECT_EQ(frames[1].type, FrameType::kMetricsRequest);
+  EXPECT_EQ(frames[2].type, FrameType::kShutdown);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReader, RejectsOversizedAndUnknownHeaders) {
+  {
+    FrameReader reader;
+    // Length u32 = kMaxPayloadBytes + 1, any type.
+    const std::uint32_t length = kMaxPayloadBytes + 1;
+    std::vector<std::uint8_t> header;
+    for (int k = 0; k < 4; ++k)
+      header.push_back(static_cast<std::uint8_t>(length >> (8 * k)));
+    header.push_back(1);
+    reader.feed(header);
+    EXPECT_THROW((void)reader.next(), WireError);
+  }
+  {
+    FrameReader reader;
+    const std::vector<std::uint8_t> header = {0, 0, 0, 0, 99};  // type 99
+    reader.feed(header);
+    EXPECT_THROW((void)reader.next(), WireError);
+  }
+}
+
+// --- schedule cache -----------------------------------------------------
+
+Matrix<double> cost_matrix_for(std::uint64_t seed, std::size_t p) {
+  const ProblemInstance instance =
+      make_instance(Scenario::kMixedMessages, p, seed);
+  return CommMatrix{instance.network, instance.messages}.times();
+}
+
+TEST(ScheduleKeyTest, WithinQuantumPerturbationSharesKey) {
+  const Matrix<double> cost = cost_matrix_for(11, 12);
+  Matrix<double> nudged = cost;
+  for (std::size_t i = 0; i < nudged.rows(); ++i)
+    for (std::size_t j = 0; j < nudged.cols(); ++j)
+      if (nudged(i, j) > 0) nudged(i, j) *= 1.0001;
+  // A multiplicative nudge this small moves ln(c)/quantum by 4e-4 — only
+  // entries within that distance of a level boundary can flip. Check the
+  // keys agree on >= 95% of levels and, when no entry straddles a
+  // boundary, exactly.
+  const ScheduleKey a =
+      make_schedule_key(SchedulerKind::kGreedy, false, cost, 0.25);
+  const ScheduleKey b =
+      make_schedule_key(SchedulerKind::kGreedy, false, nudged, 0.25);
+  std::size_t agree = 0;
+  ASSERT_EQ(a.levels.size(), b.levels.size());
+  for (std::size_t k = 0; k < a.levels.size(); ++k)
+    agree += a.levels[k] == b.levels[k] ? 1 : 0;
+  EXPECT_GE(agree * 100, a.levels.size() * 95);
+}
+
+TEST(ScheduleKeyTest, DriftPastToleranceChangesKey) {
+  const Matrix<double> cost = cost_matrix_for(12, 12);
+  Matrix<double> drifted = cost;
+  for (std::size_t i = 0; i < drifted.rows(); ++i)
+    for (std::size_t j = 0; j < drifted.cols(); ++j)
+      if (drifted(i, j) > 0)
+        drifted(i, j) *= 2.0;  // ln(2)/0.25 ≈ 2.8 levels — every entry moves
+  const ScheduleKey a =
+      make_schedule_key(SchedulerKind::kGreedy, false, cost, 0.25);
+  const ScheduleKey b =
+      make_schedule_key(SchedulerKind::kGreedy, false, drifted, 0.25);
+  EXPECT_NE(a, b);
+  EXPECT_NE(make_schedule_key(SchedulerKind::kGreedy, true, cost, 0.25), a)
+      << "hierarchical flag must split keys";
+  EXPECT_NE(make_schedule_key(SchedulerKind::kOpenShop, false, cost, 0.25), a)
+      << "algorithm must split keys";
+}
+
+TEST(ScheduleCacheTest, HitReturnsBitIdenticalSchedule) {
+  const Matrix<double> cost = cost_matrix_for(13, 16);
+  const CommMatrix comm{cost};
+  const auto scheduler = make_scheduler(SchedulerKind::kMaxMatching);
+  const Schedule cold = scheduler->schedule(comm);
+
+  ScheduleCache cache({.shards = 4, .capacity = 16});
+  const ScheduleKey key =
+      make_schedule_key(SchedulerKind::kMaxMatching, false, cost, 0.25);
+
+  ScheduleCache::Lookup first = cache.acquire(key);
+  ASSERT_TRUE(first.leader);
+  cache.publish(key, first.flight,
+                std::make_shared<const Schedule>(scheduler->schedule(comm)));
+
+  ScheduleCache::Lookup second = cache.acquire(key);
+  ASSERT_TRUE(second.hit);
+  ASSERT_NE(second.schedule, nullptr);
+  // The cached schedule must be indistinguishable from a cold solve:
+  // identical event list (order included), identical completion.
+  EXPECT_EQ(second.schedule->events(), cold.events());
+  EXPECT_EQ(second.schedule->completion_time(), cold.completion_time());
+
+  const ScheduleCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ScheduleCacheTest, SingleFlightCoalescesConcurrentMisses) {
+  ScheduleCache cache({.shards = 2, .capacity = 8});
+  const Matrix<double> cost = cost_matrix_for(14, 8);
+  const ScheduleKey key =
+      make_schedule_key(SchedulerKind::kGreedy, false, cost, 0.25);
+
+  ScheduleCache::Lookup leader = cache.acquire(key);
+  ASSERT_TRUE(leader.leader);
+
+  std::atomic<int> coalesced{0};
+  std::vector<std::thread> followers;
+  for (int t = 0; t < 4; ++t)
+    followers.emplace_back([&] {
+      ScheduleCache::Lookup lookup = cache.acquire(key);
+      if (lookup.coalesced && lookup.schedule) coalesced.fetch_add(1);
+    });
+
+  const CommMatrix comm{cost};
+  cache.publish(
+      key, leader.flight,
+      std::make_shared<const Schedule>(
+          make_scheduler(SchedulerKind::kGreedy)->schedule(comm)));
+  for (std::thread& thread : followers) thread.join();
+
+  // Followers either coalesced onto the in-flight solve or (if they
+  // arrived after publish) hit the fresh entry; the solver ran once.
+  const ScheduleCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(static_cast<std::uint64_t>(coalesced.load()), stats.coalesced);
+  EXPECT_EQ(stats.coalesced + stats.hits, 4u);
+}
+
+TEST(ScheduleCacheTest, AbortWakesFollowersWithError) {
+  ScheduleCache cache({.shards = 1, .capacity = 4});
+  const Matrix<double> cost = cost_matrix_for(15, 6);
+  const ScheduleKey key =
+      make_schedule_key(SchedulerKind::kGreedy, false, cost, 0.25);
+  ScheduleCache::Lookup leader = cache.acquire(key);
+  ASSERT_TRUE(leader.leader);
+  std::thread follower([&] {
+    ScheduleCache::Lookup lookup = cache.acquire(key);
+    EXPECT_TRUE(lookup.coalesced);
+    EXPECT_EQ(lookup.schedule, nullptr);
+    EXPECT_FALSE(lookup.error.empty());
+  });
+  // Give the follower a chance to park on the flight, then abort.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  cache.abort(key, leader.flight, "solver exploded");
+  follower.join();
+  // Nothing cached: the next acquire leads again.
+  ScheduleCache::Lookup retry = cache.acquire(key);
+  EXPECT_TRUE(retry.leader);
+  cache.abort(key, retry.flight, "");
+}
+
+TEST(ScheduleCacheTest, LruEvictsAndInvalidateClears) {
+  ScheduleCache cache({.shards = 1, .capacity = 2});
+  const CommMatrix comm{cost_matrix_for(16, 4)};
+  const auto publish_one = [&](std::uint64_t seed) {
+    const ScheduleKey key = make_schedule_key(
+        SchedulerKind::kGreedy, false, cost_matrix_for(seed, 4), 0.25);
+    ScheduleCache::Lookup lookup = cache.acquire(key);
+    if (lookup.leader)
+      cache.publish(key, lookup.flight,
+                    std::make_shared<const Schedule>(
+                        make_scheduler(SchedulerKind::kGreedy)->schedule(comm)));
+  };
+  for (std::uint64_t seed = 50; seed < 55; ++seed) publish_one(seed);
+  ScheduleCache::Stats stats = cache.stats();
+  EXPECT_LE(stats.entries, 2u);
+  EXPECT_GE(stats.evictions, 3u);
+  cache.invalidate_all();
+  stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_GE(stats.invalidations, 1u);
+}
+
+// --- bounded queue ------------------------------------------------------
+
+TEST(BoundedQueueTest, BackpressureAndDrain) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3)) << "full queue must shed";
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_TRUE(queue.try_push(3));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(4)) << "closed queue must shed";
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), 3);
+  EXPECT_EQ(queue.pop(), std::nullopt) << "closed and drained";
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> queue(4);
+  std::thread consumer([&] { EXPECT_EQ(queue.pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  consumer.join();
+}
+
+// --- metrics hub (run under tsan in CI) ---------------------------------
+
+TEST(MetricsHubTest, ConcurrentRecordAndScrapeIsExact) {
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::uint64_t kPerWorker = 20'000;
+  MetricsHub hub(kWorkers);
+  std::atomic<bool> done{false};
+
+  std::thread scraper([&] {
+    // Scrape continuously while producers write: any torn read or data
+    // race here is what tsan is pointed at.
+    while (!done.load(std::memory_order_acquire)) {
+      const MetricsRegistry merged = hub.scrape();
+      std::ostringstream sink;
+      merged.write_text(sink);  // exercises the full serialize path
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (std::size_t w = 0; w < kWorkers; ++w)
+    producers.emplace_back([&hub, w] {
+      for (std::uint64_t i = 0; i < kPerWorker; ++i)
+        hub.record(w, [&](MetricsRegistry& registry) {
+          registry.counter("test.ops").add();
+          registry.histogram("test.latency").observe(1e-6 * (1 + i % 7));
+          registry.gauge("test.depth").set(static_cast<double>(i));
+        });
+    });
+  for (std::thread& producer : producers) producer.join();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+
+  MetricsRegistry merged = hub.scrape();
+  EXPECT_EQ(merged.counter("test.ops").value(), kWorkers * kPerWorker);
+  EXPECT_EQ(merged.histogram("test.latency").count(), kWorkers * kPerWorker);
+  EXPECT_EQ(merged.gauge("test.depth").value(),
+            static_cast<double>(kPerWorker - 1));
+}
+
+// --- daemon end to end --------------------------------------------------
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/hcs_service_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(ScheduleServerTest, ServesCachesAndShutsDownCleanly) {
+  const std::size_t p = 16;
+  const StaticDirectory directory{generate_network(p, 21)};
+  ServerOptions options;
+  options.socket_path = test_socket_path("e2e");
+  options.workers = 2;
+  ScheduleServer server(directory, options);
+  server.start();
+
+  ScheduleRequest request;
+  request.kind = SchedulerKind::kOpenShop;
+  request.messages = make_instance(Scenario::kSmallMessages, p, 3).messages;
+
+  ServiceClient client(options.socket_path);
+  const ScheduleResponse cold = client.schedule(request);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(cold.processors, p);
+  EXPECT_EQ(cold.events.size(), p * (p - 1));
+
+  // Same request again: cache hit, byte-identical schedule. This pins the
+  // acceptance criterion — a hit is indistinguishable from a cold solve.
+  const ScheduleResponse warm = client.schedule(request);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.events, cold.events);
+  EXPECT_EQ(warm.completion_s, cold.completion_s);
+
+  // The response materializes into a schedule that passes full validation
+  // against the same comm matrix the server solved.
+  const CommMatrix comm{directory.snapshot(0.0), request.messages};
+  warm.to_schedule().validate(comm);
+
+  // Wrong processor count is a bad request, not a dropped connection.
+  ScheduleRequest wrong = request;
+  wrong.messages = MessageMatrix(4, 4);
+  try {
+    (void)client.schedule(wrong);
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kBadRequest);
+  }
+
+  // The connection survives the error; metrics are scrapeable over it.
+  const std::string scrape = client.scrape_metrics(/*text=*/true);
+  EXPECT_NE(scrape.find("service_cache_hits 1"), std::string::npos) << scrape;
+  EXPECT_NE(scrape.find("service_requests"), std::string::npos);
+
+  client.shutdown_server();
+  server.wait();  // returns because the client requested shutdown
+}
+
+TEST(ScheduleServerTest, ConcurrentIdenticalBurstSolvesOnce) {
+  const std::size_t p = 12;
+  const StaticDirectory directory{generate_network(p, 22)};
+  ServerOptions options;
+  options.socket_path = test_socket_path("burst");
+  options.workers = 4;
+  ScheduleServer server(directory, options);
+  server.start();
+
+  ReplayConfig config;
+  config.socket_path = options.socket_path;
+  config.requests = 64;
+  config.connections = 8;
+  config.processors = p;
+  config.kind = SchedulerKind::kGreedy;
+  config.distinct_workloads = 1;
+  const ReplayStats stats = run_replay(config);
+
+  EXPECT_EQ(stats.completed, 64u);
+  EXPECT_EQ(stats.errors, 0u);
+  // One workload, one key: exactly one request solved cold; every other
+  // request either hit the cache or coalesced onto the in-flight solve.
+  EXPECT_EQ(stats.cache_hits + stats.coalesced, 63u);
+  server.stop();
+}
+
+TEST(ScheduleServerTest, DriftingDirectoryInvalidatesByKeyRotation) {
+  const std::size_t p = 8;
+  DriftingDirectory::Options drift;
+  drift.step_sigma = 0.8;  // violent drift: keys rotate every step
+  drift.update_period_s = 1.0;
+  const DriftingDirectory directory{generate_network(p, 23), 5, drift};
+  ServerOptions options;
+  options.socket_path = test_socket_path("drift");
+  options.workers = 2;
+  ScheduleServer server(directory, options);
+  server.start();
+
+  ServiceClient client(options.socket_path);
+  ScheduleRequest request;
+  request.kind = SchedulerKind::kGreedy;
+  request.messages = make_instance(Scenario::kLargeMessages, p, 9).messages;
+
+  // Same workload at the same instant: hits. At a drifted instant: the
+  // quantized signature moved, so the cache must re-solve.
+  request.now_s = 0.0;
+  (void)client.schedule(request);
+  EXPECT_TRUE(client.schedule(request).cache_hit);
+  request.now_s = 60.0;
+  const ScheduleResponse drifted = client.schedule(request);
+  EXPECT_FALSE(drifted.cache_hit)
+      << "drift past quantization tolerance must miss";
+  server.stop();
+}
+
+}  // namespace
+}  // namespace hcs::service

@@ -17,6 +17,8 @@
 #include "core/scheduler.hpp"
 #include "netmodel/directory.hpp"
 #include "netmodel/generator.hpp"
+#include "service/client.hpp"
+#include "service/replay.hpp"
 #include "sim/simulator.hpp"
 #include "trace/auditor.hpp"
 #include "trace/export.hpp"
@@ -98,6 +100,18 @@ usage:
       clustered network family and the hierarchical scheduler, as in
       sweep. --audit replays the trace through the model-invariant
       auditor and fails on any violation.
+
+  hcs replay --socket PATH [--requests N] [--connections C]
+             [--processors P] [--scenario NAME] [--algorithm NAME]
+             [--hierarchical] [--seed S] [--distinct D] [--time-step T]
+             [--format table|json] [--scrape] [--shutdown]
+      Drive a running hcsd daemon (see the hcsd binary) with a
+      deterministic request trace over C concurrent connections: N
+      schedule requests cycling through D distinct generated workloads,
+      request i querying the daemon's directory at time i*T seconds.
+      Reports sustained schedules/sec and exact client-observed latency
+      percentiles. --scrape prints the daemon's admin metrics afterwards;
+      --shutdown asks the daemon to exit once done.
 
   hcs lowerbound
       Read a communication-matrix CSV on stdin and print t_lb.
@@ -189,6 +203,76 @@ int cmd_lowerbound(std::istream& in, std::ostream& out) {
   const CommMatrix comm{read_csv_matrix(in)};
   out << format_double(comm.lower_bound(), 9) << '\n';
   return 0;
+}
+
+int cmd_replay(const Options& options, std::ostream& out) {
+  service::ReplayConfig config;
+  config.socket_path = options.get("socket", "");
+  if (config.socket_path.empty())
+    throw InputError("replay requires --socket PATH");
+  config.requests =
+      static_cast<std::size_t>(options.get_long("requests", 200));
+  config.connections =
+      static_cast<std::size_t>(options.get_long("connections", 4));
+  config.processors =
+      static_cast<std::size_t>(options.get_long("processors", 64));
+  config.scenario = parse_scenario(options.get("scenario", "mixed"));
+  config.kind = parse_algorithm(options.get("algorithm", "max-matching"));
+  config.hierarchical = options.has("hierarchical");
+  config.seed = static_cast<std::uint64_t>(options.get_long("seed", 1));
+  config.distinct_workloads =
+      static_cast<std::size_t>(options.get_long("distinct", 8));
+  config.time_step_s = options.get_double("time-step", 0.0);
+  if (config.time_step_s < 0.0)
+    throw InputError("--time-step must be non-negative");
+
+  const service::ReplayStats stats = service::run_replay(config);
+
+  const std::string format = options.get("format", "table");
+  if (format == "json") {
+    out << "{\"requests\": " << config.requests
+        << ", \"completed\": " << stats.completed
+        << ", \"cache_hits\": " << stats.cache_hits
+        << ", \"coalesced\": " << stats.coalesced
+        << ", \"busy\": " << stats.busy << ", \"errors\": " << stats.errors
+        << ", \"wall_s\": " << format_double(stats.wall_s, 6)
+        << ", \"schedules_per_sec\": " << format_double(stats.qps, 2)
+        << ", \"p50_us\": " << format_double(stats.p50_us, 2)
+        << ", \"p99_us\": " << format_double(stats.p99_us, 2)
+        << ", \"mean_us\": " << format_double(stats.mean_us, 2)
+        << ", \"max_us\": " << format_double(stats.max_us, 2) << "}\n";
+  } else if (format == "table") {
+    out << "replayed " << config.requests << " requests over "
+        << config.connections << " connections (" << config.distinct_workloads
+        << " distinct workloads, time step "
+        << format_double(config.time_step_s, 3) << " s)\n";
+    Table table{{"metric", "value"}};
+    table.add_row({"completed", std::to_string(stats.completed)});
+    table.add_row({"cache hits", std::to_string(stats.cache_hits)});
+    table.add_row({"coalesced", std::to_string(stats.coalesced)});
+    table.add_row({"busy (shed)", std::to_string(stats.busy)});
+    table.add_row({"errors", std::to_string(stats.errors)});
+    table.add_row({"wall (s)", format_double(stats.wall_s, 4)});
+    table.add_row({"schedules/sec", format_double(stats.qps, 1)});
+    table.add_row({"p50 (us)", format_double(stats.p50_us, 1)});
+    table.add_row({"p99 (us)", format_double(stats.p99_us, 1)});
+    table.add_row({"mean (us)", format_double(stats.mean_us, 1)});
+    table.add_row({"max (us)", format_double(stats.max_us, 1)});
+    table.print(out);
+  } else {
+    throw InputError("--format must be table or json");
+  }
+
+  if (options.has("scrape")) {
+    service::ServiceClient admin(config.socket_path);
+    out << admin.scrape_metrics(/*text=*/true);
+  }
+  if (options.has("shutdown")) {
+    service::ServiceClient admin(config.socket_path);
+    admin.shutdown_server();
+    out << "daemon shut down\n";
+  }
+  return stats.errors == 0 ? 0 : 1;
 }
 
 int cmd_broadcast(const Options& options, std::ostream& out) {
@@ -899,6 +983,14 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     if (command == "lowerbound") {
       (void)Options(args, 1, {});
       return cmd_lowerbound(in, out);
+    }
+    if (command == "replay") {
+      const Options options(
+          args, 1,
+          {"socket", "requests", "connections", "processors", "scenario",
+           "algorithm", "hierarchical", "seed", "distinct", "time-step",
+           "format", "scrape", "shutdown"});
+      return cmd_replay(options, out);
     }
     if (command == "broadcast") {
       const Options options(args, 1,

@@ -5,6 +5,8 @@
 //   schedule   read a communication-matrix CSV, schedule it, report
 //   lowerbound read a communication-matrix CSV, print t_lb
 //   broadcast  schedule a heterogeneous broadcast on a random network
+//   replay     drive a running hcsd daemon with a request trace and
+//              report schedules/sec and latency percentiles
 //
 // run_cli performs no process-level I/O beyond the supplied streams, so
 // the whole tool is unit-testable; tools/hcs_main.cpp is the thin binary
