@@ -1,0 +1,98 @@
+// Scenario execution and the golden-artifact fleet runner.
+//
+// run_scenario executes one resolved scenario end to end —
+// detect/schedule, validate, simulate (static, drifting, or
+// fault-injected resilient execution), audit the recorded trace against
+// the model invariants, evaluate QoS compliance — and renders one
+// deterministic JSON artifact. The artifact is a pure function of the
+// spec: fixed key order, format_double-rendered numbers, no timestamps,
+// no environment — so a checked-in golden copy is a regression test.
+//
+// run_scenario_directory is the fleet driver behind `hcs run-scenarios`:
+// every *.scn file in a directory runs on the deterministic strided
+// ThreadPool (byte-identical results at any thread count), and each
+// artifact is compared byte-for-byte against DIR/golden/<name>.json.
+// Setting FleetOptions::update_golden (the CLI's --update-golden, or
+// HCS_UPDATE_GOLDEN in the environment) regenerates the goldens instead.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace hcs::scenario {
+
+/// Outcome of one scenario execution.
+struct ScenarioRun {
+  /// The deterministic JSON artifact (newline-terminated).
+  std::string artifact;
+  /// Unmet expectations and audit violations; empty = the run is good.
+  std::vector<std::string> failures;
+
+  // Headline numbers, for tests that assert on behavior without parsing
+  // the artifact.
+  double lower_bound_s = 0.0;
+  double planned_s = 0.0;
+  double executed_s = 0.0;
+  std::size_t undeliverable = 0;
+  std::size_t executed_missed_deadlines = 0;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Executes one scenario end to end. Deterministic in `spec`; safe to
+/// call concurrently for different specs.
+[[nodiscard]] ScenarioRun run_scenario(const ScenarioSpec& spec);
+
+/// How one fleet entry resolved.
+enum class FleetStatus {
+  kOk,             ///< ran clean, artifact matches its golden
+  kUpdated,        ///< ran clean, golden (re)written (update_golden)
+  kParseError,     ///< the .scn file failed to parse or validate
+  kFailed,         ///< an expectation or audit failed (see detail)
+  kGoldenMissing,  ///< ran clean but no golden exists (run --update-golden)
+  kGoldenDiff,     ///< ran clean but the artifact differs from the golden
+};
+
+/// Stable lower-case status name ("ok", "parse-error", ...).
+[[nodiscard]] std::string_view fleet_status_name(FleetStatus status);
+
+/// Fleet-runner configuration.
+struct FleetOptions {
+  /// Worker threads (0 = one per allowed hardware thread).
+  std::size_t threads = 0;
+  /// Write artifacts to DIR/golden/ instead of diffing against them.
+  bool update_golden = false;
+  /// When non-empty, only files whose name contains this substring run.
+  std::string filter;
+};
+
+/// One scenario file's fleet outcome.
+struct FleetEntry {
+  std::string file;      ///< scenario file name (no directory)
+  std::string scenario;  ///< spec name; empty on parse error
+  FleetStatus status = FleetStatus::kOk;
+  std::string detail;    ///< diagnostic for non-ok statuses
+  std::string artifact;  ///< rendered artifact; empty on parse error
+};
+
+/// A whole directory's outcome, in file-name order.
+struct FleetResult {
+  std::vector<FleetEntry> entries;
+
+  /// True when every entry is kOk or kUpdated.
+  [[nodiscard]] bool ok() const;
+};
+
+/// Runs every *.scn file under `directory` (not recursive). Scenarios
+/// execute on the strided ThreadPool into per-index slots, then goldens
+/// are compared (or rewritten) serially in file-name order, so the
+/// result is byte-identical at every thread count. Throws InputError
+/// when the directory is missing or holds no matching scenario files.
+[[nodiscard]] FleetResult run_scenario_directory(const std::string& directory,
+                                                 const FleetOptions& options = {});
+
+}  // namespace hcs::scenario

@@ -107,7 +107,8 @@ void ScheduleServer::start() {
 }
 
 void ScheduleServer::accept_loop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
+  while (!stopping_.load(std::memory_order_acquire) &&
+         accepting_.load(std::memory_order_acquire)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kPollMillis);
     if (ready <= 0) continue;  // timeout, EINTR, or transient error
@@ -149,6 +150,16 @@ void ScheduleServer::reader_loop(const std::shared_ptr<Connection>& connection) 
       while (auto frame = reader.next()) {
         switch (frame->type) {
           case FrameType::kScheduleRequest: {
+            if (draining_.load(std::memory_order_acquire)) {
+              // Mid-drain: queued work still completes, but new work is
+              // refused synchronously so the client can fail over
+              // instead of waiting on a daemon that is going away.
+              drain_rejections_.fetch_add(1, std::memory_order_relaxed);
+              const auto body = encode_error(
+                  {ErrorCode::kBusy, "daemon is draining; retry elsewhere"});
+              write_frame_to(*connection, FrameType::kError, body);
+              break;
+            }
             Job job;
             job.connection = connection;
             job.payload = std::move(frame->payload);
@@ -445,6 +456,10 @@ MetricsRegistry ScheduleServer::scrape() const {
       .set(static_cast<double>(stats.entries));
   merged.counter("service.busy_rejections")
       .add(busy_rejections_.load(std::memory_order_relaxed));
+  merged.counter("service.drain_rejections")
+      .add(drain_rejections_.load(std::memory_order_relaxed));
+  merged.gauge("service.draining")
+      .set(draining_.load(std::memory_order_relaxed) ? 1.0 : 0.0);
   merged.counter("service.connections")
       .add(accepted_connections_.load(std::memory_order_relaxed));
   merged.counter("service.snapshot_reuses")
@@ -480,6 +495,32 @@ void ScheduleServer::request_stop() {
     stop_requested_ = true;
   }
   stop_cv_.notify_all();
+}
+
+void ScheduleServer::drain() {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) {
+    stop();
+    return;
+  }
+  // Refuse new connections first: retire the acceptor and unlink the
+  // socket path so fresh connects fail fast (ENOENT) instead of queueing
+  // behind a daemon that is going away. Established connections stay up —
+  // their queued responses must still be delivered, and their readers now
+  // answer new schedule requests with kBusy.
+  accepting_.store(false, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+  // Close the queue to producers and wait for the backlog to empty; the
+  // workers keep popping (and writing responses to the open connections)
+  // until it is. In-flight jobs are covered by stop()'s worker join.
+  queue_.close();
+  while (queue_.size() > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  stop();
 }
 
 void ScheduleServer::stop() {

@@ -143,6 +143,15 @@ class ScheduleServer {
   /// Idempotent; also run by the destructor.
   void stop();
 
+  /// Graceful drain (hcsd's SIGTERM path). Immediately stops accepting —
+  /// the listen socket closes and its path is unlinked, so new connects
+  /// fail fast — and answers further schedule requests on existing
+  /// connections with kBusy ("draining"), while the workers finish every
+  /// request already queued and deliver those responses. Once the backlog
+  /// is empty it performs a full stop(). Blocks until stopped; idempotent
+  /// (a second call, or a call after stop(), just stops).
+  void drain();
+
   /// The admin scrape: per-worker metrics merged with cache and server
   /// counters (same registry the kMetricsRequest endpoint serializes).
   [[nodiscard]] MetricsRegistry scrape() const;
@@ -193,6 +202,8 @@ class ScheduleServer {
   std::vector<std::shared_ptr<Connection>> connections_;
 
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> draining_{false};
   std::mutex stop_mutex_;
   std::condition_variable stop_cv_;
   bool stop_requested_ = false;
@@ -203,6 +214,7 @@ class ScheduleServer {
   std::shared_ptr<const NetworkModel> snapshot_;
 
   std::atomic<std::uint64_t> busy_rejections_{0};
+  std::atomic<std::uint64_t> drain_rejections_{0};
   std::atomic<std::uint64_t> accepted_connections_{0};
   std::atomic<std::uint64_t> snapshot_reuses_{0};
   std::atomic<std::uint64_t> snapshot_builds_{0};

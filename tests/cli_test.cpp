@@ -487,6 +487,47 @@ TEST(Cli, SweepRejectsUnknownFormat) {
             1);
 }
 
+TEST(Cli, RunScenariosBundledCorpusIsCleanAndThreadDeterministic) {
+  // The checked-in scenarios/ fleet must run audit-clean against its
+  // goldens, and the full run-scenarios output — every per-scenario JSON
+  // artifact included — must be byte-identical at 1, 2, and 8 threads.
+  std::string reference;
+  for (const char* threads : {"1", "2", "8"}) {
+    const CliRun result = run({"run-scenarios", HCS_SCENARIO_DIR,
+                               "--threads", threads, "--format", "json"});
+    EXPECT_EQ(result.exit_code, 0) << result.err;
+    if (reference.empty()) {
+      reference = result.out;
+      EXPECT_NE(reference.find("\"status\":\"ok\""), std::string::npos);
+      EXPECT_EQ(reference.find("\"status\":\"failed\""), std::string::npos);
+      EXPECT_EQ(reference.find("\"status\":\"golden-diff\""),
+                std::string::npos);
+    } else {
+      EXPECT_EQ(result.out, reference) << "--threads " << threads;
+    }
+  }
+}
+
+TEST(Cli, RunScenariosTableSummarizesTheFleet) {
+  const CliRun result =
+      run({"run-scenarios", HCS_SCENARIO_DIR, "--filter", "fig09"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("fig09_small.scn"), std::string::npos);
+  EXPECT_NE(result.out.find("0 failing"), std::string::npos);
+}
+
+TEST(Cli, RunScenariosValidatesArguments) {
+  EXPECT_EQ(run({"run-scenarios"}).exit_code, 1);
+  EXPECT_EQ(run({"run-scenarios", "--threads", "2"}).exit_code, 1);
+  EXPECT_EQ(run({"run-scenarios", "/nonexistent-scenario-dir"}).exit_code, 1);
+  EXPECT_EQ(
+      run({"run-scenarios", HCS_SCENARIO_DIR, "--format", "yaml"}).exit_code,
+      1);
+  EXPECT_EQ(run({"run-scenarios", HCS_SCENARIO_DIR, "--filter", "zzz"})
+                .exit_code,
+            1);
+}
+
 TEST(CliOptions, ParsesPairsAndFlags) {
   const cli::Options options({"cmd", "--a", "1", "--flag", "--b", "x"}, 1,
                              {"a", "flag", "b"});

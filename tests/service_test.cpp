@@ -4,10 +4,14 @@
 // request queue, the MetricsHub (concurrent record/scrape — run under
 // tsan in CI), and the daemon end to end over a real UNIX socket.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <cstdint>
 #include <limits>
 #include <random>
@@ -523,6 +527,90 @@ TEST(ScheduleServerTest, ConcurrentIdenticalBurstSolvesOnce) {
   // request either hit the cache or coalesced onto the in-flight solve.
   EXPECT_EQ(stats.cache_hits + stats.coalesced, 63u);
   server.stop();
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(address.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(ScheduleServerTest, DrainUnderLoadFinishesQueuedWorkAndRefusesNew) {
+  const std::size_t p = 16;
+  const StaticDirectory directory{generate_network(p, 24)};
+  ServerOptions options;
+  options.socket_path = test_socket_path("drain");
+  options.workers = 1;  // serialize solves so a real backlog can form
+  ScheduleServer server(directory, options);
+  server.start();
+
+  // Pipeline distinct workloads (distinct cache keys — every one is a
+  // cold solve) on one raw connection, without reading any responses.
+  constexpr std::size_t kRequests = 8;
+  const int fd = connect_unix(options.socket_path);
+  ASSERT_GE(fd, 0);
+  std::vector<std::uint8_t> wire;
+  for (std::size_t k = 0; k < kRequests; ++k) {
+    ScheduleRequest request = sample_request(1000 + k, p);
+    request.hierarchical = false;
+    request.now_s = 0.0;
+    append_frame(wire, FrameType::kScheduleRequest,
+                 encode_schedule_request(request));
+  }
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+
+  // Wait for the backlog to be visibly in flight, then drain. drain()
+  // blocks until the queue is empty and the server has fully stopped.
+  while (server.scrape().counter("service.requests").value() < 2)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  server.drain();
+
+  // New connections are refused outright: the socket path is gone.
+  EXPECT_LT(connect_unix(options.socket_path), 0);
+
+  // Every pipelined request was answered before the connection closed: a
+  // schedule response if it was queued before the drain, kBusy if it
+  // arrived during it. Nothing vanished silently.
+  FrameReader reader;
+  std::array<std::uint8_t, 4096> chunk;
+  std::size_t schedules = 0;
+  std::size_t busy = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk.data(), chunk.size(), 0);
+    if (n <= 0) break;
+    reader.feed({chunk.data(), static_cast<std::size_t>(n)});
+    while (auto frame = reader.next()) {
+      if (frame->type == FrameType::kScheduleResponse) {
+        ++schedules;
+      } else {
+        ASSERT_EQ(frame->type, FrameType::kError);
+        EXPECT_EQ(decode_error(frame->payload).code, ErrorCode::kBusy);
+        ++busy;
+      }
+    }
+  }
+  ::close(fd);
+  EXPECT_EQ(schedules + busy, kRequests);
+  EXPECT_GE(schedules, 2u) << "the pre-drain backlog must complete";
+
+  MetricsRegistry metrics = server.scrape();
+  EXPECT_EQ(metrics.gauge("service.draining").value(), 1.0);
+  EXPECT_EQ(static_cast<std::size_t>(
+                metrics.counter("service.drain_rejections").value()),
+            busy);
 }
 
 TEST(ScheduleServerTest, DriftingDirectoryInvalidatesByKeyRotation) {

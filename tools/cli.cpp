@@ -17,6 +17,7 @@
 #include "core/scheduler.hpp"
 #include "netmodel/directory.hpp"
 #include "netmodel/generator.hpp"
+#include "scenario/runner.hpp"
 #include "service/client.hpp"
 #include "service/replay.hpp"
 #include "sim/simulator.hpp"
@@ -112,6 +113,18 @@ usage:
       Reports sustained schedules/sec and exact client-observed latency
       percentiles. --scrape prints the daemon's admin metrics afterwards;
       --shutdown asks the daemon to exit once done.
+
+  hcs run-scenarios DIR [--threads T] [--filter SUBSTR]
+                    [--format table|json] [--update-golden]
+      Execute every *.scn scenario file in DIR end to end (resolve,
+      schedule, simulate, audit) on T worker threads (0 = one per
+      hardware thread; output is byte-identical at every thread count)
+      and diff each deterministic JSON artifact against
+      DIR/golden/<name>.json. --update-golden (or a non-empty
+      HCS_UPDATE_GOLDEN in the environment) rewrites the goldens
+      instead; --filter runs only files whose name contains SUBSTR.
+      Exits non-zero on any parse error, failed expectation, audit
+      violation, or golden mismatch.
 
   hcs lowerbound
       Read a communication-matrix CSV on stdin and print t_lb.
@@ -879,6 +892,79 @@ int cmd_trace(const Options& options, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// Minimal JSON string escaping for diagnostics embedded in --format
+/// json output (artifacts themselves are already JSON).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+int cmd_run_scenarios(const std::string& directory, const Options& options,
+                      std::ostream& out) {
+  scenario::FleetOptions fleet;
+  const long threads = options.get_long("threads", 0);
+  if (threads < 0) throw InputError("--threads must be >= 0");
+  fleet.threads = static_cast<std::size_t>(threads);
+  fleet.filter = options.get("filter", "");
+  const char* env_update = std::getenv("HCS_UPDATE_GOLDEN");
+  fleet.update_golden = options.has("update-golden") ||
+                        (env_update != nullptr && env_update[0] != '\0');
+  const std::string format = options.get("format", "table");
+  if (format != "table" && format != "json")
+    throw InputError("--format must be table or json");
+
+  const scenario::FleetResult result =
+      scenario::run_scenario_directory(directory, fleet);
+
+  if (format == "json") {
+    out << "{\"scenarios\":[";
+    for (std::size_t k = 0; k < result.entries.size(); ++k) {
+      const scenario::FleetEntry& entry = result.entries[k];
+      out << (k > 0 ? "," : "") << "{\"file\":\"" << json_escape(entry.file)
+          << "\",\"name\":\"" << json_escape(entry.scenario)
+          << "\",\"status\":\"" << scenario::fleet_status_name(entry.status)
+          << "\",\"detail\":\"" << json_escape(entry.detail)
+          << "\",\"artifact\":";
+      if (entry.artifact.empty()) {
+        out << "null";
+      } else {
+        // The artifact is itself JSON; embed it verbatim, sans the
+        // trailing newline.
+        std::string_view artifact = entry.artifact;
+        while (!artifact.empty() && artifact.back() == '\n')
+          artifact.remove_suffix(1);
+        out << artifact;
+      }
+      out << '}';
+    }
+    out << "]}\n";
+  } else {
+    Table table{{"file", "scenario", "status", "detail"}};
+    std::size_t good = 0;
+    for (const scenario::FleetEntry& entry : result.entries) {
+      table.add_row({entry.file, entry.scenario,
+                     std::string(scenario::fleet_status_name(entry.status)),
+                     entry.detail});
+      if (entry.status == scenario::FleetStatus::kOk ||
+          entry.status == scenario::FleetStatus::kUpdated)
+        ++good;
+    }
+    table.print(out);
+    out << result.entries.size() << " scenario(s): " << good << " ok, "
+        << result.entries.size() - good << " failing\n";
+  }
+  return result.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 Options::Options(const std::vector<std::string>& args, std::size_t from,
@@ -979,6 +1065,13 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
            "brownout-factor", "replan", "hierarchical", "clusters", "format",
            "rows", "audit"});
       return cmd_trace(options, out, err);
+    }
+    if (command == "run-scenarios") {
+      if (args.size() < 2 || args[1].rfind("--", 0) == 0)
+        throw InputError("run-scenarios requires a scenario directory");
+      const Options options(
+          args, 2, {"threads", "filter", "format", "update-golden"});
+      return cmd_run_scenarios(args[1], options, out);
     }
     if (command == "lowerbound") {
       (void)Options(args, 1, {});

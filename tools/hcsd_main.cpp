@@ -6,9 +6,13 @@
 // generation and admin scrape) or anything speaking the protocol.
 //
 // Runs until SIGINT/SIGTERM or a client kShutdown frame; exits 0 on any
-// clean shutdown. The "listening on" line is printed (and flushed) only
-// after the socket accepts connections, so scripts can poll for it as
-// the readiness signal.
+// clean shutdown. SIGTERM drains gracefully: the listen socket closes
+// immediately (new connects fail fast), in-flight and queued requests
+// finish and their responses are delivered, and further requests on open
+// connections get kBusy. SIGINT and kShutdown stop promptly (queued work
+// still completes before connections close). The "listening on" line is
+// printed (and flushed) only after the socket accepts connections, so
+// scripts can poll for it as the readiness signal.
 #include <unistd.h>
 
 #include <csignal>
@@ -46,15 +50,20 @@ usage:
   --quantum Q        cost-signature log-quantization (default 0.25)
   --queue-depth N    request queue bound; beyond it clients get kBusy
                      (default 1024)
+
+signals: SIGTERM drains gracefully (stop accepting, finish queued work,
+         answer new requests with kBusy); SIGINT stops promptly.
 )";
 
 // Self-pipe: the handler only writes a byte (async-signal-safe); a
-// watcher thread turns it into an orderly ScheduleServer::stop().
+// watcher thread turns it into an orderly shutdown. The byte encodes
+// which signal fired: SIGTERM asks for a graceful drain, anything else
+// for a prompt stop.
 int g_signal_fd = -1;
 
-void on_signal(int) {
+void on_signal(int sig) {
   if (g_signal_fd >= 0) {
-    const char byte = 1;
+    const char byte = sig == SIGTERM ? 2 : 1;
     [[maybe_unused]] const ssize_t n = ::write(g_signal_fd, &byte, 1);
   }
 }
@@ -134,7 +143,12 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, on_signal);
     std::thread signal_watcher([&server, read_fd = pipe_fds[0]] {
       char byte = 0;
-      if (::read(read_fd, &byte, 1) > 0) server.stop();
+      if (::read(read_fd, &byte, 1) > 0) {
+        if (byte == 2)
+          server.drain();  // SIGTERM: finish queued work, refuse new
+        else
+          server.stop();
+      }
     });
 
     std::cout << "hcsd: listening on " << socket_path << " (P=" << p
