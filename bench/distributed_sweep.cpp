@@ -1,0 +1,123 @@
+// Distributed sweep benchmark (google-benchmark): wall-clock of one
+// figure sweep at P = 128 (every paper scheduler, execution pass on)
+// run single-process versus sharded across N real hcsd worker daemons
+// on UNIX sockets — the full remote path: shard codec, wire framing,
+// socket round trips, dispatcher merge.
+//
+//   BM_SweepSingleProcess   the serial baseline: run_experiment with
+//                           one worker thread;
+//   BM_SweepDistributed/N   the same sweep through run_distributed_sweep
+//                           against N in-process ScheduleServers (one
+//                           scheduling worker each), shard size 1. The
+//                           x_single_process counter is the speedup over
+//                           a freshly measured serial run — the
+//                           acceptance bar is >= 3x at N = 4 on a
+//                           machine with at least 4 free cores (on fewer
+//                           cores the daemons time-slice one CPU and the
+//                           counter honestly reports ~1x or less).
+//
+// Tracked in BENCH_scheduler.json via the bench_json target.
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiment/experiment.hpp"
+#include "netmodel/directory.hpp"
+#include "netmodel/generator.hpp"
+#include "service/server.hpp"
+#include "service/sweep_driver.hpp"
+#include "util/worker_endpoint.hpp"
+
+namespace {
+
+constexpr std::size_t kProcessors = 128;
+constexpr std::size_t kRepetitions = 16;
+
+hcs::ExperimentConfig sweep_config() {
+  hcs::ExperimentConfig config;
+  config.processor_counts = {kProcessors};
+  config.repetitions = kRepetitions;
+  config.base_seed = 42;
+  config.execute = true;
+  config.threads = 1;  // serial baseline; workers supply the parallelism
+  return config;
+}
+
+double timed_single_run(const hcs::ExperimentConfig& config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const hcs::ExperimentResult result = hcs::run_experiment(config);
+  benchmark::DoNotOptimize(result.mean_lower_bound_s.data());
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void BM_SweepSingleProcess(benchmark::State& state) {
+  const hcs::ExperimentConfig config = sweep_config();
+  for (auto _ : state) {
+    const hcs::ExperimentResult result = hcs::run_experiment(config);
+    benchmark::DoNotOptimize(result.mean_lower_bound_s.data());
+  }
+  state.counters["units"] = static_cast<double>(kRepetitions);
+}
+BENCHMARK(BM_SweepSingleProcess)->Unit(benchmark::kMillisecond);
+
+void BM_SweepDistributed(benchmark::State& state) {
+  const auto worker_count = static_cast<std::size_t>(state.range(0));
+  const hcs::ExperimentConfig config = sweep_config();
+
+  // Real daemons, one scheduling worker each. The fabric they serve is
+  // irrelevant to sweep shards (a shard ships its own config), so a tiny
+  // directory keeps startup out of the numbers.
+  const hcs::StaticDirectory directory{hcs::generate_network(8, 1)};
+  std::vector<std::unique_ptr<hcs::service::ScheduleServer>> daemons;
+  std::string specs;
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    hcs::service::ServerOptions options;
+    options.socket_path = "/tmp/hcs_bench_dsweep_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(w) + ".sock";
+    options.workers = 1;
+    daemons.push_back(
+        std::make_unique<hcs::service::ScheduleServer>(directory, options));
+    daemons.back()->start();
+    specs += (w == 0 ? "" : ",") + std::string("unix:") + options.socket_path;
+  }
+
+  hcs::service::DistributedSweepOptions options;
+  options.endpoints = hcs::service::make_worker_endpoints(
+      hcs::parse_worker_specs(specs), /*timeout_s=*/300.0);
+  options.shard_units = 1;
+
+  const double single_s = timed_single_run(config);
+  double distributed_s = 0.0;
+  std::size_t iterations = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const hcs::ExperimentResult result =
+        hcs::service::run_distributed_sweep(config, options);
+    distributed_s +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    ++iterations;
+    benchmark::DoNotOptimize(result.mean_lower_bound_s.data());
+  }
+  for (auto& daemon : daemons) daemon->stop();
+
+  state.counters["workers"] = static_cast<double>(worker_count);
+  if (iterations > 0 && distributed_s > 0.0)
+    state.counters["x_single_process"] =
+        single_s / (distributed_s / static_cast<double>(iterations));
+}
+BENCHMARK(BM_SweepDistributed)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

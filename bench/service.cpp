@@ -12,7 +12,13 @@
 //                        BENCH_scheduler.json);
 //   BM_ServiceDrift      drifting directory queried at an advancing
 //                        now_s: keys rotate as pairs cross quantization
-//                        levels, mixing hits and re-solves.
+//                        levels, mixing hits and re-solves;
+//   BM_ServiceOpenLoop   open-loop Poisson arrivals at a fixed offered
+//                        rate (the benchmark arg, requests/sec):
+//                        latency is charged from each request's intended
+//                        arrival instant, so queueing delay is not
+//                        coordinated away — the p99_us counters across
+//                        the args are the latency-vs-offered-load curve.
 //
 // Each benchmark runs a real in-process ScheduleServer on a temp socket
 // and measures blocking round trips from one client connection, so the
@@ -30,6 +36,7 @@
 #include "netmodel/directory.hpp"
 #include "netmodel/generator.hpp"
 #include "service/client.hpp"
+#include "service/replay.hpp"
 #include "service/server.hpp"
 #include "service/wire.hpp"
 #include "util/stats.hpp"
@@ -175,6 +182,49 @@ BENCHMARK(BM_ServiceDrift)
     ->Arg(64)
     ->Iterations(2000)
     ->Unit(benchmark::kMicrosecond);
+
+void BM_ServiceOpenLoop(benchmark::State& state) {
+  const double offered_qps = static_cast<double>(state.range(0));
+  const std::size_t p = 64;
+  const hcs::StaticDirectory directory{hcs::generate_network(p, kSeed)};
+  hcs::service::ServerOptions options;
+  options.socket_path = bench_socket_path("openloop");
+  options.workers = 2;
+  hcs::service::ScheduleServer server(directory, options);
+  server.start();
+  {
+    hcs::service::ReplayConfig config;
+    config.socket_path = options.socket_path;
+    config.requests = 128;
+    config.connections = 4;
+    config.processors = p;
+    config.kind = kKind;
+    config.seed = kSeed;
+    config.distinct_workloads = 8;
+    config.arrival = hcs::service::Arrival::kPoisson;
+    config.offered_qps = offered_qps;
+    hcs::service::ReplayStats stats;
+    for (auto _ : state) {
+      stats = hcs::service::run_replay(config);
+      benchmark::DoNotOptimize(stats.completed);
+    }
+    state.counters["offered_qps"] = offered_qps;
+    state.counters["achieved_qps"] = stats.qps;
+    state.counters["p50_us"] = stats.p50_us;
+    state.counters["p99_us"] = stats.p99_us;
+  }
+  server.stop();
+}
+// One replay per iteration; the rates walk the daemon from an idle
+// arrival process into saturation, and the run is pinned to a single
+// iteration because an open-loop replay's duration is fixed by
+// requests/rate, not by the work.
+BENCHMARK(BM_ServiceOpenLoop)
+    ->Arg(200)
+    ->Arg(800)
+    ->Arg(3200)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

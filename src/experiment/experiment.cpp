@@ -2,159 +2,53 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <string>
 
-#include "core/hierarchical_scheduler.hpp"
-#include "netmodel/directory.hpp"
-#include "sim/send_program.hpp"
+#include "experiment/sweep_units.hpp"
 #include "util/error.hpp"
-#include "util/rng.hpp"
-#include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hcs {
-namespace {
-
-/// Stable per-(P, repetition) seed derived from the base seed.
-std::uint64_t instance_seed(std::uint64_t base, std::size_t processor_count,
-                            std::size_t repetition) {
-  std::uint64_t state = base ^ (0x9E3779B97F4A7C15ULL * (processor_count + 1)) ^
-                        (0xC2B2AE3D27D4EB4FULL * (repetition + 1));
-  return splitmix64(state);
-}
-
-}  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
-  if (config.processor_counts.empty() || config.repetitions == 0 ||
-      config.schedulers.empty())
-    throw InputError("run_experiment: empty config");
-  if (config.execute && (!config.execution.initial_send_avail.empty() ||
-                         !config.execution.initial_recv_avail.empty()))
-    throw InputError(
-        "run_experiment: execution options must not carry initial "
-        "availability vectors");
+  validate_experiment_config(config);
 
-  ExperimentResult result;
-  result.config = config;
-  result.series.reserve(config.schedulers.size());
-  for (const SchedulerKind kind : config.schedulers)
-    result.series.push_back({kind, {}, {}, {}});
+  // The (P, repetition) grid, flattened into one global unit index space
+  // (experiment/sweep_units.hpp). Every unit writes only its own value
+  // slots, and assemble_experiment_result folds the slots serially in
+  // unit order — so the result is byte-identical to a serial run at any
+  // thread count, and identical to a distributed run that computed the
+  // same units elsewhere. Flattening also keeps all workers busy through
+  // each P-point's tail instead of barriering per point.
+  const SweepUnitSpace space = SweepUnitSpace::of(config);
+  const std::size_t total = space.total_units();
+  const std::size_t vpu = space.values_per_unit();
+  std::vector<double> values(total * vpu);
 
-  const std::size_t workers =
-      ThreadPool::resolve_size(config.threads, config.repetitions);
+  const std::size_t workers = ThreadPool::resolve_size(config.threads, total);
   ThreadPool pool{workers};
 
-  // Execution-pass scratch, one per worker and reused across the whole
-  // sweep: after warm-up a repetition's simulation allocates nothing.
-  std::vector<SimWorkspace> worker_workspace(config.execute ? workers : 0);
-  std::vector<SimResult> worker_sim_result(config.execute ? workers : 0);
-  // Per-worker metric registries, merged in worker order at the end.
+  // One warm runner per worker, reused across the whole sweep: after
+  // warm-up a unit's execution pass allocates nothing in the simulator.
+  // Per-worker metric registries are merged in worker order at the end.
   std::vector<MetricsRegistry> worker_metrics(
       config.metrics != nullptr ? workers : 0);
+  std::vector<std::optional<SweepUnitRunner>> runners(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    runners[w].emplace(config,
+                       config.metrics != nullptr ? &worker_metrics[w] : nullptr);
 
-  const std::size_t sched_count = config.schedulers.size();
-  // Per-repetition result slots. Every repetition writes only its own
-  // slots, and the slots are folded into the statistics serially in
-  // repetition order below — so the result is byte-identical to a serial
-  // run at any thread count.
-  std::vector<double> rep_lower_bound(config.repetitions);
-  std::vector<double> rep_completion(config.repetitions * sched_count);
-  std::vector<double> rep_executed(
-      config.execute ? config.repetitions * sched_count : 0);
+  pool.run(total, [&](std::size_t worker, std::size_t unit) {
+    runners[worker]->run(unit, std::span(values).subspan(unit * vpu, vpu));
+  });
 
-  for (const std::size_t processors : config.processor_counts) {
-    const auto run_repetition = [&](std::size_t worker, std::size_t rep) {
-      const std::uint64_t seed =
-          instance_seed(config.base_seed, processors, rep);
-      const ProblemInstance instance =
-          make_instance(config.scenario, processors, seed,
-                        config.cluster_count);
-      const CommMatrix comm{instance.network, instance.messages};
-      const double lower_bound = comm.lower_bound();
-      rep_lower_bound[rep] = lower_bound;
-      MetricsRegistry* const metrics =
-          config.metrics != nullptr ? &worker_metrics[worker] : nullptr;
-      if (metrics != nullptr) metrics->counter("experiment.instances").add();
-      // One detection per instance, shared by every scheduler.
-      Clustering clustering;
-      if (config.hierarchical)
-        clustering = detect_clusters(instance.network, config.cluster_options);
-
-      for (std::size_t s = 0; s < sched_count; ++s) {
-        std::unique_ptr<Scheduler> scheduler;
-        if (config.hierarchical) {
-          HierarchicalScheduler::Options options;
-          options.inner = config.schedulers[s];
-          options.seed = seed;
-          scheduler = std::make_unique<HierarchicalScheduler>(clustering,
-                                                              options);
-        } else {
-          scheduler = make_scheduler(config.schedulers[s], seed);
-        }
-        const Schedule schedule = scheduler->schedule(comm);
-        if (config.validate) schedule.validate(comm);
-        const double completion = schedule.completion_time();
-        rep_completion[rep * sched_count + s] = completion;
-        if (metrics != nullptr) {
-          metrics->counter("experiment.schedules").add();
-          metrics->histogram("experiment.completion_s").observe(completion);
-          if (lower_bound > 0.0)
-            metrics->histogram("experiment.ratio_to_lb")
-                .observe(completion / lower_bound);
-        }
-        if (config.execute) {
-          const StaticDirectory directory{instance.network};
-          const NetworkSimulator simulator{directory, instance.messages};
-          simulator.run_into(SendProgram::from_schedule(schedule),
-                             config.execution, worker_workspace[worker],
-                             worker_sim_result[worker]);
-          rep_executed[rep * sched_count + s] =
-              worker_sim_result[worker].completion_time;
-          if (metrics != nullptr) {
-            const SimResult& sim = worker_sim_result[worker];
-            metrics->counter("sim.events").add(sim.events.size());
-            metrics->counter("sim.failed_attempts").add(sim.failed_attempts);
-            metrics->histogram("sim.completion_s").observe(sim.completion_time);
-            metrics->histogram("sim.sender_wait_s")
-                .observe(sim.total_sender_wait_s);
-          }
-        }
-      }
-    };
-
-    pool.run(config.repetitions, run_repetition);
-
-    RunningStats lower_bound_stats;
-    std::vector<RunningStats> completion_stats(sched_count);
-    std::vector<RunningStats> ratio_stats(sched_count);
-    std::vector<RunningStats> executed_stats(sched_count);
-    for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
-      const double lower_bound = rep_lower_bound[rep];
-      lower_bound_stats.add(lower_bound);
-      for (std::size_t s = 0; s < sched_count; ++s) {
-        const double completion = rep_completion[rep * sched_count + s];
-        completion_stats[s].add(completion);
-        ratio_stats[s].add(lower_bound > 0.0 ? completion / lower_bound : 1.0);
-        if (config.execute)
-          executed_stats[s].add(rep_executed[rep * sched_count + s]);
-      }
-    }
-
-    result.mean_lower_bound_s.push_back(lower_bound_stats.mean());
-    for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
-      result.series[s].mean_completion_s.push_back(completion_stats[s].mean());
-      result.series[s].mean_ratio_to_lb.push_back(ratio_stats[s].mean());
-      result.series[s].max_ratio_to_lb.push_back(ratio_stats[s].max());
-      if (config.execute)
-        result.series[s].mean_executed_s.push_back(executed_stats[s].mean());
-    }
-  }
   if (config.metrics != nullptr) {
     for (std::size_t worker = 0; worker < workers; ++worker) {
       if (config.execute) {
         // Workspace high-water marks (capacities, so reading them is free).
-        const SimWorkspace::Footprint f = worker_workspace[worker].footprint();
+        const SimWorkspace::Footprint f =
+            runners[worker]->workspace().footprint();
         MetricsRegistry& metrics = worker_metrics[worker];
         metrics.gauge("sim.workspace.event_heap_entries")
             .set_max(static_cast<double>(f.event_heap_entries));
@@ -166,7 +60,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       config.metrics->merge(worker_metrics[worker]);
     }
   }
-  return result;
+  return assemble_experiment_result(config, values);
 }
 
 namespace {

@@ -1,0 +1,196 @@
+#include "experiment/fault_sweep.hpp"
+
+#include <memory>
+
+#include "core/hierarchical_scheduler.hpp"
+#include "netmodel/cluster_detect.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hcs {
+namespace {
+
+/// The plain algorithm, or — when hierarchical — that algorithm running
+/// inside the hierarchical scheduler over the network's detected
+/// clustering.
+std::unique_ptr<Scheduler> make_row_scheduler(const FaultSweepConfig& config,
+                                              const NetworkModel& network) {
+  if (!config.hierarchical) return make_scheduler(config.kind, config.seed);
+  HierarchicalScheduler::Options options;
+  options.inner = config.kind;
+  options.seed = config.seed;
+  return std::make_unique<HierarchicalScheduler>(detect_clusters(network),
+                                                 options);
+}
+
+}  // namespace
+
+void validate_fault_sweep_config(const FaultSweepConfig& config) {
+  if (config.processors < 3)
+    throw InputError(
+        "fault-sweep: --processors must be >= 3 (relays need an "
+        "intermediate)");
+  if (config.max_crashes > config.processors - 2)
+    throw InputError("fault-sweep: --max-crashes must be in [0, processors - 2]");
+  if (!(config.loss >= 0.0) || !(config.loss < 1.0))
+    throw InputError("fault-sweep: --loss must be in [0, 1)");
+  if (config.restart_count + config.max_crashes > config.processors - 2)
+    throw InputError(
+        "fault-sweep: --restarts must be >= 0 and leave two healthy nodes");
+  if (!(config.brownout_factor > 0.0) || !(config.brownout_factor <= 1.0))
+    throw InputError("fault-sweep: --brownout-factor must be in (0, 1]");
+}
+
+void add_dynamic_faults(FaultPlan& plan, std::size_t n, std::uint64_t seed,
+                        double horizon_s, long restart_count, long flap_count,
+                        long brownout_count, double brownout_factor) {
+  for (long k = 0; k < restart_count; ++k) {
+    const double at = (0.05 + 0.1 * static_cast<double>(k)) * horizon_s;
+    plan.restarts.push_back(
+        {static_cast<std::size_t>(k), at, at + 0.35 * horizon_s});
+  }
+  Rng rng{seed ^ 0xD15EA5EDULL};
+  for (long k = 0; k < flap_count; ++k) {
+    const auto a = static_cast<std::size_t>(rng.next_below(n));
+    const auto b = static_cast<std::size_t>(rng.next_below(n));
+    if (a == b) {
+      --k;
+      continue;
+    }
+    plan.flapping.push_back(
+        {a, b, 0.0, horizon_s, std::max(horizon_s / 8.0, 1e-9), 0.3, true});
+  }
+  for (long k = 0; k < brownout_count; ++k) {
+    const auto a = static_cast<std::size_t>(rng.next_below(n));
+    const auto b = static_cast<std::size_t>(rng.next_below(n));
+    if (a == b) {
+      --k;
+      continue;
+    }
+    plan.brownouts.push_back(
+        {a, b, 0.0, 0.6 * horizon_s, brownout_factor, true});
+  }
+}
+
+ResilientOptions::ReplanOptions default_replan_policy(double horizon_s) {
+  ResilientOptions::ReplanOptions replan;
+  replan.enabled = true;
+  replan.max_replans = 4;
+  replan.backoff_base_s = 0.1 * horizon_s;
+  replan.backoff_factor = 2.0;
+  return replan;
+}
+
+FaultSweepContext::FaultSweepContext(const FaultSweepConfig& config)
+    : config_(&config),
+      instance_(make_instance(config.scenario, config.processors, config.seed,
+                              config.cluster_count)),
+      directory_(instance_.network) {
+  // Cut pairs are drawn once and shared by every sweep point, so rows
+  // differ only in how many nodes crash.
+  Rng rng{config.seed ^ 0xFA17FA17ULL};
+  while (cuts_.size() < config.cut_count) {
+    const auto a = static_cast<std::size_t>(rng.next_below(config.processors));
+    const auto b = static_cast<std::size_t>(rng.next_below(config.processors));
+    if (a == b) continue;
+    cuts_.push_back({a, b, 0.0, 1e12});  // outlasts any run: a permanent cut
+  }
+}
+
+double FaultSweepContext::fault_free_completion() const {
+  const auto scheduler = make_row_scheduler(*config_, instance_.network);
+  const ResilientResult fault_free =
+      run_resilient(*scheduler, directory_, instance_.messages, {}, {});
+  return fault_free.completion_time;
+}
+
+FaultSweepRow FaultSweepContext::run_row(std::size_t crashes,
+                                         double baseline_s) const {
+  const FaultSweepConfig& config = *config_;
+  const std::size_t n = config.processors;
+  FaultPlan plan;
+  plan.cuts = cuts_;
+  plan.transient_loss_prob = config.loss;
+  plan.seed = config.seed;
+  add_dynamic_faults(plan, n, config.seed, baseline_s,
+                     static_cast<long>(config.restart_count),
+                     static_cast<long>(config.flap_count),
+                     static_cast<long>(config.brownout_count),
+                     config.brownout_factor);
+  // Crash the highest-numbered nodes at staggered times, so each row
+  // adds one more mid-exchange failure.
+  for (std::size_t k = 0; k < crashes; ++k)
+    plan.crashes.push_back(
+        {n - 1 - k, 0.25 * baseline_s * static_cast<double>(k + 1)});
+  const auto scheduler = make_row_scheduler(config, instance_.network);
+  ResilientOptions options;
+  if (config.replan) options.replan = default_replan_policy(baseline_s);
+  const ResilientResult result = run_resilient(*scheduler, directory_,
+                                               instance_.messages, plan,
+                                               options);
+  const std::size_t delivered_direct =
+      result.outcomes.size() - result.relayed_count - result.undelivered_count;
+  FaultSweepRow row;
+  row.crashes = crashes;
+  row.direct = delivered_direct - result.rescued_count;
+  row.rescued = result.rescued_count;
+  row.relayed = result.relayed_count;
+  row.undeliverable = result.undelivered_count;
+  row.replans = result.replan_count;
+  row.completion_s = result.completion_time;
+  return row;
+}
+
+std::string FaultSweepContext::algorithm_name() const {
+  return std::string(
+      make_row_scheduler(*config_, instance_.network)->name());
+}
+
+FaultSweepResult run_fault_sweep(const FaultSweepConfig& config) {
+  validate_fault_sweep_config(config);
+  FaultSweepContext context(config);
+
+  FaultSweepResult result;
+  result.config = config;
+  result.algorithm_name = context.algorithm_name();
+  result.fault_free_completion_s = context.fault_free_completion();
+
+  // Severity rows are independent, so they run on the pool. Each row
+  // builds its own scheduler: schedulers carry mutable per-instance
+  // workspaces and are not safe to share across threads. Rows land in
+  // per-row slots assembled in row order, so the output is identical at
+  // every thread count — and identical to a distributed run that
+  // computed the rows elsewhere from the same baseline.
+  const std::size_t row_count = config.max_crashes + 1;
+  result.rows.resize(row_count);
+  ThreadPool pool{ThreadPool::resolve_size(config.threads, row_count)};
+  pool.run(row_count, [&](std::size_t /*worker*/, std::size_t row) {
+    result.rows[row] = context.run_row(row, result.fault_free_completion_s);
+  });
+  return result;
+}
+
+void fault_row_to_values(const FaultSweepRow& row, std::span<double> out) {
+  out[0] = static_cast<double>(row.direct);
+  out[1] = static_cast<double>(row.rescued);
+  out[2] = static_cast<double>(row.relayed);
+  out[3] = static_cast<double>(row.undeliverable);
+  out[4] = static_cast<double>(row.replans);
+  out[5] = row.completion_s;
+}
+
+FaultSweepRow fault_row_from_values(std::size_t crashes,
+                                    std::span<const double> in) {
+  FaultSweepRow row;
+  row.crashes = crashes;
+  row.direct = static_cast<std::size_t>(in[0]);
+  row.rescued = static_cast<std::size_t>(in[1]);
+  row.relayed = static_cast<std::size_t>(in[2]);
+  row.undeliverable = static_cast<std::size_t>(in[3]);
+  row.replans = static_cast<std::size_t>(in[4]);
+  row.completion_s = in[5];
+  return row;
+}
+
+}  // namespace hcs

@@ -1,0 +1,123 @@
+#include "experiment/sweep_io.hpp"
+
+#include <string>
+#include <vector>
+
+namespace hcs {
+
+void write_sweep_csv(std::ostream& out, const ExperimentResult& result,
+                     bool ratios) {
+  out << "P,lower_bound_s";
+  for (const SchedulerSeries& series : result.series)
+    out << ',' << scheduler_name(series.kind);
+  if (result.config.execute)
+    for (const SchedulerSeries& series : result.series)
+      out << ',' << scheduler_name(series.kind) << "_executed";
+  out << '\n';
+  for (std::size_t p = 0; p < result.config.processor_counts.size(); ++p) {
+    out << result.config.processor_counts[p] << ','
+        << format_double(result.mean_lower_bound_s[p], 6);
+    for (const SchedulerSeries& series : result.series)
+      out << ','
+          << format_double(ratios ? series.mean_ratio_to_lb[p]
+                                  : series.mean_completion_s[p],
+                           6);
+    if (result.config.execute)
+      for (const SchedulerSeries& series : result.series)
+        out << ',' << format_double(series.mean_executed_s[p], 6);
+    out << '\n';
+  }
+}
+
+void write_sweep_json(std::ostream& out, const ExperimentResult& result) {
+  const auto write_doubles = [&out](const std::vector<double>& values) {
+    out << '[';
+    for (std::size_t k = 0; k < values.size(); ++k)
+      out << (k > 0 ? "," : "") << format_double(values[k], 6);
+    out << ']';
+  };
+  const ExperimentConfig& config = result.config;
+  out << "{\"scenario\":\"" << scenario_name(config.scenario) << "\""
+      << ",\"repetitions\":" << config.repetitions
+      << ",\"seed\":" << config.base_seed
+      << ",\"clusters\":" << config.cluster_count << ",\"hierarchical\":"
+      << (config.hierarchical ? "true" : "false") << ",\"processors\":[";
+  for (std::size_t p = 0; p < config.processor_counts.size(); ++p)
+    out << (p > 0 ? "," : "") << config.processor_counts[p];
+  out << "],\"lower_bound_s\":";
+  write_doubles(result.mean_lower_bound_s);
+  out << ",\"series\":[";
+  for (std::size_t s = 0; s < result.series.size(); ++s) {
+    const SchedulerSeries& series = result.series[s];
+    out << (s > 0 ? "," : "") << "{\"algorithm\":\""
+        << scheduler_name(series.kind) << "\",\"mean_completion_s\":";
+    write_doubles(series.mean_completion_s);
+    out << ",\"mean_ratio_to_lb\":";
+    write_doubles(series.mean_ratio_to_lb);
+    out << ",\"max_ratio_to_lb\":";
+    write_doubles(series.max_ratio_to_lb);
+    if (config.execute) {
+      out << ",\"mean_executed_s\":";
+      write_doubles(series.mean_executed_s);
+    }
+    out << '}';
+  }
+  out << "]}\n";
+}
+
+namespace {
+
+double x_fault_free(const FaultSweepResult& result, const FaultSweepRow& row) {
+  return result.fault_free_completion_s > 0
+             ? row.completion_s / result.fault_free_completion_s
+             : 1.0;
+}
+
+}  // namespace
+
+void write_fault_sweep_csv(std::ostream& out, const FaultSweepResult& result) {
+  out << "crashes,direct,rescued,relayed,undeliverable,replans,"
+         "completion_s,x_fault_free\n";
+  for (const FaultSweepRow& row : result.rows)
+    out << row.crashes << ',' << row.direct << ',' << row.rescued << ','
+        << row.relayed << ',' << row.undeliverable << ',' << row.replans
+        << ',' << format_double(row.completion_s, 6) << ','
+        << format_double(x_fault_free(result, row), 6) << '\n';
+}
+
+void write_fault_sweep_json(std::ostream& out, const FaultSweepResult& result) {
+  const FaultSweepConfig& config = result.config;
+  out << "{\"scenario\":\"" << scenario_name(config.scenario)
+      << "\",\"processors\":" << config.processors
+      << ",\"seed\":" << config.seed << ",\"algorithm\":\""
+      << result.algorithm_name
+      << "\",\"replan\":" << (config.replan ? "true" : "false")
+      << ",\"fault_free_completion_s\":"
+      << format_double(result.fault_free_completion_s, 6) << ",\"rows\":[";
+  for (std::size_t k = 0; k < result.rows.size(); ++k) {
+    const FaultSweepRow& row = result.rows[k];
+    out << (k > 0 ? "," : "") << "{\"crashes\":" << row.crashes
+        << ",\"direct\":" << row.direct << ",\"rescued\":" << row.rescued
+        << ",\"relayed\":" << row.relayed << ",\"undeliverable\":"
+        << row.undeliverable << ",\"replans\":" << row.replans
+        << ",\"completion_s\":" << format_double(row.completion_s, 6)
+        << ",\"x_fault_free\":" << format_double(x_fault_free(result, row), 6)
+        << '}';
+  }
+  out << "]}\n";
+}
+
+Table fault_sweep_table(const FaultSweepResult& result) {
+  Table table{{"crashes", "direct", "rescued", "relayed", "undeliverable",
+               "replans", "completion (s)", "x fault-free"}};
+  for (const FaultSweepRow& row : result.rows)
+    table.add_row({std::to_string(row.crashes), std::to_string(row.direct),
+                   std::to_string(row.rescued), std::to_string(row.relayed),
+                   std::to_string(row.undeliverable),
+                   std::to_string(row.replans),
+                   format_double(row.completion_s, 4),
+                   format_double(x_fault_free(result, row), 3)});
+  return table;
+}
+
+}  // namespace hcs

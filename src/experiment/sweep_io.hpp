@@ -1,0 +1,37 @@
+// Sweep result renderers.
+//
+// The CSV/JSON/table emitters for figure sweeps and fault sweeps live
+// here — out of the CLI — because the distributed sweep contract is
+// stated on these bytes: a distributed run must render byte-identically
+// to a single-process run, so the tests and the CI smoke lane diff the
+// output of exactly these functions.
+#pragma once
+
+#include <ostream>
+
+#include "experiment/experiment.hpp"
+#include "experiment/fault_sweep.hpp"
+#include "util/table.hpp"
+
+namespace hcs {
+
+/// Emits the sweep as CSV: one row per processor count, one column per
+/// algorithm series (mean completion seconds or ratio-to-lower-bound),
+/// plus simulated completions when the sweep executed.
+void write_sweep_csv(std::ostream& out, const ExperimentResult& result,
+                     bool ratios);
+
+/// Emits the sweep as a JSON object: the generating configuration plus
+/// one series object per algorithm with the full per-P statistics.
+void write_sweep_json(std::ostream& out, const ExperimentResult& result);
+
+/// Emits the fault sweep as CSV, one row per crash severity.
+void write_fault_sweep_csv(std::ostream& out, const FaultSweepResult& result);
+
+/// Emits the fault sweep as a JSON object (config header + row array).
+void write_fault_sweep_json(std::ostream& out, const FaultSweepResult& result);
+
+/// Renders the fault sweep's severity rows as a table.
+[[nodiscard]] Table fault_sweep_table(const FaultSweepResult& result);
+
+}  // namespace hcs

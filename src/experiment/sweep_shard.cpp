@@ -1,0 +1,352 @@
+#include "experiment/sweep_shard.hpp"
+
+#include <cmath>
+
+#include "experiment/sweep_units.hpp"
+#include "util/bytes.hpp"
+
+namespace hcs {
+namespace {
+
+using Writer = ByteWriter<SweepShardError>;
+using Cursor = ByteCursor<SweepShardError>;
+
+// Sanity caps on decoded list sizes: a malformed or hostile shard must
+// not make the worker allocate unboundedly. Generous relative to any
+// real sweep (the widest checked-in sweep has 10 points x 7 schedulers).
+constexpr std::uint32_t kMaxPoints = 4096;
+constexpr std::uint32_t kMaxSchedulers = 64;
+constexpr std::uint32_t kMaxResultBytes = 1u << 26;
+
+Scenario checked_scenario(std::uint8_t raw) {
+  switch (static_cast<Scenario>(raw)) {
+    case Scenario::kSmallMessages:
+    case Scenario::kLargeMessages:
+    case Scenario::kMixedMessages:
+    case Scenario::kServers:
+      return static_cast<Scenario>(raw);
+  }
+  throw SweepShardError("sweep_shard: unknown scenario " +
+                        std::to_string(raw));
+}
+
+SchedulerKind checked_scheduler(std::uint8_t raw) {
+  switch (static_cast<SchedulerKind>(raw)) {
+    case SchedulerKind::kBaseline:
+    case SchedulerKind::kBaselineBarrier:
+    case SchedulerKind::kMaxMatching:
+    case SchedulerKind::kMinMatching:
+    case SchedulerKind::kGreedy:
+    case SchedulerKind::kOpenShop:
+    case SchedulerKind::kRandom:
+      return static_cast<SchedulerKind>(raw);
+  }
+  throw SweepShardError("sweep_shard: unknown scheduler kind " +
+                        std::to_string(raw));
+}
+
+ReceiveModel checked_model(std::uint8_t raw) {
+  switch (static_cast<ReceiveModel>(raw)) {
+    case ReceiveModel::kSerialized:
+    case ReceiveModel::kInterleaved:
+    case ReceiveModel::kBuffered:
+      return static_cast<ReceiveModel>(raw);
+  }
+  throw SweepShardError("sweep_shard: unknown receive model " +
+                        std::to_string(raw));
+}
+
+ReceiverArbitration checked_arbitration(std::uint8_t raw) {
+  switch (static_cast<ReceiverArbitration>(raw)) {
+    case ReceiverArbitration::kProgrammed:
+    case ReceiverArbitration::kFifo:
+      return static_cast<ReceiverArbitration>(raw);
+  }
+  throw SweepShardError("sweep_shard: unknown arbitration " +
+                        std::to_string(raw));
+}
+
+/// Fixed-size byte footprint of each config family on the wire.
+constexpr std::size_t kFigureFixedBytes = 2 + 8 + 4 + 4 + 24 + 50 + 4 + 4;
+constexpr std::size_t kFaultFixedBytes = 4 + 4 + 8 + 4 + 4 + 8 + 4 + 4 + 4 +
+                                         8 + 4 + 8;
+
+void encode_figure(Writer& writer, const ExperimentConfig& config) {
+  writer.u8(static_cast<std::uint8_t>(config.scenario));
+  writer.u8(static_cast<std::uint8_t>((config.validate ? 1 : 0) |
+                                      (config.execute ? 2 : 0) |
+                                      (config.hierarchical ? 4 : 0)));
+  writer.u64(config.base_seed);
+  writer.u32(static_cast<std::uint32_t>(config.repetitions));
+  writer.u32(static_cast<std::uint32_t>(config.cluster_count));
+  writer.f64(config.cluster_options.quantum);
+  writer.f64(config.cluster_options.tolerance);
+  writer.u64(config.cluster_options.ref_bytes);
+  writer.u8(static_cast<std::uint8_t>(config.execution.model));
+  writer.u8(static_cast<std::uint8_t>(config.execution.arbitration));
+  writer.f64(config.execution.alpha);
+  writer.u64(config.execution.buffer_capacity);
+  writer.f64(config.execution.drain_factor);
+  writer.u64(config.execution.max_attempts);
+  writer.f64(config.execution.backoff_base_s);
+  writer.f64(config.execution.backoff_factor);
+  writer.u32(static_cast<std::uint32_t>(config.processor_counts.size()));
+  writer.u32(static_cast<std::uint32_t>(config.schedulers.size()));
+  for (const std::size_t p : config.processor_counts)
+    writer.u32(static_cast<std::uint32_t>(p));
+  for (const SchedulerKind kind : config.schedulers)
+    writer.u8(static_cast<std::uint8_t>(kind));
+}
+
+ExperimentConfig decode_figure(Cursor& cursor) {
+  ExperimentConfig config;
+  config.scenario = checked_scenario(cursor.u8());
+  const std::uint8_t flags = cursor.u8();
+  if ((flags & ~std::uint8_t{7}) != 0)
+    throw SweepShardError("sweep_shard: unknown figure flag bits");
+  config.validate = (flags & 1) != 0;
+  config.execute = (flags & 2) != 0;
+  config.hierarchical = (flags & 4) != 0;
+  config.base_seed = cursor.u64();
+  config.repetitions = cursor.u32();
+  config.cluster_count = cursor.u32();
+  config.cluster_options.quantum = cursor.f64();
+  config.cluster_options.tolerance = cursor.f64();
+  config.cluster_options.ref_bytes = cursor.u64();
+  config.execution.model = checked_model(cursor.u8());
+  config.execution.arbitration = checked_arbitration(cursor.u8());
+  config.execution.alpha = cursor.f64();
+  config.execution.buffer_capacity = cursor.u64();
+  config.execution.drain_factor = cursor.f64();
+  config.execution.max_attempts = cursor.u64();
+  config.execution.backoff_base_s = cursor.f64();
+  config.execution.backoff_factor = cursor.f64();
+  const std::uint32_t point_count = cursor.u32();
+  const std::uint32_t sched_count = cursor.u32();
+  if (point_count == 0 || point_count > kMaxPoints)
+    throw SweepShardError("sweep_shard: point count out of range");
+  if (sched_count == 0 || sched_count > kMaxSchedulers)
+    throw SweepShardError("sweep_shard: scheduler count out of range");
+  config.processor_counts.clear();
+  config.processor_counts.reserve(point_count);
+  for (std::uint32_t k = 0; k < point_count; ++k) {
+    const std::uint32_t p = cursor.u32();
+    if (p < 2)
+      throw SweepShardError("sweep_shard: processor count must be >= 2");
+    config.processor_counts.push_back(p);
+  }
+  config.schedulers.clear();
+  config.schedulers.reserve(sched_count);
+  for (std::uint32_t k = 0; k < sched_count; ++k)
+    config.schedulers.push_back(checked_scheduler(cursor.u8()));
+  return config;
+}
+
+void encode_fault(Writer& writer, const FaultSweepConfig& config,
+                  double baseline_s) {
+  writer.u8(static_cast<std::uint8_t>(config.scenario));
+  writer.u8(static_cast<std::uint8_t>((config.replan ? 1 : 0) |
+                                      (config.hierarchical ? 2 : 0)));
+  writer.u8(static_cast<std::uint8_t>(config.kind));
+  writer.u8(0);  // reserved
+  writer.u32(static_cast<std::uint32_t>(config.processors));
+  writer.u64(config.seed);
+  writer.u32(static_cast<std::uint32_t>(config.max_crashes));
+  writer.u32(static_cast<std::uint32_t>(config.cut_count));
+  writer.f64(config.loss);
+  writer.u32(static_cast<std::uint32_t>(config.restart_count));
+  writer.u32(static_cast<std::uint32_t>(config.flap_count));
+  writer.u32(static_cast<std::uint32_t>(config.brownout_count));
+  writer.f64(config.brownout_factor);
+  writer.u32(static_cast<std::uint32_t>(config.cluster_count));
+  writer.f64(baseline_s);
+}
+
+FaultSweepConfig decode_fault(Cursor& cursor, double& baseline_s) {
+  FaultSweepConfig config;
+  config.scenario = checked_scenario(cursor.u8());
+  const std::uint8_t flags = cursor.u8();
+  if ((flags & ~std::uint8_t{3}) != 0)
+    throw SweepShardError("sweep_shard: unknown fault flag bits");
+  config.replan = (flags & 1) != 0;
+  config.hierarchical = (flags & 2) != 0;
+  config.kind = checked_scheduler(cursor.u8());
+  (void)cursor.u8();  // reserved
+  config.processors = cursor.u32();
+  config.seed = cursor.u64();
+  config.max_crashes = cursor.u32();
+  config.cut_count = cursor.u32();
+  config.loss = cursor.f64();
+  config.restart_count = cursor.u32();
+  config.flap_count = cursor.u32();
+  config.brownout_count = cursor.u32();
+  config.brownout_factor = cursor.f64();
+  config.cluster_count = cursor.u32();
+  baseline_s = cursor.f64();
+  if (!std::isfinite(baseline_s) || baseline_s < 0.0)
+    throw SweepShardError("sweep_shard: baseline must be finite and >= 0");
+  return config;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_sweep_shard_request(
+    const SweepShardRequest& request) {
+  if (request.unit_begin > request.unit_end)
+    throw SweepShardError("encode_sweep_shard_request: begin > end");
+  std::vector<std::uint8_t> out;
+  if (request.kind == SweepKind::kFigure) {
+    const ExperimentConfig& config = request.figure;
+    if (config.metrics != nullptr)
+      throw SweepShardError(
+          "encode_sweep_shard_request: metrics sinks cannot be shipped");
+    if (!config.execution.initial_send_avail.empty() ||
+        !config.execution.initial_recv_avail.empty())
+      throw SweepShardError(
+          "encode_sweep_shard_request: initial availability cannot be "
+          "shipped");
+    if (config.execution.fault_model != nullptr)
+      throw SweepShardError(
+          "encode_sweep_shard_request: fault models cannot be shipped");
+    if (config.processor_counts.size() > kMaxPoints ||
+        config.schedulers.size() > kMaxSchedulers)
+      throw SweepShardError("encode_sweep_shard_request: config too large");
+    Writer writer(out, 2 + kFigureFixedBytes +
+                           4 * config.processor_counts.size() +
+                           config.schedulers.size() + 8);
+    writer.u8(kSweepShardVersion);
+    writer.u8(static_cast<std::uint8_t>(request.kind));
+    encode_figure(writer, config);
+    writer.u32(request.unit_begin);
+    writer.u32(request.unit_end);
+    writer.finish();
+  } else {
+    Writer writer(out, 2 + kFaultFixedBytes + 8);
+    writer.u8(kSweepShardVersion);
+    writer.u8(static_cast<std::uint8_t>(request.kind));
+    encode_fault(writer, request.fault, request.fault_baseline_s);
+    writer.u32(request.unit_begin);
+    writer.u32(request.unit_end);
+    writer.finish();
+  }
+  return out;
+}
+
+SweepShardRequest decode_sweep_shard_request(
+    std::span<const std::uint8_t> payload) {
+  Cursor cursor(payload);
+  const std::uint8_t version = cursor.u8();
+  if (version != kSweepShardVersion)
+    throw SweepShardError("decode_sweep_shard_request: unsupported version " +
+                          std::to_string(version));
+  SweepShardRequest request;
+  const std::uint8_t raw_kind = cursor.u8();
+  if (raw_kind == static_cast<std::uint8_t>(SweepKind::kFigure)) {
+    request.kind = SweepKind::kFigure;
+    request.figure = decode_figure(cursor);
+  } else if (raw_kind == static_cast<std::uint8_t>(SweepKind::kFault)) {
+    request.kind = SweepKind::kFault;
+    request.fault = decode_fault(cursor, request.fault_baseline_s);
+  } else {
+    throw SweepShardError("decode_sweep_shard_request: unknown sweep kind " +
+                          std::to_string(raw_kind));
+  }
+  request.unit_begin = cursor.u32();
+  request.unit_end = cursor.u32();
+  if (request.unit_begin > request.unit_end)
+    throw SweepShardError("decode_sweep_shard_request: begin > end");
+  cursor.expect_exhausted("decode_sweep_shard_request");
+  return request;
+}
+
+std::vector<std::uint8_t> encode_sweep_shard_result(
+    const SweepShardResult& result) {
+  if (result.values.size() != static_cast<std::size_t>(result.unit_count) *
+                                  result.values_per_unit)
+    throw SweepShardError("encode_sweep_shard_result: value count mismatch");
+  std::vector<std::uint8_t> out;
+  Writer writer(out, 16 + 8 * result.values.size());
+  writer.u8(kSweepShardVersion);
+  writer.u8(static_cast<std::uint8_t>(result.kind));
+  writer.u16(0);  // reserved
+  writer.u32(result.unit_begin);
+  writer.u32(result.unit_count);
+  writer.u32(result.values_per_unit);
+  writer.f64_block(result.values);
+  writer.finish();
+  return out;
+}
+
+SweepShardResult decode_sweep_shard_result(
+    std::span<const std::uint8_t> payload) {
+  Cursor cursor(payload);
+  const std::uint8_t version = cursor.u8();
+  if (version != kSweepShardVersion)
+    throw SweepShardError("decode_sweep_shard_result: unsupported version " +
+                          std::to_string(version));
+  SweepShardResult result;
+  const std::uint8_t raw_kind = cursor.u8();
+  if (raw_kind != static_cast<std::uint8_t>(SweepKind::kFigure) &&
+      raw_kind != static_cast<std::uint8_t>(SweepKind::kFault))
+    throw SweepShardError("decode_sweep_shard_result: unknown sweep kind " +
+                          std::to_string(raw_kind));
+  result.kind = static_cast<SweepKind>(raw_kind);
+  (void)cursor.u16();  // reserved
+  result.unit_begin = cursor.u32();
+  result.unit_count = cursor.u32();
+  result.values_per_unit = cursor.u32();
+  const std::uint64_t total = static_cast<std::uint64_t>(result.unit_count) *
+                              result.values_per_unit;
+  if (8 * total > kMaxResultBytes)
+    throw SweepShardError("decode_sweep_shard_result: result too large");
+  if (cursor.remaining() != 8 * total)
+    throw SweepShardError("decode_sweep_shard_result: value block size "
+                          "mismatch");
+  result.values.resize(total);
+  cursor.f64_block(result.values);
+  cursor.expect_exhausted("decode_sweep_shard_result");
+  return result;
+}
+
+std::vector<std::uint8_t> handle_sweep_shard(
+    std::span<const std::uint8_t> request_bytes, std::size_t* units_out) {
+  const SweepShardRequest request = decode_sweep_shard_request(request_bytes);
+  SweepShardResult result;
+  result.kind = request.kind;
+  result.unit_begin = request.unit_begin;
+  result.unit_count = request.unit_end - request.unit_begin;
+  if (units_out != nullptr) *units_out = result.unit_count;
+
+  if (request.kind == SweepKind::kFigure) {
+    validate_experiment_config(request.figure);
+    const SweepUnitSpace space = SweepUnitSpace::of(request.figure);
+    if (request.unit_end > space.total_units())
+      throw SweepShardError("handle_sweep_shard: unit range out of bounds");
+    result.values_per_unit =
+        static_cast<std::uint32_t>(space.values_per_unit());
+    result.values.resize(static_cast<std::size_t>(result.unit_count) *
+                         result.values_per_unit);
+    run_sweep_units(request.figure, request.unit_begin, request.unit_end,
+                    result.values);
+  } else {
+    validate_fault_sweep_config(request.fault);
+    if (request.unit_end > request.fault.max_crashes + 1)
+      throw SweepShardError("handle_sweep_shard: unit range out of bounds");
+    result.values_per_unit = kFaultRowValues;
+    result.values.resize(static_cast<std::size_t>(result.unit_count) *
+                         kFaultRowValues);
+    const FaultSweepContext context(request.fault);
+    for (std::uint32_t unit = request.unit_begin; unit < request.unit_end;
+         ++unit) {
+      const FaultSweepRow row =
+          context.run_row(unit, request.fault_baseline_s);
+      fault_row_to_values(
+          row, std::span(result.values)
+                   .subspan((unit - request.unit_begin) * kFaultRowValues,
+                            kFaultRowValues));
+    }
+  }
+  return encode_sweep_shard_result(result);
+}
+
+}  // namespace hcs

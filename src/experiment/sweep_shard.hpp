@@ -1,0 +1,113 @@
+// Sweep shard codec and executor.
+//
+// A shard is one contiguous block [unit_begin, unit_end) of a sweep's
+// global work-unit index space (experiment/sweep_units.hpp for figure
+// sweeps, the crash-severity rows of experiment/fault_sweep.hpp for
+// fault sweeps), together with the full sweep spec needed to compute it
+// from scratch. Requests and results are flat little-endian blobs (via
+// util/bytes.hpp) so they travel opaquely over any transport: the
+// service wire protocol carries them as kSweepRequest/kSweepResult
+// frames, and the in-process endpoint hands them straight to
+// handle_sweep_shard.
+//
+// The codec ships everything a worker needs and nothing it doesn't:
+// processor counts, schedulers, seeds, simulator options — but no
+// thread counts (shards run serially inside one daemon worker slot) and
+// no metrics sinks (pointers cannot travel; the driver's merge is
+// values-only). A fault shard additionally carries the fault-free
+// baseline computed once by the driver, because the baseline fixes
+// every row's fault horizon and must be identical across workers.
+//
+// Determinism contract: decode(encode(x)) == x exactly (doubles travel
+// as bit patterns), and handle_sweep_shard(request) depends only on the
+// request bytes — so any worker, local or remote, returns the same
+// result bytes for the same shard.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "experiment/experiment.hpp"
+#include "experiment/fault_sweep.hpp"
+#include "util/error.hpp"
+#include "util/worker_endpoint.hpp"
+
+namespace hcs {
+
+/// Thrown on any malformed shard payload: truncated or oversized
+/// fields, unknown enum values, out-of-range unit bounds.
+class SweepShardError : public InputError {
+ public:
+  explicit SweepShardError(const std::string& what) : InputError(what) {}
+};
+
+/// Shard payload format version.
+inline constexpr std::uint8_t kSweepShardVersion = 1;
+
+/// Which sweep family a shard belongs to.
+enum class SweepKind : std::uint8_t {
+  kFigure = 1,  ///< (P, repetition) units of a figure sweep
+  kFault = 2,   ///< crash-severity rows of a fault sweep
+};
+
+/// One shard request: the sweep spec plus the unit block to compute.
+/// Exactly one of `figure` / `fault` is meaningful, per `kind`.
+struct SweepShardRequest {
+  SweepKind kind = SweepKind::kFigure;
+  ExperimentConfig figure;       ///< kFigure (threads/metrics not shipped)
+  FaultSweepConfig fault;        ///< kFault (threads not shipped)
+  double fault_baseline_s = 0.0; ///< kFault: driver-computed baseline
+  std::uint32_t unit_begin = 0;
+  std::uint32_t unit_end = 0;    ///< exclusive
+};
+
+/// One shard result: the per-unit accumulator values for the block.
+struct SweepShardResult {
+  SweepKind kind = SweepKind::kFigure;
+  std::uint32_t unit_begin = 0;
+  std::uint32_t unit_count = 0;
+  std::uint32_t values_per_unit = 0;
+  std::vector<double> values;  ///< unit_count * values_per_unit, unit-major
+};
+
+// --- codecs (pure; throw SweepShardError on malformed input) ------------
+
+/// Throws SweepShardError when the figure config carries state the codec
+/// cannot ship (a metrics sink, initial availability vectors, a fault
+/// model on the execution options).
+[[nodiscard]] std::vector<std::uint8_t> encode_sweep_shard_request(
+    const SweepShardRequest& request);
+[[nodiscard]] SweepShardRequest decode_sweep_shard_request(
+    std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_sweep_shard_result(
+    const SweepShardResult& result);
+[[nodiscard]] SweepShardResult decode_sweep_shard_result(
+    std::span<const std::uint8_t> payload);
+
+// --- execution ----------------------------------------------------------
+
+/// The worker side, bytes to bytes: decode the request, run its units
+/// serially, encode the result. Shared verbatim by the daemon's sweep
+/// handler and the in-process endpoint — which is what makes local and
+/// remote workers interchangeable. Throws SweepShardError (malformed
+/// request) or InputError (config validation). `units_out`, when set,
+/// receives the shard's unit count (for the daemon's metrics).
+[[nodiscard]] std::vector<std::uint8_t> handle_sweep_shard(
+    std::span<const std::uint8_t> request, std::size_t* units_out = nullptr);
+
+/// In-process worker backend: run_shard == handle_sweep_shard. The
+/// `local:N` spec expands to N of these, each driven by its own
+/// dispatcher thread.
+class LocalSweepEndpoint final : public WorkerEndpoint {
+ public:
+  [[nodiscard]] std::string name() const override { return "local"; }
+  [[nodiscard]] std::vector<std::uint8_t> run_shard(
+      std::span<const std::uint8_t> request) override {
+    return handle_sweep_shard(request);
+  }
+};
+
+}  // namespace hcs

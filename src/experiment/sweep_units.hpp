@@ -1,0 +1,117 @@
+// The sweep work-unit index space.
+//
+// A figure sweep is a grid: processor_counts × repetitions, with every
+// scheduler run on each cell. This header flattens that grid into one
+// global unit index space
+//
+//   unit u ∈ [0, points · repetitions),
+//   u → (point = u / repetitions, repetition = u % repetitions)
+//
+// and makes three guarantees that the rest of the sweep fabric is built
+// on:
+//
+//   1. A unit's values depend only on (config, u): the instance seed is
+//      a pure hash of (base_seed, P, repetition), so any worker — a
+//      local thread, another process, another host — computes exactly
+//      the same doubles for unit u.
+//   2. Units write disjoint slots: unit u owns values[u·V .. (u+1)·V)
+//      where V = values_per_unit() (lower bound, then one completion per
+//      scheduler, then one executed time per scheduler when executing).
+//   3. assemble_experiment_result folds the slots serially in unit
+//      order, so the ExperimentResult — and every table/CSV/JSON
+//      rendering of it — is byte-identical no matter how the units were
+//      partitioned, scheduled, or merged.
+//
+// run_experiment (experiment.cpp) is one consumer: it runs all units on
+// the local ThreadPool. The distributed sweep driver
+// (src/service/sweep_driver.hpp) is the other: it ships contiguous unit
+// blocks to worker backends via the shard codec
+// (experiment/sweep_shard.hpp) and assembles the same vector.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "experiment/experiment.hpp"
+#include "sim/simulator.hpp"
+
+namespace hcs {
+
+/// Shape of a sweep's unit index space, derived from its config.
+struct SweepUnitSpace {
+  std::size_t points = 0;       ///< processor_counts.size()
+  std::size_t repetitions = 0;  ///< repetitions per point
+  std::size_t scheduler_count = 0;
+  bool execute = false;
+
+  [[nodiscard]] static SweepUnitSpace of(const ExperimentConfig& config) {
+    return {config.processor_counts.size(), config.repetitions,
+            config.schedulers.size(), config.execute};
+  }
+
+  [[nodiscard]] std::size_t total_units() const {
+    return points * repetitions;
+  }
+  /// Doubles per unit: lower bound + per-scheduler completion
+  /// (+ per-scheduler executed time when executing).
+  [[nodiscard]] std::size_t values_per_unit() const {
+    return 1 + scheduler_count * (execute ? 2 : 1);
+  }
+  [[nodiscard]] std::size_t point_of(std::size_t unit) const {
+    return unit / repetitions;
+  }
+  [[nodiscard]] std::size_t repetition_of(std::size_t unit) const {
+    return unit % repetitions;
+  }
+};
+
+/// Shared entry validation for every sweep path (local and distributed).
+/// Throws InputError on an empty config or misused execution options.
+void validate_experiment_config(const ExperimentConfig& config);
+
+/// Stable per-(P, repetition) seed derived from the base seed — the
+/// reason unit results are placement-independent.
+[[nodiscard]] std::uint64_t sweep_instance_seed(std::uint64_t base,
+                                                std::size_t processor_count,
+                                                std::size_t repetition);
+
+/// Runs sweep units one at a time with warm per-runner simulator scratch
+/// (a worker thread or a daemon worker keeps one runner alive across a
+/// whole shard, so the execution pass allocates nothing after warm-up).
+class SweepUnitRunner {
+ public:
+  /// `config` is borrowed and must outlive the runner. `metrics` may be
+  /// null; when set, per-unit counters and histograms accumulate there.
+  explicit SweepUnitRunner(const ExperimentConfig& config,
+                           MetricsRegistry* metrics = nullptr)
+      : config_(&config), metrics_(metrics) {}
+
+  /// Computes unit `unit` into `out` (exactly values_per_unit() doubles).
+  void run(std::size_t unit, std::span<double> out);
+
+  /// Simulator workspace high-water marks (meaningful after executing).
+  [[nodiscard]] const SimWorkspace& workspace() const { return workspace_; }
+
+ private:
+  const ExperimentConfig* config_;
+  MetricsRegistry* metrics_;
+  SimWorkspace workspace_;
+  SimResult sim_result_;
+};
+
+/// Runs units [begin, end) serially into `out`, which holds the slots
+/// for exactly those units (out.size() == (end - begin) ·
+/// values_per_unit()). This is the shard execution path shared by the
+/// daemon sweep handler and the in-process endpoint.
+void run_sweep_units(const ExperimentConfig& config, std::size_t begin,
+                     std::size_t end, std::span<double> out,
+                     MetricsRegistry* metrics = nullptr);
+
+/// Folds a fully populated unit-value vector (total_units() ·
+/// values_per_unit() doubles, unit-major) into the ExperimentResult.
+/// Serial, in unit order — the single point where merge determinism is
+/// decided, shared by the local and distributed paths.
+[[nodiscard]] ExperimentResult assemble_experiment_result(
+    const ExperimentConfig& config, std::span<const double> values);
+
+}  // namespace hcs

@@ -1,35 +1,106 @@
 #include "service/client.hpp"
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <array>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
 namespace hcs::service {
+namespace {
 
-ServiceClient::ServiceClient(const std::string& socket_path) {
+int connect_unix(const std::string& socket_path) {
   sockaddr_un address{};
   address.sun_family = AF_UNIX;
   if (socket_path.empty() || socket_path.size() >= sizeof(address.sun_path))
     throw InputError("ServiceClient: bad socket path: " + socket_path);
   std::memcpy(address.sun_path, socket_path.c_str(), socket_path.size() + 1);
 
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0)
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
     throw InputError("ServiceClient: socket() failed: " +
                      std::string(std::strerror(errno)));
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
                 sizeof(address)) != 0) {
     const int saved = errno;
-    ::close(fd_);
-    fd_ = -1;
+    ::close(fd);
     throw InputError("ServiceClient: connect(" + socket_path +
                      ") failed: " + std::string(std::strerror(saved)));
   }
+  return fd;
+}
+
+int connect_tcp(const std::string& host_port) {
+  const std::size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == host_port.size())
+    throw InputError("ServiceClient: tcp endpoint needs host:port, got '" +
+                     host_port + "'");
+  const std::string host = host_port.substr(0, colon);
+  const std::string port = host_port.substr(colon + 1);
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &results);
+  if (rc != 0)
+    throw InputError("ServiceClient: resolve(" + host_port +
+                     ") failed: " + std::string(::gai_strerror(rc)));
+
+  int fd = -1;
+  std::string last_error = "no addresses";
+  for (addrinfo* entry = results; entry != nullptr; entry = entry->ai_next) {
+    fd = ::socket(entry->ai_family, entry->ai_socktype, entry->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, entry->ai_addr, entry->ai_addrlen) == 0) break;
+    last_error = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  if (fd < 0)
+    throw InputError("ServiceClient: connect(tcp:" + host_port +
+                     ") failed: " + last_error);
+  // Request/response round trips are latency-bound; never batch them
+  // behind Nagle.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void arm_timeout(int fd, double timeout_s) {
+  if (!(timeout_s > 0.0)) return;
+  timeval timeout{};
+  timeout.tv_sec = static_cast<time_t>(timeout_s);
+  timeout.tv_usec = static_cast<suseconds_t>(
+      (timeout_s - std::floor(timeout_s)) * 1e6);
+  if (timeout.tv_sec == 0 && timeout.tv_usec == 0) timeout.tv_usec = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(const std::string& endpoint, double timeout_s) {
+  if (endpoint.rfind("tcp:", 0) == 0)
+    fd_ = connect_tcp(endpoint.substr(4));
+  else if (endpoint.rfind("unix:", 0) == 0)
+    fd_ = connect_unix(endpoint.substr(5));
+  else
+    fd_ = connect_unix(endpoint);
+  arm_timeout(fd_, timeout_s);
 }
 
 ServiceClient::~ServiceClient() {
@@ -100,6 +171,15 @@ ScheduleResponse ServiceClient::schedule(const ScheduleRequest& request) {
     throw WireError("ServiceClient: expected kScheduleResponse, got type " +
                     std::to_string(static_cast<int>(frame.type)));
   return decode_schedule_response(frame.payload);
+}
+
+std::vector<std::uint8_t> ServiceClient::sweep_shard(
+    std::span<const std::uint8_t> request) {
+  Frame frame = round_trip(FrameType::kSweepRequest, request);
+  if (frame.type != FrameType::kSweepResult)
+    throw WireError("ServiceClient: expected kSweepResult, got type " +
+                    std::to_string(static_cast<int>(frame.type)));
+  return std::move(frame.payload);
 }
 
 std::string ServiceClient::scrape_metrics(bool text) {

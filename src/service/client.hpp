@@ -1,12 +1,15 @@
 // Blocking client for the hcsd wire protocol.
 //
-// One ServiceClient wraps one connected UNIX-domain stream socket. Calls
-// are synchronous request/response pairs; the client is NOT thread-safe —
-// concurrent load generators (service/replay.hpp) open one client per
-// connection instead of sharing.
+// One ServiceClient wraps one connected stream socket — UNIX-domain or
+// TCP, selected by the endpoint spec ("unix:/path.sock", "tcp:host:port",
+// or a bare filesystem path for compatibility). Calls are synchronous
+// request/response pairs; the client is NOT thread-safe — concurrent
+// load generators (service/replay.hpp) open one client per connection
+// instead of sharing.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,8 +33,11 @@ class ServiceError : public InputError {
 
 class ServiceClient {
  public:
-  /// Connects to the daemon's UNIX socket. Throws InputError on failure.
-  explicit ServiceClient(const std::string& socket_path);
+  /// Connects to the daemon at `endpoint`: "unix:PATH", "tcp:HOST:PORT",
+  /// or a bare path (treated as unix:PATH). Throws InputError on
+  /// failure. `timeout_s > 0` arms SO_RCVTIMEO/SO_SNDTIMEO so a wedged
+  /// peer surfaces as an error instead of a hang; 0 blocks forever.
+  explicit ServiceClient(const std::string& endpoint, double timeout_s = 0.0);
   ~ServiceClient();
 
   ServiceClient(const ServiceClient&) = delete;
@@ -43,6 +49,13 @@ class ServiceClient {
   /// ServiceError on a kError reply (code kBusy = shed by backpressure),
   /// WireError on protocol violations, InputError on socket failure.
   [[nodiscard]] ScheduleResponse schedule(const ScheduleRequest& request);
+
+  /// One sweep-shard round trip: ships an opaque shard request blob
+  /// (encoded by experiment/sweep_shard.hpp) as kSweepRequest and
+  /// returns the raw kSweepResult payload. Same error contract as
+  /// schedule().
+  [[nodiscard]] std::vector<std::uint8_t> sweep_shard(
+      std::span<const std::uint8_t> request);
 
   /// Fetches the admin metrics scrape (JSON when `text` is false).
   [[nodiscard]] std::string scrape_metrics(bool text = false);

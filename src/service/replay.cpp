@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
 #include <vector>
 
 #include "service/client.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace hcs::service {
@@ -21,6 +23,37 @@ struct ConnectionTally {
   std::size_t errors = 0;
 };
 
+/// Intended arrival times (seconds from trace start) for every request,
+/// drawn deterministically from the seed before the clock starts.
+/// Closed-loop traces have none.
+std::vector<double> intended_arrivals(const ReplayConfig& config) {
+  std::vector<double> arrivals;
+  if (config.arrival == Arrival::kClosed) return arrivals;
+  arrivals.reserve(config.requests);
+  Rng rng{config.seed ^ 0xA881AA11ULL};
+  double now_s = 0.0;
+  if (config.arrival == Arrival::kPoisson) {
+    const double mean_gap_s = 1.0 / config.offered_qps;
+    for (std::size_t i = 0; i < config.requests; ++i) {
+      // Exponential inter-arrival via inverse transform; next_double()
+      // is in [0, 1), so 1 - u is in (0, 1] and the log is finite.
+      now_s += -mean_gap_s * std::log(1.0 - rng.next_double());
+      arrivals.push_back(now_s);
+    }
+  } else {
+    // Bursts of burst_size arrive back-to-back, spaced so the average
+    // rate matches offered_qps; the same average load as kPoisson, but
+    // maximally clumped.
+    const double burst_gap_s =
+        static_cast<double>(config.burst_size) / config.offered_qps;
+    for (std::size_t i = 0; i < config.requests; ++i) {
+      if (i % config.burst_size == 0 && i > 0) now_s += burst_gap_s;
+      arrivals.push_back(now_s);
+    }
+  }
+  return arrivals;
+}
+
 }  // namespace
 
 ReplayStats run_replay(const ReplayConfig& config) {
@@ -30,6 +63,10 @@ ReplayStats run_replay(const ReplayConfig& config) {
     throw InputError("run_replay: connections must be positive");
   if (config.processors < 2)
     throw InputError("run_replay: processors must be at least 2");
+  if (config.arrival != Arrival::kClosed && !(config.offered_qps > 0.0))
+    throw InputError("run_replay: open-loop arrivals need offered_qps > 0");
+  if (config.arrival == Arrival::kBurst && config.burst_size == 0)
+    throw InputError("run_replay: burst_size must be positive");
 
   const std::size_t distinct =
       std::clamp<std::size_t>(config.distinct_workloads, 1, config.requests);
@@ -44,6 +81,8 @@ ReplayStats run_replay(const ReplayConfig& config) {
     workloads.push_back(
         make_instance(config.scenario, config.processors, config.seed + w)
             .messages);
+
+  const std::vector<double> arrivals = intended_arrivals(config);
 
   // Connect everything before starting the clock, so wall_s measures
   // request service, not connection setup.
@@ -68,7 +107,19 @@ ReplayStats run_replay(const ReplayConfig& config) {
           request.hierarchical = config.hierarchical;
           request.now_s = static_cast<double>(i) * config.time_step_s;
           request.messages = workloads[i % distinct];
-          const auto start = std::chrono::steady_clock::now();
+          auto start = std::chrono::steady_clock::now();
+          if (!arrivals.empty()) {
+            // Open loop: hold the request until its intended arrival,
+            // then charge latency from that instant — time spent queued
+            // behind this connection's slow responses counts against the
+            // daemon, exactly as it would for an outside observer.
+            const auto intended =
+                t0 + std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(arrivals[i]));
+            std::this_thread::sleep_until(intended);
+            start = intended;
+          }
           try {
             const ScheduleResponse response = client.schedule(request);
             const double us =
@@ -98,6 +149,8 @@ ReplayStats run_replay(const ReplayConfig& config) {
 
   ReplayStats stats;
   stats.wall_s = wall_s;
+  stats.offered_qps =
+      config.arrival == Arrival::kClosed ? 0.0 : config.offered_qps;
   std::vector<double> latencies_us;
   latencies_us.reserve(config.requests);
   for (const ConnectionTally& tally : tallies) {

@@ -9,6 +9,16 @@
 //  - distinct_workloads = requests             -> pure cold-solve regime
 //  - time_step_s > 0 against a drifting daemon -> drift regime: keys age
 //    out as the directory walks past the quantization tolerance.
+//
+// The arrival process picks the load regime. kClosed is the classic
+// closed loop: each connection fires its next request the moment the
+// previous response lands, so offered load adapts to service rate and
+// queueing never builds. kPoisson and kBurst are open-loop: every
+// request has an intended arrival time drawn before the clock starts
+// (exponential inter-arrivals at offered_qps, or back-to-back groups of
+// burst_size at the same average rate), and latency is measured from
+// the intended arrival — a request that waited behind a slow peer is
+// charged that wait (no coordinated omission).
 #pragma once
 
 #include <cstddef>
@@ -19,6 +29,13 @@
 #include "workload/scenario.hpp"
 
 namespace hcs::service {
+
+/// How request start times are generated.
+enum class Arrival {
+  kClosed,   ///< send on response: offered load = service rate
+  kPoisson,  ///< open loop, exponential inter-arrivals at offered_qps
+  kBurst,    ///< open loop, bursts of burst_size at offered_qps average
+};
 
 struct ReplayConfig {
   std::string socket_path;
@@ -40,10 +57,17 @@ struct ReplayConfig {
   /// Directory time advance per request: request i queries now_s =
   /// i * time_step_s. Zero freezes time (no drift).
   double time_step_s = 0.0;
+  /// Arrival process; open-loop modes need offered_qps > 0.
+  Arrival arrival = Arrival::kClosed;
+  /// Target offered load (requests/s) for kPoisson and kBurst.
+  double offered_qps = 0.0;
+  /// Requests per burst for kBurst.
+  std::size_t burst_size = 8;
 };
 
 /// Aggregate outcome of one replay. Latencies are client-observed round
-/// trips in microseconds, exact percentiles over every completed request.
+/// trips in microseconds, exact percentiles over every completed request
+/// (measured from the intended arrival time in open-loop modes).
 struct ReplayStats {
   std::size_t completed = 0;  ///< requests answered with a schedule
   std::size_t cache_hits = 0;
@@ -51,7 +75,8 @@ struct ReplayStats {
   std::size_t busy = 0;    ///< shed by queue backpressure (kBusy)
   std::size_t errors = 0;  ///< any other failure
   double wall_s = 0.0;
-  double qps = 0.0;  ///< completed / wall_s
+  double qps = 0.0;          ///< completed / wall_s
+  double offered_qps = 0.0;  ///< intended load (0 for closed loop)
   double p50_us = 0.0;
   double p99_us = 0.0;
   double mean_us = 0.0;

@@ -1,5 +1,8 @@
 #include "service/server.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
@@ -14,6 +17,7 @@
 
 #include "core/comm_matrix.hpp"
 #include "core/hierarchical_scheduler.hpp"
+#include "experiment/sweep_shard.hpp"
 #include "netmodel/cluster_detect.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -50,6 +54,9 @@ struct ScheduleServer::Connection {
   std::mutex write_mutex;
   std::atomic<bool> open{true};
   std::thread reader;
+  /// Work requests seen so far (reader-thread only; the per-connection
+  /// request limit compares against this).
+  std::uint64_t work_requests = 0;
 };
 
 ScheduleServer::ScheduleServer(const DirectoryService& directory,
@@ -60,8 +67,12 @@ ScheduleServer::ScheduleServer(const DirectoryService& directory,
       metrics_(options_.workers == 0 ? ThreadPool::allowed_cpu_count()
                                      : options_.workers),
       queue_(options_.queue_capacity) {
-  if (options_.socket_path.empty())
-    throw InputError("ScheduleServer: socket_path must be set");
+  if (options_.socket_path.empty() && options_.tcp_port < 0)
+    throw InputError(
+        "ScheduleServer: need at least one listener (socket_path or "
+        "tcp_port)");
+  if (options_.tcp_port > 65535)
+    throw InputError("ScheduleServer: tcp_port must be in [0, 65535]");
   if (!(options_.quantum > 0.0))
     throw InputError("ScheduleServer: quantum must be positive");
 }
@@ -69,33 +80,72 @@ ScheduleServer::ScheduleServer(const DirectoryService& directory,
 ScheduleServer::~ScheduleServer() { stop(); }
 
 void ScheduleServer::start() {
-  sockaddr_un address{};
-  address.sun_family = AF_UNIX;
-  if (options_.socket_path.size() >= sizeof(address.sun_path))
-    throw InputError("ScheduleServer: socket path too long: " +
-                     options_.socket_path);
-  std::memcpy(address.sun_path, options_.socket_path.c_str(),
-              options_.socket_path.size() + 1);
+  if (!options_.socket_path.empty()) {
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    if (options_.socket_path.size() >= sizeof(address.sun_path))
+      throw InputError("ScheduleServer: socket path too long: " +
+                       options_.socket_path);
+    std::memcpy(address.sun_path, options_.socket_path.c_str(),
+                options_.socket_path.size() + 1);
 
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0)
-    throw InputError("ScheduleServer: socket() failed: " +
-                     std::string(std::strerror(errno)));
-  ::unlink(options_.socket_path.c_str());
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
-             sizeof(address)) != 0) {
-    const int saved = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw InputError("ScheduleServer: bind(" + options_.socket_path +
-                     ") failed: " + std::string(std::strerror(saved)));
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+      throw InputError("ScheduleServer: socket() failed: " +
+                       std::string(std::strerror(errno)));
+    ::unlink(options_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+               sizeof(address)) != 0) {
+      const int saved = errno;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw InputError("ScheduleServer: bind(" + options_.socket_path +
+                       ") failed: " + std::string(std::strerror(saved)));
+    }
+    if (::listen(listen_fd_, 128) != 0) {
+      const int saved = errno;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw InputError("ScheduleServer: listen failed: " +
+                       std::string(std::strerror(saved)));
+    }
   }
-  if (::listen(listen_fd_, 128) != 0) {
-    const int saved = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw InputError("ScheduleServer: listen failed: " +
-                     std::string(std::strerror(saved)));
+
+  if (options_.tcp_port >= 0) {
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port =
+        htons(static_cast<std::uint16_t>(options_.tcp_port));
+    if (::inet_pton(AF_INET, options_.tcp_bind.c_str(),
+                    &address.sin_addr) != 1)
+      throw InputError("ScheduleServer: bad tcp_bind address: " +
+                       options_.tcp_bind);
+
+    tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_listen_fd_ < 0)
+      throw InputError("ScheduleServer: tcp socket() failed: " +
+                       std::string(std::strerror(errno)));
+    const int one = 1;
+    ::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    if (::bind(tcp_listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+               sizeof(address)) != 0 ||
+        ::listen(tcp_listen_fd_, 128) != 0) {
+      const int saved = errno;
+      ::close(tcp_listen_fd_);
+      tcp_listen_fd_ = -1;
+      throw InputError("ScheduleServer: tcp bind(" + options_.tcp_bind +
+                       ":" + std::to_string(options_.tcp_port) +
+                       ") failed: " + std::string(std::strerror(saved)));
+    }
+    // Read the bound port back — with tcp_port = 0 the kernel picked an
+    // ephemeral one, and callers (tests, multi-daemon launchers) need it.
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(tcp_listen_fd_,
+                      reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) == 0)
+      tcp_listen_port_ = ntohs(bound.sin_port);
   }
 
   started_at_ = std::chrono::steady_clock::now();
@@ -109,24 +159,36 @@ void ScheduleServer::start() {
 void ScheduleServer::accept_loop() {
   while (!stopping_.load(std::memory_order_acquire) &&
          accepting_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollMillis);
+    std::array<pollfd, 2> pfds{};
+    nfds_t nfds = 0;
+    if (listen_fd_ >= 0) pfds[nfds++] = pollfd{listen_fd_, POLLIN, 0};
+    if (tcp_listen_fd_ >= 0)
+      pfds[nfds++] = pollfd{tcp_listen_fd_, POLLIN, 0};
+    const int ready = ::poll(pfds.data(), nfds, kPollMillis);
     if (ready <= 0) continue;  // timeout, EINTR, or transient error
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    // Bound worker writes to unresponsive clients so a dead peer can
-    // never wedge the pool (or stop()).
-    timeval timeout{5, 0};
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
-    auto connection = std::make_shared<Connection>();
-    connection->fd = fd;
-    accepted_connections_.fetch_add(1, std::memory_order_relaxed);
-    {
-      const std::lock_guard<std::mutex> lock(connections_mutex_);
-      connections_.push_back(connection);
+    for (nfds_t k = 0; k < nfds; ++k) {
+      if ((pfds[k].revents & POLLIN) == 0) continue;
+      const int fd = ::accept(pfds[k].fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      // Bound worker writes to unresponsive clients so a dead peer can
+      // never wedge the pool (or stop()).
+      timeval timeout{5, 0};
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+      if (pfds[k].fd == tcp_listen_fd_) {
+        // Same latency-bound request/response traffic as the client side.
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
+      auto connection = std::make_shared<Connection>();
+      connection->fd = fd;
+      accepted_connections_.fetch_add(1, std::memory_order_relaxed);
+      {
+        const std::lock_guard<std::mutex> lock(connections_mutex_);
+        connections_.push_back(connection);
+      }
+      connection->reader =
+          std::thread([this, connection] { reader_loop(connection); });
     }
-    connection->reader =
-        std::thread([this, connection] { reader_loop(connection); });
   }
 }
 
@@ -149,7 +211,21 @@ void ScheduleServer::reader_loop(const std::shared_ptr<Connection>& connection) 
       reader.feed({chunk.data(), static_cast<std::size_t>(n)});
       while (auto frame = reader.next()) {
         switch (frame->type) {
-          case FrameType::kScheduleRequest: {
+          case FrameType::kScheduleRequest:
+          case FrameType::kSweepRequest: {
+            if (options_.max_requests_per_connection > 0 &&
+                ++connection->work_requests >
+                    options_.max_requests_per_connection) {
+              // The fairness valve: refuse and hang up; a well-behaved
+              // client (the sweep driver) reconnects and carries on.
+              request_limit_closes_.fetch_add(1, std::memory_order_relaxed);
+              const auto body = encode_error(
+                  {ErrorCode::kBusy,
+                   "per-connection request limit reached; reconnect"});
+              write_frame_to(*connection, FrameType::kError, body);
+              connection->open.store(false, std::memory_order_release);
+              break;
+            }
             if (draining_.load(std::memory_order_acquire)) {
               // Mid-drain: queued work still completes, but new work is
               // refused synchronously so the client can fail over
@@ -162,6 +238,7 @@ void ScheduleServer::reader_loop(const std::shared_ptr<Connection>& connection) 
             }
             Job job;
             job.connection = connection;
+            job.type = frame->type;
             job.payload = std::move(frame->payload);
             job.enqueued_at = std::chrono::steady_clock::now();
             if (!queue_.try_push(std::move(job))) {
@@ -227,6 +304,43 @@ void ScheduleServer::worker_loop(std::size_t worker) {
 
   while (auto job = queue_.pop()) {
     const auto t0 = std::chrono::steady_clock::now();
+    if (job->type == FrameType::kSweepRequest) {
+      // A sweep shard: opaque to the service layer — decode, execute,
+      // and encode all live in experiment/sweep_shard.hpp. Shards run
+      // serially in this worker slot, so a daemon's sweep concurrency is
+      // its worker count, same as schedule solves.
+      bool failed = false;
+      std::size_t units = 0;
+      FrameType out_type = FrameType::kSweepResult;
+      std::vector<std::uint8_t> out;
+      try {
+        out = handle_sweep_shard(job->payload, &units);
+      } catch (const InputError& error) {
+        out = encode_error({ErrorCode::kBadRequest, error.what()});
+        out_type = FrameType::kError;
+        failed = true;
+      } catch (const std::exception& error) {
+        out = encode_error({ErrorCode::kInternal, error.what()});
+        out_type = FrameType::kError;
+        failed = true;
+      }
+      const double shard_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      // Record before writing the response: a client that scrapes right
+      // after its answer arrives sees its own shard counted.
+      metrics_.record(worker, [&](MetricsRegistry& registry) {
+        registry.counter("service.requests").add();
+        registry.counter("service.sweep_shards").add();
+        registry.counter("service.sweep_units").add(units);
+        if (failed) registry.counter("service.errors").add();
+        registry.histogram("service.sweep_s").observe(shard_s);
+        registry.histogram("service.latency_s").observe(shard_s);
+      });
+      write_frame_to(*job->connection, out_type, out);
+      continue;
+    }
     bool hit = false, coalesced = false, solved = false, failed = false;
     bool memo_hit = false;
     double solve_s = 0.0;
@@ -458,6 +572,8 @@ MetricsRegistry ScheduleServer::scrape() const {
       .add(busy_rejections_.load(std::memory_order_relaxed));
   merged.counter("service.drain_rejections")
       .add(drain_rejections_.load(std::memory_order_relaxed));
+  merged.counter("service.request_limit_closes")
+      .add(request_limit_closes_.load(std::memory_order_relaxed));
   merged.gauge("service.draining")
       .set(draining_.load(std::memory_order_relaxed) ? 1.0 : 0.0);
   merged.counter("service.connections")
@@ -514,6 +630,10 @@ void ScheduleServer::drain() {
     listen_fd_ = -1;
     ::unlink(options_.socket_path.c_str());
   }
+  if (tcp_listen_fd_ >= 0) {
+    ::close(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
+  }
   // Close the queue to producers and wait for the backlog to empty; the
   // workers keep popping (and writing responses to the open connections)
   // until it is. In-flight jobs are covered by stop()'s worker join.
@@ -569,6 +689,10 @@ void ScheduleServer::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
     ::unlink(options_.socket_path.c_str());
+  }
+  if (tcp_listen_fd_ >= 0) {
+    ::close(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
   }
 }
 

@@ -6,11 +6,16 @@
 //   queue ──► N worker threads ──► response written straight to the
 //   connection (per-connection write mutex keeps frames whole)
 //
-// Readers only parse frames off the socket; all decode and scheduling
-// work happens on the worker pool, so the compute concurrency is capped
+// The acceptor listens on a UNIX-domain socket, a TCP socket, or both —
+// same framing, same queue, same drain semantics either way. Readers
+// only parse frames off the socket; all decode and scheduling work
+// happens on the worker pool, so the compute concurrency is capped
 // at `workers` regardless of connection count. When the queue is full the
 // reader answers kError/kBusy immediately instead of enqueueing —
 // backpressure the client sees synchronously, never an unbounded buffer.
+// Workers serve two request families: schedule solves (kScheduleRequest,
+// cached) and sweep shards (kSweepRequest — opaque blocks of a
+// distributed experiment sweep, executed by experiment/sweep_shard.hpp).
 // Admin traffic (metrics scrape, shutdown) bypasses the queue: it must
 // stay answerable exactly when the queue is the thing you want to look
 // at.
@@ -103,8 +108,22 @@ class BoundedQueue {
 /// Daemon configuration.
 struct ServerOptions {
   /// Filesystem path of the UNIX-domain listening socket. An existing
-  /// socket file at the path is replaced.
+  /// socket file at the path is replaced. May be empty when a TCP
+  /// listener is configured; at least one listener is required.
   std::string socket_path;
+  /// TCP listening port: -1 disables the TCP listener, 0 binds an
+  /// ephemeral port (read it back via tcp_listen_port()). Both listeners
+  /// speak the identical framing and share the queue, workers, and drain
+  /// semantics.
+  int tcp_port = -1;
+  /// Address the TCP listener binds. Loopback by default: exposing the
+  /// daemon beyond the host is an explicit decision (hcsd --tcp-bind).
+  std::string tcp_bind = "127.0.0.1";
+  /// Work requests (schedule + sweep) a single connection may submit
+  /// before the server answers kBusy and hangs up; 0 = unlimited. A
+  /// fairness valve: one greedy client cannot monopolize the daemon
+  /// forever, and sweep drivers reconnect transparently.
+  std::size_t max_requests_per_connection = 0;
   /// Worker threads (0 = one per allowed CPU).
   std::size_t workers = 0;
   /// Request-queue depth shared by all connections; producers beyond it
@@ -160,11 +179,17 @@ class ScheduleServer {
   [[nodiscard]] std::size_t worker_count() const noexcept {
     return workers_.size();
   }
+  /// The bound TCP port (the ephemeral one when tcp_port was 0); 0 when
+  /// no TCP listener is configured. Valid after start().
+  [[nodiscard]] std::uint16_t tcp_listen_port() const noexcept {
+    return tcp_listen_port_;
+  }
 
  private:
   struct Connection;
   struct Job {
     std::shared_ptr<Connection> connection;
+    FrameType type = FrameType::kScheduleRequest;
     std::vector<std::uint8_t> payload;
     std::chrono::steady_clock::time_point enqueued_at;
   };
@@ -194,6 +219,8 @@ class ScheduleServer {
   MetricsHub metrics_;
 
   int listen_fd_ = -1;
+  int tcp_listen_fd_ = -1;
+  std::uint16_t tcp_listen_port_ = 0;
   std::thread acceptor_;
   std::vector<std::thread> workers_;
   BoundedQueue<Job> queue_;
@@ -215,6 +242,7 @@ class ScheduleServer {
 
   std::atomic<std::uint64_t> busy_rejections_{0};
   std::atomic<std::uint64_t> drain_rejections_{0};
+  std::atomic<std::uint64_t> request_limit_closes_{0};
   std::atomic<std::uint64_t> accepted_connections_{0};
   std::atomic<std::uint64_t> snapshot_reuses_{0};
   std::atomic<std::uint64_t> snapshot_builds_{0};

@@ -1,0 +1,276 @@
+#include "service/sweep_driver.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "experiment/sweep_shard.hpp"
+#include "experiment/sweep_units.hpp"
+#include "service/client.hpp"
+#include "util/error.hpp"
+
+namespace hcs::service {
+
+struct SocketSweepEndpoint::Impl {
+  std::optional<ServiceClient> client;
+};
+
+SocketSweepEndpoint::SocketSweepEndpoint(std::string endpoint,
+                                         double timeout_s)
+    : endpoint_(std::move(endpoint)),
+      timeout_s_(timeout_s),
+      impl_(std::make_unique<Impl>()) {}
+
+SocketSweepEndpoint::~SocketSweepEndpoint() = default;
+
+std::vector<std::uint8_t> SocketSweepEndpoint::run_shard(
+    std::span<const std::uint8_t> request) {
+  try {
+    if (!impl_->client) impl_->client.emplace(endpoint_, timeout_s_);
+    return impl_->client->sweep_shard(request);
+  } catch (const std::exception& error) {
+    // Whatever went wrong — connect refused, timeout mid-read, a peer
+    // kError, a torn frame — the connection state is unknown; drop it so
+    // the next attempt starts clean, and let the dispatcher requeue.
+    impl_->client.reset();
+    throw EndpointError(endpoint_ + ": " + error.what());
+  }
+}
+
+std::vector<std::unique_ptr<WorkerEndpoint>> make_worker_endpoints(
+    const std::vector<WorkerSpec>& specs, double timeout_s) {
+  std::vector<std::unique_ptr<WorkerEndpoint>> endpoints;
+  for (const WorkerSpec& spec : specs) {
+    switch (spec.kind) {
+      case WorkerSpec::Kind::kLocal:
+        for (std::size_t k = 0; k < spec.count; ++k)
+          endpoints.push_back(std::make_unique<LocalSweepEndpoint>());
+        break;
+      case WorkerSpec::Kind::kUnix:
+        endpoints.push_back(std::make_unique<SocketSweepEndpoint>(
+            "unix:" + spec.socket_path, timeout_s));
+        break;
+      case WorkerSpec::Kind::kTcp:
+        endpoints.push_back(std::make_unique<SocketSweepEndpoint>(
+            "tcp:" + spec.host + ":" + std::to_string(spec.port), timeout_s));
+        break;
+    }
+  }
+  return endpoints;
+}
+
+namespace {
+
+/// Shared dispatch state: a deque of pending shard indices, the global
+/// value vector the shards merge into, and liveness accounting. All
+/// mutation under one mutex; `ready` wakes idle dispatchers when a
+/// failed shard is requeued or the sweep finishes/aborts.
+struct Dispatch {
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::deque<std::size_t> pending;
+  std::vector<char> done;
+  std::size_t done_count = 0;
+  std::size_t healthy = 0;
+  std::size_t redispatches = 0;
+  bool abandoned = false;
+  std::vector<double> values;
+  std::vector<std::string> last_errors;
+};
+
+/// Runs one endpoint's dispatcher: pop a shard, execute, merge; requeue
+/// on failure and retire after `max_failures` consecutive failures.
+void dispatch_loop(WorkerEndpoint& endpoint, DistributedWorkerReport& row,
+                   Dispatch& d, const SweepShardRequest& base,
+                   std::size_t total_units, std::size_t shard_units,
+                   std::size_t values_per_unit, std::size_t shard_count,
+                   std::size_t max_failures) {
+  std::size_t consecutive = 0;
+  while (true) {
+    std::size_t shard = 0;
+    {
+      std::unique_lock<std::mutex> lock(d.mutex);
+      d.ready.wait(lock, [&] {
+        return !d.pending.empty() || d.done_count == shard_count ||
+               d.abandoned;
+      });
+      if (d.done_count == shard_count || d.abandoned) return;
+      shard = d.pending.front();
+      d.pending.pop_front();
+    }
+    const std::size_t begin = shard * shard_units;
+    const std::size_t end = std::min(begin + shard_units, total_units);
+    SweepShardRequest request = base;
+    request.unit_begin = static_cast<std::uint32_t>(begin);
+    request.unit_end = static_cast<std::uint32_t>(end);
+
+    bool ok = false;
+    SweepShardResult result;
+    std::string error;
+    try {
+      const auto raw = endpoint.run_shard(encode_sweep_shard_request(request));
+      result = decode_sweep_shard_result(raw);
+      if (result.kind != base.kind || result.unit_begin != begin ||
+          result.unit_count != end - begin ||
+          result.values_per_unit != values_per_unit)
+        throw EndpointError(endpoint.name() +
+                            ": shard result does not match request");
+      ok = true;
+    } catch (const std::exception& failure) {
+      error = failure.what();
+    }
+
+    const std::lock_guard<std::mutex> lock(d.mutex);
+    if (ok) {
+      consecutive = 0;
+      row.shards += 1;
+      row.units += end - begin;
+      if (!d.done[shard]) {
+        d.done[shard] = 1;
+        ++d.done_count;
+        std::copy(result.values.begin(), result.values.end(),
+                  d.values.begin() +
+                      static_cast<std::ptrdiff_t>(begin * values_per_unit));
+      }
+      // A duplicate (another endpoint recomputed a shard we timed out
+      // on) is dropped here: the bytes would be identical anyway.
+      if (d.done_count == shard_count) {
+        d.ready.notify_all();
+        return;
+      }
+    } else {
+      ++consecutive;
+      row.failures += 1;
+      d.pending.push_back(shard);
+      ++d.redispatches;
+      d.ready.notify_all();
+      if (consecutive >= max_failures) {
+        row.healthy = false;
+        d.last_errors.push_back(error);
+        if (--d.healthy == 0) {
+          d.abandoned = true;
+          d.ready.notify_all();
+        }
+        return;
+      }
+    }
+  }
+}
+
+/// The shared core: shard [0, total_units) into contiguous blocks, run
+/// one dispatcher thread per endpoint, return the merged value vector.
+std::vector<double> run_sharded(const SweepShardRequest& base,
+                                std::size_t total_units,
+                                std::size_t values_per_unit,
+                                DistributedSweepOptions& options,
+                                DistributedReport* report) {
+  if (options.endpoints.empty())
+    throw InputError("distributed sweep: no worker endpoints");
+  if (options.max_failures == 0)
+    throw InputError("distributed sweep: max_failures must be >= 1");
+
+  const std::size_t endpoint_count = options.endpoints.size();
+  std::size_t shard_units = options.shard_units;
+  if (shard_units == 0)
+    shard_units = std::max<std::size_t>(
+        1, (total_units + 4 * endpoint_count - 1) / (4 * endpoint_count));
+  const std::size_t shard_count =
+      total_units == 0 ? 0 : (total_units + shard_units - 1) / shard_units;
+
+  Dispatch d;
+  d.values.assign(total_units * values_per_unit, 0.0);
+  d.done.assign(shard_count, 0);
+  for (std::size_t s = 0; s < shard_count; ++s) d.pending.push_back(s);
+  d.healthy = endpoint_count;
+
+  std::vector<DistributedWorkerReport> rows(endpoint_count);
+  for (std::size_t e = 0; e < endpoint_count; ++e)
+    rows[e].name = options.endpoints[e]->name();
+
+  std::vector<std::thread> dispatchers;
+  dispatchers.reserve(endpoint_count);
+  for (std::size_t e = 0; e < endpoint_count; ++e)
+    dispatchers.emplace_back([&, e] {
+      dispatch_loop(*options.endpoints[e], rows[e], d, base, total_units,
+                    shard_units, values_per_unit, shard_count,
+                    options.max_failures);
+    });
+  for (std::thread& t : dispatchers) t.join();
+
+  if (report != nullptr) {
+    report->workers = rows;
+    report->shard_count = shard_count;
+    report->redispatches = d.redispatches;
+  }
+  if (d.done_count < shard_count) {
+    std::string detail;
+    for (const std::string& e : d.last_errors) {
+      if (!detail.empty()) detail += "; ";
+      detail += e;
+    }
+    throw InputError(
+        "distributed sweep: all workers failed with " +
+        std::to_string(shard_count - d.done_count) + " of " +
+        std::to_string(shard_count) + " shard(s) incomplete" +
+        (detail.empty() ? "" : " (" + detail + ")"));
+  }
+  return std::move(d.values);
+}
+
+}  // namespace
+
+ExperimentResult run_distributed_sweep(const ExperimentConfig& config,
+                                       DistributedSweepOptions& options,
+                                       DistributedReport* report) {
+  validate_experiment_config(config);
+  const SweepUnitSpace space = SweepUnitSpace::of(config);
+
+  SweepShardRequest base;
+  base.kind = SweepKind::kFigure;
+  base.figure = config;
+  // Local-only concerns never travel: shards run serially in one worker
+  // slot, and metrics sinks are pointers.
+  base.figure.threads = 0;
+  base.figure.metrics = nullptr;
+
+  const std::vector<double> values = run_sharded(
+      base, space.total_units(), space.values_per_unit(), options, report);
+  return assemble_experiment_result(config, values);
+}
+
+FaultSweepResult run_distributed_fault_sweep(const FaultSweepConfig& config,
+                                             DistributedSweepOptions& options,
+                                             DistributedReport* report) {
+  validate_fault_sweep_config(config);
+  // The baseline fixes every row's fault horizon, so it is computed
+  // exactly once — here — and shipped with each shard.
+  FaultSweepContext context{config};
+  const double baseline = context.fault_free_completion();
+
+  SweepShardRequest base;
+  base.kind = SweepKind::kFault;
+  base.fault = config;
+  base.fault.threads = 0;
+  base.fault_baseline_s = baseline;
+
+  const std::size_t row_count = config.max_crashes + 1;
+  const std::vector<double> values =
+      run_sharded(base, row_count, kFaultRowValues, options, report);
+
+  FaultSweepResult result;
+  result.config = config;
+  result.algorithm_name = context.algorithm_name();
+  result.fault_free_completion_s = baseline;
+  result.rows.reserve(row_count);
+  for (std::size_t crashes = 0; crashes < row_count; ++crashes)
+    result.rows.push_back(fault_row_from_values(
+        crashes, std::span<const double>(values).subspan(
+                     crashes * kFaultRowValues, kFaultRowValues)));
+  return result;
+}
+
+}  // namespace hcs::service

@@ -1,0 +1,105 @@
+// Distributed sweep dispatcher.
+//
+// Shards a sweep's global work-unit index space (experiment/
+// sweep_units.hpp, experiment/fault_sweep.hpp) into contiguous blocks
+// and dispatches them across worker backends: in-process workers
+// (`local:N`), hcsd daemons on UNIX sockets (`unix:PATH`), and hcsd
+// daemons across the network (`tcp:HOST:PORT`). The returned result is
+// byte-identical to the single-process sweep at any worker count, shard
+// size, or arrival order — shards land in disjoint slots of one global
+// value vector and the merge is the same serial fold the local path
+// uses (assemble_experiment_result / fault_row_from_values).
+//
+// Failure handling: a shard that fails on one endpoint (connect error,
+// timeout, malformed reply, peer kError) is requeued and re-dispatched
+// to any healthy endpoint; the failing endpoint retires after
+// `max_failures` consecutive failures. Because shard results are pure
+// functions of the shard spec, a duplicated shard (one endpoint timed
+// out, another recomputed) merges identically. The driver throws only
+// when every endpoint has retired with shards still incomplete.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiment/experiment.hpp"
+#include "experiment/fault_sweep.hpp"
+#include "util/worker_endpoint.hpp"
+
+namespace hcs::service {
+
+/// Remote worker backend: one hcsd daemon behind an endpoint spec
+/// ("unix:/path.sock" or "tcp:host:port"). Connects lazily on the first
+/// shard and reconnects after any failure, so a daemon that restarts
+/// mid-sweep is picked back up. Not thread-safe — the dispatcher gives
+/// each endpoint its own thread.
+class SocketSweepEndpoint final : public WorkerEndpoint {
+ public:
+  /// `endpoint` is a ServiceClient endpoint spec; `timeout_s` bounds
+  /// each shard round trip (0 = block forever).
+  explicit SocketSweepEndpoint(std::string endpoint, double timeout_s = 0.0);
+  ~SocketSweepEndpoint() override;
+
+  [[nodiscard]] std::string name() const override { return endpoint_; }
+  [[nodiscard]] std::vector<std::uint8_t> run_shard(
+      std::span<const std::uint8_t> request) override;
+
+ private:
+  struct Impl;
+  std::string endpoint_;
+  double timeout_s_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Expands worker specs into endpoints: `local:N` becomes N in-process
+/// workers, `unix:`/`tcp:` become socket endpoints with `timeout_s`
+/// armed. Connection errors surface later, per shard, not here.
+[[nodiscard]] std::vector<std::unique_ptr<WorkerEndpoint>>
+make_worker_endpoints(const std::vector<WorkerSpec>& specs,
+                      double timeout_s = 0.0);
+
+struct DistributedSweepOptions {
+  /// Worker backends (moved in; one dispatcher thread each). Must be
+  /// non-empty.
+  std::vector<std::unique_ptr<WorkerEndpoint>> endpoints;
+  /// Units per shard; 0 = auto (about four shards per endpoint, so a
+  /// slow worker can shed load to fast ones).
+  std::size_t shard_units = 0;
+  /// Consecutive failures before an endpoint retires.
+  std::size_t max_failures = 3;
+};
+
+/// Per-endpoint dispatch accounting.
+struct DistributedWorkerReport {
+  std::string name;
+  std::size_t shards = 0;    ///< shards completed (incl. duplicates)
+  std::size_t units = 0;     ///< units inside those shards
+  std::size_t failures = 0;  ///< shard attempts that threw
+  bool healthy = true;       ///< false once retired
+};
+
+struct DistributedReport {
+  std::vector<DistributedWorkerReport> workers;
+  std::size_t shard_count = 0;
+  std::size_t redispatches = 0;  ///< failed attempts that were requeued
+};
+
+/// Distributed figure sweep: identical result to run_experiment(config)
+/// (the config's `threads` and `metrics` apply only to the local path
+/// and are not shipped). Throws InputError when the sweep cannot
+/// complete on the given endpoints.
+[[nodiscard]] ExperimentResult run_distributed_sweep(
+    const ExperimentConfig& config, DistributedSweepOptions& options,
+    DistributedReport* report = nullptr);
+
+/// Distributed fault sweep: the driver computes the fault-free baseline
+/// locally (it fixes every row's fault horizon) and ships it with each
+/// shard; rows merge in crash order. Identical result to
+/// run_fault_sweep(config).
+[[nodiscard]] FaultSweepResult run_distributed_fault_sweep(
+    const FaultSweepConfig& config, DistributedSweepOptions& options,
+    DistributedReport* report = nullptr);
+
+}  // namespace hcs::service

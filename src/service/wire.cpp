@@ -1,131 +1,18 @@
 #include "service/wire.hpp"
 
-#include <bit>
 #include <cmath>
-#include <cstring>
+
+#include "util/bytes.hpp"
 
 namespace hcs::service {
 namespace {
 
-// The protocol is little-endian on the wire. On little-endian hosts
-// (everything this library targets in practice) scalars and whole arrays
-// move with memcpy — the codec hot path is bulk copies, not per-byte
-// shifting, which is what lets a warm cache hit spend its time in the
-// kernel instead of the serializer. The shift-based fallback keeps the
-// wire format identical on big-endian hosts.
-constexpr bool kHostIsLittleEndian =
-    std::endian::native == std::endian::little;
-
-/// Sequential writer over a pre-sized region of `out`: the caller
-/// declares the payload size once, then fields land via memcpy instead of
-/// repeated push_back growth checks.
-class Writer {
- public:
-  Writer(std::vector<std::uint8_t>& out, std::size_t bytes)
-      : out_(out), pos_(out.size()) {
-    out_.resize(out_.size() + bytes);
-  }
-
-  void u8(std::uint8_t v) { out_[pos_++] = v; }
-  void u16(std::uint16_t v) { put_scalar(v); }
-  void u32(std::uint32_t v) { put_scalar(v); }
-  void u64(std::uint64_t v) { put_scalar(v); }
-  void f64(double v) { put_scalar(std::bit_cast<std::uint64_t>(v)); }
-
-  /// Bulk little-endian u64 block — one memcpy on LE hosts.
-  void u64_block(std::span<const std::uint64_t> values) {
-    if constexpr (kHostIsLittleEndian) {
-      std::memcpy(out_.data() + pos_, values.data(), 8 * values.size());
-      pos_ += 8 * values.size();
-    } else {
-      for (const std::uint64_t v : values) u64(v);
-    }
-  }
-
-  /// All declared bytes must be written — catches size-formula drift.
-  void finish() const {
-    if (pos_ != out_.size())
-      throw WireError("wire: encoder size mismatch (internal)");
-  }
-
- private:
-  template <typename T>
-  void put_scalar(T v) {
-    if constexpr (kHostIsLittleEndian) {
-      std::memcpy(out_.data() + pos_, &v, sizeof v);
-      pos_ += sizeof v;
-    } else {
-      for (std::size_t k = 0; k < sizeof v; ++k)
-        out_[pos_++] = static_cast<std::uint8_t>(v >> (8 * k));
-    }
-  }
-
-  std::vector<std::uint8_t>& out_;
-  std::size_t pos_;
-};
-
-/// Bounds-checked sequential reader over a payload.
-class Cursor {
- public:
-  explicit Cursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
-
-  [[nodiscard]] std::uint8_t u8() {
-    need(1);
-    return bytes_[pos_++];
-  }
-  [[nodiscard]] std::uint16_t u16() { return scalar<std::uint16_t>(); }
-  [[nodiscard]] std::uint32_t u32() { return scalar<std::uint32_t>(); }
-  [[nodiscard]] std::uint64_t u64() { return scalar<std::uint64_t>(); }
-  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
-
-  /// Bulk little-endian u64 block — one memcpy on LE hosts.
-  void u64_block(std::span<std::uint64_t> dst) {
-    need(8 * dst.size());
-    if constexpr (kHostIsLittleEndian) {
-      std::memcpy(dst.data(), bytes_.data() + pos_, 8 * dst.size());
-      pos_ += 8 * dst.size();
-    } else {
-      for (std::uint64_t& v : dst) v = u64();
-    }
-  }
-
-  [[nodiscard]] std::size_t remaining() const noexcept {
-    return bytes_.size() - pos_;
-  }
-  /// Remaining bytes as a string (used by error messages and scrapes).
-  [[nodiscard]] std::string rest_as_string() {
-    std::string text(reinterpret_cast<const char*>(bytes_.data()) + pos_,
-                     remaining());
-    pos_ = bytes_.size();
-    return text;
-  }
-  void expect_exhausted(const char* what) const {
-    if (pos_ != bytes_.size())
-      throw WireError(std::string(what) + ": trailing bytes in payload");
-  }
-
- private:
-  template <typename T>
-  [[nodiscard]] T scalar() {
-    need(sizeof(T));
-    T v{};
-    if constexpr (kHostIsLittleEndian) {
-      std::memcpy(&v, bytes_.data() + pos_, sizeof v);
-      pos_ += sizeof v;
-    } else {
-      for (std::size_t k = 0; k < sizeof v; ++k)
-        v = static_cast<T>(v | (static_cast<T>(bytes_[pos_++]) << (8 * k)));
-    }
-    return v;
-  }
-
-  void need(std::size_t n) const {
-    if (bytes_.size() - pos_ < n)
-      throw WireError("wire: truncated payload");
-  }
-  std::span<const std::uint8_t> bytes_;
-  std::size_t pos_ = 0;
-};
+// The protocol is little-endian on the wire; the memcpy-on-LE encode and
+// decode primitives live in util/bytes.hpp (shared with the sweep shard
+// codec). Instantiated here with WireError so malformed frames surface as
+// protocol errors.
+using Writer = ByteWriter<WireError>;
+using Cursor = ByteCursor<WireError>;
 
 SchedulerKind checked_kind(std::uint8_t raw) {
   switch (static_cast<SchedulerKind>(raw)) {
@@ -319,7 +206,7 @@ std::optional<Frame> FrameReader::next() {
                     " exceeds limit");
   const std::uint8_t raw_type = head[4];
   if (raw_type < static_cast<std::uint8_t>(FrameType::kScheduleRequest) ||
-      raw_type > static_cast<std::uint8_t>(FrameType::kShutdown))
+      raw_type > static_cast<std::uint8_t>(FrameType::kSweepResult))
     throw WireError("FrameReader: unknown frame type " +
                     std::to_string(raw_type));
   if (available < kFrameHeaderBytes + length) return std::nullopt;

@@ -27,6 +27,12 @@
 //   kError             u16 error code (ErrorCode), UTF-8 message
 //   kShutdown          empty; the server acknowledges with an empty
 //                      kShutdown frame, finishes in-flight work, and exits
+//   kSweepRequest      opaque sweep shard request (encoded by
+//                      src/experiment/sweep_shard.hpp: a contiguous block
+//                      of the global work-unit index space plus the sweep
+//                      spec needed to run it)
+//   kSweepResult       opaque sweep shard result (same codec: the per-unit
+//                      accumulator values for the requested block)
 //
 // Encoding and decoding are pure functions of the bytes — no I/O here —
 // so the whole protocol is unit- and fuzz-testable without a socket.
@@ -60,6 +66,8 @@ enum class FrameType : std::uint8_t {
   kMetricsResponse = 4,
   kError = 5,
   kShutdown = 6,
+  kSweepRequest = 7,
+  kSweepResult = 8,
 };
 
 enum class ErrorCode : std::uint16_t {

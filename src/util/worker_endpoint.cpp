@@ -1,0 +1,65 @@
+#include "util/worker_endpoint.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace hcs {
+namespace {
+
+WorkerSpec parse_one(const std::string& item) {
+  WorkerSpec spec;
+  if (item == "local" || item.rfind("local:", 0) == 0) {
+    spec.kind = WorkerSpec::Kind::kLocal;
+    spec.count = 1;
+    if (item.size() > 6) {
+      const std::string count = item.substr(6);
+      char* end = nullptr;
+      const long parsed = std::strtol(count.c_str(), &end, 10);
+      if (end == count.c_str() || *end != '\0' || parsed < 1)
+        throw InputError("--workers: local:N needs N >= 1, got '" + item +
+                         "'");
+      spec.count = static_cast<std::size_t>(parsed);
+    }
+    return spec;
+  }
+  if (item.rfind("unix:", 0) == 0) {
+    spec.kind = WorkerSpec::Kind::kUnix;
+    spec.socket_path = item.substr(5);
+    if (spec.socket_path.empty())
+      throw InputError("--workers: unix: needs a socket path");
+    return spec;
+  }
+  if (item.rfind("tcp:", 0) == 0) {
+    spec.kind = WorkerSpec::Kind::kTcp;
+    const std::string rest = item.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0)
+      throw InputError("--workers: tcp: needs host:port, got '" + item + "'");
+    spec.host = rest.substr(0, colon);
+    const std::string port = rest.substr(colon + 1);
+    char* end = nullptr;
+    const long parsed = std::strtol(port.c_str(), &end, 10);
+    if (end == port.c_str() || *end != '\0' || parsed < 1 || parsed > 65535)
+      throw InputError("--workers: tcp port must be in [1, 65535], got '" +
+                       item + "'");
+    spec.port = static_cast<std::uint16_t>(parsed);
+    return spec;
+  }
+  throw InputError("--workers: unknown endpoint '" + item +
+                   "' (expected local[:N], unix:PATH, or tcp:HOST:PORT)");
+}
+
+}  // namespace
+
+std::vector<WorkerSpec> parse_worker_specs(const std::string& text) {
+  std::vector<WorkerSpec> specs;
+  std::stringstream stream{text};
+  std::string item;
+  while (std::getline(stream, item, ','))
+    if (!item.empty()) specs.push_back(parse_one(item));
+  if (specs.empty())
+    throw InputError("--workers must list at least one endpoint");
+  return specs;
+}
+
+}  // namespace hcs

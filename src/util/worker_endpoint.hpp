@@ -1,0 +1,75 @@
+// Worker backend abstraction for distributed work dispatch.
+//
+// A WorkerEndpoint is anything that can execute one opaque request blob
+// and return one opaque result blob: an in-process worker, a daemon on a
+// UNIX socket, a daemon across the network over TCP. The distributed
+// sweep driver (src/service/sweep_driver.hpp) dispatches shard requests
+// through this interface and is thereby transport-agnostic; the shard
+// payloads themselves are defined by src/experiment/sweep_shard.hpp.
+//
+// Endpoints are described by worker specs, the `--workers` flag syntax:
+//
+//   local:N            N in-process workers (threads in the driver)
+//   unix:/path.sock    an hcsd daemon on a UNIX-domain socket
+//   tcp:host:port      an hcsd daemon on a TCP listener
+//
+// parse_worker_specs splits a comma-separated list of those into specs;
+// transport construction lives with the service layer (the only code
+// that knows sockets).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hcs {
+
+/// Thrown when a worker backend fails (connect, timeout, short read,
+/// peer error). The dispatcher treats it as "this shard did not run
+/// here" and re-dispatches elsewhere.
+class EndpointError : public std::runtime_error {
+ public:
+  explicit EndpointError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One worker backend: executes one request, returns one result.
+/// Implementations must be safe to call from the one dispatcher thread
+/// that owns them (the driver gives each endpoint its own thread; no
+/// cross-thread sharing).
+class WorkerEndpoint {
+ public:
+  virtual ~WorkerEndpoint() = default;
+
+  /// Display name for progress and failure reporting ("local",
+  /// "unix:/tmp/w0.sock", "tcp:host:9000").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Executes one request and returns the raw result payload. Throws
+  /// EndpointError on any transport or peer failure; after a throw the
+  /// endpoint may be retried or abandoned, but must not be left holding
+  /// resources.
+  [[nodiscard]] virtual std::vector<std::uint8_t> run_shard(
+      std::span<const std::uint8_t> request) = 0;
+};
+
+/// Parsed form of one `--workers` list element.
+struct WorkerSpec {
+  enum class Kind { kLocal, kUnix, kTcp };
+  Kind kind = Kind::kLocal;
+  std::size_t count = 1;     ///< kLocal: how many in-process workers
+  std::string socket_path;   ///< kUnix
+  std::string host;          ///< kTcp
+  std::uint16_t port = 0;    ///< kTcp
+};
+
+/// Parses a comma-separated worker list ("local:2,unix:/tmp/w.sock,
+/// tcp:host:9000"). "local" without a count means local:1. Throws
+/// InputError on malformed entries.
+[[nodiscard]] std::vector<WorkerSpec> parse_worker_specs(
+    const std::string& text);
+
+}  // namespace hcs

@@ -528,6 +528,79 @@ TEST(Cli, RunScenariosValidatesArguments) {
             1);
 }
 
+TEST(Cli, SweepWithLocalWorkersIsByteIdenticalToSingleProcess) {
+  const std::vector<std::string> base{"sweep", "--processors", "5,8",
+                                      "--repetitions", "3", "--seed", "4",
+                                      "--algorithm", "openshop",
+                                      "--format", "json"};
+  const CliRun single = run(base);
+  ASSERT_EQ(single.exit_code, 0) << single.err;
+
+  std::vector<std::string> sharded = base;
+  sharded.insert(sharded.end(),
+                 {"--workers", "local:3", "--shard-units", "1"});
+  const CliRun distributed = run(sharded);
+  ASSERT_EQ(distributed.exit_code, 0) << distributed.err;
+  EXPECT_EQ(distributed.out, single.out)
+      << "distributed sweep must render byte-identically";
+
+  // CSV path too — the contract is on every rendering.
+  std::vector<std::string> csv_single = base, csv_sharded = sharded;
+  csv_single[csv_single.size() - 1] = "csv";
+  csv_sharded[10] = "csv";
+  EXPECT_EQ(run(csv_sharded).out, run(csv_single).out);
+}
+
+TEST(Cli, FaultSweepWithLocalWorkersIsByteIdenticalToSingleProcess) {
+  const std::vector<std::string> base{"fault-sweep", "--processors", "6",
+                                      "--seed", "2", "--max-crashes", "2",
+                                      "--cuts", "1", "--format", "json"};
+  const CliRun single = run(base);
+  ASSERT_EQ(single.exit_code, 0) << single.err;
+  std::vector<std::string> sharded = base;
+  sharded.insert(sharded.end(),
+                 {"--workers", "local:2", "--shard-units", "1"});
+  const CliRun distributed = run(sharded);
+  ASSERT_EQ(distributed.exit_code, 0) << distributed.err;
+  EXPECT_EQ(distributed.out, single.out);
+}
+
+TEST(Cli, SweepValidatesWorkerArguments) {
+  EXPECT_EQ(run({"sweep", "--processors", "4", "--workers", "bogus:x"})
+                .exit_code,
+            1);
+  EXPECT_EQ(run({"sweep", "--processors", "4", "--workers", "local:0"})
+                .exit_code,
+            1);
+  EXPECT_EQ(run({"sweep", "--processors", "4", "--workers", "local",
+                 "--shard-units", "-1"})
+                .exit_code,
+            1);
+  // Unreachable daemons are a runtime failure, not a hang: the sweep
+  // aborts once every endpoint has retired.
+  const CliRun dead = run({"sweep", "--processors", "4", "--repetitions", "2",
+                           "--workers", "unix:/tmp/hcs-no-such-daemon.sock"});
+  EXPECT_EQ(dead.exit_code, 1);
+  EXPECT_NE(dead.err.find("incomplete"), std::string::npos) << dead.err;
+}
+
+TEST(Cli, ReplayValidatesArrivalArguments) {
+  // Validation fires before any socket connect, so a bogus path is fine.
+  const CliRun arrival = run({"replay", "--socket", "/tmp/x.sock",
+                              "--arrival", "warp"});
+  EXPECT_EQ(arrival.exit_code, 1);
+  EXPECT_NE(arrival.err.find("--arrival must be"), std::string::npos)
+      << arrival.err;
+  const CliRun rate = run({"replay", "--socket", "/tmp/x.sock",
+                           "--arrival", "poisson"});
+  EXPECT_EQ(rate.exit_code, 1);
+  EXPECT_NE(rate.err.find("--rate"), std::string::npos) << rate.err;
+  EXPECT_EQ(run({"replay", "--socket", "/tmp/x.sock", "--arrival", "burst",
+                 "--rate", "100", "--burst", "0"})
+                .exit_code,
+            1);
+}
+
 TEST(CliOptions, ParsesPairsAndFlags) {
   const cli::Options options({"cmd", "--a", "1", "--flag", "--b", "x"}, 1,
                              {"a", "flag", "b"});

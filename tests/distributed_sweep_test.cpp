@@ -1,0 +1,549 @@
+// Tests for the distributed sweep fabric: the shard codec (exact
+// round-trip + malformed-input rejection), the partition/merge
+// determinism contract (any partition of the unit index space, merged
+// in any order, is byte-identical to the single-process sweep), and the
+// dispatcher's failure handling (transient endpoint failures re-dispatch
+// and still complete byte-identically; a sweep with every worker dead
+// throws instead of returning partial results).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "experiment/experiment.hpp"
+#include "experiment/fault_sweep.hpp"
+#include "experiment/sweep_io.hpp"
+#include "experiment/sweep_shard.hpp"
+#include "experiment/sweep_units.hpp"
+#include "service/sweep_driver.hpp"
+#include "util/error.hpp"
+#include "util/worker_endpoint.hpp"
+
+namespace hcs {
+namespace {
+
+ExperimentConfig small_config(bool execute = false) {
+  ExperimentConfig config;
+  config.processor_counts = {4, 6};
+  config.repetitions = 3;
+  config.base_seed = 7;
+  config.schedulers = {SchedulerKind::kOpenShop, SchedulerKind::kGreedy};
+  config.execute = execute;
+  config.threads = 1;
+  return config;
+}
+
+FaultSweepConfig small_fault_config() {
+  FaultSweepConfig config;
+  config.processors = 8;
+  config.seed = 2;
+  config.max_crashes = 3;
+  config.cut_count = 1;
+  config.loss = 0.05;
+  config.threads = 1;
+  return config;
+}
+
+std::string sweep_json(const ExperimentResult& result) {
+  std::ostringstream out;
+  write_sweep_json(out, result);
+  return out.str();
+}
+
+std::string fault_json(const FaultSweepResult& result) {
+  std::ostringstream out;
+  write_fault_sweep_json(out, result);
+  return out.str();
+}
+
+std::vector<std::unique_ptr<WorkerEndpoint>> local_endpoints(std::size_t n) {
+  std::vector<std::unique_ptr<WorkerEndpoint>> endpoints;
+  for (std::size_t k = 0; k < n; ++k)
+    endpoints.push_back(std::make_unique<LocalSweepEndpoint>());
+  return endpoints;
+}
+
+// --- worker specs -------------------------------------------------------
+
+TEST(WorkerSpecTest, ParsesEveryEndpointFamily) {
+  const auto specs =
+      parse_worker_specs("local,local:3,unix:/tmp/w.sock,tcp:node7:9001");
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].kind, WorkerSpec::Kind::kLocal);
+  EXPECT_EQ(specs[0].count, 1u);
+  EXPECT_EQ(specs[1].kind, WorkerSpec::Kind::kLocal);
+  EXPECT_EQ(specs[1].count, 3u);
+  EXPECT_EQ(specs[2].kind, WorkerSpec::Kind::kUnix);
+  EXPECT_EQ(specs[2].socket_path, "/tmp/w.sock");
+  EXPECT_EQ(specs[3].kind, WorkerSpec::Kind::kTcp);
+  EXPECT_EQ(specs[3].host, "node7");
+  EXPECT_EQ(specs[3].port, 9001);
+}
+
+TEST(WorkerSpecTest, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_worker_specs(""), InputError);
+  EXPECT_THROW((void)parse_worker_specs("local:0"), InputError);
+  EXPECT_THROW((void)parse_worker_specs("local:x"), InputError);
+  EXPECT_THROW((void)parse_worker_specs("unix:"), InputError);
+  EXPECT_THROW((void)parse_worker_specs("tcp:hostonly"), InputError);
+  EXPECT_THROW((void)parse_worker_specs("tcp:h:70000"), InputError);
+  EXPECT_THROW((void)parse_worker_specs("smoke-signals:hill"), InputError);
+}
+
+TEST(WorkerSpecTest, ExpandsLocalCountsIntoEndpoints) {
+  const auto endpoints =
+      service::make_worker_endpoints(parse_worker_specs("local:2,local"));
+  ASSERT_EQ(endpoints.size(), 3u);
+  for (const auto& endpoint : endpoints) EXPECT_EQ(endpoint->name(), "local");
+}
+
+// --- shard codec: exact round-trip --------------------------------------
+
+TEST(ShardCodecTest, FigureRequestRoundTripsExactly) {
+  SweepShardRequest request;
+  request.kind = SweepKind::kFigure;
+  request.figure.scenario = Scenario::kServers;
+  request.figure.processor_counts = {4, 9, 17};
+  request.figure.repetitions = 5;
+  request.figure.base_seed = 0xDEADBEEFCAFEF00DULL;
+  request.figure.schedulers = {SchedulerKind::kBaseline,
+                               SchedulerKind::kMaxMatching};
+  request.figure.validate = false;
+  request.figure.execute = true;
+  request.figure.hierarchical = true;
+  request.figure.cluster_count = 3;
+  request.figure.cluster_options.quantum = 0.125;
+  request.figure.cluster_options.tolerance = 0.75;
+  request.figure.cluster_options.ref_bytes = 1 << 19;
+  request.figure.execution.model = ReceiveModel::kBuffered;
+  request.figure.execution.arbitration = ReceiverArbitration::kFifo;
+  request.figure.execution.alpha = 0.3;
+  request.figure.execution.buffer_capacity = 7;
+  request.figure.execution.drain_factor = 0.5;
+  request.figure.execution.max_attempts = 4;
+  request.figure.execution.backoff_base_s = 1e-3;
+  request.figure.execution.backoff_factor = 2.5;
+  request.unit_begin = 2;
+  request.unit_end = 11;
+
+  const SweepShardRequest decoded =
+      decode_sweep_shard_request(encode_sweep_shard_request(request));
+  EXPECT_EQ(decoded.kind, SweepKind::kFigure);
+  EXPECT_EQ(decoded.unit_begin, 2u);
+  EXPECT_EQ(decoded.unit_end, 11u);
+  const ExperimentConfig& figure = decoded.figure;
+  EXPECT_EQ(figure.scenario, Scenario::kServers);
+  EXPECT_EQ(figure.processor_counts, request.figure.processor_counts);
+  EXPECT_EQ(figure.repetitions, 5u);
+  EXPECT_EQ(figure.base_seed, request.figure.base_seed);
+  EXPECT_EQ(figure.schedulers, request.figure.schedulers);
+  EXPECT_FALSE(figure.validate);
+  EXPECT_TRUE(figure.execute);
+  EXPECT_TRUE(figure.hierarchical);
+  EXPECT_EQ(figure.cluster_count, 3u);
+  EXPECT_EQ(figure.cluster_options.quantum, 0.125);
+  EXPECT_EQ(figure.cluster_options.tolerance, 0.75);
+  EXPECT_EQ(figure.cluster_options.ref_bytes, 1u << 19);
+  EXPECT_EQ(figure.execution.model, ReceiveModel::kBuffered);
+  EXPECT_EQ(figure.execution.arbitration, ReceiverArbitration::kFifo);
+  EXPECT_EQ(figure.execution.alpha, 0.3);
+  EXPECT_EQ(figure.execution.buffer_capacity, 7u);
+  EXPECT_EQ(figure.execution.drain_factor, 0.5);
+  EXPECT_EQ(figure.execution.max_attempts, 4u);
+  EXPECT_EQ(figure.execution.backoff_base_s, 1e-3);
+  EXPECT_EQ(figure.execution.backoff_factor, 2.5);
+}
+
+TEST(ShardCodecTest, FaultRequestRoundTripsExactly) {
+  SweepShardRequest request;
+  request.kind = SweepKind::kFault;
+  request.fault.scenario = Scenario::kLargeMessages;
+  request.fault.processors = 12;
+  request.fault.seed = 99;
+  request.fault.kind = SchedulerKind::kGreedy;
+  request.fault.max_crashes = 4;
+  request.fault.cut_count = 2;
+  request.fault.loss = 0.125;
+  request.fault.restart_count = 1;
+  request.fault.flap_count = 2;
+  request.fault.brownout_count = 1;
+  request.fault.brownout_factor = 0.375;
+  request.fault.replan = true;
+  request.fault.hierarchical = true;
+  request.fault.cluster_count = 2;
+  request.fault_baseline_s = 0.0123456789;
+  request.unit_begin = 1;
+  request.unit_end = 5;
+
+  const SweepShardRequest decoded =
+      decode_sweep_shard_request(encode_sweep_shard_request(request));
+  EXPECT_EQ(decoded.kind, SweepKind::kFault);
+  EXPECT_EQ(decoded.unit_begin, 1u);
+  EXPECT_EQ(decoded.unit_end, 5u);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.fault_baseline_s),
+            std::bit_cast<std::uint64_t>(request.fault_baseline_s))
+      << "baseline must travel as exact bits";
+  const FaultSweepConfig& fault = decoded.fault;
+  EXPECT_EQ(fault.scenario, Scenario::kLargeMessages);
+  EXPECT_EQ(fault.processors, 12u);
+  EXPECT_EQ(fault.seed, 99u);
+  EXPECT_EQ(fault.kind, SchedulerKind::kGreedy);
+  EXPECT_EQ(fault.max_crashes, 4u);
+  EXPECT_EQ(fault.cut_count, 2u);
+  EXPECT_EQ(fault.loss, 0.125);
+  EXPECT_EQ(fault.restart_count, 1u);
+  EXPECT_EQ(fault.flap_count, 2u);
+  EXPECT_EQ(fault.brownout_count, 1u);
+  EXPECT_EQ(fault.brownout_factor, 0.375);
+  EXPECT_TRUE(fault.replan);
+  EXPECT_TRUE(fault.hierarchical);
+  EXPECT_EQ(fault.cluster_count, 2u);
+}
+
+TEST(ShardCodecTest, ResultRoundTripsBitExactly) {
+  SweepShardResult result;
+  result.kind = SweepKind::kFigure;
+  result.unit_begin = 3;
+  result.unit_count = 2;
+  result.values_per_unit = 3;
+  // Doubles chosen to catch any text round-trip or precision loss:
+  // non-representable fractions, negative zero, a denormal.
+  result.values = {0.1, -0.0, 5e-324, 12345.6789, 1.0 / 3.0, 2.25};
+
+  const SweepShardResult decoded =
+      decode_sweep_shard_result(encode_sweep_shard_result(result));
+  EXPECT_EQ(decoded.kind, result.kind);
+  EXPECT_EQ(decoded.unit_begin, result.unit_begin);
+  EXPECT_EQ(decoded.unit_count, result.unit_count);
+  EXPECT_EQ(decoded.values_per_unit, result.values_per_unit);
+  ASSERT_EQ(decoded.values.size(), result.values.size());
+  for (std::size_t k = 0; k < result.values.size(); ++k)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.values[k]),
+              std::bit_cast<std::uint64_t>(result.values[k]))
+        << "value " << k;
+}
+
+// --- shard codec: malformed-input rejection -----------------------------
+
+TEST(ShardCodecTest, EveryTruncatedRequestThrows) {
+  SweepShardRequest figure;
+  figure.kind = SweepKind::kFigure;
+  figure.figure = small_config();
+  figure.unit_end = 6;
+  SweepShardRequest fault;
+  fault.kind = SweepKind::kFault;
+  fault.fault = small_fault_config();
+  fault.unit_end = 4;
+  for (const auto& payload : {encode_sweep_shard_request(figure),
+                              encode_sweep_shard_request(fault)}) {
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+      const std::span<const std::uint8_t> prefix(payload.data(), cut);
+      EXPECT_THROW((void)decode_sweep_shard_request(prefix), SweepShardError)
+          << "prefix length " << cut;
+    }
+  }
+}
+
+TEST(ShardCodecTest, EveryTruncatedResultThrows) {
+  SweepShardResult result;
+  result.unit_count = 2;
+  result.values_per_unit = 2;
+  result.values = {1.0, 2.0, 3.0, 4.0};
+  const auto payload = encode_sweep_shard_result(result);
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(payload.data(), cut);
+    EXPECT_THROW((void)decode_sweep_shard_result(prefix), SweepShardError)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(ShardCodecTest, TrailingBytesRejected) {
+  SweepShardRequest request;
+  request.figure = small_config();
+  auto payload = encode_sweep_shard_request(request);
+  payload.push_back(0);
+  EXPECT_THROW((void)decode_sweep_shard_request(payload), SweepShardError);
+}
+
+TEST(ShardCodecTest, RejectsBadVersionKindAndBounds) {
+  SweepShardRequest request;
+  request.figure = small_config();
+  request.unit_end = 6;
+  // Unsupported version (byte 0).
+  auto payload = encode_sweep_shard_request(request);
+  payload[0] = 9;
+  EXPECT_THROW((void)decode_sweep_shard_request(payload), SweepShardError);
+  // Unknown sweep kind (byte 1).
+  payload = encode_sweep_shard_request(request);
+  payload[1] = 7;
+  EXPECT_THROW((void)decode_sweep_shard_request(payload), SweepShardError);
+  // begin > end (the trailing two u32s).
+  payload = encode_sweep_shard_request(request);
+  payload[payload.size() - 8] = 200;  // begin = 200, end = 6
+  EXPECT_THROW((void)decode_sweep_shard_request(payload), SweepShardError);
+  // Encoder refuses inverted bounds outright.
+  request.unit_begin = 5;
+  request.unit_end = 2;
+  EXPECT_THROW((void)encode_sweep_shard_request(request), SweepShardError);
+}
+
+TEST(ShardCodecTest, RefusesConfigsThatCannotTravel) {
+  SweepShardRequest request;
+  request.figure = small_config();
+  MetricsRegistry metrics;
+  request.figure.metrics = &metrics;
+  EXPECT_THROW((void)encode_sweep_shard_request(request), SweepShardError);
+  request.figure.metrics = nullptr;
+  request.figure.execution.initial_send_avail = {1.0};
+  EXPECT_THROW((void)encode_sweep_shard_request(request), SweepShardError);
+}
+
+TEST(ShardCodecTest, GarbagePayloadsNeverCrash) {
+  std::mt19937_64 rng(77);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> garbage(rng() % 256);
+    for (auto& byte : garbage) byte = static_cast<std::uint8_t>(rng());
+    try {
+      (void)decode_sweep_shard_request(garbage);
+    } catch (const SweepShardError&) {
+    }
+    try {
+      (void)decode_sweep_shard_result(garbage);
+    } catch (const SweepShardError&) {
+    }
+  }
+}
+
+TEST(ShardCodecTest, HandleRejectsOutOfBoundsUnitRange) {
+  SweepShardRequest request;
+  request.figure = small_config();
+  request.unit_begin = 0;
+  request.unit_end = 100;  // space has 2 points x 3 repetitions = 6 units
+  EXPECT_THROW((void)handle_sweep_shard(encode_sweep_shard_request(request)),
+               SweepShardError);
+}
+
+// --- partition/merge determinism ----------------------------------------
+
+// The core property behind the whole subsystem: compute shards with
+// handle_sweep_shard over ANY partition of the unit index space, merge
+// the returned blocks in ANY order, and the assembled result renders
+// byte-identically to run_experiment. Exercised with and without the
+// execution pass, across shard sizes 1 / 7 / everything, with the merge
+// order shuffled differently per round.
+TEST(DistributedSweepTest, AnyPartitionMergedInAnyOrderIsByteIdentical) {
+  for (const bool execute : {false, true}) {
+    const ExperimentConfig config = small_config(execute);
+    const std::string reference = sweep_json(run_experiment(config));
+    const SweepUnitSpace space = SweepUnitSpace::of(config);
+    const std::size_t total = space.total_units();
+
+    std::mt19937_64 rng(13);
+    for (const std::size_t shard_units : {std::size_t{1}, std::size_t{7},
+                                          total}) {
+      // Partition into contiguous blocks, compute each via the
+      // bytes-to-bytes worker path, then land the blocks in shuffled
+      // order.
+      std::vector<std::pair<std::size_t, std::size_t>> blocks;
+      for (std::size_t begin = 0; begin < total; begin += shard_units)
+        blocks.emplace_back(begin, std::min(begin + shard_units, total));
+      std::shuffle(blocks.begin(), blocks.end(), rng);
+
+      std::vector<double> values(total * space.values_per_unit());
+      for (const auto& [begin, end] : blocks) {
+        SweepShardRequest request;
+        request.kind = SweepKind::kFigure;
+        request.figure = config;
+        request.figure.threads = 0;  // what the driver ships
+        request.unit_begin = static_cast<std::uint32_t>(begin);
+        request.unit_end = static_cast<std::uint32_t>(end);
+        const SweepShardResult result = decode_sweep_shard_result(
+            handle_sweep_shard(encode_sweep_shard_request(request)));
+        ASSERT_EQ(result.unit_begin, begin);
+        ASSERT_EQ(result.unit_count, end - begin);
+        ASSERT_EQ(result.values_per_unit, space.values_per_unit());
+        std::copy(result.values.begin(), result.values.end(),
+                  values.begin() + static_cast<std::ptrdiff_t>(
+                                       begin * space.values_per_unit()));
+      }
+      EXPECT_EQ(sweep_json(assemble_experiment_result(config, values)),
+                reference)
+          << "shard_units=" << shard_units << " execute=" << execute;
+    }
+  }
+}
+
+TEST(DistributedSweepTest, LocalThreadCountNeverChangesTheBytes) {
+  ExperimentConfig config = small_config();
+  config.threads = 1;
+  const std::string serial = sweep_json(run_experiment(config));
+  config.threads = 4;
+  EXPECT_EQ(sweep_json(run_experiment(config)), serial);
+}
+
+TEST(DistributedSweepTest, DriverMatchesLocalAcrossWorkerAndShardCounts) {
+  const ExperimentConfig config = small_config(/*execute=*/true);
+  const std::string reference = sweep_json(run_experiment(config));
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{3}}) {
+    for (const std::size_t shard_units :
+         {std::size_t{0}, std::size_t{1}, std::size_t{7}}) {
+      service::DistributedSweepOptions options;
+      options.endpoints = local_endpoints(workers);
+      options.shard_units = shard_units;
+      service::DistributedReport report;
+      const ExperimentResult result =
+          service::run_distributed_sweep(config, options, &report);
+      EXPECT_EQ(sweep_json(result), reference)
+          << "workers=" << workers << " shard_units=" << shard_units;
+      EXPECT_EQ(report.redispatches, 0u);
+      ASSERT_EQ(report.workers.size(), workers);
+      std::size_t units = 0;
+      for (const auto& row : report.workers) {
+        EXPECT_TRUE(row.healthy);
+        units += row.units;
+      }
+      EXPECT_EQ(units, SweepUnitSpace::of(config).total_units());
+    }
+  }
+}
+
+// --- failure handling ---------------------------------------------------
+
+/// Fails its first `failures` shard attempts, then behaves like a local
+/// worker — the shape of a daemon that was down and came back (the
+/// socket endpoint reconnects per attempt).
+class FlakyEndpoint final : public WorkerEndpoint {
+ public:
+  explicit FlakyEndpoint(std::size_t failures) : remaining_(failures) {}
+  [[nodiscard]] std::string name() const override { return "flaky"; }
+  [[nodiscard]] std::vector<std::uint8_t> run_shard(
+      std::span<const std::uint8_t> request) override {
+    if (remaining_ > 0) {
+      --remaining_;
+      throw EndpointError("flaky: worker killed mid-shard");
+    }
+    return handle_sweep_shard(request);
+  }
+
+ private:
+  std::size_t remaining_;
+};
+
+/// Always fails — a worker that died and never came back.
+class DeadEndpoint final : public WorkerEndpoint {
+ public:
+  [[nodiscard]] std::string name() const override { return "dead"; }
+  [[nodiscard]] std::vector<std::uint8_t> run_shard(
+      std::span<const std::uint8_t>) override {
+    throw EndpointError("dead: connection refused");
+  }
+};
+
+TEST(DistributedSweepTest, TransientFailuresRedispatchAndStayByteIdentical) {
+  const ExperimentConfig config = small_config();
+  const std::string reference = sweep_json(run_experiment(config));
+  // A single endpoint that loses its first two shard attempts: both
+  // shards are requeued and must be re-dispatched to the same (now
+  // recovered) endpoint. Deterministic — there is no second worker to
+  // race with.
+  service::DistributedSweepOptions options;
+  options.endpoints.push_back(std::make_unique<FlakyEndpoint>(2));
+  options.shard_units = 1;
+  options.max_failures = 3;
+  service::DistributedReport report;
+  const ExperimentResult result =
+      service::run_distributed_sweep(config, options, &report);
+  EXPECT_EQ(sweep_json(result), reference);
+  EXPECT_EQ(report.redispatches, 2u);
+  ASSERT_EQ(report.workers.size(), 1u);
+  EXPECT_EQ(report.workers[0].failures, 2u);
+  EXPECT_TRUE(report.workers[0].healthy);
+}
+
+TEST(DistributedSweepTest, DeadWorkerRetiresAndPeerCompletesTheSweep) {
+  const ExperimentConfig config = small_config();
+  const std::string reference = sweep_json(run_experiment(config));
+  service::DistributedSweepOptions options;
+  options.endpoints.push_back(std::make_unique<DeadEndpoint>());
+  options.endpoints.push_back(std::make_unique<LocalSweepEndpoint>());
+  options.shard_units = 1;
+  service::DistributedReport report;
+  const ExperimentResult result =
+      service::run_distributed_sweep(config, options, &report);
+  EXPECT_EQ(sweep_json(result), reference);
+  ASSERT_EQ(report.workers.size(), 2u);
+  EXPECT_EQ(report.workers[0].shards, 0u) << "dead worker completed nothing";
+  EXPECT_EQ(report.redispatches, report.workers[0].failures)
+      << "every dead-worker failure was requeued";
+  EXPECT_TRUE(report.workers[1].healthy);
+}
+
+TEST(DistributedSweepTest, AllWorkersDeadThrowsInsteadOfPartialResult) {
+  const ExperimentConfig config = small_config();
+  service::DistributedSweepOptions options;
+  options.endpoints.push_back(std::make_unique<DeadEndpoint>());
+  options.max_failures = 3;
+  try {
+    (void)service::run_distributed_sweep(config, options);
+    FAIL() << "expected InputError";
+  } catch (const InputError& error) {
+    EXPECT_NE(std::string(error.what()).find("incomplete"), std::string::npos)
+        << error.what();
+    EXPECT_NE(std::string(error.what()).find("connection refused"),
+              std::string::npos)
+        << "the peer's last error must surface: " << error.what();
+  }
+}
+
+TEST(DistributedSweepTest, RejectsEmptyEndpointsAndZeroMaxFailures) {
+  const ExperimentConfig config = small_config();
+  service::DistributedSweepOptions empty;
+  EXPECT_THROW((void)service::run_distributed_sweep(config, empty),
+               InputError);
+  service::DistributedSweepOptions zero;
+  zero.endpoints = local_endpoints(1);
+  zero.max_failures = 0;
+  EXPECT_THROW((void)service::run_distributed_sweep(config, zero),
+               InputError);
+}
+
+// --- fault sweeps -------------------------------------------------------
+
+TEST(DistributedFaultSweepTest, MatchesLocalByteForByte) {
+  const FaultSweepConfig config = small_fault_config();
+  const std::string reference = fault_json(run_fault_sweep(config));
+  for (const std::size_t shard_units : {std::size_t{0}, std::size_t{1}}) {
+    service::DistributedSweepOptions options;
+    options.endpoints = local_endpoints(2);
+    options.shard_units = shard_units;
+    const FaultSweepResult result =
+        service::run_distributed_fault_sweep(config, options);
+    EXPECT_EQ(fault_json(result), reference)
+        << "shard_units=" << shard_units;
+  }
+}
+
+TEST(DistributedFaultSweepTest, SurvivesATransientWorkerLoss) {
+  FaultSweepConfig config = small_fault_config();
+  config.restart_count = 1;
+  config.replan = true;
+  const std::string reference = fault_json(run_fault_sweep(config));
+  service::DistributedSweepOptions options;
+  options.endpoints.push_back(std::make_unique<FlakyEndpoint>(1));
+  options.shard_units = 1;
+  service::DistributedReport report;
+  const FaultSweepResult result =
+      service::run_distributed_fault_sweep(config, options, &report);
+  EXPECT_EQ(fault_json(result), reference);
+  EXPECT_EQ(report.redispatches, 1u);
+}
+
+}  // namespace
+}  // namespace hcs

@@ -2,7 +2,9 @@
 // malformed-input rejection), the schedule cache (bit-identical hits,
 // quantization-tolerance invalidation, single-flight), the bounded
 // request queue, the MetricsHub (concurrent record/scrape — run under
-// tsan in CI), and the daemon end to end over a real UNIX socket.
+// tsan in CI), and the daemon end to end over real UNIX and TCP
+// sockets, including sweep-shard service and the per-connection
+// request limit.
 #include <gtest/gtest.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -23,6 +25,7 @@
 
 #include "core/comm_matrix.hpp"
 #include "core/scheduler.hpp"
+#include "experiment/sweep_shard.hpp"
 #include "netmodel/directory.hpp"
 #include "netmodel/generator.hpp"
 #include "service/client.hpp"
@@ -640,6 +643,170 @@ TEST(ScheduleServerTest, DriftingDirectoryInvalidatesByKeyRotation) {
   EXPECT_FALSE(drifted.cache_hit)
       << "drift past quantization tolerance must miss";
   server.stop();
+}
+
+// --- TCP listener -------------------------------------------------------
+
+TEST(ScheduleServerTest, TcpOnlyListenerSpeaksTheSameProtocol) {
+  const std::size_t p = 12;
+  const StaticDirectory directory{generate_network(p, 31)};
+  ServerOptions options;
+  options.socket_path.clear();  // no UNIX socket at all
+  options.tcp_port = 0;         // ephemeral; the bound port is queryable
+  options.workers = 2;
+  ScheduleServer server(directory, options);
+  server.start();
+  ASSERT_GT(server.tcp_listen_port(), 0);
+
+  ServiceClient client("tcp:127.0.0.1:" +
+                       std::to_string(server.tcp_listen_port()));
+  ScheduleRequest request;
+  request.kind = SchedulerKind::kGreedy;
+  request.messages = make_instance(Scenario::kMixedMessages, p, 4).messages;
+  const ScheduleResponse cold = client.schedule(request);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(cold.processors, p);
+  // Same request, same connection: cache hit — framing, caching, and
+  // metrics behave exactly as over a UNIX socket.
+  EXPECT_TRUE(client.schedule(request).cache_hit);
+  const std::string scrape = client.scrape_metrics(/*text=*/true);
+  EXPECT_NE(scrape.find("service_cache_hits 1"), std::string::npos) << scrape;
+  server.stop();
+}
+
+TEST(ScheduleServerTest, RefusesToStartWithNoListenerConfigured) {
+  const StaticDirectory directory{generate_network(4, 31)};
+  ServerOptions options;
+  options.socket_path.clear();
+  options.tcp_port = -1;
+  EXPECT_THROW(ScheduleServer(directory, options), InputError);
+}
+
+// --- sweep shards over the wire -----------------------------------------
+
+TEST(ScheduleServerTest, SweepShardsOverUnixAndTcpMatchLocalBytes) {
+  const StaticDirectory directory{generate_network(8, 32)};
+  ServerOptions options;
+  options.socket_path = test_socket_path("shard");
+  options.tcp_port = 0;  // dual listeners on one daemon
+  options.workers = 2;
+  ScheduleServer server(directory, options);
+  server.start();
+
+  SweepShardRequest shard;
+  shard.kind = SweepKind::kFigure;
+  shard.figure.processor_counts = {4, 6};
+  shard.figure.repetitions = 2;
+  shard.figure.schedulers = {SchedulerKind::kOpenShop};
+  shard.figure.threads = 0;
+  shard.unit_begin = 1;
+  shard.unit_end = 3;
+  const auto request = encode_sweep_shard_request(shard);
+  // The contract that makes remote workers interchangeable with local
+  // ones: the daemon returns exactly handle_sweep_shard's bytes.
+  const auto local = handle_sweep_shard(request);
+
+  ServiceClient unix_client(options.socket_path);
+  EXPECT_EQ(unix_client.sweep_shard(request), local);
+  ServiceClient tcp_client("tcp:127.0.0.1:" +
+                           std::to_string(server.tcp_listen_port()));
+  EXPECT_EQ(tcp_client.sweep_shard(request), local);
+
+  // A malformed shard payload is a bad request on a surviving
+  // connection, not a dropped one.
+  const std::vector<std::uint8_t> garbage{1, 2, 3};
+  try {
+    (void)unix_client.sweep_shard(garbage);
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kBadRequest);
+  }
+  EXPECT_EQ(unix_client.sweep_shard(request), local);
+
+  MetricsRegistry metrics = server.scrape();
+  EXPECT_EQ(metrics.counter("service.sweep_shards").value(), 4u);
+  EXPECT_EQ(metrics.counter("service.sweep_units").value(), 6u);
+  EXPECT_EQ(metrics.counter("service.errors").value(), 1u);
+  server.stop();
+}
+
+// --- per-connection request limit ---------------------------------------
+
+TEST(ScheduleServerTest, PerConnectionLimitAnswersBusyAndHangsUp) {
+  const std::size_t p = 8;
+  const StaticDirectory directory{generate_network(p, 33)};
+  ServerOptions options;
+  options.socket_path = test_socket_path("limit");
+  options.workers = 1;
+  options.max_requests_per_connection = 2;
+  ScheduleServer server(directory, options);
+  server.start();
+
+  ScheduleRequest request;
+  request.kind = SchedulerKind::kGreedy;
+  request.messages = make_instance(Scenario::kSmallMessages, p, 5).messages;
+
+  ServiceClient client(options.socket_path);
+  (void)client.schedule(request);
+  (void)client.schedule(request);
+  try {
+    (void)client.schedule(request);
+    FAIL() << "expected ServiceError after the per-connection budget";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kBusy);
+  }
+
+  // Reconnecting resets the budget — exactly what the sweep driver's
+  // socket endpoint does after any failure.
+  ServiceClient fresh(options.socket_path);
+  EXPECT_TRUE(fresh.schedule(request).cache_hit);
+  EXPECT_EQ(server.scrape().counter("service.request_limit_closes").value(),
+            1u);
+  server.stop();
+}
+
+// --- open-loop replay ---------------------------------------------------
+
+TEST(ReplayTest, OpenLoopArrivalsCompleteAndReportOfferedLoad) {
+  const std::size_t p = 8;
+  const StaticDirectory directory{generate_network(p, 34)};
+  ServerOptions options;
+  options.socket_path = test_socket_path("openloop");
+  options.workers = 2;
+  ScheduleServer server(directory, options);
+  server.start();
+
+  ReplayConfig config;
+  config.socket_path = options.socket_path;
+  config.requests = 32;
+  config.connections = 2;
+  config.processors = p;
+  config.kind = SchedulerKind::kGreedy;
+  config.arrival = Arrival::kPoisson;
+  config.offered_qps = 2000.0;  // fast enough that the test stays quick
+  const ReplayStats poisson = run_replay(config);
+  EXPECT_EQ(poisson.completed, 32u);
+  EXPECT_EQ(poisson.errors, 0u);
+  EXPECT_EQ(poisson.offered_qps, 2000.0);
+
+  config.arrival = Arrival::kBurst;
+  config.burst_size = 4;
+  const ReplayStats burst = run_replay(config);
+  EXPECT_EQ(burst.completed, 32u);
+  EXPECT_EQ(burst.errors, 0u);
+  server.stop();
+}
+
+TEST(ReplayTest, OpenLoopConfigIsValidated) {
+  ReplayConfig config;
+  config.socket_path = "/tmp/never-connects.sock";
+  config.arrival = Arrival::kPoisson;
+  config.offered_qps = 0.0;  // open-loop needs a rate
+  EXPECT_THROW((void)run_replay(config), InputError);
+  config.arrival = Arrival::kBurst;
+  config.offered_qps = 100.0;
+  config.burst_size = 0;
+  EXPECT_THROW((void)run_replay(config), InputError);
 }
 
 }  // namespace

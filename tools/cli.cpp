@@ -11,6 +11,8 @@
 #include "core/comm_matrix.hpp"
 #include "core/hierarchical_scheduler.hpp"
 #include "experiment/experiment.hpp"
+#include "experiment/fault_sweep.hpp"
+#include "experiment/sweep_io.hpp"
 #include "netmodel/cluster_detect.hpp"
 #include "fault/resilient.hpp"
 #include "core/schedule_stats.hpp"
@@ -20,6 +22,8 @@
 #include "scenario/runner.hpp"
 #include "service/client.hpp"
 #include "service/replay.hpp"
+#include "service/sweep_driver.hpp"
+#include "util/worker_endpoint.hpp"
 #include "sim/simulator.hpp"
 #include "trace/auditor.hpp"
 #include "trace/export.hpp"
@@ -56,7 +60,7 @@ usage:
   hcs sweep --processors N[,N...] [--repetitions R] [--seed S]
             [--scenario NAME] [--algorithm NAME|all] [--threads T]
             [--execute] [--ratios] [--hierarchical] [--clusters K]
-            [--format table|csv|json]
+            [--format table|csv|json] [--workers LIST] [--shard-units U]
       Run the figure-style experiment sweep: R random instances per
       processor count, scheduled by each algorithm (all of them by
       default) and averaged. Repetitions run on T worker threads (0 =
@@ -68,12 +72,19 @@ usage:
       --hierarchical detects clusters on every instance and runs each
       algorithm inside the hierarchical scheduler. --format csv/json
       emit machine-readable sweeps instead of the table.
+      --workers shards the sweep across worker backends instead of the
+      local thread pool: a comma-separated list of local[:N] (in-process
+      workers), unix:PATH and tcp:HOST:PORT (running hcsd daemons).
+      Shards of U work units (0 = auto) are dispatched to any free
+      backend, failed shards are re-dispatched, and the merged output is
+      byte-identical to the single-process sweep.
 
   hcs fault-sweep --processors N [--seed S] [--scenario NAME]
                   [--algorithm NAME] [--max-crashes K] [--cuts C] [--loss P]
                   [--restarts R] [--flaps F] [--brownouts B]
                   [--brownout-factor X] [--replan] [--hierarchical]
                   [--clusters K] [--format table|csv|json] [--threads T]
+                  [--workers LIST] [--shard-units U]
       Sweep crash-stop severity 0..K on a random instance with C
       permanently cut pairs and per-attempt transmission loss P, executing
       each scenario with the fault-tolerant executor (retry with backoff,
@@ -85,7 +96,8 @@ usage:
       saves). Reports the delivery mix and the completion overhead versus
       the fault-free run; --format csv/json emit machine-readable rows.
       Severity rows run on T worker threads (0 = one per hardware
-      thread).
+      thread), or — with --workers, same syntax as sweep — across
+      distributed worker backends with byte-identical output.
 
   hcs trace --processors N [--seed S] [--scenario NAME] [--algorithm NAME]
             [--model serialized|interleaved|buffered] [--drift SIGMA]
@@ -105,14 +117,21 @@ usage:
   hcs replay --socket PATH [--requests N] [--connections C]
              [--processors P] [--scenario NAME] [--algorithm NAME]
              [--hierarchical] [--seed S] [--distinct D] [--time-step T]
+             [--arrival closed|poisson|burst] [--rate QPS] [--burst B]
              [--format table|json] [--scrape] [--shutdown]
       Drive a running hcsd daemon (see the hcsd binary) with a
       deterministic request trace over C concurrent connections: N
       schedule requests cycling through D distinct generated workloads,
       request i querying the daemon's directory at time i*T seconds.
       Reports sustained schedules/sec and exact client-observed latency
-      percentiles. --scrape prints the daemon's admin metrics afterwards;
-      --shutdown asks the daemon to exit once done.
+      percentiles. --arrival picks the load regime: closed (default)
+      fires each request when the previous response lands; poisson and
+      burst are open-loop — requests arrive at the intended instants of
+      a Poisson process (or back-to-back bursts of B) at --rate QPS,
+      and latency is charged from the intended arrival, so queueing
+      delay is visible (no coordinated omission). --scrape prints the
+      daemon's admin metrics afterwards; --shutdown asks the daemon to
+      exit once done.
 
   hcs run-scenarios DIR [--threads T] [--filter SUBSTR]
                     [--format table|json] [--update-golden]
@@ -238,6 +257,23 @@ int cmd_replay(const Options& options, std::ostream& out) {
   config.time_step_s = options.get_double("time-step", 0.0);
   if (config.time_step_s < 0.0)
     throw InputError("--time-step must be non-negative");
+  const std::string arrival = options.get("arrival", "closed");
+  if (arrival == "closed") {
+    config.arrival = service::Arrival::kClosed;
+  } else if (arrival == "poisson") {
+    config.arrival = service::Arrival::kPoisson;
+  } else if (arrival == "burst") {
+    config.arrival = service::Arrival::kBurst;
+  } else {
+    throw InputError("--arrival must be closed, poisson, or burst");
+  }
+  config.offered_qps = options.get_double("rate", 0.0);
+  if (config.arrival != service::Arrival::kClosed &&
+      !(config.offered_qps > 0.0))
+    throw InputError("--arrival poisson/burst requires --rate QPS > 0");
+  const long burst = options.get_long("burst", 8);
+  if (burst < 1) throw InputError("--burst must be >= 1");
+  config.burst_size = static_cast<std::size_t>(burst);
 
   const service::ReplayStats stats = service::run_replay(config);
 
@@ -249,6 +285,8 @@ int cmd_replay(const Options& options, std::ostream& out) {
         << ", \"coalesced\": " << stats.coalesced
         << ", \"busy\": " << stats.busy << ", \"errors\": " << stats.errors
         << ", \"wall_s\": " << format_double(stats.wall_s, 6)
+        << ", \"arrival\": \"" << arrival << "\""
+        << ", \"offered_qps\": " << format_double(stats.offered_qps, 2)
         << ", \"schedules_per_sec\": " << format_double(stats.qps, 2)
         << ", \"p50_us\": " << format_double(stats.p50_us, 2)
         << ", \"p99_us\": " << format_double(stats.p99_us, 2)
@@ -259,6 +297,10 @@ int cmd_replay(const Options& options, std::ostream& out) {
         << config.connections << " connections (" << config.distinct_workloads
         << " distinct workloads, time step "
         << format_double(config.time_step_s, 3) << " s)\n";
+    if (config.arrival != service::Arrival::kClosed)
+      out << "open-loop " << arrival << " arrivals at "
+          << format_double(config.offered_qps, 1)
+          << " req/s (latency from intended arrival)\n";
     Table table{{"metric", "value"}};
     table.add_row({"completed", std::to_string(stats.completed)});
     table.add_row({"cache hits", std::to_string(stats.cache_hits)});
@@ -378,69 +420,18 @@ std::unique_ptr<Scheduler> make_instance_scheduler(SchedulerKind kind,
                                                  options);
 }
 
-/// Emits the sweep as CSV: one row per processor count, one column per
-/// algorithm series (mean completion seconds or ratio-to-lower-bound),
-/// plus simulated completions when the sweep executed.
-void write_sweep_csv(std::ostream& out, const ExperimentResult& result,
-                     bool ratios) {
-  out << "P,lower_bound_s";
-  for (const SchedulerSeries& series : result.series)
-    out << ',' << scheduler_name(series.kind);
-  if (result.config.execute)
-    for (const SchedulerSeries& series : result.series)
-      out << ',' << scheduler_name(series.kind) << "_executed";
-  out << '\n';
-  for (std::size_t p = 0; p < result.config.processor_counts.size(); ++p) {
-    out << result.config.processor_counts[p] << ','
-        << format_double(result.mean_lower_bound_s[p], 6);
-    for (const SchedulerSeries& series : result.series)
-      out << ','
-          << format_double(ratios ? series.mean_ratio_to_lb[p]
-                                  : series.mean_completion_s[p],
-                           6);
-    if (result.config.execute)
-      for (const SchedulerSeries& series : result.series)
-        out << ',' << format_double(series.mean_executed_s[p], 6);
-    out << '\n';
-  }
-}
-
-/// Emits the sweep as a JSON object: the generating configuration plus
-/// one series object per algorithm with the full per-P statistics.
-void write_sweep_json(std::ostream& out, const ExperimentResult& result) {
-  const auto write_doubles = [&out](const std::vector<double>& values) {
-    out << '[';
-    for (std::size_t k = 0; k < values.size(); ++k)
-      out << (k > 0 ? "," : "") << format_double(values[k], 6);
-    out << ']';
-  };
-  const ExperimentConfig& config = result.config;
-  out << "{\"scenario\":\"" << scenario_name(config.scenario) << "\""
-      << ",\"repetitions\":" << config.repetitions
-      << ",\"seed\":" << config.base_seed
-      << ",\"clusters\":" << config.cluster_count << ",\"hierarchical\":"
-      << (config.hierarchical ? "true" : "false") << ",\"processors\":[";
-  for (std::size_t p = 0; p < config.processor_counts.size(); ++p)
-    out << (p > 0 ? "," : "") << config.processor_counts[p];
-  out << "],\"lower_bound_s\":";
-  write_doubles(result.mean_lower_bound_s);
-  out << ",\"series\":[";
-  for (std::size_t s = 0; s < result.series.size(); ++s) {
-    const SchedulerSeries& series = result.series[s];
-    out << (s > 0 ? "," : "") << "{\"algorithm\":\""
-        << scheduler_name(series.kind) << "\",\"mean_completion_s\":";
-    write_doubles(series.mean_completion_s);
-    out << ",\"mean_ratio_to_lb\":";
-    write_doubles(series.mean_ratio_to_lb);
-    out << ",\"max_ratio_to_lb\":";
-    write_doubles(series.max_ratio_to_lb);
-    if (config.execute) {
-      out << ",\"mean_executed_s\":";
-      write_doubles(series.mean_executed_s);
-    }
-    out << '}';
-  }
-  out << "]}\n";
+/// Builds the distributed dispatch options from --workers/--shard-units.
+/// Remote round trips are bounded by a generous fixed timeout — a shard
+/// is minutes of work at most; a daemon that silent for longer is gone.
+service::DistributedSweepOptions make_distributed_options(
+    const Options& options) {
+  service::DistributedSweepOptions distributed;
+  distributed.endpoints = service::make_worker_endpoints(
+      parse_worker_specs(options.get("workers", "")), /*timeout_s=*/300.0);
+  const long shard_units = options.get_long("shard-units", 0);
+  if (shard_units < 0) throw InputError("--shard-units must be >= 0");
+  distributed.shard_units = static_cast<std::size_t>(shard_units);
+  return distributed;
 }
 
 /// Parses a comma-separated list of processor counts ("5,10,20").
@@ -487,7 +478,13 @@ int cmd_sweep(const Options& options, std::ostream& out) {
   if (format != "table" && format != "csv" && format != "json")
     throw InputError("unknown sweep format '" + format + "'");
 
-  const ExperimentResult result = run_experiment(config);
+  // --workers swaps the compute backend, never the output: the merged
+  // distributed result renders byte-identically to the local sweep.
+  const ExperimentResult result = [&] {
+    if (!options.has("workers")) return run_experiment(config);
+    auto distributed = make_distributed_options(options);
+    return service::run_distributed_sweep(config, distributed);
+  }();
 
   if (format == "csv") {
     write_sweep_csv(out, result, options.has("ratios"));
@@ -530,53 +527,6 @@ int cmd_sweep(const Options& options, std::ostream& out) {
   return 0;
 }
 
-/// Dynamic (recoverable) faults shared by fault-sweep and trace, scaled
-/// to the run's expected makespan: crash-restart windows on the
-/// lowest-numbered nodes, periodically flapping links, and bandwidth
-/// brownouts on random pairs. Deterministic in (seed, horizon).
-void add_dynamic_faults(FaultPlan& plan, std::size_t n, std::uint64_t seed,
-                        double horizon_s, long restart_count, long flap_count,
-                        long brownout_count, double brownout_factor) {
-  for (long k = 0; k < restart_count; ++k) {
-    const double at = (0.05 + 0.1 * static_cast<double>(k)) * horizon_s;
-    plan.restarts.push_back(
-        {static_cast<std::size_t>(k), at, at + 0.35 * horizon_s});
-  }
-  Rng rng{seed ^ 0xD15EA5EDULL};
-  for (long k = 0; k < flap_count; ++k) {
-    const auto a = static_cast<std::size_t>(rng.next_below(n));
-    const auto b = static_cast<std::size_t>(rng.next_below(n));
-    if (a == b) {
-      --k;
-      continue;
-    }
-    plan.flapping.push_back(
-        {a, b, 0.0, horizon_s, std::max(horizon_s / 8.0, 1e-9), 0.3, true});
-  }
-  for (long k = 0; k < brownout_count; ++k) {
-    const auto a = static_cast<std::size_t>(rng.next_below(n));
-    const auto b = static_cast<std::size_t>(rng.next_below(n));
-    if (a == b) {
-      --k;
-      continue;
-    }
-    plan.brownouts.push_back(
-        {a, b, 0.0, 0.6 * horizon_s, brownout_factor, true});
-  }
-}
-
-/// Replan policy the CLI turns on with --replan: budgeted degraded-mode
-/// rescheduling whose backoff concedes enough wall-clock for mid-horizon
-/// recovery windows to pass.
-ResilientOptions::ReplanOptions cli_replan_policy(double horizon_s) {
-  ResilientOptions::ReplanOptions replan;
-  replan.enabled = true;
-  replan.max_replans = 4;
-  replan.backoff_base_s = 0.1 * horizon_s;
-  replan.backoff_factor = 2.0;
-  return replan;
-}
-
 int cmd_fault_sweep(const Options& options, std::ostream& out) {
   const long processors = options.get_long("processors", 0);
   if (processors < 3)
@@ -615,104 +565,42 @@ int cmd_fault_sweep(const Options& options, std::ostream& out) {
   if (format != "table" && format != "csv" && format != "json")
     throw InputError("unknown fault-sweep format '" + format + "'");
 
-  const ProblemInstance instance =
-      make_instance(scenario, n, seed, static_cast<std::size_t>(clusters));
-  const StaticDirectory directory{instance.network};
-  const auto scheduler =
-      make_instance_scheduler(kind, seed, hierarchical, instance.network);
+  FaultSweepConfig config;
+  config.scenario = scenario;
+  config.processors = n;
+  config.seed = seed;
+  config.kind = kind;
+  config.max_crashes = static_cast<std::size_t>(max_crashes);
+  config.cut_count = static_cast<std::size_t>(cut_count);
+  config.loss = loss;
+  config.restart_count = static_cast<std::size_t>(restart_count);
+  config.flap_count = static_cast<std::size_t>(flap_count);
+  config.brownout_count = static_cast<std::size_t>(brownout_count);
+  config.brownout_factor = brownout_factor;
+  config.replan = replan;
+  config.hierarchical = hierarchical;
+  config.cluster_count = static_cast<std::size_t>(clusters);
+  config.threads = static_cast<std::size_t>(threads);
 
-  const ResilientResult fault_free =
-      run_resilient(*scheduler, directory, instance.messages, {}, {});
-  const double baseline = fault_free.completion_time;
-
-  // Cut pairs are drawn once and shared by every sweep point, so rows
-  // differ only in how many nodes crash.
-  Rng rng{seed ^ 0xFA17FA17ULL};
-  std::vector<LinkCut> cuts;
-  while (cuts.size() < static_cast<std::size_t>(cut_count)) {
-    const auto a = static_cast<std::size_t>(rng.next_below(n));
-    const auto b = static_cast<std::size_t>(rng.next_below(n));
-    if (a == b) continue;
-    cuts.push_back({a, b, 0.0, 1e12});  // outlasts any run: a permanent cut
-  }
-
-  // Severity rows are independent, so they run on the pool. Each row
-  // builds its own scheduler: schedulers carry mutable per-instance
-  // workspaces and are not safe to share across threads. Rows land in
-  // per-row slots and the output is assembled serially in row order, so
-  // it is identical at every thread count.
-  const std::size_t row_count = static_cast<std::size_t>(max_crashes) + 1;
-  std::vector<ResilientResult> row_results(row_count);
-  ThreadPool pool{ThreadPool::resolve_size(static_cast<std::size_t>(threads),
-                                           row_count)};
-  pool.run(row_count, [&](std::size_t /*worker*/, std::size_t row) {
-    FaultPlan plan;
-    plan.cuts = cuts;
-    plan.transient_loss_prob = loss;
-    plan.seed = seed;
-    add_dynamic_faults(plan, n, seed, baseline, restart_count, flap_count,
-                       brownout_count, brownout_factor);
-    // Crash the highest-numbered nodes at staggered times, so each row
-    // adds one more mid-exchange failure.
-    for (std::size_t k = 0; k < row; ++k)
-      plan.crashes.push_back(
-          {n - 1 - k, 0.25 * baseline * static_cast<double>(k + 1)});
-    const auto row_scheduler =
-        make_instance_scheduler(kind, seed, hierarchical, instance.network);
-    ResilientOptions row_options;
-    if (replan) row_options.replan = cli_replan_policy(baseline);
-    row_results[row] = run_resilient(*row_scheduler, directory,
-                                     instance.messages, plan, row_options);
-  });
-
-  struct Row {
-    std::size_t crashes, direct, rescued, relayed, undeliverable, replans;
-    double completion_s, x_fault_free;
-  };
-  std::vector<Row> rows;
-  rows.reserve(row_count);
-  for (std::size_t row = 0; row < row_count; ++row) {
-    const ResilientResult& result = row_results[row];
-    const std::size_t delivered_direct =
-        result.outcomes.size() - result.relayed_count - result.undelivered_count;
-    rows.push_back({row, delivered_direct - result.rescued_count,
-                    result.rescued_count, result.relayed_count,
-                    result.undelivered_count, result.replan_count,
-                    result.completion_time,
-                    baseline > 0 ? result.completion_time / baseline : 1.0});
-  }
+  // As in sweep: --workers swaps the compute backend only, the rendered
+  // rows are byte-identical either way.
+  const FaultSweepResult result = [&] {
+    if (!options.has("workers")) return run_fault_sweep(config);
+    auto distributed = make_distributed_options(options);
+    return service::run_distributed_fault_sweep(config, distributed);
+  }();
 
   if (format == "csv") {
-    out << "crashes,direct,rescued,relayed,undeliverable,replans,"
-           "completion_s,x_fault_free\n";
-    for (const Row& row : rows)
-      out << row.crashes << ',' << row.direct << ',' << row.rescued << ','
-          << row.relayed << ',' << row.undeliverable << ',' << row.replans
-          << ',' << format_double(row.completion_s, 6) << ','
-          << format_double(row.x_fault_free, 6) << '\n';
+    write_fault_sweep_csv(out, result);
     return 0;
   }
   if (format == "json") {
-    out << "{\"scenario\":\"" << scenario_name(scenario) << "\",\"processors\":"
-        << n << ",\"seed\":" << seed << ",\"algorithm\":\""
-        << scheduler->name() << "\",\"replan\":" << (replan ? "true" : "false")
-        << ",\"fault_free_completion_s\":" << format_double(baseline, 6)
-        << ",\"rows\":[";
-    for (std::size_t k = 0; k < rows.size(); ++k) {
-      const Row& row = rows[k];
-      out << (k > 0 ? "," : "") << "{\"crashes\":" << row.crashes
-          << ",\"direct\":" << row.direct << ",\"rescued\":" << row.rescued
-          << ",\"relayed\":" << row.relayed << ",\"undeliverable\":"
-          << row.undeliverable << ",\"replans\":" << row.replans
-          << ",\"completion_s\":" << format_double(row.completion_s, 6)
-          << ",\"x_fault_free\":" << format_double(row.x_fault_free, 6) << '}';
-    }
-    out << "]}\n";
+    write_fault_sweep_json(out, result);
     return 0;
   }
 
   out << "scenario " << scenario_name(scenario) << ", P = " << n << ", "
-      << scheduler->name() << " schedule, " << cut_count
+      << result.algorithm_name << " schedule, " << cut_count
       << " cut pair(s), loss " << format_double(loss, 2);
   if (restart_count > 0) out << ", " << restart_count << " restart(s)";
   if (flap_count > 0) out << ", " << flap_count << " flapping link(s)";
@@ -720,17 +608,9 @@ int cmd_fault_sweep(const Options& options, std::ostream& out) {
     out << ", " << brownout_count << " brownout(s) x"
         << format_double(brownout_factor, 2);
   if (replan) out << ", replan on";
-  out << "; fault-free completion " << format_double(baseline, 4) << " s\n";
-  Table table{{"crashes", "direct", "rescued", "relayed", "undeliverable",
-               "replans", "completion (s)", "x fault-free"}};
-  for (const Row& row : rows)
-    table.add_row({std::to_string(row.crashes), std::to_string(row.direct),
-                   std::to_string(row.rescued), std::to_string(row.relayed),
-                   std::to_string(row.undeliverable),
-                   std::to_string(row.replans),
-                   format_double(row.completion_s, 4),
-                   format_double(row.x_fault_free, 3)});
-  table.print(out);
+  out << "; fault-free completion "
+      << format_double(result.fault_free_completion_s, 4) << " s\n";
+  fault_sweep_table(result).print(out);
   return 0;
 }
 
@@ -837,7 +717,8 @@ int cmd_trace(const Options& options, std::ostream& out, std::ostream& err) {
                        flap_count, brownout_count, brownout_factor);
     ResilientOptions resilient_options;
     if (options.has("replan"))
-      resilient_options.replan = cli_replan_policy(planned.completion_time());
+      resilient_options.replan =
+          default_replan_policy(planned.completion_time());
     resilient_result = run_resilient_traced(
         *scheduler, directory, instance.messages, plan, resilient_options,
         trace);
@@ -1046,7 +927,8 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
       const Options options(args, 1,
                             {"processors", "repetitions", "seed", "scenario",
                              "algorithm", "threads", "execute", "ratios",
-                             "hierarchical", "clusters", "format"});
+                             "hierarchical", "clusters", "format", "workers",
+                             "shard-units"});
       return cmd_sweep(options, out);
     }
     if (command == "fault-sweep") {
@@ -1054,7 +936,8 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
           args, 1,
           {"processors", "seed", "scenario", "algorithm", "max-crashes",
            "cuts", "loss", "restarts", "flaps", "brownouts", "brownout-factor",
-           "replan", "hierarchical", "clusters", "format", "threads"});
+           "replan", "hierarchical", "clusters", "format", "threads",
+           "workers", "shard-units"});
       return cmd_fault_sweep(options, out);
     }
     if (command == "trace") {
@@ -1082,7 +965,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
           args, 1,
           {"socket", "requests", "connections", "processors", "scenario",
            "algorithm", "hierarchical", "seed", "distinct", "time-step",
-           "format", "scrape", "shutdown"});
+           "arrival", "rate", "burst", "format", "scrape", "shutdown"});
       return cmd_replay(options, out);
     }
     if (command == "broadcast") {

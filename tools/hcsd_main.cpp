@@ -1,9 +1,11 @@
 // hcsd — the scheduling daemon binary.
 //
 // Owns the directory service (a generated fabric: flat, clustered, or
-// drifting) and serves schedule requests over a UNIX-domain socket using
-// the wire protocol in src/service/wire.hpp. Clients: `hcs replay` (load
-// generation and admin scrape) or anything speaking the protocol.
+// drifting) and serves schedule requests and sweep shards over a
+// UNIX-domain socket, a TCP socket, or both, using the wire protocol in
+// src/service/wire.hpp. Clients: `hcs replay` (load generation and
+// admin scrape), `hcs sweep --workers` (distributed sweeps), or
+// anything speaking the protocol.
 //
 // Runs until SIGINT/SIGTERM or a client kShutdown frame; exits 0 on any
 // clean shutdown. SIGTERM drains gracefully: the listen socket closes
@@ -33,12 +35,18 @@ constexpr const char* kUsage =
     R"(hcsd — heterogeneous communication scheduling daemon
 
 usage:
-  hcsd --socket PATH [--processors P] [--seed S] [--clusters K]
+  hcsd [--socket PATH] [--tcp-port PORT] [--tcp-bind ADDR]
+       [--processors P] [--seed S] [--clusters K]
        [--drift SIGMA] [--drift-period T] [--workers W]
        [--cache-capacity N] [--cache-shards N] [--quantum Q]
-       [--queue-depth N]
+       [--queue-depth N] [--max-requests-per-conn N]
 
-  --socket PATH      UNIX-domain socket to listen on (required)
+  --socket PATH      UNIX-domain socket to listen on
+  --tcp-port PORT    TCP port to listen on (0 = ephemeral; the bound
+                     port is printed in the readiness line). Same
+                     framing and drain semantics as the UNIX socket.
+                     At least one of --socket / --tcp-port is required.
+  --tcp-bind ADDR    TCP bind address (default 127.0.0.1)
   --processors P     fabric size served by the daemon (default 64)
   --seed S           fabric generation seed (default 1)
   --clusters K       clustered site/WAN fabric with K sites (0 = flat)
@@ -50,6 +58,9 @@ usage:
   --quantum Q        cost-signature log-quantization (default 0.25)
   --queue-depth N    request queue bound; beyond it clients get kBusy
                      (default 1024)
+  --max-requests-per-conn N
+                     work requests one connection may submit before the
+                     daemon answers kBusy and hangs up (0 = unlimited)
 
 signals: SIGTERM drains gracefully (stop accepting, finish queued work,
          answer new requests with kBusy); SIGINT stops promptly.
@@ -79,13 +90,17 @@ int main(int argc, char** argv) {
     }
     const hcs::cli::Options options(
         args, 0,
-        {"socket", "processors", "seed", "clusters", "drift", "drift-period",
-         "workers", "cache-capacity", "cache-shards", "quantum",
-         "queue-depth"});
+        {"socket", "tcp-port", "tcp-bind", "processors", "seed", "clusters",
+         "drift", "drift-period", "workers", "cache-capacity", "cache-shards",
+         "quantum", "queue-depth", "max-requests-per-conn"});
 
     const std::string socket_path = options.get("socket", "");
-    if (socket_path.empty()) {
-      std::cerr << "hcsd: --socket is required\n" << kUsage;
+    const long tcp_port = options.get_long("tcp-port", -1);
+    if (tcp_port < -1 || tcp_port > 65535)
+      throw hcs::InputError("--tcp-port must be in [0, 65535]");
+    if (socket_path.empty() && tcp_port < 0) {
+      std::cerr << "hcsd: need --socket PATH and/or --tcp-port PORT\n"
+                << kUsage;
       return 2;
     }
     const long processors = options.get_long("processors", 64);
@@ -121,6 +136,13 @@ int main(int argc, char** argv) {
 
     hcs::service::ServerOptions server_options;
     server_options.socket_path = socket_path;
+    server_options.tcp_port = static_cast<int>(tcp_port);
+    server_options.tcp_bind = options.get("tcp-bind", "127.0.0.1");
+    const long max_requests = options.get_long("max-requests-per-conn", 0);
+    if (max_requests < 0)
+      throw hcs::InputError("--max-requests-per-conn must be >= 0");
+    server_options.max_requests_per_connection =
+        static_cast<std::size_t>(max_requests);
     server_options.workers =
         static_cast<std::size_t>(options.get_long("workers", 0));
     server_options.queue_capacity =
@@ -151,8 +173,17 @@ int main(int argc, char** argv) {
       }
     });
 
-    std::cout << "hcsd: listening on " << socket_path << " (P=" << p
-              << ", workers=" << server.worker_count()
+    // Readiness line: printed only once every listener accepts. Scripts
+    // poll for "listening on" and, for an ephemeral TCP port, parse the
+    // "tcp:ADDR:PORT" token.
+    std::cout << "hcsd: listening on ";
+    if (!socket_path.empty()) std::cout << socket_path;
+    if (tcp_port >= 0) {
+      if (!socket_path.empty()) std::cout << " and ";
+      std::cout << "tcp:" << server_options.tcp_bind << ":"
+                << server.tcp_listen_port();
+    }
+    std::cout << " (P=" << p << ", workers=" << server.worker_count()
               << ", cache=" << server_options.cache.capacity << "x"
               << server_options.cache.shards
               << " shards, quantum=" << server_options.quantum
